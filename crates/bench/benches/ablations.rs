@@ -1,0 +1,75 @@
+//! Ablation benchmarks for the design decisions called out in DESIGN.md:
+//!
+//! * engine path (monomorphised, the analogue of generated C) vs. the
+//!   dynamic spec-driven converter vs. executing generated IR through the
+//!   interpreter,
+//! * the scalar-counter optimisation (CSR→ELL) vs. the counter array that an
+//!   unordered source forces (COO→ELL),
+//! * answering the CSR row-count query from the `pos` array vs. recomputing
+//!   it with a histogram pass (the `simplify-width-count` rewrite's payoff).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use conv_bench::{env_f64, BenchInputs};
+use sparse_conv::convert::{AnyMatrix, FormatId};
+use sparse_conv::source::SourceMatrix;
+use sparse_conv::spec::FormatSpec;
+use sparse_conv::{codegen, engine, generic};
+
+fn inputs() -> BenchInputs {
+    let scale = env_f64("BENCH_SCALE", 0.02);
+    let spec = conv_bench::suite(None)
+        .into_iter()
+        .find(|s| s.name == "denormal")
+        .expect("denormal is part of the Table 2 suite");
+    BenchInputs::build(&spec, scale)
+}
+
+fn bench_execution_paths(c: &mut Criterion) {
+    let inputs = inputs();
+    let coo_any = AnyMatrix::Coo(inputs.coo.clone());
+    let csr_spec = FormatSpec::stock(FormatId::Csr);
+
+    let mut group = c.benchmark_group("execution_paths/coo_to_csr");
+    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(600));
+    group.bench_function("engine (monomorphised)", |b| {
+        b.iter(|| engine::to_csr(&inputs.coo).nnz())
+    });
+    group.bench_function("dynamic spec-driven", |b| {
+        b.iter(|| generic::convert_with_spec(&coo_any, &csr_spec).unwrap().vals.len())
+    });
+    group.bench_function("generated IR + interpreter", |b| {
+        b.iter(|| codegen::execute(&coo_any, FormatId::Csr).unwrap().nnz())
+    });
+    group.finish();
+}
+
+fn bench_counter_strategies(c: &mut Criterion) {
+    let inputs = inputs();
+    let mut group = c.benchmark_group("counters/to_ell");
+    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(600));
+    group.bench_function("scalar counter (CSR source)", |b| {
+        b.iter(|| engine::to_ell(&inputs.csr).slices())
+    });
+    group.bench_function("counter array (COO source)", |b| {
+        b.iter(|| engine::to_ell(&inputs.coo).slices())
+    });
+    group.finish();
+}
+
+fn bench_query_fast_path(c: &mut Criterion) {
+    let inputs = inputs();
+    let mut group = c.benchmark_group("analysis/row_counts");
+    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(600));
+    group.bench_function("csr pos differencing", |b| {
+        b.iter(|| SourceMatrix::row_counts(&inputs.csr).len())
+    });
+    group.bench_function("histogram over nonzeros", |b| {
+        b.iter(|| SourceMatrix::row_counts(&inputs.coo).len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_execution_paths, bench_counter_strategies, bench_query_fast_path);
+criterion_main!(benches);

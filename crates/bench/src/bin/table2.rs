@@ -1,0 +1,45 @@
+//! Regenerates Table 2: the structural statistics of the evaluation matrices.
+//!
+//! The paper reports statistics of 21 SuiteSparse matrices; this binary
+//! prints the same columns for the synthetic stand-ins at the chosen scale
+//! (environment variable `TABLE_SCALE`, default 0.05) next to the paper's
+//! full-size numbers.
+
+use conv_bench::{env_f64, suite};
+use sparse_tensor::MatrixStats;
+
+fn main() {
+    let scale = env_f64("TABLE_SCALE", 0.05);
+    println!("Table 2 reproduction (synthetic stand-ins at scale {scale})");
+    println!(
+        "{:<18} {:>12} {:>10} {:>10} {:>9} | {:>12} {:>10} {:>10} {:>9}",
+        "Matrix",
+        "paper dims",
+        "paper nnz",
+        "paper diag",
+        "paper mr",
+        "gen dims",
+        "gen nnz",
+        "gen diag",
+        "gen mr"
+    );
+    for spec in suite(None) {
+        let matrix = spec.generate(scale);
+        let stats = MatrixStats::compute(&matrix);
+        println!(
+            "{:<18} {:>12} {:>10} {:>10} {:>9} | {:>12} {:>10} {:>10} {:>9}",
+            spec.name,
+            format!("{}x{}", spec.dim, spec.dim),
+            spec.nnz,
+            spec.nonzero_diagonals,
+            spec.max_nnz_per_row,
+            format!("{}x{}", stats.rows, stats.cols),
+            stats.nnz,
+            stats.nonzero_diagonals,
+            stats.max_nnz_per_row,
+        );
+    }
+    println!();
+    println!("Columns: dims, number of nonzeros, number of nonzero diagonals, max nonzeros/row.");
+    println!("Set TABLE_SCALE=1.0 for paper-sized matrices (slow for the largest rows).");
+}

@@ -1,0 +1,285 @@
+//! Public conversion entry points.
+
+use std::fmt;
+
+use sparse_formats::{
+    BcsrMatrix, CooMatrix, CscMatrix, CsrMatrix, DiaMatrix, DokMatrix, EllMatrix, JadMatrix,
+    SkylineMatrix,
+};
+use sparse_tensor::SparseTriples;
+
+use crate::engine;
+use crate::error::ConvertError;
+use crate::plan::ConversionPlan;
+use crate::source::SourceMatrix;
+use crate::spec::FormatSpec;
+
+/// Identifies a supported storage format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FormatId {
+    /// Coordinate format.
+    Coo,
+    /// Compressed sparse row.
+    Csr,
+    /// Compressed sparse column.
+    Csc,
+    /// Diagonal format.
+    Dia,
+    /// ELLPACK format.
+    Ell,
+    /// Blocked CSR with the given block shape.
+    Bcsr {
+        /// Rows per block.
+        block_rows: usize,
+        /// Columns per block.
+        block_cols: usize,
+    },
+    /// Skyline (lower-triangle profile) format.
+    Skyline,
+    /// Jagged diagonal format.
+    Jad,
+    /// Dictionary of keys.
+    Dok,
+}
+
+impl fmt::Display for FormatId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FormatId::Coo => write!(f, "COO"),
+            FormatId::Csr => write!(f, "CSR"),
+            FormatId::Csc => write!(f, "CSC"),
+            FormatId::Dia => write!(f, "DIA"),
+            FormatId::Ell => write!(f, "ELL"),
+            FormatId::Bcsr { block_rows, block_cols } => {
+                write!(f, "BCSR{block_rows}x{block_cols}")
+            }
+            FormatId::Skyline => write!(f, "SKY"),
+            FormatId::Jad => write!(f, "JAD"),
+            FormatId::Dok => write!(f, "DOK"),
+        }
+    }
+}
+
+/// A matrix in any supported format.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnyMatrix {
+    /// COO storage.
+    Coo(CooMatrix),
+    /// CSR storage.
+    Csr(CsrMatrix),
+    /// CSC storage.
+    Csc(CscMatrix),
+    /// DIA storage.
+    Dia(DiaMatrix),
+    /// ELL storage.
+    Ell(EllMatrix),
+    /// BCSR storage.
+    Bcsr(BcsrMatrix),
+    /// Skyline storage.
+    Skyline(SkylineMatrix),
+    /// JAD storage.
+    Jad(JadMatrix),
+    /// DOK storage.
+    Dok(DokMatrix),
+}
+
+/// Applies a closure to the contained matrix as a [`SourceMatrix`].
+macro_rules! with_source {
+    ($matrix:expr, $binding:ident => $body:expr) => {
+        match $matrix {
+            AnyMatrix::Coo($binding) => $body,
+            AnyMatrix::Csr($binding) => $body,
+            AnyMatrix::Csc($binding) => $body,
+            AnyMatrix::Dia($binding) => $body,
+            AnyMatrix::Ell($binding) => $body,
+            AnyMatrix::Bcsr($binding) => $body,
+            AnyMatrix::Skyline($binding) => $body,
+            AnyMatrix::Jad($binding) => $body,
+            AnyMatrix::Dok($binding) => $body,
+        }
+    };
+}
+
+impl AnyMatrix {
+    /// The format this matrix is stored in.
+    pub fn format(&self) -> FormatId {
+        match self {
+            AnyMatrix::Coo(_) => FormatId::Coo,
+            AnyMatrix::Csr(_) => FormatId::Csr,
+            AnyMatrix::Csc(_) => FormatId::Csc,
+            AnyMatrix::Dia(_) => FormatId::Dia,
+            AnyMatrix::Ell(_) => FormatId::Ell,
+            AnyMatrix::Bcsr(m) => {
+                let (block_rows, block_cols) = m.block_shape();
+                FormatId::Bcsr { block_rows, block_cols }
+            }
+            AnyMatrix::Skyline(_) => FormatId::Skyline,
+            AnyMatrix::Jad(_) => FormatId::Jad,
+            AnyMatrix::Dok(_) => FormatId::Dok,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        with_source!(self, m => SourceMatrix::rows(m))
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        with_source!(self, m => SourceMatrix::cols(m))
+    }
+
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        with_source!(self, m => SourceMatrix::nnz(m))
+    }
+
+    /// Converts to canonical triples (padding skipped).
+    pub fn to_triples(&self) -> SparseTriples {
+        let mut t = SparseTriples::with_capacity(
+            sparse_tensor::Shape::matrix(self.rows(), self.cols()),
+            self.nnz(),
+        );
+        with_source!(self, m => m.for_each(|i, j, v| {
+            t.push(vec![i as i64, j as i64], v).expect("source coordinates are in bounds");
+        }));
+        t
+    }
+
+    /// Builds a matrix in the given format from canonical triples (via the
+    /// reference constructors; conversion benchmarks use [`convert`] instead).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the format cannot represent the input.
+    pub fn from_triples(t: &SparseTriples, format: FormatId) -> Result<Self, ConvertError> {
+        let coo = CooMatrix::from_triples(t);
+        convert(&AnyMatrix::Coo(coo), format)
+    }
+}
+
+/// Converts a matrix to the requested target format using the generated
+/// (engine) conversion path.
+///
+/// # Errors
+///
+/// Returns an error when the target cannot represent the input (e.g. skyline
+/// targets require square matrices).
+pub fn convert(src: &AnyMatrix, target: FormatId) -> Result<AnyMatrix, ConvertError> {
+    Ok(match target {
+        FormatId::Coo => AnyMatrix::Coo(with_source!(src, m => engine::to_coo(m))),
+        FormatId::Csr => AnyMatrix::Csr(with_source!(src, m => engine::to_csr(m))),
+        FormatId::Csc => AnyMatrix::Csc(with_source!(src, m => engine::to_csc(m))),
+        FormatId::Dia => AnyMatrix::Dia(with_source!(src, m => engine::to_dia(m))),
+        FormatId::Ell => AnyMatrix::Ell(with_source!(src, m => engine::to_ell(m))),
+        FormatId::Bcsr { block_rows, block_cols } => {
+            AnyMatrix::Bcsr(with_source!(src, m => engine::to_bcsr(m, block_rows, block_cols)))
+        }
+        FormatId::Skyline => AnyMatrix::Skyline(with_source!(src, m => engine::to_skyline(m))?),
+        FormatId::Jad => AnyMatrix::Jad(with_source!(src, m => engine::to_jad(m))),
+        FormatId::Dok => AnyMatrix::Dok(with_source!(src, m => engine::to_dok(m))),
+    })
+}
+
+/// Builds the conversion plan that [`convert`] follows for the given source
+/// matrix and target format (for inspection, documentation, and ablation).
+///
+/// # Errors
+///
+/// Returns an error for targets without a coordinate-hierarchy specification
+/// (DOK).
+pub fn plan_for(src: &AnyMatrix, target: FormatId) -> Result<ConversionPlan, ConvertError> {
+    if matches!(target, FormatId::Dok) {
+        return Err(ConvertError::Unsupported(
+            "DOK is not described by a coordinate hierarchy; it is supported only as a source"
+                .to_string(),
+        ));
+    }
+    let source_spec = match src.format() {
+        FormatId::Dok => FormatSpec::stock(FormatId::Coo),
+        other => FormatSpec::stock(other),
+    };
+    let target_spec = FormatSpec::stock(target);
+    let rows_in_order = with_source!(src, m => m.rows_in_order());
+    let counts_from_structure = matches!(src.format(), FormatId::Csr | FormatId::Skyline);
+    Ok(ConversionPlan::new(&source_spec, &target_spec, rows_in_order, counts_from_structure))
+}
+
+/// All format identifiers evaluated in Section 7 (the benchmark set).
+pub fn evaluated_formats() -> Vec<FormatId> {
+    vec![FormatId::Coo, FormatId::Csr, FormatId::Csc, FormatId::Dia, FormatId::Ell]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparse_tensor::example::figure1_matrix;
+
+    fn all_targets() -> Vec<FormatId> {
+        vec![
+            FormatId::Coo,
+            FormatId::Csr,
+            FormatId::Csc,
+            FormatId::Dia,
+            FormatId::Ell,
+            FormatId::Bcsr { block_rows: 2, block_cols: 2 },
+            FormatId::Jad,
+            FormatId::Dok,
+        ]
+    }
+
+    #[test]
+    fn every_pair_of_evaluated_formats_roundtrips() {
+        let t = figure1_matrix();
+        let sources: Vec<AnyMatrix> = all_targets()
+            .into_iter()
+            .map(|f| AnyMatrix::from_triples(&t, f).unwrap())
+            .collect();
+        for src in &sources {
+            for dst in all_targets() {
+                let converted = convert(src, dst).unwrap();
+                assert_eq!(converted.format(), dst);
+                assert!(
+                    converted.to_triples().same_values(&t),
+                    "conversion {} -> {} lost values",
+                    src.format(),
+                    dst
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn format_metadata_accessors() {
+        let t = figure1_matrix();
+        let m = AnyMatrix::from_triples(&t, FormatId::Csr).unwrap();
+        assert_eq!(m.format(), FormatId::Csr);
+        assert_eq!(m.rows(), 4);
+        assert_eq!(m.cols(), 6);
+        assert_eq!(m.nnz(), 9);
+        assert_eq!(FormatId::Bcsr { block_rows: 2, block_cols: 3 }.to_string(), "BCSR2x3");
+        assert_eq!(FormatId::Dia.to_string(), "DIA");
+        assert_eq!(evaluated_formats().len(), 5);
+    }
+
+    #[test]
+    fn skyline_target_requires_square_input() {
+        let t = figure1_matrix();
+        let m = AnyMatrix::from_triples(&t, FormatId::Coo).unwrap();
+        assert!(matches!(convert(&m, FormatId::Skyline), Err(ConvertError::Unsupported(_))));
+    }
+
+    #[test]
+    fn plans_are_available_for_every_benchmarked_pair() {
+        let t = figure1_matrix();
+        let coo = AnyMatrix::from_triples(&t, FormatId::Coo).unwrap();
+        let csr = AnyMatrix::from_triples(&t, FormatId::Csr).unwrap();
+        let plan = plan_for(&coo, FormatId::Csr).unwrap();
+        assert_eq!(plan.counters, crate::plan::CounterStrategy::NotNeeded);
+        let plan = plan_for(&csr, FormatId::Ell).unwrap();
+        assert_eq!(plan.counters, crate::plan::CounterStrategy::Scalar);
+        let plan = plan_for(&coo, FormatId::Ell).unwrap();
+        assert_eq!(plan.counters, crate::plan::CounterStrategy::Array);
+        assert!(plan_for(&coo, FormatId::Dok).is_err());
+    }
+}

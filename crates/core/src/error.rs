@@ -1,0 +1,78 @@
+//! Errors of the conversion engine.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while planning or executing a conversion.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConvertError {
+    /// The requested target format cannot represent the input (e.g. skyline
+    /// targets require a square matrix).
+    Unsupported(String),
+    /// The produced data structures failed validation.
+    Structure(sparse_tensor::TensorError),
+    /// A remapping failed to evaluate.
+    Remap(coord_remap::RemapError),
+    /// An attribute query failed to evaluate.
+    Query(attr_query::QueryError),
+    /// Generated IR failed to execute.
+    Interp(conv_ir::interp::InterpError),
+}
+
+impl fmt::Display for ConvertError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConvertError::Unsupported(msg) => write!(f, "unsupported conversion: {msg}"),
+            ConvertError::Structure(e) => write!(f, "invalid output structure: {e}"),
+            ConvertError::Remap(e) => write!(f, "remapping error: {e}"),
+            ConvertError::Query(e) => write!(f, "attribute query error: {e}"),
+            ConvertError::Interp(e) => write!(f, "generated code failed: {e}"),
+        }
+    }
+}
+
+impl Error for ConvertError {}
+
+impl From<sparse_tensor::TensorError> for ConvertError {
+    fn from(e: sparse_tensor::TensorError) -> Self {
+        ConvertError::Structure(e)
+    }
+}
+
+impl From<coord_remap::RemapError> for ConvertError {
+    fn from(e: coord_remap::RemapError) -> Self {
+        ConvertError::Remap(e)
+    }
+}
+
+impl From<attr_query::QueryError> for ConvertError {
+    fn from(e: attr_query::QueryError) -> Self {
+        ConvertError::Query(e)
+    }
+}
+
+impl From<conv_ir::interp::InterpError> for ConvertError {
+    fn from(e: conv_ir::interp::InterpError) -> Self {
+        ConvertError::Interp(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let e: ConvertError = sparse_tensor::TensorError::InvalidStructure("bad pos".into()).into();
+        assert!(e.to_string().contains("bad pos"));
+        let e: ConvertError = coord_remap::RemapError::DivisionByZero.into();
+        assert!(e.to_string().contains("remapping"));
+        let e: ConvertError = attr_query::QueryError::Parse("x".into()).into();
+        assert!(e.to_string().contains("query"));
+        let e: ConvertError = conv_ir::interp::InterpError::DivisionByZero.into();
+        assert!(e.to_string().contains("generated code"));
+        assert!(ConvertError::Unsupported("skyline needs square".into())
+            .to_string()
+            .contains("skyline"));
+    }
+}

@@ -1,0 +1,488 @@
+//! The specification-driven (dynamic) conversion path.
+//!
+//! The engine kernels in [`crate::engine`] are monomorphised for the built-in
+//! formats. This module is the fully dynamic counterpart: it converts a
+//! matrix into *any* format described by a [`FormatSpec`] — including
+//! user-defined custom formats — by literally executing the recipe of
+//! Figure 12 with level assemblers, the remapping evaluator, and the
+//! attribute-query evaluator. It is slower than the engine (that gap is
+//! measured by the `ablations` benchmark) but places no restriction on the
+//! level composition.
+
+use attr_query::eval::evaluate_on_coords;
+use attr_query::{AttrQuery, QueryResult};
+use coord_remap::{BoundsEnv, EvalContext, Remapping};
+use level_formats::{
+    BandedLevel, CompressedLevel, DenseLevel, EdgeInsertion, HashedLevel, LevelAssembler,
+    LevelKind, LevelProperties, PositionKind, SingletonLevel, SlicedLevel, SqueezedLevel,
+};
+use sparse_tensor::{DimBounds, Value};
+use std::collections::HashMap;
+
+use crate::convert::AnyMatrix;
+use crate::error::ConvertError;
+use crate::spec::FormatSpec;
+
+/// The assembled data of one output level.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LevelOutput {
+    /// Dense level: nothing stored beyond the extent.
+    Dense {
+        /// Dimension extent.
+        extent: usize,
+    },
+    /// Compressed level: `pos` and `crd` arrays.
+    Compressed {
+        /// Parent-to-children offsets.
+        pos: Vec<usize>,
+        /// Child coordinates.
+        crd: Vec<i64>,
+    },
+    /// Singleton level: one coordinate per position.
+    Singleton {
+        /// Stored coordinates.
+        crd: Vec<i64>,
+    },
+    /// Sliced level: the analysed slice count.
+    Sliced {
+        /// Number of slices `K`.
+        slices: usize,
+    },
+    /// Squeezed level: the stored coordinate values.
+    Squeezed {
+        /// Stored coordinate values (e.g. DIA diagonal offsets).
+        perm: Vec<i64>,
+    },
+    /// Banded level: run offsets and first stored coordinate per parent.
+    Banded {
+        /// Run offsets.
+        pos: Vec<usize>,
+        /// First stored coordinate per parent.
+        first: Vec<usize>,
+    },
+    /// Hashed level: interned `(parent position, coordinate)` pairs.
+    Hashed {
+        /// Interned coordinates in insertion order.
+        coords: Vec<(usize, i64)>,
+    },
+}
+
+/// A tensor assembled from a [`FormatSpec`] by the dynamic converter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CustomTensor {
+    /// The format specification the tensor was assembled for.
+    pub spec: FormatSpec,
+    /// The assembled level data, outermost first.
+    pub levels: Vec<LevelOutput>,
+    /// The value array, indexed by the last level's positions.
+    pub vals: Vec<Value>,
+    /// The canonical (source) matrix shape.
+    pub source_shape: (usize, usize),
+}
+
+/// A level assembler of any kind, dispatched by enumeration (so that the
+/// assembled data can be recovered without downcasting).
+#[derive(Debug, Clone)]
+pub enum AnyLevel {
+    /// Dense level assembler.
+    Dense(DenseLevel),
+    /// Compressed level assembler (unique or non-unique).
+    Compressed(CompressedLevel),
+    /// Singleton level assembler.
+    Singleton(SingletonLevel),
+    /// Sliced level assembler.
+    Sliced(SlicedLevel),
+    /// Squeezed level assembler.
+    Squeezed(SqueezedLevel),
+    /// Banded level assembler.
+    Banded(BandedLevel),
+    /// Hashed level assembler.
+    Hashed(HashedLevel),
+}
+
+macro_rules! each_level {
+    ($self:expr, $l:ident => $e:expr) => {
+        match $self {
+            AnyLevel::Dense($l) => $e,
+            AnyLevel::Compressed($l) => $e,
+            AnyLevel::Singleton($l) => $e,
+            AnyLevel::Sliced($l) => $e,
+            AnyLevel::Squeezed($l) => $e,
+            AnyLevel::Banded($l) => $e,
+            AnyLevel::Hashed($l) => $e,
+        }
+    };
+}
+
+impl LevelAssembler for AnyLevel {
+    fn kind(&self) -> LevelKind {
+        each_level!(self, l => l.kind())
+    }
+
+    fn properties(&self) -> LevelProperties {
+        each_level!(self, l => l.properties())
+    }
+
+    fn required_query(&self, dims: &[String], level: usize) -> Option<AttrQuery> {
+        each_level!(self, l => l.required_query(dims, level))
+    }
+
+    fn edge_insertion(&self) -> EdgeInsertion {
+        each_level!(self, l => l.edge_insertion())
+    }
+
+    fn position_kind(&self) -> PositionKind {
+        each_level!(self, l => l.position_kind())
+    }
+
+    fn size(&self, parent_size: usize) -> usize {
+        each_level!(self, l => l.size(parent_size))
+    }
+
+    fn init_edges(&mut self, parent_size: usize, sequenced: bool, q: Option<&QueryResult>) {
+        each_level!(self, l => l.init_edges(parent_size, sequenced, q))
+    }
+
+    fn insert_edges(
+        &mut self,
+        parent_pos: usize,
+        parent_coords: &[i64],
+        sequenced: bool,
+        q: Option<&QueryResult>,
+    ) {
+        each_level!(self, l => l.insert_edges(parent_pos, parent_coords, sequenced, q))
+    }
+
+    fn finalize_edges(&mut self, parent_size: usize, sequenced: bool) {
+        each_level!(self, l => l.finalize_edges(parent_size, sequenced))
+    }
+
+    fn init_coords(&mut self, parent_size: usize, q: Option<&QueryResult>) {
+        each_level!(self, l => l.init_coords(parent_size, q))
+    }
+
+    fn init_pos(&mut self, parent_size: usize) {
+        each_level!(self, l => l.init_pos(parent_size))
+    }
+
+    fn position(&mut self, parent_pos: usize, coords: &[i64]) -> usize {
+        each_level!(self, l => l.position(parent_pos, coords))
+    }
+
+    fn insert_coord(&mut self, parent_pos: usize, pos: usize, coords: &[i64]) {
+        each_level!(self, l => l.insert_coord(parent_pos, pos, coords))
+    }
+
+    fn finalize_pos(&mut self, parent_size: usize) {
+        each_level!(self, l => l.finalize_pos(parent_size))
+    }
+}
+
+impl AnyLevel {
+    /// Extracts the assembled data.
+    pub fn into_output(self, bounds: DimBounds) -> LevelOutput {
+        match self {
+            AnyLevel::Dense(_) => LevelOutput::Dense { extent: bounds.extent() },
+            AnyLevel::Compressed(level) => {
+                let (pos, crd) = level.into_arrays();
+                LevelOutput::Compressed { pos, crd }
+            }
+            AnyLevel::Singleton(level) => LevelOutput::Singleton { crd: level.into_crd() },
+            AnyLevel::Sliced(level) => LevelOutput::Sliced { slices: level.slice_count() },
+            AnyLevel::Squeezed(level) => LevelOutput::Squeezed { perm: level.into_perm() },
+            AnyLevel::Banded(level) => {
+                let (pos, first) = level.into_arrays();
+                LevelOutput::Banded { pos, first }
+            }
+            AnyLevel::Hashed(level) => LevelOutput::Hashed { coords: level.coords().to_vec() },
+        }
+    }
+}
+
+/// Builds a level assembler for a level kind over the given coordinate
+/// bounds.
+pub fn make_assembler(kind: LevelKind, bounds: DimBounds) -> AnyLevel {
+    match kind {
+        LevelKind::Dense => {
+            AnyLevel::Dense(DenseLevel::with_lower_bound(bounds.extent(), bounds.lower))
+        }
+        LevelKind::Compressed => AnyLevel::Compressed(CompressedLevel::new()),
+        LevelKind::CompressedNonUnique => AnyLevel::Compressed(CompressedLevel::non_unique()),
+        LevelKind::Singleton => AnyLevel::Singleton(SingletonLevel::new()),
+        LevelKind::Sliced => AnyLevel::Sliced(SlicedLevel::new()),
+        LevelKind::Squeezed => AnyLevel::Squeezed(SqueezedLevel::new(bounds.lower, bounds.upper)),
+        LevelKind::Banded => AnyLevel::Banded(BandedLevel::new()),
+        LevelKind::Hashed => AnyLevel::Hashed(HashedLevel::new()),
+    }
+}
+
+/// Converts a matrix into the format described by `spec`.
+///
+/// # Errors
+///
+/// Returns an error when the remapping or a query fails to evaluate, or when
+/// the spec's level composition requires edge insertion under a non-full
+/// ancestor (a composition the dynamic driver does not support).
+pub fn convert_with_spec(src: &AnyMatrix, spec: &FormatSpec) -> Result<CustomTensor, ConvertError> {
+    let triples = src.to_triples();
+    let rows = src.rows();
+    let cols = src.cols();
+
+    // Phase 1: coordinate remapping (Section 4).
+    let remapping: &Remapping = &spec.remapping;
+    let mut ctx = EvalContext::new(remapping);
+    let remapped = ctx.apply_all(&triples)?;
+
+    // Static bounds of each remapped dimension, used to size dense, squeezed,
+    // and counter-derived dimensions.
+    let env = BoundsEnv::for_remapping(remapping, &[rows, cols]).with_nnz(triples.nnz());
+    let bounds = coord_remap::infer_bounds(remapping, &env)?;
+
+    // Phase 2: analysis (Section 5) — evaluate each level's attribute query
+    // over the remapped coordinates.
+    let coords: Vec<Vec<i64>> = remapped.triples.iter().map(|(c, _)| c.clone()).collect();
+    let mut queries: Vec<Option<QueryResult>> = Vec::with_capacity(spec.levels.len());
+    let mut assemblers: Vec<AnyLevel> = Vec::with_capacity(spec.levels.len());
+    for (k, kind) in spec.levels.iter().enumerate() {
+        let assembler = make_assembler(*kind, bounds[k]);
+        match assembler.required_query(&spec.dim_names, k) {
+            Some(query) => {
+                let result = evaluate_on_coords(
+                    &query,
+                    &spec.dim_names,
+                    &bounds,
+                    coords.iter().map(|c| c.as_slice()),
+                )?;
+                queries.push(Some(result));
+            }
+            None => queries.push(None),
+        }
+        assemblers.push(assembler);
+    }
+
+    // Phase 3: assembly (Section 6, Figure 12), level by level from the top.
+    let mut parent_sizes = Vec::with_capacity(spec.levels.len());
+    let mut parent_size = 1usize;
+    for (k, assembler) in assemblers.iter_mut().enumerate() {
+        parent_sizes.push(parent_size);
+        let q = queries[k].as_ref();
+        if assembler.edge_insertion() == EdgeInsertion::SequencedOrUnsequenced {
+            // Enumerate parent positions; this requires every ancestor level
+            // to be full (dense-like) so that positions correspond to the
+            // cartesian product of ancestor coordinates.
+            let ancestors_full =
+                spec.levels[..k].iter().all(|a| matches!(a, LevelKind::Dense | LevelKind::Sliced));
+            if k > 0 && !ancestors_full {
+                return Err(ConvertError::Unsupported(format!(
+                    "level {k} ({}) needs edge insertion under a non-full ancestor",
+                    spec.levels[k]
+                )));
+            }
+            assembler.init_edges(parent_size, true, q);
+            for (pos, parent_coords) in enumerate_full_positions(&bounds[..k]) {
+                assembler.insert_edges(pos, &parent_coords, true, q);
+            }
+            assembler.finalize_edges(parent_size, true);
+        }
+        assembler.init_coords(parent_size, q);
+        assembler.init_pos(parent_size);
+        parent_size = assembler.size(parent_size);
+    }
+    let total = parent_size;
+
+    // Coordinate insertion: one pass over the remapped nonzeros, walking the
+    // level chain to compute each nonzero's position. Levels that yield
+    // positions but must stay duplicate-free (e.g. an intermediate block
+    // level) are deduplicated on the fly, as Section 6.2 describes.
+    let mut vals = vec![0.0; total];
+    let mut dedup: Vec<HashMap<(usize, i64), usize>> =
+        (0..spec.levels.len()).map(|_| HashMap::new()).collect();
+    for (coord, value) in &remapped.triples {
+        let mut pos = 0usize;
+        for (k, assembler) in assemblers.iter_mut().enumerate() {
+            let prefix = &coord[..=k];
+            let is_last = k + 1 == spec.levels.len();
+            let needs_dedup = assembler.position_kind() == PositionKind::Yield
+                && !is_last
+                && assembler.properties().unique;
+            let next = if needs_dedup {
+                let key = (pos, coord[k]);
+                if let Some(&existing) = dedup[k].get(&key) {
+                    existing
+                } else {
+                    let fresh = assembler.position(pos, prefix);
+                    assembler.insert_coord(pos, fresh, prefix);
+                    dedup[k].insert(key, fresh);
+                    fresh
+                }
+            } else {
+                let fresh = assembler.position(pos, prefix);
+                assembler.insert_coord(pos, fresh, prefix);
+                fresh
+            };
+            pos = next;
+        }
+        // Levels whose size is only known as coordinates are interned (e.g.
+        // hashed levels) grow the value array on demand.
+        if pos >= vals.len() {
+            vals.resize(pos + 1, 0.0);
+        }
+        vals[pos] = *value;
+    }
+    for (k, assembler) in assemblers.iter_mut().enumerate() {
+        assembler.finalize_pos(parent_sizes[k]);
+    }
+
+    // Extract per-level outputs.
+    let levels: Vec<LevelOutput> = assemblers
+        .into_iter()
+        .enumerate()
+        .map(|(k, assembler)| assembler.into_output(bounds[k]))
+        .collect();
+    Ok(CustomTensor { spec: spec.clone(), levels, vals, source_shape: (rows, cols) })
+}
+
+/// Enumerates the positions (and coordinate tuples) of a chain of full
+/// levels, in position order.
+fn enumerate_full_positions(bounds: &[DimBounds]) -> Vec<(usize, Vec<i64>)> {
+    let mut out = vec![(0usize, Vec::new())];
+    for b in bounds {
+        let mut next = Vec::with_capacity(out.len() * b.extent());
+        for (pos, coords) in &out {
+            for (offset, c) in (b.lower..b.upper).enumerate() {
+                let mut extended = coords.clone();
+                extended.push(c);
+                next.push((pos * b.extent() + offset, extended));
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convert::{AnyMatrix, FormatId};
+    use crate::engine;
+    use sparse_formats::{CooMatrix, CsrMatrix, DiaMatrix, EllMatrix};
+    use sparse_tensor::example::figure1_matrix;
+    use sparse_tensor::SparseTriples;
+
+    fn coo_src() -> AnyMatrix {
+        AnyMatrix::Coo(CooMatrix::from_triples(&figure1_matrix()))
+    }
+
+    #[test]
+    fn dynamic_csr_matches_engine_csr() {
+        let spec = FormatSpec::stock(FormatId::Csr);
+        let custom = convert_with_spec(&coo_src(), &spec).unwrap();
+        let reference = engine::to_csr(&CooMatrix::from_triples(&figure1_matrix()));
+        match &custom.levels[1] {
+            LevelOutput::Compressed { pos, crd } => {
+                assert_eq!(pos, reference.pos());
+                let crd_usize: Vec<usize> = crd.iter().map(|&c| c as usize).collect();
+                assert_eq!(crd_usize, reference.crd());
+            }
+            other => panic!("unexpected level output {other:?}"),
+        }
+        assert_eq!(custom.vals, reference.values());
+    }
+
+    #[test]
+    fn dynamic_dia_matches_engine_dia() {
+        let spec = FormatSpec::stock(FormatId::Dia);
+        let custom = convert_with_spec(&coo_src(), &spec).unwrap();
+        let reference = engine::to_dia(&CooMatrix::from_triples(&figure1_matrix()));
+        match &custom.levels[0] {
+            LevelOutput::Squeezed { perm } => assert_eq!(perm, reference.offsets()),
+            other => panic!("unexpected level output {other:?}"),
+        }
+        assert_eq!(custom.vals, reference.values());
+    }
+
+    #[test]
+    fn dynamic_ell_matches_engine_ell() {
+        let spec = FormatSpec::stock(FormatId::Ell);
+        let custom = convert_with_spec(&coo_src(), &spec).unwrap();
+        let reference = engine::to_ell(&CooMatrix::from_triples(&figure1_matrix()));
+        match &custom.levels[0] {
+            LevelOutput::Sliced { slices } => assert_eq!(*slices, reference.slices()),
+            other => panic!("unexpected level output {other:?}"),
+        }
+        match &custom.levels[2] {
+            LevelOutput::Singleton { crd } => {
+                let crd_usize: Vec<usize> = crd.iter().map(|&c| c as usize).collect();
+                assert_eq!(crd_usize, reference.crd());
+            }
+            other => panic!("unexpected level output {other:?}"),
+        }
+        assert_eq!(custom.vals, reference.values());
+    }
+
+    #[test]
+    fn dynamic_coo_target_keeps_duplicless_row_entries() {
+        let spec = FormatSpec::stock(FormatId::Coo);
+        let custom = convert_with_spec(&coo_src(), &spec).unwrap();
+        match (&custom.levels[0], &custom.levels[1]) {
+            (LevelOutput::Compressed { pos, crd }, LevelOutput::Singleton { crd: cols }) => {
+                assert_eq!(pos, &[0, 9]);
+                assert_eq!(crd, &[0, 0, 1, 1, 2, 2, 3, 3, 3]);
+                assert_eq!(cols, &[0, 1, 1, 2, 0, 2, 1, 3, 4]);
+            }
+            other => panic!("unexpected level outputs {other:?}"),
+        }
+        assert_eq!(custom.vals, &[5.0, 1.0, 7.0, 3.0, 8.0, 2.0, 4.0, 9.0, 6.0]);
+    }
+
+    #[test]
+    fn dynamic_custom_blocked_format_assembles() {
+        // A custom blocked format built from the spec language alone: blocks
+        // interned in a hash level, block contents dense.
+        let spec = FormatSpec::new(
+            "BLOCK-HASH",
+            coord_remap::stock::bcsr_with_blocks(2, 2),
+            vec!["bi", "bj", "li", "lj"],
+            vec![LevelKind::Dense, LevelKind::Hashed, LevelKind::Dense, LevelKind::Dense],
+        );
+        let custom = convert_with_spec(&coo_src(), &spec).unwrap();
+        match &custom.levels[1] {
+            LevelOutput::Hashed { coords } => assert!(!coords.is_empty()),
+            other => panic!("unexpected level output {other:?}"),
+        }
+        assert_eq!(custom.vals.iter().filter(|&&v| v != 0.0).count(), 9);
+    }
+
+    #[test]
+    fn dynamic_skyline_assembles_lower_triangles() {
+        let lower = SparseTriples::from_matrix_entries(
+            4,
+            4,
+            vec![(0, 0, 1.0), (1, 1, 2.0), (2, 0, 3.0), (2, 2, 4.0), (3, 2, 5.0), (3, 3, 6.0)],
+        )
+        .unwrap();
+        let src = AnyMatrix::Csr(CsrMatrix::from_triples(&lower));
+        let custom = convert_with_spec(&src, &FormatSpec::stock(FormatId::Skyline)).unwrap();
+        match &custom.levels[1] {
+            LevelOutput::Banded { pos, first } => {
+                assert_eq!(pos, &[0, 1, 2, 5, 7]);
+                assert_eq!(first, &[0, 1, 0, 2]);
+            }
+            other => panic!("unexpected level output {other:?}"),
+        }
+        assert_eq!(custom.vals, &[1.0, 2.0, 3.0, 0.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn dynamic_path_accepts_structured_sources() {
+        let dia = AnyMatrix::Dia(DiaMatrix::from_triples(&figure1_matrix()));
+        let spec = FormatSpec::stock(FormatId::Csr);
+        let custom = convert_with_spec(&dia, &spec).unwrap();
+        let reference = engine::to_csr(&DiaMatrix::from_triples(&figure1_matrix()));
+        assert_eq!(custom.vals, reference.values());
+        let ell = AnyMatrix::Ell(EllMatrix::from_triples(&figure1_matrix()));
+        let custom = convert_with_spec(&ell, &FormatSpec::stock(FormatId::Csc)).unwrap();
+        let reference = engine::to_csc(&EllMatrix::from_triples(&figure1_matrix()));
+        assert_eq!(custom.vals, reference.values());
+    }
+}

@@ -1,0 +1,51 @@
+//! The conversion-routine generator: the paper's primary contribution.
+//!
+//! `sparse-conv` combines the three per-format specification languages —
+//! coordinate remappings (`coord-remap`), attribute queries (`attr-query`),
+//! and the assembly abstract interface (`level-formats`) — into conversion
+//! routines between arbitrary pairs of supported formats:
+//!
+//! * [`spec`] — [`FormatSpec`]s describing every supported format by its
+//!   remapping, level composition, and required attribute queries (one spec
+//!   per format, *not* per pair).
+//! * [`plan`] — the conversion planner: given a source and target spec it
+//!   decides phase fusion, sequenced vs. unsequenced edge insertion, and
+//!   scalar vs. array counters (Sections 3, 4.2, 6.2).
+//! * [`engine`] — monomorphised conversion kernels, the runtime analogue of
+//!   the specialised C code taco emits (Figure 6); this is the path the
+//!   benchmarks measure.
+//! * [`codegen`] — lowers a conversion plan to executable [`conv_ir`]
+//!   routines and C-like listings structurally comparable to Figure 6.
+//! * [`generic`] — a fully dynamic converter driven by [`FormatSpec`]s and
+//!   trait objects, used for user-defined custom formats.
+//! * [`convert`] — the public entry points ([`convert`](convert::convert),
+//!   [`AnyMatrix`], [`FormatId`]).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use sparse_conv::{convert::{convert, AnyMatrix, FormatId}};
+//! use sparse_formats::CooMatrix;
+//! use sparse_tensor::example::figure1_matrix;
+//!
+//! let coo = AnyMatrix::Coo(CooMatrix::from_triples(&figure1_matrix()));
+//! let dia = convert(&coo, FormatId::Dia)?;
+//! assert_eq!(dia.format(), FormatId::Dia);
+//! assert!(dia.to_triples().same_values(&figure1_matrix()));
+//! # Ok::<(), sparse_conv::ConvertError>(())
+//! ```
+
+pub mod codegen;
+pub mod convert;
+pub mod engine;
+pub mod error;
+pub mod generic;
+pub mod plan;
+pub mod source;
+pub mod spec;
+
+pub use convert::{convert, AnyMatrix, FormatId};
+pub use error::ConvertError;
+pub use plan::ConversionPlan;
+pub use source::SourceMatrix;
+pub use spec::FormatSpec;

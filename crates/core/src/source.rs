@@ -1,0 +1,393 @@
+//! The source-side abstraction: how the engine iterates over input tensors.
+//!
+//! Chou et al. (2018) describe iteration over coordinate hierarchies through
+//! level functions; the engine captures the consequences of those level
+//! functions that matter for conversion as a small trait: a way to visit
+//! every nonzero with its canonical coordinates, plus the properties the
+//! planner consults (are nonzeros grouped by row and visited in row order?
+//! can per-row counts be read off the structure without touching nonzeros?).
+
+use sparse_formats::{
+    BcsrMatrix, CooMatrix, CscMatrix, CsrMatrix, DiaMatrix, DokMatrix, EllMatrix, JadMatrix,
+    SkylineMatrix,
+};
+use sparse_tensor::Value;
+
+/// A matrix the conversion engine can read.
+///
+/// `for_each` visits nonzeros in the format's storage order with their
+/// canonical `(row, column, value)`; the remaining methods expose the
+/// structural properties and analysis fast paths the planner uses
+/// (Sections 4.2 and 5.2).
+pub trait SourceMatrix {
+    /// Number of rows.
+    fn rows(&self) -> usize;
+
+    /// Number of columns.
+    fn cols(&self) -> usize;
+
+    /// Number of stored nonzeros.
+    fn nnz(&self) -> usize;
+
+    /// Visits every nonzero in storage order.
+    fn for_each<F: FnMut(usize, usize, Value)>(&self, f: F);
+
+    /// True when nonzeros are grouped by row and rows are visited in
+    /// ascending order (lets the planner use scalar counters and sequenced
+    /// edge insertion).
+    fn rows_in_order(&self) -> bool {
+        false
+    }
+
+    /// True when the format stores only structural nonzeros (no padding), the
+    /// precondition of the `simplify-width-count` rewrite.
+    fn stores_only_nonzeros(&self) -> bool {
+        true
+    }
+
+    /// Per-row nonzero counts. The default makes a counting pass; formats
+    /// with a row `pos` array answer it by differencing (the optimised query
+    /// of Section 5.2).
+    fn row_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.rows()];
+        self.for_each(|i, _, _| counts[i] += 1);
+        counts
+    }
+
+    /// Per-column nonzero counts (dual of [`SourceMatrix::row_counts`]).
+    fn col_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.cols()];
+        self.for_each(|_, j, _| counts[j] += 1);
+        counts
+    }
+}
+
+impl SourceMatrix for CooMatrix {
+    fn rows(&self) -> usize {
+        CooMatrix::rows(self)
+    }
+
+    fn cols(&self) -> usize {
+        CooMatrix::cols(self)
+    }
+
+    fn nnz(&self) -> usize {
+        CooMatrix::nnz(self)
+    }
+
+    fn for_each<F: FnMut(usize, usize, Value)>(&self, mut f: F) {
+        for (i, j, v) in self.iter() {
+            f(i, j, v);
+        }
+    }
+}
+
+impl SourceMatrix for CsrMatrix {
+    fn rows(&self) -> usize {
+        CsrMatrix::rows(self)
+    }
+
+    fn cols(&self) -> usize {
+        CsrMatrix::cols(self)
+    }
+
+    fn nnz(&self) -> usize {
+        CsrMatrix::nnz(self)
+    }
+
+    fn for_each<F: FnMut(usize, usize, Value)>(&self, mut f: F) {
+        let pos = self.pos();
+        let crd = self.crd();
+        let vals = self.values();
+        for i in 0..CsrMatrix::rows(self) {
+            for p in pos[i]..pos[i + 1] {
+                f(i, crd[p], vals[p]);
+            }
+        }
+    }
+
+    fn rows_in_order(&self) -> bool {
+        true
+    }
+
+    fn row_counts(&self) -> Vec<usize> {
+        // The optimised `count(j)` query: pos[i+1] - pos[i], no nonzero pass.
+        self.pos().windows(2).map(|w| w[1] - w[0]).collect()
+    }
+}
+
+impl SourceMatrix for CscMatrix {
+    fn rows(&self) -> usize {
+        CscMatrix::rows(self)
+    }
+
+    fn cols(&self) -> usize {
+        CscMatrix::cols(self)
+    }
+
+    fn nnz(&self) -> usize {
+        CscMatrix::nnz(self)
+    }
+
+    fn for_each<F: FnMut(usize, usize, Value)>(&self, mut f: F) {
+        let pos = self.pos();
+        let crd = self.crd();
+        let vals = self.values();
+        for j in 0..CscMatrix::cols(self) {
+            for p in pos[j]..pos[j + 1] {
+                f(crd[p], j, vals[p]);
+            }
+        }
+    }
+
+    fn col_counts(&self) -> Vec<usize> {
+        self.pos().windows(2).map(|w| w[1] - w[0]).collect()
+    }
+}
+
+impl SourceMatrix for DiaMatrix {
+    fn rows(&self) -> usize {
+        DiaMatrix::rows(self)
+    }
+
+    fn cols(&self) -> usize {
+        DiaMatrix::cols(self)
+    }
+
+    fn nnz(&self) -> usize {
+        DiaMatrix::nnz(self)
+    }
+
+    fn for_each<F: FnMut(usize, usize, Value)>(&self, mut f: F) {
+        let rows = DiaMatrix::rows(self);
+        let cols = DiaMatrix::cols(self) as i64;
+        let vals = self.values();
+        for (d, &k) in self.offsets().iter().enumerate() {
+            for i in 0..rows {
+                let j = i as i64 + k;
+                if j < 0 || j >= cols {
+                    continue;
+                }
+                let v = vals[d * rows + i];
+                if v != 0.0 {
+                    f(i, j as usize, v);
+                }
+            }
+        }
+    }
+
+    fn stores_only_nonzeros(&self) -> bool {
+        false
+    }
+}
+
+impl SourceMatrix for EllMatrix {
+    fn rows(&self) -> usize {
+        EllMatrix::rows(self)
+    }
+
+    fn cols(&self) -> usize {
+        EllMatrix::cols(self)
+    }
+
+    fn nnz(&self) -> usize {
+        EllMatrix::nnz(self)
+    }
+
+    fn for_each<F: FnMut(usize, usize, Value)>(&self, mut f: F) {
+        let rows = EllMatrix::rows(self);
+        let crd = self.crd();
+        let vals = self.values();
+        for k in 0..self.slices() {
+            for i in 0..rows {
+                let v = vals[k * rows + i];
+                if v != 0.0 {
+                    f(i, crd[k * rows + i], v);
+                }
+            }
+        }
+    }
+
+    fn stores_only_nonzeros(&self) -> bool {
+        false
+    }
+}
+
+impl SourceMatrix for BcsrMatrix {
+    fn rows(&self) -> usize {
+        BcsrMatrix::rows(self)
+    }
+
+    fn cols(&self) -> usize {
+        BcsrMatrix::cols(self)
+    }
+
+    fn nnz(&self) -> usize {
+        BcsrMatrix::nnz(self)
+    }
+
+    fn for_each<F: FnMut(usize, usize, Value)>(&self, mut f: F) {
+        let (br, bc) = self.block_shape();
+        let bsize = br * bc;
+        let pos = self.pos();
+        let crd = self.crd();
+        let vals = self.values();
+        for bi in 0..pos.len() - 1 {
+            for p in pos[bi]..pos[bi + 1] {
+                for li in 0..br {
+                    for lj in 0..bc {
+                        let v = vals[p * bsize + li * bc + lj];
+                        let (i, j) = (bi * br + li, crd[p] * bc + lj);
+                        if v != 0.0 && i < BcsrMatrix::rows(self) && j < BcsrMatrix::cols(self) {
+                            f(i, j, v);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn rows_in_order(&self) -> bool {
+        false
+    }
+
+    fn stores_only_nonzeros(&self) -> bool {
+        false
+    }
+}
+
+impl SourceMatrix for SkylineMatrix {
+    fn rows(&self) -> usize {
+        self.dim()
+    }
+
+    fn cols(&self) -> usize {
+        self.dim()
+    }
+
+    fn nnz(&self) -> usize {
+        self.to_triples().nnz()
+    }
+
+    fn for_each<F: FnMut(usize, usize, Value)>(&self, mut f: F) {
+        let pos = self.pos();
+        let first = self.first();
+        let vals = self.values();
+        for i in 0..self.dim() {
+            for (off, j) in (first[i]..=i).enumerate() {
+                let v = vals[pos[i] + off];
+                if v != 0.0 {
+                    f(i, j, v);
+                }
+            }
+        }
+    }
+
+    fn rows_in_order(&self) -> bool {
+        true
+    }
+
+    fn stores_only_nonzeros(&self) -> bool {
+        false
+    }
+}
+
+impl SourceMatrix for JadMatrix {
+    fn rows(&self) -> usize {
+        JadMatrix::rows(self)
+    }
+
+    fn cols(&self) -> usize {
+        JadMatrix::cols(self)
+    }
+
+    fn nnz(&self) -> usize {
+        JadMatrix::nnz(self)
+    }
+
+    fn for_each<F: FnMut(usize, usize, Value)>(&self, mut f: F) {
+        for t in self.to_triples().iter() {
+            f(t.coord[0] as usize, t.coord[1] as usize, t.value);
+        }
+    }
+}
+
+impl SourceMatrix for DokMatrix {
+    fn rows(&self) -> usize {
+        DokMatrix::rows(self)
+    }
+
+    fn cols(&self) -> usize {
+        DokMatrix::cols(self)
+    }
+
+    fn nnz(&self) -> usize {
+        DokMatrix::nnz(self)
+    }
+
+    fn for_each<F: FnMut(usize, usize, Value)>(&self, mut f: F) {
+        for t in self.to_triples().iter() {
+            f(t.coord[0] as usize, t.coord[1] as usize, t.value);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparse_tensor::example::figure1_matrix;
+    use sparse_tensor::SparseTriples;
+
+    fn collect<S: SourceMatrix>(s: &S) -> SparseTriples {
+        let mut t = SparseTriples::new(sparse_tensor::Shape::matrix(s.rows(), s.cols()));
+        s.for_each(|i, j, v| t.push(vec![i as i64, j as i64], v).expect("in bounds"));
+        t
+    }
+
+    #[test]
+    fn all_sources_iterate_the_same_nonzeros() {
+        let t = figure1_matrix();
+        assert!(collect(&CooMatrix::from_triples(&t)).same_values(&t));
+        assert!(collect(&CsrMatrix::from_triples(&t)).same_values(&t));
+        assert!(collect(&CscMatrix::from_triples(&t)).same_values(&t));
+        assert!(collect(&DiaMatrix::from_triples(&t)).same_values(&t));
+        assert!(collect(&EllMatrix::from_triples(&t)).same_values(&t));
+        assert!(collect(&BcsrMatrix::from_triples(&t, 2, 2)).same_values(&t));
+        assert!(collect(&JadMatrix::from_triples(&t)).same_values(&t));
+        assert!(collect(&DokMatrix::from_triples(&t)).same_values(&t));
+    }
+
+    #[test]
+    fn row_count_fast_path_matches_default() {
+        let t = figure1_matrix();
+        let csr = CsrMatrix::from_triples(&t);
+        let coo = CooMatrix::from_triples(&t);
+        assert_eq!(SourceMatrix::row_counts(&csr), SourceMatrix::row_counts(&coo));
+        assert_eq!(SourceMatrix::row_counts(&csr), vec![2, 2, 2, 3]);
+        let csc = CscMatrix::from_triples(&t);
+        assert_eq!(SourceMatrix::col_counts(&csc), SourceMatrix::col_counts(&coo));
+    }
+
+    #[test]
+    fn properties_reflect_storage() {
+        let t = figure1_matrix();
+        assert!(SourceMatrix::rows_in_order(&CsrMatrix::from_triples(&t)));
+        assert!(!SourceMatrix::rows_in_order(&CooMatrix::from_triples(&t)));
+        assert!(!SourceMatrix::rows_in_order(&CscMatrix::from_triples(&t)));
+        assert!(SourceMatrix::stores_only_nonzeros(&CsrMatrix::from_triples(&t)));
+        assert!(!SourceMatrix::stores_only_nonzeros(&DiaMatrix::from_triples(&t)));
+    }
+
+    #[test]
+    fn skyline_source_iterates_lower_triangle() {
+        let lower = SparseTriples::from_matrix_entries(
+            3,
+            3,
+            vec![(0, 0, 1.0), (2, 0, 2.0), (2, 2, 3.0)],
+        )
+        .unwrap();
+        let sky = SkylineMatrix::from_triples(&lower);
+        assert!(collect(&sky).same_values(&lower));
+        assert_eq!(SourceMatrix::nnz(&sky), 3);
+    }
+}

@@ -1,0 +1,202 @@
+//! Per-format specifications.
+//!
+//! A [`FormatSpec`] is everything a user must provide to add a new target
+//! format (Section 3): a coordinate remapping describing how the format
+//! groups and orders nonzeros, and the level format of each remapped
+//! dimension (which in turn determines the attribute queries to compute and
+//! the assembly level functions to call). One spec per format suffices to
+//! convert both *to* and *from* every other supported format.
+
+use attr_query::AttrQuery;
+use coord_remap::{stock, Remapping};
+use level_formats::LevelKind;
+
+use crate::convert::FormatId;
+
+/// The specification of one tensor format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FormatSpec {
+    /// Human-readable format name.
+    pub name: String,
+    /// The coordinate remapping from canonical matrix coordinates to the
+    /// format's storage order (Section 4).
+    pub remapping: Remapping,
+    /// Names of the remapped dimensions, in storage (outer-to-inner) order.
+    pub dim_names: Vec<String>,
+    /// The level format storing each remapped dimension.
+    pub levels: Vec<LevelKind>,
+}
+
+impl FormatSpec {
+    /// Creates a specification.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of dimension names or levels does not match the
+    /// remapping's destination order.
+    pub fn new(
+        name: &str,
+        remapping: Remapping,
+        dim_names: Vec<&str>,
+        levels: Vec<LevelKind>,
+    ) -> Self {
+        assert_eq!(dim_names.len(), remapping.dest_order(), "one name per remapped dimension");
+        assert_eq!(levels.len(), remapping.dest_order(), "one level per remapped dimension");
+        FormatSpec {
+            name: name.to_string(),
+            remapping,
+            dim_names: dim_names.into_iter().map(str::to_string).collect(),
+            levels,
+        }
+    }
+
+    /// The attribute queries the format's levels require, outer to inner
+    /// (Section 5); levels that need no query are skipped.
+    pub fn required_queries(&self) -> Vec<AttrQuery> {
+        use level_formats::LevelAssembler as _;
+        use sparse_tensor::DimBounds;
+        let mut out = Vec::new();
+        for (k, kind) in self.levels.iter().enumerate() {
+            let assembler = crate::generic::make_assembler(*kind, DimBounds::from_extent(1));
+            if let Some(q) = assembler.required_query(&self.dim_names, k) {
+                out.push(q);
+            }
+        }
+        out
+    }
+
+    /// True when the format stores nonzeros in an order other than the
+    /// lexicographic order of their canonical coordinates (DIA, ELL, BCSR,
+    /// HiCOO-style formats); such formats are exactly the ones taco without
+    /// the paper's extensions cannot assemble.
+    pub fn is_structured(&self) -> bool {
+        self.remapping.dest_order() > self.remapping.source_order()
+    }
+
+    /// Whether any remapped dimension uses a counter (`#i`).
+    pub fn uses_counters(&self) -> bool {
+        self.remapping.has_counter()
+    }
+
+    /// The stock specification of a built-in format.
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`FormatId::Dok`], which is not described by a coordinate
+    /// hierarchy (it is supported only as a conversion *source*).
+    pub fn stock(id: FormatId) -> FormatSpec {
+        match id {
+            FormatId::Coo => FormatSpec::new(
+                "COO",
+                stock::row_major_matrix(),
+                vec!["i", "j"],
+                vec![LevelKind::CompressedNonUnique, LevelKind::Singleton],
+            ),
+            FormatId::Csr => FormatSpec::new(
+                "CSR",
+                stock::row_major_matrix(),
+                vec!["i", "j"],
+                vec![LevelKind::Dense, LevelKind::Compressed],
+            ),
+            FormatId::Csc => FormatSpec::new(
+                "CSC",
+                stock::column_major_matrix(),
+                vec!["j", "i"],
+                vec![LevelKind::Dense, LevelKind::Compressed],
+            ),
+            FormatId::Dia => FormatSpec::new(
+                "DIA",
+                stock::dia(),
+                vec!["k", "i", "j"],
+                vec![LevelKind::Squeezed, LevelKind::Dense, LevelKind::Singleton],
+            ),
+            FormatId::Ell => FormatSpec::new(
+                "ELL",
+                stock::ell(),
+                vec!["k", "i", "j"],
+                vec![LevelKind::Sliced, LevelKind::Dense, LevelKind::Singleton],
+            ),
+            FormatId::Bcsr { block_rows, block_cols } => FormatSpec::new(
+                "BCSR",
+                stock::bcsr_with_blocks(block_rows, block_cols),
+                vec!["bi", "bj", "li", "lj"],
+                vec![
+                    LevelKind::Dense,
+                    LevelKind::Compressed,
+                    LevelKind::Dense,
+                    LevelKind::Dense,
+                ],
+            ),
+            FormatId::Skyline => FormatSpec::new(
+                "SKY",
+                stock::row_major_matrix(),
+                vec!["i", "j"],
+                vec![LevelKind::Dense, LevelKind::Banded],
+            ),
+            FormatId::Jad => FormatSpec::new(
+                "JAD",
+                stock::jad(),
+                vec!["k", "i", "j"],
+                vec![LevelKind::Sliced, LevelKind::Compressed, LevelKind::Singleton],
+            ),
+            FormatId::Dok => panic!("DOK is supported only as a conversion source"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stock_specs_are_consistent() {
+        for id in [
+            FormatId::Coo,
+            FormatId::Csr,
+            FormatId::Csc,
+            FormatId::Dia,
+            FormatId::Ell,
+            FormatId::Bcsr { block_rows: 2, block_cols: 2 },
+            FormatId::Skyline,
+            FormatId::Jad,
+        ] {
+            let spec = FormatSpec::stock(id);
+            assert_eq!(spec.levels.len(), spec.remapping.dest_order(), "{}", spec.name);
+            assert_eq!(spec.dim_names.len(), spec.levels.len());
+        }
+    }
+
+    #[test]
+    fn structured_formats_are_detected() {
+        assert!(!FormatSpec::stock(FormatId::Csr).is_structured());
+        assert!(!FormatSpec::stock(FormatId::Csc).is_structured());
+        assert!(FormatSpec::stock(FormatId::Dia).is_structured());
+        assert!(FormatSpec::stock(FormatId::Ell).is_structured());
+        assert!(FormatSpec::stock(FormatId::Ell).uses_counters());
+        assert!(!FormatSpec::stock(FormatId::Dia).uses_counters());
+    }
+
+    #[test]
+    fn required_queries_follow_level_formats() {
+        let csr = FormatSpec::stock(FormatId::Csr);
+        let queries = csr.required_queries();
+        assert_eq!(queries.len(), 1);
+        assert_eq!(queries[0].to_string(), "select [i] -> count(j) as nir");
+
+        let dia = FormatSpec::stock(FormatId::Dia);
+        let queries = dia.required_queries();
+        assert_eq!(queries.len(), 1);
+        assert_eq!(queries[0].to_string(), "select [k] -> id() as nz");
+
+        let ell = FormatSpec::stock(FormatId::Ell);
+        let queries = ell.required_queries();
+        assert_eq!(queries.len(), 1);
+        assert_eq!(queries[0].to_string(), "select [] -> max(k) as max_crd");
+    }
+
+    #[test]
+    #[should_panic]
+    fn dok_has_no_stock_spec() {
+        FormatSpec::stock(FormatId::Dok);
+    }
+}

@@ -1,0 +1,23 @@
+//! Library-style baseline conversion routines.
+//!
+//! The paper's evaluation (Section 7) compares generated conversion routines
+//! against SPARSKIT, Intel MKL, and taco without the paper's extensions.
+//! None of those artifacts can be linked here, so this module ports their
+//! *documented algorithms* to Rust, preserving the algorithmic properties the
+//! paper's comparison rests on:
+//!
+//! * [`sparskit`] — Gustavson-style COO→CSR and CSR→CSC (HALFPERM), CSR→ELL
+//!   with separately initialised user buffers, and CSR→DIA with the
+//!   inefficient densest-diagonal selection the paper calls out. Conversions
+//!   the library does not support directly (COO/CSC → DIA/ELL) go through a
+//!   CSR temporary, exactly as described in Sections 1 and 7.
+//! * [`mkl`] — MKL-style variants that additionally keep column indices
+//!   sorted within each row/column (matrices handed to MKL kernels are
+//!   expected sorted), which costs extra passes.
+//! * [`taco_noext`] — the "taco without extensions" path of Table 3:
+//!   conversion expressed as tensor assignment, which must sort the input
+//!   before assembling because it cannot insert out of order.
+
+pub mod mkl;
+pub mod sparskit;
+pub mod taco_noext;

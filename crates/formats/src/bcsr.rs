@@ -1,0 +1,223 @@
+//! The BCSR (blocked CSR) format: fixed-size dense blocks indexed by a CSR
+//! structure over block coordinates (Section 4.1).
+
+use sparse_tensor::{SparseTriples, TensorError, Value};
+
+/// A sparse matrix in BCSR format with `block_rows x block_cols` blocks.
+///
+/// Block row `bi` owns the blocks at positions `pos[bi] .. pos[bi+1]`; block
+/// `p` has block-column coordinate `crd[p]` and stores its
+/// `block_rows * block_cols` values densely (row-major) at
+/// `vals[p * block_rows * block_cols ..]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BcsrMatrix {
+    rows: usize,
+    cols: usize,
+    block_rows: usize,
+    block_cols: usize,
+    pos: Vec<usize>,
+    crd: Vec<usize>,
+    vals: Vec<Value>,
+}
+
+impl BcsrMatrix {
+    /// Builds a BCSR matrix from canonical triples (reference construction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not order 2 or either block size is zero.
+    pub fn from_triples(t: &SparseTriples, block_rows: usize, block_cols: usize) -> Self {
+        assert_eq!(t.order(), 2, "BCSR matrices are order-2 tensors");
+        assert!(block_rows > 0 && block_cols > 0, "block sizes must be positive");
+        let rows = t.shape().rows();
+        let cols = t.shape().cols();
+        let brows = rows.div_ceil(block_rows);
+        let bcols = cols.div_ceil(block_cols);
+
+        // Which blocks are nonzero, per block row.
+        let mut block_sets: Vec<Vec<usize>> = vec![Vec::new(); brows];
+        for tr in t.iter() {
+            let bi = tr.coord[0] as usize / block_rows;
+            let bj = tr.coord[1] as usize / block_cols;
+            if !block_sets[bi].contains(&bj) {
+                block_sets[bi].push(bj);
+            }
+        }
+        for set in &mut block_sets {
+            set.sort_unstable();
+        }
+        let _ = bcols;
+
+        let mut pos = vec![0usize; brows + 1];
+        for bi in 0..brows {
+            pos[bi + 1] = pos[bi] + block_sets[bi].len();
+        }
+        let nblocks = pos[brows];
+        let mut crd = vec![0usize; nblocks];
+        for bi in 0..brows {
+            crd[pos[bi]..pos[bi + 1]].copy_from_slice(&block_sets[bi]);
+        }
+        let bsize = block_rows * block_cols;
+        let mut vals = vec![0.0; nblocks * bsize];
+        for tr in t.iter() {
+            let (i, j) = (tr.coord[0] as usize, tr.coord[1] as usize);
+            let (bi, bj) = (i / block_rows, j / block_cols);
+            let p = pos[bi]
+                + block_sets[bi].binary_search(&bj).expect("block was registered above");
+            let (li, lj) = (i % block_rows, j % block_cols);
+            vals[p * bsize + li * block_cols + lj] = tr.value;
+        }
+        BcsrMatrix { rows, cols, block_rows, block_cols, pos, crd, vals }
+    }
+
+    /// Creates a BCSR matrix from raw arrays.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on inconsistent array lengths or out-of-range block
+    /// coordinates.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        rows: usize,
+        cols: usize,
+        block_rows: usize,
+        block_cols: usize,
+        pos: Vec<usize>,
+        crd: Vec<usize>,
+        vals: Vec<Value>,
+    ) -> Result<Self, TensorError> {
+        let brows = rows.div_ceil(block_rows.max(1));
+        let bcols = cols.div_ceil(block_cols.max(1));
+        if block_rows == 0 || block_cols == 0 {
+            return Err(TensorError::InvalidStructure("block sizes must be positive".into()));
+        }
+        if pos.len() != brows + 1 || pos[0] != 0 || *pos.last().expect("nonempty") != crd.len() {
+            return Err(TensorError::InvalidStructure("invalid BCSR pos array".into()));
+        }
+        if crd.iter().any(|&bj| bj >= bcols) {
+            return Err(TensorError::InvalidStructure("BCSR block column out of bounds".into()));
+        }
+        if vals.len() != crd.len() * block_rows * block_cols {
+            return Err(TensorError::InvalidStructure("BCSR vals length mismatch".into()));
+        }
+        Ok(BcsrMatrix { rows, cols, block_rows, block_cols, pos, crd, vals })
+    }
+
+    /// Converts back to canonical triples, skipping zero fill.
+    pub fn to_triples(&self) -> SparseTriples {
+        let mut entries = Vec::new();
+        let bsize = self.block_rows * self.block_cols;
+        for bi in 0..self.pos.len() - 1 {
+            for p in self.pos[bi]..self.pos[bi + 1] {
+                let bj = self.crd[p];
+                for li in 0..self.block_rows {
+                    for lj in 0..self.block_cols {
+                        let v = self.vals[p * bsize + li * self.block_cols + lj];
+                        let (i, j) = (bi * self.block_rows + li, bj * self.block_cols + lj);
+                        if v != 0.0 && i < self.rows && j < self.cols {
+                            entries.push((i, j, v));
+                        }
+                    }
+                }
+            }
+        }
+        SparseTriples::from_matrix_entries(self.rows, self.cols, entries)
+            .expect("computed coordinates are in bounds")
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Block dimensions `(block_rows, block_cols)`.
+    pub fn block_shape(&self) -> (usize, usize) {
+        (self.block_rows, self.block_cols)
+    }
+
+    /// Number of stored blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.crd.len()
+    }
+
+    /// The block-row `pos` array.
+    pub fn pos(&self) -> &[usize] {
+        &self.pos
+    }
+
+    /// The block-column coordinate array.
+    pub fn crd(&self) -> &[usize] {
+        &self.crd
+    }
+
+    /// The dense block values.
+    pub fn values(&self) -> &[Value] {
+        &self.vals
+    }
+
+    /// Number of stored values that are structurally nonzero.
+    pub fn nnz(&self) -> usize {
+        self.vals.iter().filter(|&&v| v != 0.0).count()
+    }
+
+    /// Fraction of stored block entries that are nonzero.
+    pub fn fill(&self) -> f64 {
+        if self.vals.is_empty() {
+            0.0
+        } else {
+            self.nnz() as f64 / self.vals.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparse_tensor::example::figure1_matrix;
+
+    #[test]
+    fn from_triples_roundtrips() {
+        let t = figure1_matrix();
+        let b = BcsrMatrix::from_triples(&t, 2, 2);
+        assert_eq!(b.block_shape(), (2, 2));
+        assert!(b.to_triples().same_values(&t));
+        assert_eq!(b.nnz(), 9);
+        assert!(b.fill() > 0.0 && b.fill() <= 1.0);
+    }
+
+    #[test]
+    fn blocks_cover_only_nonempty_tiles() {
+        let t = SparseTriples::from_matrix_entries(4, 4, vec![(0, 0, 1.0), (3, 3, 2.0)]).unwrap();
+        let b = BcsrMatrix::from_triples(&t, 2, 2);
+        assert_eq!(b.num_blocks(), 2);
+        assert_eq!(b.pos(), &[0, 1, 2]);
+        assert_eq!(b.crd(), &[0, 1]);
+        assert_eq!(b.values().len(), 8);
+    }
+
+    #[test]
+    fn ragged_edges_are_handled() {
+        // 3x5 matrix with 2x2 blocks: edge blocks are partially out of range.
+        let t = SparseTriples::from_matrix_entries(3, 5, vec![(2, 4, 7.0), (0, 0, 1.0)]).unwrap();
+        let b = BcsrMatrix::from_triples(&t, 2, 2);
+        assert!(b.to_triples().same_values(&t));
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        assert!(BcsrMatrix::from_parts(4, 4, 0, 2, vec![0, 0, 0], vec![], vec![]).is_err());
+        assert!(BcsrMatrix::from_parts(4, 4, 2, 2, vec![0, 1], vec![0], vec![0.0; 4]).is_err());
+        assert!(BcsrMatrix::from_parts(4, 4, 2, 2, vec![0, 1, 1], vec![9], vec![0.0; 4]).is_err());
+        assert!(BcsrMatrix::from_parts(4, 4, 2, 2, vec![0, 1, 1], vec![0], vec![0.0; 3]).is_err());
+        let ok =
+            BcsrMatrix::from_parts(4, 4, 2, 2, vec![0, 1, 1], vec![0], vec![1.0, 0.0, 0.0, 2.0])
+                .unwrap();
+        assert_eq!(ok.num_blocks(), 1);
+        assert_eq!(ok.nnz(), 2);
+    }
+}

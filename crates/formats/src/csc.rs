@@ -1,0 +1,195 @@
+//! The CSC (compressed sparse column) format: the column-major dual of CSR.
+
+use sparse_tensor::{SparseTriples, TensorError, Value};
+
+/// A sparse matrix in CSC format.
+///
+/// `pos` has `cols + 1` entries; the row coordinates and values of column `j`
+/// are stored at positions `pos[j] .. pos[j+1]` of `crd` / `vals`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CscMatrix {
+    rows: usize,
+    cols: usize,
+    pos: Vec<usize>,
+    crd: Vec<usize>,
+    vals: Vec<Value>,
+}
+
+impl CscMatrix {
+    /// Creates a CSC matrix from raw arrays, validating the structure.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error under the same conditions as
+    /// [`crate::CsrMatrix::from_parts`], with rows and columns exchanged.
+    pub fn from_parts(
+        rows: usize,
+        cols: usize,
+        pos: Vec<usize>,
+        crd: Vec<usize>,
+        vals: Vec<Value>,
+    ) -> Result<Self, TensorError> {
+        if pos.len() != cols + 1 {
+            return Err(TensorError::InvalidStructure(format!(
+                "CSC pos has length {}, expected {}",
+                pos.len(),
+                cols + 1
+            )));
+        }
+        if pos[0] != 0 || *pos.last().expect("nonempty") != crd.len() {
+            return Err(TensorError::InvalidStructure(
+                "CSC pos must start at 0 and end at nnz".to_string(),
+            ));
+        }
+        if pos.windows(2).any(|w| w[0] > w[1]) {
+            return Err(TensorError::InvalidStructure("CSC pos must be monotone".to_string()));
+        }
+        if crd.len() != vals.len() {
+            return Err(TensorError::InvalidStructure(
+                "CSC crd and vals must have equal length".to_string(),
+            ));
+        }
+        if crd.iter().any(|&i| i >= rows) {
+            return Err(TensorError::InvalidStructure("CSC row index out of bounds".to_string()));
+        }
+        Ok(CscMatrix { rows, cols, pos, crd, vals })
+    }
+
+    /// Builds a CSC matrix from canonical triples (reference construction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not order 2.
+    pub fn from_triples(t: &SparseTriples) -> Self {
+        assert_eq!(t.order(), 2, "CSC matrices are order-2 tensors");
+        let rows = t.shape().rows();
+        let cols = t.shape().cols();
+        let mut count = vec![0usize; cols];
+        for triple in t.iter() {
+            count[triple.coord[1] as usize] += 1;
+        }
+        let mut pos = vec![0usize; cols + 1];
+        for j in 0..cols {
+            pos[j + 1] = pos[j] + count[j];
+        }
+        let mut next = pos.clone();
+        let mut crd = vec![0usize; t.nnz()];
+        let mut vals = vec![0.0; t.nnz()];
+        for triple in t.iter() {
+            let j = triple.coord[1] as usize;
+            let p = next[j];
+            next[j] += 1;
+            crd[p] = triple.coord[0] as usize;
+            vals[p] = triple.value;
+        }
+        CscMatrix { rows, cols, pos, crd, vals }
+    }
+
+    /// Converts back to canonical triples in stored (column-grouped) order.
+    pub fn to_triples(&self) -> SparseTriples {
+        let mut entries = Vec::with_capacity(self.nnz());
+        for j in 0..self.cols {
+            for p in self.pos[j]..self.pos[j + 1] {
+                entries.push((self.crd[p], j, self.vals[p]));
+            }
+        }
+        SparseTriples::from_matrix_entries(self.rows, self.cols, entries)
+            .expect("stored coordinates are in bounds")
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.crd.len()
+    }
+
+    /// The `pos` array (length `cols + 1`).
+    pub fn pos(&self) -> &[usize] {
+        &self.pos
+    }
+
+    /// The row coordinate array.
+    pub fn crd(&self) -> &[usize] {
+        &self.crd
+    }
+
+    /// The value array.
+    pub fn values(&self) -> &[Value] {
+        &self.vals
+    }
+
+    /// Number of nonzeros stored in column `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= cols`.
+    pub fn col_nnz(&self, j: usize) -> usize {
+        self.pos[j + 1] - self.pos[j]
+    }
+
+    /// Iterates over the `(row, value)` pairs of column `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= cols`.
+    pub fn col(&self, j: usize) -> impl Iterator<Item = (usize, Value)> + '_ {
+        (self.pos[j]..self.pos[j + 1]).map(move |p| (self.crd[p], self.vals[p]))
+    }
+
+    /// Iterates over `(row, col, value)` in stored (column-major) order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, Value)> + '_ {
+        (0..self.cols).flat_map(move |j| self.col(j).map(move |(i, v)| (i, j, v)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparse_tensor::example::figure1_matrix;
+
+    #[test]
+    fn from_triples_groups_by_column() {
+        let csc = CscMatrix::from_triples(&figure1_matrix());
+        // Column nonzero counts of the example matrix: [2, 3, 2, 1, 1, 0].
+        assert_eq!(csc.pos(), &[0, 2, 5, 7, 8, 9, 9]);
+        assert_eq!(csc.crd(), &[0, 2, 0, 1, 3, 1, 2, 3, 3]);
+        assert_eq!(csc.col_nnz(1), 3);
+        assert_eq!(csc.col_nnz(5), 0);
+    }
+
+    #[test]
+    fn roundtrip_preserves_values() {
+        let t = figure1_matrix();
+        let csc = CscMatrix::from_triples(&t);
+        assert!(csc.to_triples().same_values(&t));
+    }
+
+    #[test]
+    fn from_parts_validates_structure() {
+        assert!(CscMatrix::from_parts(2, 2, vec![0, 1], vec![0], vec![1.0]).is_err());
+        assert!(CscMatrix::from_parts(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 2.0]).is_err());
+        assert!(CscMatrix::from_parts(2, 2, vec![0, 1, 1], vec![3], vec![1.0]).is_err());
+        let ok = CscMatrix::from_parts(2, 2, vec![0, 1, 2], vec![1, 0], vec![1.0, 2.0]).unwrap();
+        assert_eq!(ok.nnz(), 2);
+        assert_eq!(ok.iter().count(), 2);
+    }
+
+    #[test]
+    fn csc_equals_transposed_csr_of_transpose() {
+        let t = figure1_matrix();
+        let csc = CscMatrix::from_triples(&t);
+        let csr_of_transpose = crate::CsrMatrix::from_triples(&t.permute_dims(&[1, 0]));
+        assert_eq!(csc.pos(), csr_of_transpose.pos());
+        assert_eq!(csc.crd(), csr_of_transpose.crd());
+        assert_eq!(csc.values(), csr_of_transpose.values());
+    }
+}

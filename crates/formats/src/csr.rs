@@ -1,0 +1,219 @@
+//! The CSR (compressed sparse row) format: `pos` / `crd` / `vals` arrays
+//! (Figure 2b).
+
+use sparse_tensor::{SparseTriples, TensorError, Value};
+
+/// A sparse matrix in CSR format.
+///
+/// `pos` has `rows + 1` entries; the column coordinates and values of row `i`
+/// are stored at positions `pos[i] .. pos[i+1]` of `crd` / `vals`. Nonzeros
+/// are grouped by row but are *not* required to be sorted by column within a
+/// row (the paper's evaluation makes the same assumption).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    pos: Vec<usize>,
+    crd: Vec<usize>,
+    vals: Vec<Value>,
+}
+
+impl CsrMatrix {
+    /// Creates a CSR matrix from raw arrays, validating the structure.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `pos` is not a monotone array of length
+    /// `rows + 1` starting at 0 and ending at `crd.len()`, when `crd` and
+    /// `vals` lengths differ, or when any column index is out of bounds.
+    pub fn from_parts(
+        rows: usize,
+        cols: usize,
+        pos: Vec<usize>,
+        crd: Vec<usize>,
+        vals: Vec<Value>,
+    ) -> Result<Self, TensorError> {
+        if pos.len() != rows + 1 {
+            return Err(TensorError::InvalidStructure(format!(
+                "CSR pos has length {}, expected {}",
+                pos.len(),
+                rows + 1
+            )));
+        }
+        if pos[0] != 0 || *pos.last().expect("nonempty") != crd.len() {
+            return Err(TensorError::InvalidStructure(
+                "CSR pos must start at 0 and end at nnz".to_string(),
+            ));
+        }
+        if pos.windows(2).any(|w| w[0] > w[1]) {
+            return Err(TensorError::InvalidStructure("CSR pos must be monotone".to_string()));
+        }
+        if crd.len() != vals.len() {
+            return Err(TensorError::InvalidStructure(
+                "CSR crd and vals must have equal length".to_string(),
+            ));
+        }
+        if crd.iter().any(|&j| j >= cols) {
+            return Err(TensorError::InvalidStructure(
+                "CSR column index out of bounds".to_string(),
+            ));
+        }
+        Ok(CsrMatrix { rows, cols, pos, crd, vals })
+    }
+
+    /// Builds a CSR matrix from canonical triples (reference construction via
+    /// a row histogram; duplicates are kept as stored).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not order 2.
+    pub fn from_triples(t: &SparseTriples) -> Self {
+        assert_eq!(t.order(), 2, "CSR matrices are order-2 tensors");
+        let rows = t.shape().rows();
+        let cols = t.shape().cols();
+        let mut count = vec![0usize; rows];
+        for triple in t.iter() {
+            count[triple.coord[0] as usize] += 1;
+        }
+        let mut pos = vec![0usize; rows + 1];
+        for i in 0..rows {
+            pos[i + 1] = pos[i] + count[i];
+        }
+        let mut next = pos.clone();
+        let mut crd = vec![0usize; t.nnz()];
+        let mut vals = vec![0.0; t.nnz()];
+        for triple in t.iter() {
+            let i = triple.coord[0] as usize;
+            let p = next[i];
+            next[i] += 1;
+            crd[p] = triple.coord[1] as usize;
+            vals[p] = triple.value;
+        }
+        CsrMatrix { rows, cols, pos, crd, vals }
+    }
+
+    /// Converts back to canonical triples in stored (row-grouped) order.
+    pub fn to_triples(&self) -> SparseTriples {
+        let mut entries = Vec::with_capacity(self.nnz());
+        for i in 0..self.rows {
+            for p in self.pos[i]..self.pos[i + 1] {
+                entries.push((i, self.crd[p], self.vals[p]));
+            }
+        }
+        SparseTriples::from_matrix_entries(self.rows, self.cols, entries)
+            .expect("stored coordinates are in bounds")
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.crd.len()
+    }
+
+    /// The `pos` array (length `rows + 1`).
+    pub fn pos(&self) -> &[usize] {
+        &self.pos
+    }
+
+    /// The column coordinate array.
+    pub fn crd(&self) -> &[usize] {
+        &self.crd
+    }
+
+    /// The value array.
+    pub fn values(&self) -> &[Value] {
+        &self.vals
+    }
+
+    /// Number of nonzeros stored in row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`.
+    pub fn row_nnz(&self, i: usize) -> usize {
+        self.pos[i + 1] - self.pos[i]
+    }
+
+    /// Iterates over the `(column, value)` pairs of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`.
+    pub fn row(&self, i: usize) -> impl Iterator<Item = (usize, Value)> + '_ {
+        (self.pos[i]..self.pos[i + 1]).map(move |p| (self.crd[p], self.vals[p]))
+    }
+
+    /// Iterates over `(row, col, value)` in stored order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, Value)> + '_ {
+        (0..self.rows).flat_map(move |i| self.row(i).map(move |(j, v)| (i, j, v)))
+    }
+
+    /// True when the columns within every row are sorted ascending.
+    pub fn has_sorted_rows(&self) -> bool {
+        (0..self.rows).all(|i| {
+            (self.pos[i] + 1..self.pos[i + 1]).all(|p| self.crd[p - 1] <= self.crd[p])
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparse_tensor::example::figure1_matrix;
+
+    #[test]
+    fn from_triples_matches_figure2b() {
+        let csr = CsrMatrix::from_triples(&figure1_matrix());
+        assert_eq!(csr.pos(), &[0, 2, 4, 6, 9]);
+        assert_eq!(csr.crd(), &[0, 1, 1, 2, 0, 2, 1, 3, 4]);
+        assert_eq!(csr.values(), &[5.0, 1.0, 7.0, 3.0, 8.0, 2.0, 4.0, 9.0, 6.0]);
+        assert!(csr.has_sorted_rows());
+        assert_eq!(csr.row_nnz(3), 3);
+    }
+
+    #[test]
+    fn roundtrip_preserves_values() {
+        let t = figure1_matrix();
+        let csr = CsrMatrix::from_triples(&t);
+        assert!(csr.to_triples().same_values(&t));
+    }
+
+    #[test]
+    fn from_parts_validates_structure() {
+        assert!(CsrMatrix::from_parts(2, 2, vec![0, 1], vec![0], vec![1.0]).is_err());
+        assert!(CsrMatrix::from_parts(2, 2, vec![0, 2, 1], vec![0], vec![1.0]).is_err());
+        assert!(CsrMatrix::from_parts(2, 2, vec![1, 1, 1], vec![], vec![]).is_err());
+        assert!(CsrMatrix::from_parts(2, 2, vec![0, 1, 1], vec![5], vec![1.0]).is_err());
+        assert!(CsrMatrix::from_parts(2, 2, vec![0, 1, 1], vec![0], vec![1.0, 2.0]).is_err());
+        let ok = CsrMatrix::from_parts(2, 2, vec![0, 1, 2], vec![1, 0], vec![1.0, 2.0]).unwrap();
+        assert_eq!(ok.nnz(), 2);
+    }
+
+    #[test]
+    fn row_iteration() {
+        let csr = CsrMatrix::from_triples(&figure1_matrix());
+        let row3: Vec<_> = csr.row(3).collect();
+        assert_eq!(row3, vec![(1, 4.0), (3, 9.0), (4, 6.0)]);
+        let all: Vec<_> = csr.iter().collect();
+        assert_eq!(all.len(), 9);
+        assert_eq!(all[0], (0, 0, 5.0));
+    }
+
+    #[test]
+    fn empty_rows_are_handled() {
+        let t = SparseTriples::from_matrix_entries(3, 3, vec![(2, 2, 1.0)]).unwrap();
+        let csr = CsrMatrix::from_triples(&t);
+        assert_eq!(csr.pos(), &[0, 0, 0, 1]);
+        assert_eq!(csr.row_nnz(0), 0);
+        assert!(csr.to_triples().same_values(&t));
+    }
+}

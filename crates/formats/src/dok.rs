@@ -1,0 +1,108 @@
+//! The DOK (dictionary of keys) format: a hash map from coordinates to
+//! values, supporting efficient random insertion (Section 1).
+
+use std::collections::HashMap;
+
+use sparse_tensor::{SparseTriples, Value};
+
+/// A sparse matrix as a dictionary of keys.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DokMatrix {
+    rows: usize,
+    cols: usize,
+    entries: HashMap<(usize, usize), Value>,
+}
+
+impl DokMatrix {
+    /// Creates an empty DOK matrix.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        DokMatrix { rows, cols, entries: HashMap::new() }
+    }
+
+    /// Builds a DOK matrix from canonical triples, summing duplicates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not order 2.
+    pub fn from_triples(t: &SparseTriples) -> Self {
+        assert_eq!(t.order(), 2, "DOK matrices are order-2 tensors");
+        let mut m = DokMatrix::new(t.shape().rows(), t.shape().cols());
+        for tr in t.iter() {
+            m.insert(tr.coord[0] as usize, tr.coord[1] as usize, tr.value);
+        }
+        m
+    }
+
+    /// Converts to canonical triples in unspecified order.
+    pub fn to_triples(&self) -> SparseTriples {
+        SparseTriples::from_matrix_entries(
+            self.rows,
+            self.cols,
+            self.entries.iter().map(|(&(i, j), &v)| (i, j, v)),
+        )
+        .expect("stored coordinates are in bounds")
+    }
+
+    /// Adds `v` to the entry at `(i, j)` (inserting it if absent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is out of bounds.
+    pub fn insert(&mut self, i: usize, j: usize, v: Value) {
+        assert!(i < self.rows && j < self.cols, "coordinate ({i},{j}) out of bounds");
+        *self.entries.entry((i, j)).or_insert(0.0) += v;
+    }
+
+    /// The value at `(i, j)`, or zero.
+    pub fn get(&self, i: usize, j: usize) -> Value {
+        self.entries.get(&(i, j)).copied().unwrap_or(0.0)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparse_tensor::example::figure1_matrix;
+
+    #[test]
+    fn roundtrip_preserves_values() {
+        let t = figure1_matrix();
+        let dok = DokMatrix::from_triples(&t);
+        assert_eq!(dok.nnz(), 9);
+        assert!(dok.to_triples().same_values(&t));
+        assert_eq!(dok.get(0, 0), 5.0);
+        assert_eq!(dok.get(0, 5), 0.0);
+    }
+
+    #[test]
+    fn insert_accumulates_duplicates() {
+        let mut dok = DokMatrix::new(2, 2);
+        dok.insert(0, 1, 1.0);
+        dok.insert(0, 1, 2.0);
+        assert_eq!(dok.nnz(), 1);
+        assert_eq!(dok.get(0, 1), 3.0);
+        assert_eq!(dok.rows(), 2);
+        assert_eq!(dok.cols(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn insert_out_of_bounds_panics() {
+        DokMatrix::new(1, 1).insert(1, 0, 1.0);
+    }
+}

@@ -1,0 +1,170 @@
+//! The ELL (ELLPACK) format: up to one nonzero per row per slice (Figure 2d).
+
+use sparse_tensor::{SparseTriples, TensorError, Value};
+
+/// A sparse matrix in ELL format.
+///
+/// ELL stores `K` slices, where `K` is the maximum number of nonzeros in any
+/// row. Slice `k` holds the `(k+1)`-th nonzero of every row, stored densely:
+/// the column coordinate and value of row `i`'s entry in slice `k` live at
+/// `crd[k * rows + i]` / `vals[k * rows + i]`. Rows with fewer than `K`
+/// nonzeros are padded with column 0 / value 0, exactly like the layout in
+/// Figure 2d.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EllMatrix {
+    rows: usize,
+    cols: usize,
+    slices: usize,
+    crd: Vec<usize>,
+    vals: Vec<Value>,
+}
+
+impl EllMatrix {
+    /// Creates an ELL matrix from raw arrays.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if array lengths are not `slices * rows` or any
+    /// column index is out of bounds.
+    pub fn from_parts(
+        rows: usize,
+        cols: usize,
+        slices: usize,
+        crd: Vec<usize>,
+        vals: Vec<Value>,
+    ) -> Result<Self, TensorError> {
+        if crd.len() != slices * rows || vals.len() != slices * rows {
+            return Err(TensorError::InvalidStructure(format!(
+                "ELL arrays must have length {} (= K * rows), got {}/{}",
+                slices * rows,
+                crd.len(),
+                vals.len()
+            )));
+        }
+        if rows > 0 && crd.iter().any(|&j| j >= cols.max(1)) {
+            return Err(TensorError::InvalidStructure(
+                "ELL column index out of bounds".to_string(),
+            ));
+        }
+        Ok(EllMatrix { rows, cols, slices, crd, vals })
+    }
+
+    /// Builds an ELL matrix from canonical triples (reference construction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not order 2.
+    pub fn from_triples(t: &SparseTriples) -> Self {
+        assert_eq!(t.order(), 2, "ELL matrices are order-2 tensors");
+        let rows = t.shape().rows();
+        let cols = t.shape().cols();
+        let mut per_row = vec![0usize; rows];
+        for tr in t.iter() {
+            per_row[tr.coord[0] as usize] += 1;
+        }
+        let slices = per_row.iter().copied().max().unwrap_or(0);
+        let mut crd = vec![0usize; slices * rows];
+        let mut vals = vec![0.0; slices * rows];
+        let mut fill = vec![0usize; rows];
+        for tr in t.iter() {
+            let i = tr.coord[0] as usize;
+            let k = fill[i];
+            fill[i] += 1;
+            crd[k * rows + i] = tr.coord[1] as usize;
+            vals[k * rows + i] = tr.value;
+        }
+        EllMatrix { rows, cols, slices, crd, vals }
+    }
+
+    /// Converts back to canonical triples, skipping padding entries
+    /// (zero-valued entries are treated as padding, as the format does not
+    /// distinguish them).
+    pub fn to_triples(&self) -> SparseTriples {
+        let mut entries = Vec::new();
+        for k in 0..self.slices {
+            for i in 0..self.rows {
+                let v = self.vals[k * self.rows + i];
+                if v != 0.0 {
+                    entries.push((i, self.crd[k * self.rows + i], v));
+                }
+            }
+        }
+        SparseTriples::from_matrix_entries(self.rows, self.cols, entries)
+            .expect("stored coordinates are in bounds")
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of slices `K` (the maximum row nonzero count).
+    pub fn slices(&self) -> usize {
+        self.slices
+    }
+
+    /// The column coordinate array (`K * rows` entries, slice-major).
+    pub fn crd(&self) -> &[usize] {
+        &self.crd
+    }
+
+    /// The value array (`K * rows` entries, slice-major).
+    pub fn values(&self) -> &[Value] {
+        &self.vals
+    }
+
+    /// Number of non-padding entries.
+    pub fn nnz(&self) -> usize {
+        self.vals.iter().filter(|&&v| v != 0.0).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparse_tensor::example::figure1_matrix;
+
+    #[test]
+    fn from_triples_matches_figure2d() {
+        let ell = EllMatrix::from_triples(&figure1_matrix());
+        assert_eq!(ell.slices(), 3);
+        // Figure 2d: vals = 5 7 8 4 | 1 3 2 9 | 0 0 0 6
+        assert_eq!(
+            ell.values(),
+            &[5.0, 7.0, 8.0, 4.0, 1.0, 3.0, 2.0, 9.0, 0.0, 0.0, 0.0, 6.0]
+        );
+        // Slice-major column coordinates; padded entries have column 0.
+        assert_eq!(ell.crd(), &[0, 1, 0, 1, 1, 2, 2, 3, 0, 0, 0, 4]);
+    }
+
+    #[test]
+    fn roundtrip_preserves_values() {
+        let t = figure1_matrix();
+        let ell = EllMatrix::from_triples(&t);
+        assert!(ell.to_triples().same_values(&t));
+        assert_eq!(ell.nnz(), 9);
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        assert!(EllMatrix::from_parts(2, 2, 1, vec![0], vec![1.0, 2.0]).is_err());
+        assert!(EllMatrix::from_parts(2, 2, 1, vec![0, 5], vec![1.0, 2.0]).is_err());
+        let ok = EllMatrix::from_parts(2, 2, 1, vec![0, 1], vec![1.0, 2.0]).unwrap();
+        assert_eq!(ok.slices(), 1);
+        assert_eq!(ok.nnz(), 2);
+    }
+
+    #[test]
+    fn empty_matrix_has_zero_slices() {
+        let t = SparseTriples::new(sparse_tensor::Shape::matrix(3, 3));
+        let ell = EllMatrix::from_triples(&t);
+        assert_eq!(ell.slices(), 0);
+        assert_eq!(ell.nnz(), 0);
+        assert_eq!(ell.to_triples().nnz(), 0);
+    }
+}

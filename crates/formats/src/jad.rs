@@ -1,0 +1,185 @@
+//! The JAD (jagged diagonal) format (Saad 1989), referenced in Section 4.1:
+//! rows are permuted by decreasing nonzero count, and the `k`-th nonzeros of
+//! all rows form the `k`-th jagged diagonal.
+
+use sparse_tensor::{SparseTriples, TensorError, Value};
+
+/// A sparse matrix in jagged diagonal format.
+///
+/// `perm[r]` is the original row stored at permuted position `r` (rows are
+/// ordered by decreasing nonzero count). Jagged diagonal `k` stores the
+/// `(k+1)`-th nonzero of the first `len_k` permuted rows contiguously;
+/// `jd_pos[k] .. jd_pos[k+1]` delimits it within `crd` / `vals`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JadMatrix {
+    rows: usize,
+    cols: usize,
+    perm: Vec<usize>,
+    jd_pos: Vec<usize>,
+    crd: Vec<usize>,
+    vals: Vec<Value>,
+}
+
+impl JadMatrix {
+    /// Builds a JAD matrix from canonical triples (reference construction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not order 2.
+    pub fn from_triples(t: &SparseTriples) -> Self {
+        assert_eq!(t.order(), 2, "JAD matrices are order-2 tensors");
+        let rows = t.shape().rows();
+        let cols = t.shape().cols();
+        // Gather each row's (column, value) list in stored order.
+        let mut row_entries: Vec<Vec<(usize, Value)>> = vec![Vec::new(); rows];
+        for tr in t.iter() {
+            row_entries[tr.coord[0] as usize].push((tr.coord[1] as usize, tr.value));
+        }
+        // Permute rows by decreasing nonzero count (stable, so ties keep
+        // their original order).
+        let mut perm: Vec<usize> = (0..rows).collect();
+        perm.sort_by_key(|&i| std::cmp::Reverse(row_entries[i].len()));
+        let max_len = row_entries.iter().map(Vec::len).max().unwrap_or(0);
+
+        let mut jd_pos = vec![0usize; max_len + 1];
+        let mut crd = Vec::new();
+        let mut vals = Vec::new();
+        for k in 0..max_len {
+            for &orig in &perm {
+                if let Some(&(j, v)) = row_entries[orig].get(k) {
+                    crd.push(j);
+                    vals.push(v);
+                }
+            }
+            jd_pos[k + 1] = crd.len();
+        }
+        JadMatrix { rows, cols, perm, jd_pos, crd, vals }
+    }
+
+    /// Creates a JAD matrix from raw arrays.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on inconsistent array lengths.
+    pub fn from_parts(
+        rows: usize,
+        cols: usize,
+        perm: Vec<usize>,
+        jd_pos: Vec<usize>,
+        crd: Vec<usize>,
+        vals: Vec<Value>,
+    ) -> Result<Self, TensorError> {
+        if perm.len() != rows {
+            return Err(TensorError::InvalidStructure("JAD perm length mismatch".into()));
+        }
+        if jd_pos.first() != Some(&0) || jd_pos.last() != Some(&crd.len()) {
+            return Err(TensorError::InvalidStructure("invalid JAD jd_pos array".into()));
+        }
+        if crd.len() != vals.len() {
+            return Err(TensorError::InvalidStructure("JAD crd/vals length mismatch".into()));
+        }
+        if crd.iter().any(|&j| j >= cols) {
+            return Err(TensorError::InvalidStructure("JAD column out of bounds".into()));
+        }
+        Ok(JadMatrix { rows, cols, perm, jd_pos, crd, vals })
+    }
+
+    /// Converts back to canonical triples.
+    pub fn to_triples(&self) -> SparseTriples {
+        let mut entries = Vec::with_capacity(self.nnz());
+        for k in 0..self.num_jagged_diagonals() {
+            let len = self.jd_pos[k + 1] - self.jd_pos[k];
+            for r in 0..len {
+                let p = self.jd_pos[k] + r;
+                entries.push((self.perm[r], self.crd[p], self.vals[p]));
+            }
+        }
+        SparseTriples::from_matrix_entries(self.rows, self.cols, entries)
+            .expect("stored coordinates are in bounds")
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of jagged diagonals (the maximum row nonzero count).
+    pub fn num_jagged_diagonals(&self) -> usize {
+        self.jd_pos.len() - 1
+    }
+
+    /// The row permutation (original row index per permuted position).
+    pub fn perm(&self) -> &[usize] {
+        &self.perm
+    }
+
+    /// Offsets of each jagged diagonal within `crd` / `vals`.
+    pub fn jd_pos(&self) -> &[usize] {
+        &self.jd_pos
+    }
+
+    /// Column coordinates.
+    pub fn crd(&self) -> &[usize] {
+        &self.crd
+    }
+
+    /// Values.
+    pub fn values(&self) -> &[Value] {
+        &self.vals
+    }
+
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparse_tensor::example::figure1_matrix;
+
+    #[test]
+    fn builds_jagged_diagonals_by_decreasing_row_length() {
+        let jad = JadMatrix::from_triples(&figure1_matrix());
+        // Row 3 has 3 nonzeros and comes first; rows 0..2 have 2 each.
+        assert_eq!(jad.perm(), &[3, 0, 1, 2]);
+        assert_eq!(jad.num_jagged_diagonals(), 3);
+        // Jagged diagonal lengths: 4, 4, 1.
+        assert_eq!(jad.jd_pos(), &[0, 4, 8, 9]);
+        assert_eq!(jad.nnz(), 9);
+        // First jagged diagonal holds each row's first nonzero, permuted:
+        // row3 -> (1,4), row0 -> (0,5), row1 -> (1,7), row2 -> (0,8).
+        assert_eq!(&jad.crd()[0..4], &[1, 0, 1, 0]);
+        assert_eq!(&jad.values()[0..4], &[4.0, 5.0, 7.0, 8.0]);
+    }
+
+    #[test]
+    fn roundtrip_preserves_values() {
+        let t = figure1_matrix();
+        let jad = JadMatrix::from_triples(&t);
+        assert!(jad.to_triples().same_values(&t));
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        assert!(JadMatrix::from_parts(2, 2, vec![0], vec![0, 1], vec![0], vec![1.0]).is_err());
+        assert!(JadMatrix::from_parts(2, 2, vec![0, 1], vec![1, 1], vec![0], vec![1.0]).is_err());
+        assert!(JadMatrix::from_parts(2, 2, vec![0, 1], vec![0, 1], vec![7], vec![1.0]).is_err());
+        let ok = JadMatrix::from_parts(2, 2, vec![0, 1], vec![0, 1], vec![0], vec![1.0]).unwrap();
+        assert_eq!(ok.num_jagged_diagonals(), 1);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let t = SparseTriples::new(sparse_tensor::Shape::matrix(2, 2));
+        let jad = JadMatrix::from_triples(&t);
+        assert_eq!(jad.num_jagged_diagonals(), 0);
+        assert_eq!(jad.to_triples().nnz(), 0);
+    }
+}

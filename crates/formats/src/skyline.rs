@@ -1,0 +1,183 @@
+//! The skyline (SKY / variable-band) format used by Intel MKL, which stores,
+//! for every row of a square matrix, all components from the row's first
+//! nonzero up to and including the diagonal (the *banded* level format of
+//! Figure 11, bottom).
+
+use sparse_tensor::{SparseTriples, TensorError, Value};
+
+/// A square sparse matrix's lower triangle in skyline format.
+///
+/// Row `i` stores the dense run of values from column `first[i]` (the column
+/// of the row's first nonzero, clamped to the diagonal) through column `i`;
+/// the run for row `i` lives at `vals[pos[i] .. pos[i+1]]`. Entries of the
+/// strict upper triangle are ignored.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SkylineMatrix {
+    n: usize,
+    pos: Vec<usize>,
+    first: Vec<usize>,
+    vals: Vec<Value>,
+}
+
+impl SkylineMatrix {
+    /// Builds a skyline matrix from the lower triangle of canonical triples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not a square order-2 tensor.
+    pub fn from_triples(t: &SparseTriples) -> Self {
+        assert_eq!(t.order(), 2, "skyline matrices are order-2 tensors");
+        let n = t.shape().rows();
+        assert_eq!(n, t.shape().cols(), "skyline matrices must be square");
+        // min(j) per row over the lower triangle; rows without lower-triangle
+        // nonzeros get an empty run starting at the diagonal.
+        let mut first: Vec<usize> = (0..n).collect();
+        for tr in t.iter() {
+            let (i, j) = (tr.coord[0] as usize, tr.coord[1] as usize);
+            if j <= i {
+                first[i] = first[i].min(j);
+            }
+        }
+        let mut pos = vec![0usize; n + 1];
+        for i in 0..n {
+            pos[i + 1] = pos[i] + (i - first[i] + 1);
+        }
+        let mut vals = vec![0.0; pos[n]];
+        for tr in t.iter() {
+            let (i, j) = (tr.coord[0] as usize, tr.coord[1] as usize);
+            if j <= i {
+                vals[pos[i] + (j - first[i])] = tr.value;
+            }
+        }
+        SkylineMatrix { n, pos, first, vals }
+    }
+
+    /// Creates a skyline matrix from raw arrays.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on inconsistent arrays.
+    pub fn from_parts(
+        n: usize,
+        pos: Vec<usize>,
+        first: Vec<usize>,
+        vals: Vec<Value>,
+    ) -> Result<Self, TensorError> {
+        if pos.len() != n + 1 || first.len() != n {
+            return Err(TensorError::InvalidStructure("invalid skyline array lengths".into()));
+        }
+        for i in 0..n {
+            if first[i] > i {
+                return Err(TensorError::InvalidStructure(format!(
+                    "skyline first[{i}] = {} exceeds the diagonal",
+                    first[i]
+                )));
+            }
+            if pos[i + 1] - pos[i] != i - first[i] + 1 {
+                return Err(TensorError::InvalidStructure(format!(
+                    "skyline row {i} run length mismatch"
+                )));
+            }
+        }
+        if vals.len() != pos[n] {
+            return Err(TensorError::InvalidStructure("skyline vals length mismatch".into()));
+        }
+        Ok(SkylineMatrix { n, pos, first, vals })
+    }
+
+    /// Converts back to canonical triples (lower triangle only, skipping
+    /// stored zeros).
+    pub fn to_triples(&self) -> SparseTriples {
+        let mut entries = Vec::new();
+        for i in 0..self.n {
+            for j in self.first[i]..=i {
+                let v = self.vals[self.pos[i] + (j - self.first[i])];
+                if v != 0.0 {
+                    entries.push((i, j, v));
+                }
+            }
+        }
+        SparseTriples::from_matrix_entries(self.n, self.n, entries)
+            .expect("stored coordinates are in bounds")
+    }
+
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// The row run offsets.
+    pub fn pos(&self) -> &[usize] {
+        &self.pos
+    }
+
+    /// The first stored column of every row.
+    pub fn first(&self) -> &[usize] {
+        &self.first
+    }
+
+    /// The stored values (including explicit zeros inside each row's run).
+    pub fn values(&self) -> &[Value] {
+        &self.vals
+    }
+
+    /// Number of stored slots, including explicit zeros inside the profile.
+    pub fn stored_len(&self) -> usize {
+        self.vals.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lower_example() -> SparseTriples {
+        SparseTriples::from_matrix_entries(
+            4,
+            4,
+            vec![(0, 0, 1.0), (1, 1, 2.0), (2, 0, 3.0), (2, 2, 4.0), (3, 2, 5.0), (3, 3, 6.0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn stores_profile_between_first_nonzero_and_diagonal() {
+        let sky = SkylineMatrix::from_triples(&lower_example());
+        assert_eq!(sky.first(), &[0, 1, 0, 2]);
+        assert_eq!(sky.pos(), &[0, 1, 2, 5, 7]);
+        // Row 2 stores columns 0..=2 including the explicit zero at (2,1).
+        assert_eq!(&sky.values()[2..5], &[3.0, 0.0, 4.0]);
+        assert_eq!(sky.stored_len(), 7);
+    }
+
+    #[test]
+    fn roundtrip_preserves_lower_triangle() {
+        let t = lower_example();
+        let sky = SkylineMatrix::from_triples(&t);
+        assert!(sky.to_triples().same_values(&t));
+    }
+
+    #[test]
+    fn upper_triangle_entries_are_ignored() {
+        let t = SparseTriples::from_matrix_entries(3, 3, vec![(0, 2, 9.0), (2, 1, 1.0)]).unwrap();
+        let sky = SkylineMatrix::from_triples(&t);
+        let lower = SparseTriples::from_matrix_entries(3, 3, vec![(2, 1, 1.0)]).unwrap();
+        assert!(sky.to_triples().same_values(&lower));
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        assert!(SkylineMatrix::from_parts(2, vec![0, 1], vec![0, 1], vec![1.0]).is_err());
+        assert!(SkylineMatrix::from_parts(2, vec![0, 1, 2], vec![0, 2], vec![1.0, 2.0]).is_err());
+        assert!(SkylineMatrix::from_parts(2, vec![0, 2, 3], vec![0, 1], vec![1.0, 2.0]).is_err());
+        let ok = SkylineMatrix::from_parts(2, vec![0, 1, 2], vec![0, 1], vec![1.0, 2.0]).unwrap();
+        assert_eq!(ok.dim(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_square_panics() {
+        let t = SparseTriples::from_matrix_entries(2, 3, vec![(0, 0, 1.0)]).unwrap();
+        SkylineMatrix::from_triples(&t);
+    }
+}

@@ -1,0 +1,186 @@
+//! Sparse matrix-vector multiplication kernels for every format.
+//!
+//! SpMV is the motivating workload of Section 1: the reason applications
+//! convert between formats at all is that SpMV is much faster on CSR / DIA /
+//! ELL than on COO, while COO / DOK are much faster to build. These kernels
+//! are used by the `spmv_pipeline` example and by tests that confirm every
+//! conversion preserves the operator (A·x is identical before and after).
+
+use sparse_tensor::Value;
+
+use crate::{BcsrMatrix, CooMatrix, CscMatrix, CsrMatrix, DiaMatrix, EllMatrix};
+
+/// `y = A x` for a COO matrix.
+///
+/// # Panics
+///
+/// Panics if `x.len() != a.cols()`.
+pub fn spmv_coo(a: &CooMatrix, x: &[Value]) -> Vec<Value> {
+    assert_eq!(x.len(), a.cols(), "vector length mismatch");
+    let mut y = vec![0.0; a.rows()];
+    for (i, j, v) in a.iter() {
+        y[i] += v * x[j];
+    }
+    y
+}
+
+/// `y = A x` for a CSR matrix.
+///
+/// # Panics
+///
+/// Panics if `x.len() != a.cols()`.
+pub fn spmv_csr(a: &CsrMatrix, x: &[Value]) -> Vec<Value> {
+    assert_eq!(x.len(), a.cols(), "vector length mismatch");
+    let mut y = vec![0.0; a.rows()];
+    let pos = a.pos();
+    let crd = a.crd();
+    let vals = a.values();
+    for i in 0..a.rows() {
+        let mut acc = 0.0;
+        for p in pos[i]..pos[i + 1] {
+            acc += vals[p] * x[crd[p]];
+        }
+        y[i] = acc;
+    }
+    y
+}
+
+/// `y = A x` for a CSC matrix.
+///
+/// # Panics
+///
+/// Panics if `x.len() != a.cols()`.
+pub fn spmv_csc(a: &CscMatrix, x: &[Value]) -> Vec<Value> {
+    assert_eq!(x.len(), a.cols(), "vector length mismatch");
+    let mut y = vec![0.0; a.rows()];
+    let pos = a.pos();
+    let crd = a.crd();
+    let vals = a.values();
+    for j in 0..a.cols() {
+        let xj = x[j];
+        for p in pos[j]..pos[j + 1] {
+            y[crd[p]] += vals[p] * xj;
+        }
+    }
+    y
+}
+
+/// `y = A x` for a DIA matrix (vectorisation-friendly strip loops).
+///
+/// # Panics
+///
+/// Panics if `x.len() != a.cols()`.
+pub fn spmv_dia(a: &DiaMatrix, x: &[Value]) -> Vec<Value> {
+    assert_eq!(x.len(), a.cols(), "vector length mismatch");
+    let rows = a.rows();
+    let cols = a.cols() as i64;
+    let mut y = vec![0.0; rows];
+    let vals = a.values();
+    for (d, &k) in a.offsets().iter().enumerate() {
+        let i_lo = (-k).max(0) as usize;
+        let i_hi = ((cols - k).min(rows as i64)).max(0) as usize;
+        let strip = &vals[d * rows..(d + 1) * rows];
+        for i in i_lo..i_hi {
+            y[i] += strip[i] * x[(i as i64 + k) as usize];
+        }
+    }
+    y
+}
+
+/// `y = A x` for an ELL matrix.
+///
+/// # Panics
+///
+/// Panics if `x.len() != a.cols()`.
+pub fn spmv_ell(a: &EllMatrix, x: &[Value]) -> Vec<Value> {
+    assert_eq!(x.len(), a.cols(), "vector length mismatch");
+    let rows = a.rows();
+    let mut y = vec![0.0; rows];
+    let crd = a.crd();
+    let vals = a.values();
+    for k in 0..a.slices() {
+        let base = k * rows;
+        for i in 0..rows {
+            y[i] += vals[base + i] * x[crd[base + i]];
+        }
+    }
+    y
+}
+
+/// `y = A x` for a BCSR matrix.
+///
+/// # Panics
+///
+/// Panics if `x.len() != a.cols()`.
+pub fn spmv_bcsr(a: &BcsrMatrix, x: &[Value]) -> Vec<Value> {
+    assert_eq!(x.len(), a.cols(), "vector length mismatch");
+    let (br, bc) = a.block_shape();
+    let bsize = br * bc;
+    let mut y = vec![0.0; a.rows()];
+    let pos = a.pos();
+    let crd = a.crd();
+    let vals = a.values();
+    for bi in 0..pos.len() - 1 {
+        for p in pos[bi]..pos[bi + 1] {
+            let bj = crd[p];
+            for li in 0..br {
+                let i = bi * br + li;
+                if i >= a.rows() {
+                    break;
+                }
+                let mut acc = 0.0;
+                for lj in 0..bc {
+                    let j = bj * bc + lj;
+                    if j >= a.cols() {
+                        break;
+                    }
+                    acc += vals[p * bsize + li * bc + lj] * x[j];
+                }
+                y[i] += acc;
+            }
+        }
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparse_tensor::example::figure1_matrix;
+
+    fn x6() -> Vec<Value> {
+        vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]
+    }
+
+    fn reference_y() -> Vec<Value> {
+        figure1_matrix().to_dense().spmv(&x6())
+    }
+
+    #[test]
+    fn all_formats_compute_the_same_product() {
+        let t = figure1_matrix();
+        let x = x6();
+        let y = reference_y();
+        assert_eq!(spmv_coo(&CooMatrix::from_triples(&t), &x), y);
+        assert_eq!(spmv_csr(&CsrMatrix::from_triples(&t), &x), y);
+        assert_eq!(spmv_csc(&CscMatrix::from_triples(&t), &x), y);
+        assert_eq!(spmv_dia(&DiaMatrix::from_triples(&t), &x), y);
+        assert_eq!(spmv_ell(&EllMatrix::from_triples(&t), &x), y);
+        assert_eq!(spmv_bcsr(&BcsrMatrix::from_triples(&t, 2, 2), &x), y);
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_vector_length_panics() {
+        spmv_csr(&CsrMatrix::from_triples(&figure1_matrix()), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn empty_matrix_products_are_zero() {
+        let t = sparse_tensor::SparseTriples::new(sparse_tensor::Shape::matrix(3, 4));
+        let x = vec![1.0; 4];
+        assert_eq!(spmv_csr(&CsrMatrix::from_triples(&t), &x), vec![0.0; 3]);
+        assert_eq!(spmv_dia(&DiaMatrix::from_triples(&t), &x), vec![0.0; 3]);
+        assert_eq!(spmv_ell(&EllMatrix::from_triples(&t), &x), vec![0.0; 3]);
+    }
+}

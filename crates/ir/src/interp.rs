@@ -1,0 +1,547 @@
+//! A tree-walking interpreter for the conversion IR.
+//!
+//! The interpreter executes generated conversion routines against named
+//! buffers, so their results can be checked against hand-written reference
+//! conversions. It is deliberately simple (no JIT); the performance path of
+//! the reproduction is the monomorphised engine in `sparse-conv`.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::expr::{Expr, IrBinOp};
+use crate::stmt::{BufferKind, Function, Stmt};
+
+/// A runtime value: a 64-bit integer or a double.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Scalar {
+    /// Integer value.
+    Int(i64),
+    /// Floating-point value.
+    Float(f64),
+}
+
+impl Scalar {
+    /// The value as an integer.
+    ///
+    /// # Errors
+    ///
+    /// Returns a type error for floating-point values.
+    pub fn as_int(self) -> Result<i64, InterpError> {
+        match self {
+            Scalar::Int(v) => Ok(v),
+            Scalar::Float(v) => Err(InterpError::TypeError(format!("expected int, got float {v}"))),
+        }
+    }
+
+    /// The value as a float (integers are converted).
+    pub fn as_float(self) -> f64 {
+        match self {
+            Scalar::Int(v) => v as f64,
+            Scalar::Float(v) => v,
+        }
+    }
+}
+
+/// A named buffer in the execution environment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Buffer {
+    /// Integer buffer.
+    Ints(Vec<i64>),
+    /// Floating-point buffer.
+    Floats(Vec<f64>),
+}
+
+impl Buffer {
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        match self {
+            Buffer::Ints(v) => v.len(),
+            Buffer::Floats(v) => v.len(),
+        }
+    }
+
+    /// True when the buffer has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The buffer as an integer slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer holds floats.
+    pub fn as_ints(&self) -> &[i64] {
+        match self {
+            Buffer::Ints(v) => v,
+            Buffer::Floats(_) => panic!("buffer holds floats, not ints"),
+        }
+    }
+
+    /// The buffer as a float slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer holds integers.
+    pub fn as_floats(&self) -> &[f64] {
+        match self {
+            Buffer::Floats(v) => v,
+            Buffer::Ints(_) => panic!("buffer holds ints, not floats"),
+        }
+    }
+
+    fn get(&self, index: i64, buffer: &str) -> Result<Scalar, InterpError> {
+        if index < 0 || index as usize >= self.len() {
+            return Err(InterpError::OutOfBounds {
+                buffer: buffer.to_string(),
+                index,
+                len: self.len(),
+            });
+        }
+        Ok(match self {
+            Buffer::Ints(v) => Scalar::Int(v[index as usize]),
+            Buffer::Floats(v) => Scalar::Float(v[index as usize]),
+        })
+    }
+
+    fn set(&mut self, index: i64, value: Scalar, buffer: &str) -> Result<(), InterpError> {
+        if index < 0 || index as usize >= self.len() {
+            return Err(InterpError::OutOfBounds {
+                buffer: buffer.to_string(),
+                index,
+                len: self.len(),
+            });
+        }
+        match self {
+            Buffer::Ints(v) => v[index as usize] = value.as_int()?,
+            Buffer::Floats(v) => v[index as usize] = value.as_float(),
+        }
+        Ok(())
+    }
+}
+
+/// Errors raised while executing IR.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InterpError {
+    /// A scalar variable was read before being defined.
+    UndefinedVariable(String),
+    /// A buffer was accessed that does not exist in the environment.
+    UndefinedBuffer(String),
+    /// A buffer access was out of bounds.
+    OutOfBounds {
+        /// Buffer name.
+        buffer: String,
+        /// Offending index.
+        index: i64,
+        /// Buffer length.
+        len: usize,
+    },
+    /// An operation was applied to a value of the wrong type.
+    TypeError(String),
+    /// Division or remainder by zero.
+    DivisionByZero,
+    /// A loop exceeded the interpreter's iteration budget (guards against
+    /// nontermination in tests).
+    IterationLimit,
+    /// An allocation size was negative.
+    NegativeAllocation(i64),
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpError::UndefinedVariable(name) => write!(f, "undefined variable `{name}`"),
+            InterpError::UndefinedBuffer(name) => write!(f, "undefined buffer `{name}`"),
+            InterpError::OutOfBounds { buffer, index, len } => {
+                write!(f, "index {index} out of bounds for buffer `{buffer}` of length {len}")
+            }
+            InterpError::TypeError(msg) => write!(f, "type error: {msg}"),
+            InterpError::DivisionByZero => write!(f, "division by zero"),
+            InterpError::IterationLimit => write!(f, "iteration limit exceeded"),
+            InterpError::NegativeAllocation(size) => write!(f, "negative allocation size {size}"),
+        }
+    }
+}
+
+impl Error for InterpError {}
+
+/// The execution environment plus the execution engine.
+#[derive(Debug, Default, Clone)]
+pub struct Interpreter {
+    buffers: HashMap<String, Buffer>,
+    scalars: HashMap<String, Scalar>,
+    /// Maximum total number of while-loop iterations (safety net).
+    while_budget: u64,
+}
+
+impl Interpreter {
+    /// Creates an interpreter with an empty environment.
+    pub fn new() -> Self {
+        Interpreter { buffers: HashMap::new(), scalars: HashMap::new(), while_budget: 1 << 32 }
+    }
+
+    /// Inserts (or replaces) a named buffer.
+    pub fn insert_buffer(&mut self, name: &str, buffer: Buffer) {
+        self.buffers.insert(name.to_string(), buffer);
+    }
+
+    /// Inserts (or replaces) a named integer scalar.
+    pub fn insert_int(&mut self, name: &str, value: i64) {
+        self.scalars.insert(name.to_string(), Scalar::Int(value));
+    }
+
+    /// Looks up a buffer by name.
+    pub fn buffer(&self, name: &str) -> Option<&Buffer> {
+        self.buffers.get(name)
+    }
+
+    /// Looks up an integer scalar by name.
+    pub fn int(&self, name: &str) -> Option<i64> {
+        match self.scalars.get(name) {
+            Some(Scalar::Int(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Runs a function against the current environment.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first runtime error encountered.
+    pub fn run(&mut self, function: &Function) -> Result<(), InterpError> {
+        self.exec_block(&function.body)
+    }
+
+    fn exec_block(&mut self, stmts: &[Stmt]) -> Result<(), InterpError> {
+        for s in stmts {
+            self.exec(s)?;
+        }
+        Ok(())
+    }
+
+    fn exec(&mut self, stmt: &Stmt) -> Result<(), InterpError> {
+        match stmt {
+            Stmt::DeclScalar { name, init } | Stmt::Assign { name, value: init } => {
+                let v = self.eval(init)?;
+                self.scalars.insert(name.clone(), v);
+                Ok(())
+            }
+            Stmt::Alloc { name, kind, size, zero_init: _ } => {
+                let size = self.eval(size)?.as_int()?;
+                if size < 0 {
+                    return Err(InterpError::NegativeAllocation(size));
+                }
+                let buffer = match kind {
+                    BufferKind::Int => Buffer::Ints(vec![0; size as usize]),
+                    BufferKind::Float => Buffer::Floats(vec![0.0; size as usize]),
+                };
+                self.buffers.insert(name.clone(), buffer);
+                Ok(())
+            }
+            Stmt::Store { buffer, index, value } => {
+                let idx = self.eval(index)?.as_int()?;
+                let val = self.eval(value)?;
+                self.buffer_mut(buffer)?.set(idx, val, buffer)
+            }
+            Stmt::StoreAdd { buffer, index, value } => {
+                let idx = self.eval(index)?.as_int()?;
+                let add = self.eval(value)?;
+                let current = self.buffer_ref(buffer)?.get(idx, buffer)?;
+                let next = match (current, add) {
+                    (Scalar::Int(a), Scalar::Int(b)) => Scalar::Int(a + b),
+                    (a, b) => Scalar::Float(a.as_float() + b.as_float()),
+                };
+                self.buffer_mut(buffer)?.set(idx, next, buffer)
+            }
+            Stmt::StoreMax { buffer, index, value } => {
+                let idx = self.eval(index)?.as_int()?;
+                let candidate = self.eval(value)?;
+                let current = self.buffer_ref(buffer)?.get(idx, buffer)?;
+                let next = match (current, candidate) {
+                    (Scalar::Int(a), Scalar::Int(b)) => Scalar::Int(a.max(b)),
+                    (a, b) => Scalar::Float(a.as_float().max(b.as_float())),
+                };
+                self.buffer_mut(buffer)?.set(idx, next, buffer)
+            }
+            Stmt::StoreOr { buffer, index, value } => {
+                let idx = self.eval(index)?.as_int()?;
+                let bit = self.eval(value)?.as_int()?;
+                let current = self.buffer_ref(buffer)?.get(idx, buffer)?.as_int()?;
+                self.buffer_mut(buffer)?.set(idx, Scalar::Int(current | bit), buffer)
+            }
+            Stmt::For { var, lo, hi, body } => {
+                let lo = self.eval(lo)?.as_int()?;
+                let hi = self.eval(hi)?.as_int()?;
+                for i in lo..hi {
+                    self.scalars.insert(var.clone(), Scalar::Int(i));
+                    self.exec_block(body)?;
+                }
+                Ok(())
+            }
+            Stmt::While { cond, body } => {
+                let mut budget = self.while_budget;
+                while self.eval(cond)?.as_int()? != 0 {
+                    if budget == 0 {
+                        return Err(InterpError::IterationLimit);
+                    }
+                    budget -= 1;
+                    self.exec_block(body)?;
+                }
+                Ok(())
+            }
+            Stmt::If { cond, then, otherwise } => {
+                if self.eval(cond)?.as_int()? != 0 {
+                    self.exec_block(then)
+                } else {
+                    self.exec_block(otherwise)
+                }
+            }
+            Stmt::Comment(_) => Ok(()),
+        }
+    }
+
+    fn buffer_ref(&self, name: &str) -> Result<&Buffer, InterpError> {
+        self.buffers.get(name).ok_or_else(|| InterpError::UndefinedBuffer(name.to_string()))
+    }
+
+    fn buffer_mut(&mut self, name: &str) -> Result<&mut Buffer, InterpError> {
+        self.buffers.get_mut(name).ok_or_else(|| InterpError::UndefinedBuffer(name.to_string()))
+    }
+
+    /// Evaluates an expression in the current environment.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first runtime error encountered.
+    pub fn eval(&self, expr: &Expr) -> Result<Scalar, InterpError> {
+        match expr {
+            Expr::Int(v) => Ok(Scalar::Int(*v)),
+            Expr::Float(v) => Ok(Scalar::Float(*v)),
+            Expr::Var(name) => self
+                .scalars
+                .get(name)
+                .copied()
+                .ok_or_else(|| InterpError::UndefinedVariable(name.clone())),
+            Expr::Load { buffer, index } => {
+                let idx = self.eval(index)?.as_int()?;
+                self.buffer_ref(buffer)?.get(idx, buffer)
+            }
+            Expr::Binary(op, lhs, rhs) => {
+                let l = self.eval(lhs)?;
+                let r = self.eval(rhs)?;
+                apply_binary(*op, l, r)
+            }
+            Expr::Cmp(op, lhs, rhs) => {
+                let l = self.eval(lhs)?;
+                let r = self.eval(rhs)?;
+                let result = match (l, r) {
+                    (Scalar::Int(a), Scalar::Int(b)) => op.apply_int(a, b),
+                    (a, b) => {
+                        let (a, b) = (a.as_float(), b.as_float());
+                        match op {
+                            crate::expr::CmpOp::Eq => a == b,
+                            crate::expr::CmpOp::Ne => a != b,
+                            crate::expr::CmpOp::Lt => a < b,
+                            crate::expr::CmpOp::Le => a <= b,
+                            crate::expr::CmpOp::Gt => a > b,
+                            crate::expr::CmpOp::Ge => a >= b,
+                        }
+                    }
+                };
+                Ok(Scalar::Int(result as i64))
+            }
+            Expr::Not(e) => Ok(Scalar::Int((self.eval(e)?.as_int()? == 0) as i64)),
+            Expr::Min(l, r) => {
+                let (l, r) = (self.eval(l)?, self.eval(r)?);
+                Ok(match (l, r) {
+                    (Scalar::Int(a), Scalar::Int(b)) => Scalar::Int(a.min(b)),
+                    (a, b) => Scalar::Float(a.as_float().min(b.as_float())),
+                })
+            }
+            Expr::Max(l, r) => {
+                let (l, r) = (self.eval(l)?, self.eval(r)?);
+                Ok(match (l, r) {
+                    (Scalar::Int(a), Scalar::Int(b)) => Scalar::Int(a.max(b)),
+                    (a, b) => Scalar::Float(a.as_float().max(b.as_float())),
+                })
+            }
+            Expr::Select { cond, then, otherwise } => {
+                if self.eval(cond)?.as_int()? != 0 {
+                    self.eval(then)
+                } else {
+                    self.eval(otherwise)
+                }
+            }
+        }
+    }
+}
+
+fn apply_binary(op: IrBinOp, lhs: Scalar, rhs: Scalar) -> Result<Scalar, InterpError> {
+    match (lhs, rhs) {
+        (Scalar::Int(a), Scalar::Int(b)) => {
+            let v = match op {
+                IrBinOp::Add => a.wrapping_add(b),
+                IrBinOp::Sub => a.wrapping_sub(b),
+                IrBinOp::Mul => a.wrapping_mul(b),
+                IrBinOp::Div => {
+                    if b == 0 {
+                        return Err(InterpError::DivisionByZero);
+                    }
+                    a / b
+                }
+                IrBinOp::Rem => {
+                    if b == 0 {
+                        return Err(InterpError::DivisionByZero);
+                    }
+                    a % b
+                }
+                IrBinOp::Shl => a << (b & 63),
+                IrBinOp::Shr => a >> (b & 63),
+                IrBinOp::BitAnd => a & b,
+                IrBinOp::BitOr => a | b,
+                IrBinOp::BitXor => a ^ b,
+                IrBinOp::LogicalAnd => ((a != 0) && (b != 0)) as i64,
+                IrBinOp::LogicalOr => ((a != 0) || (b != 0)) as i64,
+            };
+            Ok(Scalar::Int(v))
+        }
+        (a, b) => {
+            let (a, b) = (a.as_float(), b.as_float());
+            let v = match op {
+                IrBinOp::Add => a + b,
+                IrBinOp::Sub => a - b,
+                IrBinOp::Mul => a * b,
+                IrBinOp::Div => a / b,
+                other => {
+                    return Err(InterpError::TypeError(format!(
+                        "operator {other} is not defined on floats"
+                    )))
+                }
+            };
+            Ok(Scalar::Float(v))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::*;
+    use crate::stmt::Function;
+
+    #[test]
+    fn runs_histogram_loop() {
+        // count[crd[p]]++ over p in [0, 5)
+        let f = Function::new(
+            "hist",
+            vec!["crd".into()],
+            vec![
+                alloc_int("count", int(3), true),
+                for_("p", int(0), int(5), vec![store_add("count", load("crd", var("p")), int(1))]),
+            ],
+        );
+        let mut interp = Interpreter::new();
+        interp.insert_buffer("crd", Buffer::Ints(vec![0, 2, 2, 1, 2]));
+        interp.run(&f).unwrap();
+        assert_eq!(interp.buffer("count").unwrap().as_ints(), &[1, 1, 3]);
+    }
+
+    #[test]
+    fn float_stores_and_loads() {
+        let f = Function::new(
+            "copy",
+            vec![],
+            vec![
+                alloc_float("out", int(2), true),
+                store("out", int(0), float(1.5)),
+                store("out", int(1), add(load("out", int(0)), float(1.0))),
+            ],
+        );
+        let mut interp = Interpreter::new();
+        interp.run(&f).unwrap();
+        assert_eq!(interp.buffer("out").unwrap().as_floats(), &[1.5, 2.5]);
+    }
+
+    #[test]
+    fn if_else_and_while_execute() {
+        let f = Function::new(
+            "f",
+            vec![],
+            vec![
+                decl("x", int(0)),
+                Stmt::While {
+                    cond: lt(var("x"), int(5)),
+                    body: vec![assign("x", add(var("x"), int(1)))],
+                },
+                if_else(ge(var("x"), int(5)), vec![decl("ok", int(1))], vec![decl("ok", int(0))]),
+            ],
+        );
+        let mut interp = Interpreter::new();
+        interp.run(&f).unwrap();
+        assert_eq!(interp.int("x"), Some(5));
+        assert_eq!(interp.int("ok"), Some(1));
+    }
+
+    #[test]
+    fn reports_out_of_bounds_and_undefined_names() {
+        let mut interp = Interpreter::new();
+        interp.insert_buffer("a", Buffer::Ints(vec![1, 2]));
+        assert!(matches!(
+            interp.eval(&load("a", int(5))),
+            Err(InterpError::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            interp.eval(&load("missing", int(0))),
+            Err(InterpError::UndefinedBuffer(_))
+        ));
+        assert!(matches!(interp.eval(&var("nope")), Err(InterpError::UndefinedVariable(_))));
+        assert!(matches!(interp.eval(&div(int(1), int(0))), Err(InterpError::DivisionByZero)));
+    }
+
+    #[test]
+    fn store_max_and_store_or() {
+        let f = Function::new(
+            "f",
+            vec![],
+            vec![
+                alloc_int("m", int(1), true),
+                store_max("m", int(0), int(4)),
+                store_max("m", int(0), int(2)),
+                alloc_int("bits", int(1), true),
+                store_or("bits", int(0), int(1)),
+                store_or("bits", int(0), int(4)),
+            ],
+        );
+        let mut interp = Interpreter::new();
+        interp.run(&f).unwrap();
+        assert_eq!(interp.buffer("m").unwrap().as_ints(), &[4]);
+        assert_eq!(interp.buffer("bits").unwrap().as_ints(), &[5]);
+    }
+
+    #[test]
+    fn negative_allocation_is_an_error() {
+        let f = Function::new("f", vec![], vec![alloc_int("a", int(-1), true)]);
+        let mut interp = Interpreter::new();
+        assert!(matches!(interp.run(&f), Err(InterpError::NegativeAllocation(-1))));
+    }
+
+    #[test]
+    fn select_min_max_not_evaluate() {
+        let interp = Interpreter::new();
+        let e = Expr::Select {
+            cond: Box::new(gt(int(2), int(1))),
+            then: Box::new(min(int(5), int(3))),
+            otherwise: Box::new(max(int(5), int(3))),
+        };
+        assert_eq!(interp.eval(&e).unwrap(), Scalar::Int(3));
+        assert_eq!(interp.eval(&Expr::Not(Box::new(int(0)))).unwrap(), Scalar::Int(1));
+        assert_eq!(interp.eval(&Expr::Not(Box::new(int(7)))).unwrap(), Scalar::Int(0));
+    }
+
+    #[test]
+    fn scalar_conversions() {
+        assert_eq!(Scalar::Int(3).as_float(), 3.0);
+        assert!(Scalar::Float(1.0).as_int().is_err());
+        assert_eq!(Scalar::Int(3).as_int().unwrap(), 3);
+    }
+}

@@ -1,0 +1,45 @@
+//! Imperative intermediate representation for generated conversion routines.
+//!
+//! The paper's prototype extends taco to *emit C code* like the listings in
+//! Figure 6. This crate plays the role of that emitted code in the Rust
+//! reproduction: the conversion code generator (`sparse-conv`) lowers a
+//! conversion plan to [`Function`]s in this IR, which can be
+//!
+//! * pretty printed as C-like source (structurally comparable to Figure 6),
+//! * simplified (constant folding, algebraic identities), and
+//! * executed by a tree-walking [`interp::Interpreter`] against named `i64` /
+//!   `f64` buffers, so that generated routines are directly testable against
+//!   hand-written conversions.
+//!
+//! # Example
+//!
+//! ```
+//! use conv_ir::build::*;
+//! use conv_ir::interp::{Buffer, Interpreter};
+//! use conv_ir::Function;
+//!
+//! // for (i = 0; i < 4; i++) out[i] = in[i] * 2;
+//! let f = Function::new(
+//!     "double",
+//!     vec!["in".into(), "out".into()],
+//!     vec![for_("i", int(0), int(4), vec![
+//!         store("out", var("i"), mul(load("in", var("i")), int(2))),
+//!     ])],
+//! );
+//! let mut interp = Interpreter::new();
+//! interp.insert_buffer("in", Buffer::Ints(vec![1, 2, 3, 4]));
+//! interp.insert_buffer("out", Buffer::Ints(vec![0; 4]));
+//! interp.run(&f)?;
+//! assert_eq!(interp.buffer("out").unwrap().as_ints(), &[2, 4, 6, 8]);
+//! # Ok::<(), conv_ir::interp::InterpError>(())
+//! ```
+
+pub mod build;
+pub mod expr;
+pub mod interp;
+pub mod printer;
+pub mod simplify;
+pub mod stmt;
+
+pub use expr::{CmpOp, Expr, IrBinOp};
+pub use stmt::{Function, Stmt};

@@ -1,0 +1,237 @@
+//! The compressed level format (Figure 11, middle).
+//!
+//! Compressed levels store a `pos` array mapping each parent position to a
+//! segment of the `crd` array. They are used for the column dimension of CSR
+//! and CSC, the row dimension of COO, and the block dimension of BCSR.
+
+use attr_query::{Aggregate, AttrQuery, QueryResult};
+
+use crate::assembler::{EdgeInsertion, LevelAssembler, PositionKind};
+use crate::properties::{LevelKind, LevelProperties};
+
+/// Label of the attribute query a compressed level needs: the number of
+/// children (stored coordinates) per parent subtensor.
+pub const NIR: &str = "nir";
+
+/// A compressed level under assembly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompressedLevel {
+    pos: Vec<usize>,
+    crd: Vec<i64>,
+    /// True when duplicate child coordinates are not stored (CSR's column
+    /// level); false for COO's row level, which stores one entry per nonzero.
+    unique: bool,
+    /// True when edges were inserted unsequenced and `pos` still holds
+    /// per-parent counts that need a prefix sum.
+    needs_prefix_sum: bool,
+}
+
+impl Default for CompressedLevel {
+    fn default() -> Self {
+        CompressedLevel::new()
+    }
+}
+
+impl CompressedLevel {
+    /// Creates an empty compressed level that stores each child coordinate
+    /// once.
+    pub fn new() -> Self {
+        CompressedLevel { pos: Vec::new(), crd: Vec::new(), unique: true, needs_prefix_sum: false }
+    }
+
+    /// Creates an empty compressed level that stores duplicates (one entry
+    /// per nonzero below it), as COO's row dimension does.
+    pub fn non_unique() -> Self {
+        CompressedLevel { unique: false, ..CompressedLevel::new() }
+    }
+
+    /// The assembled `pos` array (valid after `finalize_pos`).
+    pub fn pos(&self) -> &[usize] {
+        &self.pos
+    }
+
+    /// The assembled `crd` array.
+    pub fn crd(&self) -> &[i64] {
+        &self.crd
+    }
+
+    /// Consumes the level, returning `(pos, crd)`.
+    pub fn into_arrays(self) -> (Vec<usize>, Vec<i64>) {
+        (self.pos, self.crd)
+    }
+}
+
+impl LevelAssembler for CompressedLevel {
+    fn kind(&self) -> LevelKind {
+        if self.unique {
+            LevelKind::Compressed
+        } else {
+            LevelKind::CompressedNonUnique
+        }
+    }
+
+    fn properties(&self) -> LevelProperties {
+        LevelProperties { unique: self.unique, ..LevelProperties::compressed_like() }
+    }
+
+    fn required_query(&self, dims: &[String], level: usize) -> Option<AttrQuery> {
+        // A unique compressed level allocates one slot per distinct child
+        // (Figure 11: count(ik)); a non-unique one allocates one slot per
+        // nonzero below it (count over all remaining dimensions).
+        let counted = if self.unique {
+            vec![dims[level].clone()]
+        } else {
+            dims[level..].to_vec()
+        };
+        Some(AttrQuery::single(dims[..level].to_vec(), Aggregate::Count(counted), NIR))
+    }
+
+    fn edge_insertion(&self) -> EdgeInsertion {
+        EdgeInsertion::SequencedOrUnsequenced
+    }
+
+    fn position_kind(&self) -> PositionKind {
+        PositionKind::Yield
+    }
+
+    fn size(&self, parent_size: usize) -> usize {
+        self.pos.get(parent_size).copied().unwrap_or(0)
+    }
+
+    fn init_edges(&mut self, parent_size: usize, sequenced: bool, _q: Option<&QueryResult>) {
+        self.pos = vec![0; parent_size + 1];
+        self.needs_prefix_sum = !sequenced;
+    }
+
+    fn insert_edges(
+        &mut self,
+        parent_pos: usize,
+        parent_coords: &[i64],
+        sequenced: bool,
+        q: Option<&QueryResult>,
+    ) {
+        let q = q.expect("compressed level edge insertion needs its `nir` query");
+        let children = q.get(parent_coords, NIR).max(0) as usize;
+        if sequenced {
+            // seq_insert_edges: pos[p+1] = pos[p] + nir.
+            self.pos[parent_pos + 1] = self.pos[parent_pos] + children;
+        } else {
+            // unseq_insert_edges: record the count; finalize performs the
+            // prefix sum.
+            self.pos[parent_pos + 1] = children;
+        }
+    }
+
+    fn finalize_edges(&mut self, parent_size: usize, sequenced: bool) {
+        if !sequenced {
+            for p in 0..parent_size {
+                self.pos[p + 1] += self.pos[p];
+            }
+            self.needs_prefix_sum = false;
+        }
+    }
+
+    fn init_coords(&mut self, parent_size: usize, _q: Option<&QueryResult>) {
+        let total = self.pos.get(parent_size).copied().unwrap_or(0);
+        self.crd = vec![0; total];
+    }
+
+    fn position(&mut self, parent_pos: usize, _coords: &[i64]) -> usize {
+        // yield_pos: pos[p] is used as a write cursor and bumped; finalize
+        // shifts the array back (Figure 11, middle).
+        let p = self.pos[parent_pos];
+        self.pos[parent_pos] += 1;
+        p
+    }
+
+    fn insert_coord(&mut self, _parent_pos: usize, pos: usize, coords: &[i64]) {
+        self.crd[pos] = *coords.last().expect("compressed level needs a coordinate");
+    }
+
+    fn finalize_pos(&mut self, parent_size: usize) {
+        // finalize_yield_pos: shift pos back down by one parent (Figure 11
+        // middle / lines 22-25 of Figure 6c).
+        for i in 0..parent_size {
+            self.pos[parent_size - i] = self.pos[parent_size - i - 1];
+        }
+        self.pos[0] = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparse_tensor::DimBounds;
+
+    fn nir_query() -> AttrQuery {
+        AttrQuery::single(vec!["i".into()], Aggregate::Count(vec!["j".into()]), NIR)
+    }
+
+    /// Drives the assembler through the COO→CSR column-level assembly of
+    /// Figure 6c for the example matrix.
+    fn assemble(sequenced: bool) -> CompressedLevel {
+        let query = nir_query();
+        let mut q = QueryResult::new(&query, vec![DimBounds::from_extent(4)]);
+        for (i, n) in [2i64, 2, 2, 3].iter().enumerate() {
+            q.set(&[i as i64], NIR, *n);
+        }
+        let mut level = CompressedLevel::new();
+        level.init_edges(4, sequenced, Some(&q));
+        for i in 0..4i64 {
+            level.insert_edges(i as usize, &[i], sequenced, Some(&q));
+        }
+        level.finalize_edges(4, sequenced);
+        assert_eq!(level.pos(), &[0, 2, 4, 6, 9]);
+        level.init_coords(4, Some(&q));
+        // Insert the example matrix's nonzeros (row-grouped order).
+        let coords: [(i64, i64); 9] = [
+            (0, 0),
+            (0, 1),
+            (1, 1),
+            (1, 2),
+            (2, 0),
+            (2, 2),
+            (3, 1),
+            (3, 3),
+            (3, 4),
+        ];
+        level.init_pos(4);
+        for (i, j) in coords {
+            let p = level.position(i as usize, &[i, j]);
+            level.insert_coord(i as usize, p, &[i, j]);
+        }
+        level.finalize_pos(4);
+        level
+    }
+
+    #[test]
+    fn sequenced_assembly_builds_figure2b_arrays() {
+        let level = assemble(true);
+        assert_eq!(level.pos(), &[0, 2, 4, 6, 9]);
+        assert_eq!(level.crd(), &[0, 1, 1, 2, 0, 2, 1, 3, 4]);
+    }
+
+    #[test]
+    fn unsequenced_assembly_matches_sequenced() {
+        assert_eq!(assemble(false), assemble(true));
+    }
+
+    #[test]
+    fn required_query_counts_children_per_parent() {
+        let level = CompressedLevel::new();
+        let dims = vec!["i".to_string(), "j".to_string()];
+        let q = level.required_query(&dims, 1).unwrap();
+        assert_eq!(q.to_string(), "select [i] -> count(j) as nir");
+        let q0 = level.required_query(&dims, 0).unwrap();
+        assert_eq!(q0.to_string(), "select [] -> count(i) as nir");
+    }
+
+    #[test]
+    fn size_reports_total_children() {
+        let level = assemble(true);
+        assert_eq!(level.size(4), 9);
+        let (pos, crd) = level.into_arrays();
+        assert_eq!(pos.len(), 5);
+        assert_eq!(crd.len(), 9);
+    }
+}

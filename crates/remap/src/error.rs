@@ -1,0 +1,87 @@
+//! Errors produced while parsing or evaluating coordinate remappings.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the coordinate remapping notation implementation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RemapError {
+    /// The remapping text could not be tokenised.
+    Lex {
+        /// Byte position of the offending character.
+        position: usize,
+        /// The offending character.
+        found: char,
+    },
+    /// The token stream did not match the grammar of Figure 8.
+    Parse {
+        /// Human-readable description of what was expected.
+        message: String,
+        /// Byte position where parsing failed.
+        position: usize,
+    },
+    /// An identifier was used that is neither a source index variable, a
+    /// let-bound variable, nor a bound parameter.
+    UnboundVariable(String),
+    /// A parameter needed during evaluation was not supplied.
+    MissingParameter(String),
+    /// The number of source coordinates supplied does not match the remapping.
+    ArityMismatch {
+        /// Number of source index variables in the remapping.
+        expected: usize,
+        /// Number of coordinates supplied.
+        found: usize,
+    },
+    /// Division or remainder by zero during evaluation.
+    DivisionByZero,
+    /// A shift amount was negative or too large.
+    InvalidShift(i64),
+}
+
+impl fmt::Display for RemapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RemapError::Lex { position, found } => {
+                write!(f, "unexpected character {found:?} at byte {position}")
+            }
+            RemapError::Parse { message, position } => {
+                write!(f, "parse error at byte {position}: {message}")
+            }
+            RemapError::UnboundVariable(name) => write!(f, "unbound variable `{name}`"),
+            RemapError::MissingParameter(name) => {
+                write!(f, "parameter `{name}` was not supplied for evaluation")
+            }
+            RemapError::ArityMismatch { expected, found } => {
+                write!(f, "expected {expected} source coordinates, found {found}")
+            }
+            RemapError::DivisionByZero => write!(f, "division or remainder by zero"),
+            RemapError::InvalidShift(amount) => write!(f, "invalid shift amount {amount}"),
+        }
+    }
+}
+
+impl Error for RemapError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(RemapError::UnboundVariable("q".into()).to_string().contains("`q`"));
+        assert!(RemapError::MissingParameter("N".into()).to_string().contains("`N`"));
+        assert!(RemapError::ArityMismatch { expected: 2, found: 3 }.to_string().contains('2'));
+        assert!(RemapError::DivisionByZero.to_string().contains("zero"));
+        assert!(RemapError::Lex { position: 3, found: '$' }.to_string().contains('$'));
+        assert!(RemapError::Parse { message: "expected `)`".into(), position: 7 }
+            .to_string()
+            .contains("expected"));
+        assert!(RemapError::InvalidShift(-1).to_string().contains("-1"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RemapError>();
+    }
+}

@@ -1,0 +1,409 @@
+//! Evaluation of coordinate remappings.
+//!
+//! The evaluator implements the semantics of Section 4: for each nonzero of
+//! the canonical input tensor, the destination expressions are evaluated over
+//! its coordinates to produce the remapped coordinates. Counters (`#i...`)
+//! are stateful: they count how many nonzeros with the same values of the
+//! listed index variables have been seen so far, in iteration order.
+
+use std::collections::HashMap;
+
+use sparse_tensor::{Coord, DimBounds, SparseTriples, Value};
+
+use crate::ast::{BinOp, DstIndex, IndexExpr, Remapping};
+use crate::error::RemapError;
+
+/// State of every counter appearing in a remapping.
+///
+/// Each counter `#i1...ik` is keyed by the tuple of current values of
+/// `(i1, ..., ik)`; evaluating the counter returns the current count for that
+/// tuple and then increments it (Section 4.2).
+#[derive(Debug, Default, Clone)]
+pub struct CounterState {
+    counters: HashMap<Vec<String>, HashMap<Vec<i64>, i64>>,
+}
+
+impl CounterState {
+    /// Creates empty counter state.
+    pub fn new() -> Self {
+        CounterState::default()
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&mut self) {
+        self.counters.clear();
+    }
+
+    /// Returns the current count for a counter/key pair and increments it.
+    pub fn next(&mut self, vars: &[String], key: Vec<i64>) -> i64 {
+        let slot = self
+            .counters
+            .entry(vars.to_vec())
+            .or_default()
+            .entry(key)
+            .or_insert(0);
+        let current = *slot;
+        *slot += 1;
+        current
+    }
+
+    /// Returns the current count for a counter/key pair without incrementing.
+    pub fn peek(&self, vars: &[String], key: &[i64]) -> i64 {
+        self.counters
+            .get(vars)
+            .and_then(|m| m.get(key))
+            .copied()
+            .unwrap_or(0)
+    }
+}
+
+/// Applies binary operators with the same semantics the generated C code
+/// would have (truncating division, 64-bit shifts).
+pub(crate) fn apply_binop(op: BinOp, lhs: i64, rhs: i64) -> Result<i64, RemapError> {
+    match op {
+        BinOp::Add => Ok(lhs.wrapping_add(rhs)),
+        BinOp::Sub => Ok(lhs.wrapping_sub(rhs)),
+        BinOp::Mul => Ok(lhs.wrapping_mul(rhs)),
+        BinOp::Div => {
+            if rhs == 0 {
+                Err(RemapError::DivisionByZero)
+            } else {
+                Ok(lhs / rhs)
+            }
+        }
+        BinOp::Rem => {
+            if rhs == 0 {
+                Err(RemapError::DivisionByZero)
+            } else {
+                Ok(lhs % rhs)
+            }
+        }
+        BinOp::Shl => {
+            if !(0..64).contains(&rhs) {
+                Err(RemapError::InvalidShift(rhs))
+            } else {
+                Ok(lhs << rhs)
+            }
+        }
+        BinOp::Shr => {
+            if !(0..64).contains(&rhs) {
+                Err(RemapError::InvalidShift(rhs))
+            } else {
+                Ok(lhs >> rhs)
+            }
+        }
+        BinOp::And => Ok(lhs & rhs),
+        BinOp::Or => Ok(lhs | rhs),
+        BinOp::Xor => Ok(lhs ^ rhs),
+    }
+}
+
+/// Evaluation context for one remapping: parameter bindings plus counter
+/// state.
+#[derive(Debug, Clone)]
+pub struct EvalContext<'a> {
+    remap: &'a Remapping,
+    params: HashMap<String, i64>,
+    counters: CounterState,
+}
+
+impl<'a> EvalContext<'a> {
+    /// Creates a context with no parameters bound.
+    pub fn new(remap: &'a Remapping) -> Self {
+        EvalContext { remap, params: HashMap::new(), counters: CounterState::new() }
+    }
+
+    /// Binds a symbolic parameter (e.g. a block size `M`) to a value.
+    pub fn with_param(mut self, name: &str, value: i64) -> Self {
+        self.params.insert(name.to_string(), value);
+        self
+    }
+
+    /// Binds a symbolic parameter in place.
+    pub fn set_param(&mut self, name: &str, value: i64) {
+        self.params.insert(name.to_string(), value);
+    }
+
+    /// The remapping this context evaluates.
+    pub fn remapping(&self) -> &Remapping {
+        self.remap
+    }
+
+    /// Resets counter state (e.g. before re-running a fused phase, as the
+    /// generated CSR→ELL code does between analysis and assembly).
+    pub fn reset_counters(&mut self) {
+        self.counters.reset();
+    }
+
+    /// Evaluates the remapping on one source coordinate, advancing counters.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the coordinate arity does not match the
+    /// remapping, a parameter is unbound, or evaluation hits a division by
+    /// zero / invalid shift.
+    pub fn apply(&mut self, source: &[i64]) -> Result<Coord, RemapError> {
+        if source.len() != self.remap.source_order() {
+            return Err(RemapError::ArityMismatch {
+                expected: self.remap.source_order(),
+                found: source.len(),
+            });
+        }
+        let mut out = Vec::with_capacity(self.remap.dest_order());
+        let dst: &[DstIndex] = &self.remap.dst;
+        for d in dst {
+            let mut lets: HashMap<String, i64> = HashMap::new();
+            for (name, expr) in &d.lets {
+                let v = self.eval_expr(expr, source, &lets)?;
+                lets.insert(name.clone(), v);
+            }
+            out.push(self.eval_expr(&d.expr, source, &lets)?);
+        }
+        Ok(out)
+    }
+
+    fn eval_expr(
+        &mut self,
+        expr: &IndexExpr,
+        source: &[i64],
+        lets: &HashMap<String, i64>,
+    ) -> Result<i64, RemapError> {
+        match expr {
+            IndexExpr::Const(c) => Ok(*c),
+            IndexExpr::Var(name) => {
+                let idx = self
+                    .remap
+                    .src
+                    .iter()
+                    .position(|s| s == name)
+                    .ok_or_else(|| RemapError::UnboundVariable(name.clone()))?;
+                Ok(source[idx])
+            }
+            IndexExpr::LetVar(name) => lets
+                .get(name)
+                .copied()
+                .ok_or_else(|| RemapError::UnboundVariable(name.clone())),
+            IndexExpr::Param(name) => self
+                .params
+                .get(name)
+                .copied()
+                .ok_or_else(|| RemapError::MissingParameter(name.clone())),
+            IndexExpr::Counter(vars) => {
+                let mut key = Vec::with_capacity(vars.len());
+                for v in vars {
+                    let idx = self
+                        .remap
+                        .src
+                        .iter()
+                        .position(|s| s == v)
+                        .ok_or_else(|| RemapError::UnboundVariable(v.clone()))?;
+                    key.push(source[idx]);
+                }
+                Ok(self.counters.next(vars, key))
+            }
+            IndexExpr::Binary(op, lhs, rhs) => {
+                let l = self.eval_expr(lhs, source, lets)?;
+                let r = self.eval_expr(rhs, source, lets)?;
+                apply_binop(*op, l, r)
+            }
+        }
+    }
+
+    /// Remaps an entire tensor, producing the remapped component list along
+    /// with the observed coordinate bounds of every remapped dimension.
+    ///
+    /// The iteration order of `tensor` matters when the remapping contains
+    /// counters (Figure 9 notes that the result of `#i` depends on the order
+    /// nonzeros are iterated in); counters are reset before the pass.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors.
+    pub fn apply_all(&mut self, tensor: &SparseTriples) -> Result<RemappedTriples, RemapError> {
+        self.reset_counters();
+        let mut triples = Vec::with_capacity(tensor.nnz());
+        for t in tensor.iter() {
+            let coord = self.apply(&t.coord)?;
+            triples.push((coord, t.value));
+        }
+        let dest_order = self.remap.dest_order();
+        let mut bounds = vec![DimBounds::new(0, 0); dest_order];
+        if !triples.is_empty() {
+            for d in 0..dest_order {
+                let lo = triples.iter().map(|(c, _)| c[d]).min().expect("nonempty");
+                let hi = triples.iter().map(|(c, _)| c[d]).max().expect("nonempty");
+                bounds[d] = DimBounds::new(lo, hi + 1);
+            }
+        }
+        Ok(RemappedTriples { bounds, triples, source_shape: tensor.shape().clone() })
+    }
+}
+
+/// A tensor in remapped coordinate space.
+///
+/// Remapped coordinates can be negative (e.g. DIA diagonal offsets), so the
+/// remapped tensor carries [`DimBounds`] instead of a [`sparse_tensor::Shape`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RemappedTriples {
+    /// Observed coordinate bounds of every remapped dimension.
+    pub bounds: Vec<DimBounds>,
+    /// Remapped coordinates and values, in source iteration order.
+    pub triples: Vec<(Coord, Value)>,
+    /// Shape of the canonical source tensor.
+    pub source_shape: sparse_tensor::Shape,
+}
+
+impl RemappedTriples {
+    /// Number of remapped components.
+    pub fn nnz(&self) -> usize {
+        self.triples.len()
+    }
+
+    /// Order of the remapped coordinate space.
+    pub fn order(&self) -> usize {
+        self.bounds.len()
+    }
+
+    /// Returns the components sorted lexicographically by remapped
+    /// coordinate — the storage order of the target format (Section 4).
+    pub fn sorted(&self) -> Vec<(Coord, Value)> {
+        let mut v = self.triples.clone();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_remapping;
+    use sparse_tensor::example::figure1_matrix;
+
+    #[test]
+    fn dia_remapping_matches_figure5() {
+        // (i,j) -> (j-i,i,j): each nonzero's first coordinate is its diagonal
+        // offset.
+        let remap = parse_remapping("(i,j) -> (j-i,i,j)").unwrap();
+        let mut ctx = EvalContext::new(&remap);
+        assert_eq!(ctx.apply(&[2, 0]).unwrap(), vec![-2, 2, 0]);
+        assert_eq!(ctx.apply(&[0, 0]).unwrap(), vec![0, 0, 0]);
+        assert_eq!(ctx.apply(&[3, 4]).unwrap(), vec![1, 3, 4]);
+
+        let remapped = ctx.apply_all(&figure1_matrix()).unwrap();
+        assert_eq!(remapped.nnz(), 9);
+        assert_eq!(remapped.bounds[0], DimBounds::new(-2, 2));
+        assert_eq!(remapped.bounds[1], DimBounds::new(0, 4));
+        assert_eq!(remapped.bounds[2], DimBounds::new(0, 5));
+        // Exactly three distinct diagonals, matching Figure 5.
+        let mut offsets: Vec<i64> = remapped.triples.iter().map(|(c, _)| c[0]).collect();
+        offsets.sort_unstable();
+        offsets.dedup();
+        assert_eq!(offsets, vec![-2, 0, 1]);
+    }
+
+    #[test]
+    fn ell_counter_remapping_matches_figure9() {
+        // (i,j) -> (#i,i,j): the k-th nonzero of each row maps to slice k.
+        let remap = parse_remapping("(i,j) -> (#i,i,j)").unwrap();
+        let mut ctx = EvalContext::new(&remap);
+        let remapped = ctx.apply_all(&figure1_matrix()).unwrap();
+        // Row nonzero counts are [2,2,2,3], so slices 0 and 1 hold 4 and 4
+        // entries... slice 0 holds one entry per nonempty row.
+        let slice_of = |k: i64| remapped.triples.iter().filter(|(c, _)| c[0] == k).count();
+        assert_eq!(slice_of(0), 4);
+        assert_eq!(slice_of(1), 4);
+        assert_eq!(slice_of(2), 1);
+        assert_eq!(remapped.bounds[0], DimBounds::new(0, 3));
+        // Slice 2 contains only the third nonzero of row 3, which is (3,4)=6.
+        let last = remapped.triples.iter().find(|(c, _)| c[0] == 2).unwrap();
+        assert_eq!(last.0, vec![2, 3, 4]);
+        assert_eq!(last.1, 6.0);
+    }
+
+    #[test]
+    fn bcsr_remapping_uses_parameters() {
+        let remap = parse_remapping("(i,j) -> (i/M,j/N,i,j)").unwrap();
+        let mut ctx = EvalContext::new(&remap).with_param("M", 2).with_param("N", 3);
+        assert_eq!(ctx.apply(&[3, 4]).unwrap(), vec![1, 1, 3, 4]);
+        // Missing parameter is an error.
+        let mut bare = EvalContext::new(&remap);
+        assert!(matches!(bare.apply(&[1, 1]), Err(RemapError::MissingParameter(_))));
+    }
+
+    #[test]
+    fn let_bindings_and_bitops_compute_morton_bits() {
+        let remap =
+            parse_remapping("(i,j) -> (r=i/2 in s=j/2 in (r&1)|((s&1)<<1),i,j)").unwrap();
+        let mut ctx = EvalContext::new(&remap);
+        assert_eq!(ctx.apply(&[2, 2]).unwrap()[0], 0b01 | 0b10);
+        assert_eq!(ctx.apply(&[0, 2]).unwrap()[0], 0b10);
+        assert_eq!(ctx.apply(&[2, 0]).unwrap()[0], 0b01);
+        assert_eq!(ctx.apply(&[0, 0]).unwrap()[0], 0);
+    }
+
+    #[test]
+    fn arity_mismatch_is_reported() {
+        let remap = parse_remapping("(i,j) -> (i,j)").unwrap();
+        let mut ctx = EvalContext::new(&remap);
+        assert!(matches!(
+            ctx.apply(&[1]),
+            Err(RemapError::ArityMismatch { expected: 2, found: 1 })
+        ));
+    }
+
+    #[test]
+    fn division_and_shift_errors() {
+        assert_eq!(apply_binop(BinOp::Div, 7, 2).unwrap(), 3);
+        assert!(matches!(apply_binop(BinOp::Div, 1, 0), Err(RemapError::DivisionByZero)));
+        assert!(matches!(apply_binop(BinOp::Rem, 1, 0), Err(RemapError::DivisionByZero)));
+        assert!(matches!(apply_binop(BinOp::Shl, 1, 64), Err(RemapError::InvalidShift(64))));
+        assert!(matches!(apply_binop(BinOp::Shr, 1, -1), Err(RemapError::InvalidShift(-1))));
+        assert_eq!(apply_binop(BinOp::Xor, 0b1100, 0b1010).unwrap(), 0b0110);
+    }
+
+    #[test]
+    fn counters_reset_between_passes() {
+        let remap = parse_remapping("(i,j) -> (#i,i,j)").unwrap();
+        let mut ctx = EvalContext::new(&remap);
+        let first = ctx.apply_all(&figure1_matrix()).unwrap();
+        let second = ctx.apply_all(&figure1_matrix()).unwrap();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn counter_state_peek_and_next() {
+        let mut state = CounterState::new();
+        let vars = vec!["i".to_string()];
+        assert_eq!(state.peek(&vars, &[3]), 0);
+        assert_eq!(state.next(&vars, vec![3]), 0);
+        assert_eq!(state.next(&vars, vec![3]), 1);
+        assert_eq!(state.next(&vars, vec![4]), 0);
+        assert_eq!(state.peek(&vars, &[3]), 2);
+        state.reset();
+        assert_eq!(state.peek(&vars, &[3]), 0);
+    }
+
+    #[test]
+    fn identity_remapping_is_a_no_op() {
+        let remap = Remapping::identity(2);
+        let mut ctx = EvalContext::new(&remap);
+        let m = figure1_matrix();
+        let remapped = ctx.apply_all(&m).unwrap();
+        for ((coord, value), t) in remapped.triples.iter().zip(m.iter()) {
+            assert_eq!(coord, &t.coord);
+            assert_eq!(*value, t.value);
+        }
+    }
+
+    #[test]
+    fn sorted_order_is_lexicographic_in_remapped_space() {
+        let remap = parse_remapping("(i,j) -> (j-i,i,j)").unwrap();
+        let mut ctx = EvalContext::new(&remap);
+        let remapped = ctx.apply_all(&figure1_matrix()).unwrap();
+        let sorted = remapped.sorted();
+        assert!(sorted.windows(2).all(|w| w[0].0 <= w[1].0));
+        // First stored nonzero is the first entry of the -2 diagonal: (2,0)=8.
+        assert_eq!(sorted[0].0, vec![-2, 2, 0]);
+        assert_eq!(sorted[0].1, 8.0);
+    }
+}

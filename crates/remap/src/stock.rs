@@ -1,0 +1,217 @@
+//! Stock coordinate remappings for the formats discussed in the paper.
+
+use crate::ast::{BinOp, DstIndex, IndexExpr, Remapping};
+use crate::parser::parse_remapping;
+
+/// Identity remapping for row-major formats (COO, CSR, dense): `(i,j) -> (i,j)`.
+pub fn row_major_matrix() -> Remapping {
+    Remapping::identity(2)
+}
+
+/// Column-major (transpose) remapping used by CSC: `(i,j) -> (j,i)`.
+pub fn column_major_matrix() -> Remapping {
+    parse_remapping("(i,j) -> (j,i)").expect("stock remapping parses")
+}
+
+/// The DIA remapping of Figure 5: `(i,j) -> (j-i,i,j)` groups nonzeros by
+/// diagonal.
+pub fn dia() -> Remapping {
+    parse_remapping("(i,j) -> (j-i,i,j)").expect("stock remapping parses")
+}
+
+/// The ELL remapping of Figure 7/9: `(i,j) -> (k=#i in k,i,j)` groups together
+/// up to one nonzero from each row per slice.
+pub fn ell() -> Remapping {
+    parse_remapping("(i,j) -> (k=#i in k,i,j)").expect("stock remapping parses")
+}
+
+/// The JAD (jagged diagonal) remapping; like ELL it slices rows by
+/// nonzero rank, so it shares the `#i` counter remapping.
+pub fn jad() -> Remapping {
+    parse_remapping("(i,j) -> (#i,i,j)").expect("stock remapping parses")
+}
+
+/// The BCSR remapping with symbolic block sizes `M` x `N`:
+/// `(i,j) -> (i/M,j/N,i,j)`.
+pub fn bcsr() -> Remapping {
+    parse_remapping("(i,j) -> (i/M,j/N,i,j)").expect("stock remapping parses")
+}
+
+/// The BCSR remapping with concrete block sizes substituted for `M` and `N`,
+/// and block-local coordinates in the inner dimensions:
+/// `(i,j) -> (i/bm, j/bn, i%bm, j%bn)`.
+///
+/// # Panics
+///
+/// Panics if either block size is zero.
+pub fn bcsr_with_blocks(block_rows: usize, block_cols: usize) -> Remapping {
+    assert!(block_rows > 0 && block_cols > 0, "block sizes must be positive");
+    let (bm, bn) = (block_rows as i64, block_cols as i64);
+    let i = || IndexExpr::var("i");
+    let j = || IndexExpr::var("j");
+    Remapping::new(
+        vec!["i".into(), "j".into()],
+        vec![
+            DstIndex::simple(IndexExpr::binary(BinOp::Div, i(), IndexExpr::Const(bm))),
+            DstIndex::simple(IndexExpr::binary(BinOp::Div, j(), IndexExpr::Const(bn))),
+            DstIndex::simple(IndexExpr::binary(BinOp::Rem, i(), IndexExpr::Const(bm))),
+            DstIndex::simple(IndexExpr::binary(BinOp::Rem, j(), IndexExpr::Const(bn))),
+        ],
+    )
+}
+
+/// Builds the expression interleaving the low `bits` bits of the given
+/// variables (Morton / Z-order), least significant bit first:
+/// `(v0&1) | ((v1&1)<<1) | ... | (((v0>>1)&1)<<n) | ...`.
+///
+/// # Panics
+///
+/// Panics if `vars` is empty or `bits` is zero.
+pub fn morton_interleave_expr(vars: &[IndexExpr], bits: u32) -> IndexExpr {
+    assert!(!vars.is_empty(), "at least one variable required");
+    assert!(bits > 0, "at least one bit required");
+    let mut result: Option<IndexExpr> = None;
+    let mut out_bit = 0i64;
+    for b in 0..bits {
+        for v in vars {
+            let shifted_in = if b == 0 {
+                v.clone()
+            } else {
+                IndexExpr::binary(BinOp::Shr, v.clone(), IndexExpr::Const(b as i64))
+            };
+            let bit = IndexExpr::binary(BinOp::And, shifted_in, IndexExpr::Const(1));
+            let placed = if out_bit == 0 {
+                bit
+            } else {
+                IndexExpr::binary(BinOp::Shl, bit, IndexExpr::Const(out_bit))
+            };
+            result = Some(match result {
+                None => placed,
+                Some(acc) => IndexExpr::binary(BinOp::Or, acc, placed),
+            });
+            out_bit += 1;
+        }
+    }
+    result.expect("bits > 0 and vars nonempty")
+}
+
+/// A HiCOO-style remapping for matrices: nonzeros are grouped into
+/// `block x block` tiles, tiles are ordered by the Morton code of their block
+/// coordinates, and nonzeros within a tile are ordered by the Morton code of
+/// their tile-local coordinates (Section 4.1's HiCOO example, specialised to
+/// matrices).
+///
+/// `bits` controls how many bits of each (block or local) coordinate are
+/// interleaved; it must be large enough to cover the coordinate range for the
+/// ordering to be a strict Morton order.
+///
+/// # Panics
+///
+/// Panics if `block` is zero or `bits` is zero.
+pub fn hicoo_matrix(block: usize, bits: u32) -> Remapping {
+    assert!(block > 0, "block size must be positive");
+    let b = block as i64;
+    let i = || IndexExpr::var("i");
+    let j = || IndexExpr::var("j");
+    let block_i = IndexExpr::binary(BinOp::Div, i(), IndexExpr::Const(b));
+    let block_j = IndexExpr::binary(BinOp::Div, j(), IndexExpr::Const(b));
+    let local_i = IndexExpr::binary(BinOp::Rem, i(), IndexExpr::Const(b));
+    let local_j = IndexExpr::binary(BinOp::Rem, j(), IndexExpr::Const(b));
+    let block_morton = DstIndex {
+        lets: vec![("r".to_string(), block_i.clone()), ("s".to_string(), block_j.clone())],
+        expr: morton_interleave_expr(
+            &[IndexExpr::LetVar("r".into()), IndexExpr::LetVar("s".into())],
+            bits,
+        ),
+    };
+    let local_morton = DstIndex {
+        lets: vec![("u".to_string(), local_i), ("v".to_string(), local_j)],
+        expr: morton_interleave_expr(
+            &[IndexExpr::LetVar("u".into()), IndexExpr::LetVar("v".into())],
+            bits,
+        ),
+    };
+    Remapping::new(
+        vec!["i".into(), "j".into()],
+        vec![
+            block_morton,
+            DstIndex::simple(block_i),
+            DstIndex::simple(block_j),
+            local_morton,
+            DstIndex::simple(IndexExpr::var("i")),
+            DstIndex::simple(IndexExpr::var("j")),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::EvalContext;
+
+    #[test]
+    fn stock_remappings_have_expected_shape() {
+        assert!(row_major_matrix().is_identity());
+        assert_eq!(column_major_matrix().dest_order(), 2);
+        assert_eq!(dia().dest_order(), 3);
+        assert_eq!(ell().dest_order(), 3);
+        assert!(ell().has_counter());
+        assert!(jad().has_counter());
+        assert_eq!(bcsr().params(), vec!["M".to_string(), "N".to_string()]);
+        assert_eq!(bcsr_with_blocks(2, 3).dest_order(), 4);
+    }
+
+    #[test]
+    fn bcsr_with_blocks_maps_into_tiles() {
+        let remap = bcsr_with_blocks(2, 3);
+        let mut ctx = EvalContext::new(&remap);
+        assert_eq!(ctx.apply(&[5, 7]).unwrap(), vec![2, 2, 1, 1]);
+        assert_eq!(ctx.apply(&[0, 0]).unwrap(), vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn morton_interleave_matches_reference() {
+        fn reference_morton(x: u64, y: u64, bits: u32) -> u64 {
+            let mut out = 0u64;
+            for b in 0..bits {
+                out |= ((x >> b) & 1) << (2 * b);
+                out |= ((y >> b) & 1) << (2 * b + 1);
+            }
+            out
+        }
+        let expr = morton_interleave_expr(&[IndexExpr::var("i"), IndexExpr::var("j")], 4);
+        let remap = Remapping::new(
+            vec!["i".into(), "j".into()],
+            vec![DstIndex::simple(expr), DstIndex::simple(IndexExpr::var("i"))],
+        );
+        let mut ctx = EvalContext::new(&remap);
+        for i in 0..16i64 {
+            for j in 0..16i64 {
+                let got = ctx.apply(&[i, j]).unwrap()[0];
+                assert_eq!(got as u64, reference_morton(i as u64, j as u64, 4), "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn hicoo_orders_blocks_before_locals() {
+        let remap = hicoo_matrix(2, 2);
+        assert_eq!(remap.dest_order(), 6);
+        let mut ctx = EvalContext::new(&remap);
+        // (3, 2) lies in block (1, 1) with local coordinates (1, 0).
+        let c = ctx.apply(&[3, 2]).unwrap();
+        assert_eq!(c[1], 1);
+        assert_eq!(c[2], 1);
+        assert_eq!(c[4], 3);
+        assert_eq!(c[5], 2);
+        // Block Morton code of (1,1) is 3; local Morton code of (1,0) is 1.
+        assert_eq!(c[0], 3);
+        assert_eq!(c[3], 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_block_size_panics() {
+        bcsr_with_blocks(0, 2);
+    }
+}

@@ -1,0 +1,241 @@
+//! Coordinates and shapes for order-`N` tensors.
+
+use std::fmt;
+
+/// A coordinate tuple identifying one component of an order-`N` tensor.
+///
+/// Coordinates are stored as `i64` rather than `usize` because coordinate
+/// *remappings* (Section 4 of the paper) routinely produce negative
+/// intermediate coordinates — e.g. the DIA remapping `(i,j) -> (j-i,i,j)`
+/// yields offsets in `[-(N-1), N-1]`.
+pub type Coord = Vec<i64>;
+
+/// The extent of every dimension of a tensor.
+///
+/// For remapped dimensions whose extent is only known after analysis (e.g. the
+/// number of nonzero diagonals `K` in DIA), the shape stores the *coordinate
+/// bounds* of the dimension instead; see [`DimBounds`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from dimension extents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims` is empty.
+    pub fn new(dims: Vec<usize>) -> Self {
+        assert!(!dims.is_empty(), "a tensor must have at least one dimension");
+        Shape { dims }
+    }
+
+    /// Convenience constructor for a matrix shape.
+    pub fn matrix(rows: usize, cols: usize) -> Self {
+        Shape::new(vec![rows, cols])
+    }
+
+    /// Convenience constructor for a vector shape.
+    pub fn vector(len: usize) -> Self {
+        Shape::new(vec![len])
+    }
+
+    /// The number of dimensions (the tensor order).
+    pub fn order(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// The extent of dimension `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d >= self.order()`.
+    pub fn dim(&self, d: usize) -> usize {
+        self.dims[d]
+    }
+
+    /// All dimension extents.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of rows (first dimension) for matrix shapes.
+    pub fn rows(&self) -> usize {
+        self.dims[0]
+    }
+
+    /// Number of columns (second dimension) for matrix shapes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape has fewer than two dimensions.
+    pub fn cols(&self) -> usize {
+        self.dims[1]
+    }
+
+    /// Total number of components of a dense tensor with this shape.
+    pub fn dense_size(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Returns true when `coord` is inside the bounds of this shape.
+    pub fn contains(&self, coord: &[i64]) -> bool {
+        coord.len() == self.order()
+            && coord
+                .iter()
+                .zip(&self.dims)
+                .all(|(&c, &d)| c >= 0 && (c as usize) < d)
+    }
+
+    /// Row-major linear offset of `coord`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is out of bounds.
+    pub fn linearize(&self, coord: &[i64]) -> usize {
+        assert!(self.contains(coord), "coordinate {coord:?} out of bounds for {self}");
+        let mut off = 0usize;
+        for (d, &c) in coord.iter().enumerate() {
+            off = off * self.dims[d] + c as usize;
+        }
+        off
+    }
+
+    /// Inverse of [`Shape::linearize`].
+    pub fn delinearize(&self, mut offset: usize) -> Coord {
+        let mut coord = vec![0i64; self.order()];
+        for d in (0..self.order()).rev() {
+            coord[d] = (offset % self.dims[d]) as i64;
+            offset /= self.dims[d];
+        }
+        coord
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let dims: Vec<String> = self.dims.iter().map(|d| d.to_string()).collect();
+        write!(f, "{}", dims.join("x"))
+    }
+}
+
+/// Inclusive lower / exclusive upper coordinate bounds of one dimension of a
+/// (possibly remapped) coordinate space.
+///
+/// Remapped dimensions can have negative lower bounds: the offset dimension of
+/// DIA ranges over `[-(rows-1), cols)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DimBounds {
+    /// Smallest coordinate value (inclusive).
+    pub lower: i64,
+    /// Largest coordinate value plus one (exclusive).
+    pub upper: i64,
+}
+
+impl DimBounds {
+    /// Creates bounds `[lower, upper)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `upper < lower`.
+    pub fn new(lower: i64, upper: i64) -> Self {
+        assert!(upper >= lower, "upper bound {upper} below lower bound {lower}");
+        DimBounds { lower, upper }
+    }
+
+    /// Bounds of an ordinary dimension `[0, extent)`.
+    pub fn from_extent(extent: usize) -> Self {
+        DimBounds { lower: 0, upper: extent as i64 }
+    }
+
+    /// Number of distinct coordinate values in the bounds.
+    pub fn extent(&self) -> usize {
+        (self.upper - self.lower) as usize
+    }
+
+    /// True when `c` lies within the bounds.
+    pub fn contains(&self, c: i64) -> bool {
+        c >= self.lower && c < self.upper
+    }
+}
+
+impl fmt::Display for DimBounds {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.lower, self.upper)
+    }
+}
+
+/// Compares two coordinates lexicographically.
+pub fn lex_cmp(a: &[i64], b: &[i64]) -> std::cmp::Ordering {
+    a.cmp(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_basic_accessors() {
+        let s = Shape::matrix(4, 6);
+        assert_eq!(s.order(), 2);
+        assert_eq!(s.rows(), 4);
+        assert_eq!(s.cols(), 6);
+        assert_eq!(s.dim(0), 4);
+        assert_eq!(s.dim(1), 6);
+        assert_eq!(s.dense_size(), 24);
+        assert_eq!(s.to_string(), "4x6");
+    }
+
+    #[test]
+    fn shape_contains_checks_bounds() {
+        let s = Shape::matrix(4, 6);
+        assert!(s.contains(&[0, 0]));
+        assert!(s.contains(&[3, 5]));
+        assert!(!s.contains(&[4, 0]));
+        assert!(!s.contains(&[0, 6]));
+        assert!(!s.contains(&[-1, 0]));
+        assert!(!s.contains(&[0]));
+    }
+
+    #[test]
+    fn linearize_roundtrips() {
+        let s = Shape::new(vec![3, 4, 5]);
+        for off in 0..s.dense_size() {
+            let c = s.delinearize(off);
+            assert_eq!(s.linearize(&c), off);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn linearize_out_of_bounds_panics() {
+        Shape::matrix(2, 2).linearize(&[2, 0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_shape_panics() {
+        Shape::new(vec![]);
+    }
+
+    #[test]
+    fn dim_bounds() {
+        let b = DimBounds::new(-3, 6);
+        assert_eq!(b.extent(), 9);
+        assert!(b.contains(-3));
+        assert!(b.contains(5));
+        assert!(!b.contains(6));
+        assert!(!b.contains(-4));
+        assert_eq!(DimBounds::from_extent(4), DimBounds::new(0, 4));
+        assert_eq!(b.to_string(), "[-3, 6)");
+    }
+
+    #[test]
+    fn lex_cmp_orders_lexicographically() {
+        use std::cmp::Ordering::*;
+        assert_eq!(lex_cmp(&[0, 1], &[0, 2]), Less);
+        assert_eq!(lex_cmp(&[1, 0], &[0, 9]), Greater);
+        assert_eq!(lex_cmp(&[2, 3], &[2, 3]), Equal);
+    }
+}

@@ -1,0 +1,193 @@
+//! Dense matrices, used as the ground-truth representation in tests and as
+//! the output of dense level formats.
+
+use crate::coord::Shape;
+use crate::error::TensorError;
+use crate::Value;
+
+/// A dense, row-major matrix of [`Value`]s.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<Value>,
+}
+
+impl DenseMatrix {
+    /// Creates a `rows x cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        DenseMatrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a matrix from a row-major data vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidStructure`] if `data.len() != rows * cols`.
+    pub fn from_row_major(rows: usize, cols: usize, data: Vec<Value>) -> Result<Self, TensorError> {
+        if data.len() != rows * cols {
+            return Err(TensorError::InvalidStructure(format!(
+                "expected {} values for a {rows}x{cols} matrix, got {}",
+                rows * cols,
+                data.len()
+            )));
+        }
+        Ok(DenseMatrix { rows, cols, data })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The matrix shape.
+    pub fn shape(&self) -> Shape {
+        Shape::matrix(self.rows, self.cols)
+    }
+
+    /// The value at `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of bounds.
+    pub fn get(&self, i: usize, j: usize) -> Value {
+        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        self.data[i * self.cols + j]
+    }
+
+    /// Mutable access to the value at `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of bounds.
+    pub fn get_mut(&mut self, i: usize, j: usize) -> &mut Value {
+        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        &mut self.data[i * self.cols + j]
+    }
+
+    /// Sets the value at `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of bounds.
+    pub fn set(&mut self, i: usize, j: usize, v: Value) {
+        *self.get_mut(i, j) = v;
+    }
+
+    /// The underlying row-major buffer.
+    pub fn data(&self) -> &[Value] {
+        &self.data
+    }
+
+    /// Number of nonzero entries.
+    pub fn nnz(&self) -> usize {
+        self.data.iter().filter(|&&v| v != 0.0).count()
+    }
+
+    /// Dense matrix-vector product `y = A x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    pub fn spmv(&self, x: &[Value]) -> Vec<Value> {
+        assert_eq!(x.len(), self.cols, "vector length mismatch");
+        let mut y = vec![0.0; self.rows];
+        for i in 0..self.rows {
+            let mut acc = 0.0;
+            for j in 0..self.cols {
+                acc += self.data[i * self.cols + j] * x[j];
+            }
+            y[i] = acc;
+        }
+        y
+    }
+
+    /// Iterates over nonzero entries as `(row, col, value)`.
+    pub fn iter_nonzeros(&self) -> impl Iterator<Item = (usize, usize, Value)> + '_ {
+        self.data.iter().enumerate().filter_map(move |(off, &v)| {
+            if v != 0.0 {
+                Some((off / self.cols, off % self.cols, v))
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Maximum absolute element-wise difference to another matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn max_abs_diff(&self, other: &DenseMatrix) -> Value {
+        assert_eq!(self.rows, other.rows, "row count mismatch");
+        assert_eq!(self.cols, other.cols, "column count mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, Value::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_set_get() {
+        let mut m = DenseMatrix::zeros(2, 3);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m.nnz(), 0);
+        m.set(1, 2, 5.0);
+        assert_eq!(m.get(1, 2), 5.0);
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.shape(), Shape::matrix(2, 3));
+    }
+
+    #[test]
+    fn from_row_major_validates_length() {
+        assert!(DenseMatrix::from_row_major(2, 2, vec![1.0; 3]).is_err());
+        let m = DenseMatrix::from_row_major(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(m.get(1, 0), 3.0);
+    }
+
+    #[test]
+    fn spmv_matches_manual_computation() {
+        let m = DenseMatrix::from_row_major(2, 3, vec![1.0, 0.0, 2.0, 0.0, 3.0, 0.0]).unwrap();
+        let y = m.spmv(&[1.0, 2.0, 3.0]);
+        assert_eq!(y, vec![7.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn spmv_rejects_wrong_length() {
+        DenseMatrix::zeros(2, 3).spmv(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn iter_nonzeros_yields_coordinates() {
+        let m = DenseMatrix::from_row_major(2, 2, vec![0.0, 1.0, 2.0, 0.0]).unwrap();
+        let nz: Vec<_> = m.iter_nonzeros().collect();
+        assert_eq!(nz, vec![(0, 1, 1.0), (1, 0, 2.0)]);
+    }
+
+    #[test]
+    fn max_abs_diff_measures_divergence() {
+        let a = DenseMatrix::from_row_major(1, 2, vec![1.0, 2.0]).unwrap();
+        let b = DenseMatrix::from_row_major(1, 2, vec![1.5, 2.0]).unwrap();
+        assert_eq!(a.max_abs_diff(&b), 0.5);
+        assert_eq!(a.max_abs_diff(&a), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn get_out_of_bounds_panics() {
+        DenseMatrix::zeros(1, 1).get(0, 1);
+    }
+}

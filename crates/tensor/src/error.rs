@@ -1,0 +1,77 @@
+//! Error types shared by the tensor substrate.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::coord::Shape;
+
+/// Errors raised when constructing or validating tensors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TensorError {
+    /// A coordinate lies outside the tensor shape.
+    OutOfBounds {
+        /// The offending coordinate.
+        coord: Vec<i64>,
+        /// The shape it was checked against.
+        shape: Shape,
+    },
+    /// A coordinate tuple had the wrong number of dimensions.
+    OrderMismatch {
+        /// Expected tensor order.
+        expected: usize,
+        /// Order of the offending coordinate.
+        found: usize,
+    },
+    /// Two tensors that must have identical shapes do not.
+    ShapeMismatch {
+        /// Shape of the left operand.
+        left: Shape,
+        /// Shape of the right operand.
+        right: Shape,
+    },
+    /// A structurally invalid format container (e.g. a non-monotone `pos`
+    /// array) was encountered.
+    InvalidStructure(String),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::OutOfBounds { coord, shape } => {
+                write!(f, "coordinate {coord:?} out of bounds for shape {shape}")
+            }
+            TensorError::OrderMismatch { expected, found } => {
+                write!(f, "expected order-{expected} coordinate, found order-{found}")
+            }
+            TensorError::ShapeMismatch { left, right } => {
+                write!(f, "shape mismatch: {left} vs {right}")
+            }
+            TensorError::InvalidStructure(msg) => write!(f, "invalid structure: {msg}"),
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = TensorError::OutOfBounds { coord: vec![5, 0], shape: Shape::matrix(4, 6) };
+        assert!(e.to_string().contains("out of bounds"));
+        let e = TensorError::OrderMismatch { expected: 2, found: 3 };
+        assert!(e.to_string().contains("order-2"));
+        let e = TensorError::ShapeMismatch { left: Shape::matrix(1, 2), right: Shape::matrix(2, 1) };
+        assert!(e.to_string().contains("mismatch"));
+        let e = TensorError::InvalidStructure("pos not monotone".into());
+        assert!(e.to_string().contains("pos not monotone"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

@@ -1,0 +1,42 @@
+//! Sparse tensor substrate for the PLDI 2020 format-conversion reproduction.
+//!
+//! This crate provides the canonical, format-agnostic representations that the
+//! rest of the workspace builds on:
+//!
+//! * [`Shape`] and coordinate handling for order-`N` tensors,
+//! * [`SparseTriples`]: an order-`N` coordinate/value list (the "canonical"
+//!   tensor the paper's coordinate remappings act on),
+//! * [`DenseMatrix`]: a dense reference representation used as ground truth in
+//!   tests,
+//! * [`MatrixStats`]: the structural statistics reported in Table 2 of the
+//!   paper (nonzero count, nonzero-diagonal count, maximum nonzeros per row).
+//!
+//! # Example
+//!
+//! ```
+//! use sparse_tensor::Shape;
+//!
+//! // The running-example 4x6 matrix of Figure 1 in the paper.
+//! let m = sparse_tensor::example::figure1_matrix();
+//! assert_eq!(m.shape(), &Shape::matrix(4, 6));
+//! assert_eq!(m.nnz(), 9);
+//! ```
+
+pub mod coord;
+pub mod dense;
+pub mod error;
+pub mod example;
+pub mod stats;
+pub mod triples;
+
+pub use coord::{Coord, DimBounds, Shape};
+pub use dense::DenseMatrix;
+pub use error::TensorError;
+pub use stats::MatrixStats;
+pub use triples::{SparseTriples, Triple};
+
+/// The scalar value type used throughout the workspace.
+///
+/// The paper's prototype (and the SPARSKIT / MKL routines it compares against)
+/// operates on double-precision values; we follow suit.
+pub type Value = f64;

@@ -1,0 +1,152 @@
+//! Structural statistics of sparse matrices.
+//!
+//! These are exactly the quantities reported in Table 2 of the paper
+//! (dimensions, nonzero count, number of nonzero diagonals, maximum nonzeros
+//! per row), plus a few more that the workload generators and DIA/ELL
+//! admissibility checks need (bandwidth, density of the padded DIA/ELL
+//! representations).
+
+use std::collections::HashSet;
+
+use crate::triples::SparseTriples;
+
+/// Structural statistics of a sparse matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixStats {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    /// Number of stored nonzeros (after duplicate summation).
+    pub nnz: usize,
+    /// Number of distinct diagonals (`j - i` offsets) containing a nonzero.
+    pub nonzero_diagonals: usize,
+    /// Maximum number of nonzeros in any row.
+    pub max_nnz_per_row: usize,
+    /// Lower bandwidth: `max(i - j)` over nonzeros (0 if none below diagonal).
+    pub lower_bandwidth: usize,
+    /// Upper bandwidth: `max(j - i)` over nonzeros (0 if none above diagonal).
+    pub upper_bandwidth: usize,
+}
+
+impl MatrixStats {
+    /// Computes statistics for an order-2 [`SparseTriples`] tensor.
+    ///
+    /// Duplicate coordinates are counted once (the paper's matrices are
+    /// duplicate-free SuiteSparse matrices).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not order 2.
+    pub fn compute(m: &SparseTriples) -> Self {
+        assert_eq!(m.order(), 2, "MatrixStats requires an order-2 tensor");
+        let rows = m.shape().rows();
+        let cols = m.shape().cols();
+        let mut coords: HashSet<(i64, i64)> = HashSet::with_capacity(m.nnz());
+        for t in m.iter() {
+            coords.insert((t.coord[0], t.coord[1]));
+        }
+        let nnz = coords.len();
+        let mut diagonals: HashSet<i64> = HashSet::new();
+        let mut per_row = vec![0usize; rows];
+        let mut lower = 0i64;
+        let mut upper = 0i64;
+        for &(i, j) in &coords {
+            diagonals.insert(j - i);
+            per_row[i as usize] += 1;
+            lower = lower.max(i - j);
+            upper = upper.max(j - i);
+        }
+        MatrixStats {
+            rows,
+            cols,
+            nnz,
+            nonzero_diagonals: diagonals.len(),
+            max_nnz_per_row: per_row.iter().copied().max().unwrap_or(0),
+            lower_bandwidth: lower as usize,
+            upper_bandwidth: upper as usize,
+        }
+    }
+
+    /// Fraction of stored values that are nonzero if the matrix were stored in
+    /// DIA (one dense column of length `rows` per nonzero diagonal).
+    pub fn dia_fill(&self) -> f64 {
+        if self.nonzero_diagonals == 0 {
+            return 0.0;
+        }
+        self.nnz as f64 / (self.nonzero_diagonals as f64 * self.rows as f64)
+    }
+
+    /// Fraction of stored values that are nonzero if the matrix were stored in
+    /// ELL (`max_nnz_per_row` slots per row).
+    pub fn ell_fill(&self) -> f64 {
+        if self.max_nnz_per_row == 0 {
+            return 0.0;
+        }
+        self.nnz as f64 / (self.max_nnz_per_row as f64 * self.rows as f64)
+    }
+
+    /// The paper omits DIA/ELL results for matrices that would be stored with
+    /// more than 75% explicit zeros; this reproduces that admissibility test.
+    pub fn dia_admissible(&self) -> bool {
+        self.dia_fill() >= 0.25
+    }
+
+    /// See [`MatrixStats::dia_admissible`]; same 25%-fill rule for ELL.
+    pub fn ell_admissible(&self) -> bool {
+        self.ell_fill() >= 0.25
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::example::figure1_matrix;
+
+    #[test]
+    fn figure1_statistics() {
+        // The Figure 1 matrix: 4x6, 9 nonzeros, 5 nonzero diagonals
+        // (offsets -2, 0, 1 plus the singletons at (1,3)->2 and (3,4)->1...).
+        let stats = MatrixStats::compute(&figure1_matrix());
+        assert_eq!(stats.rows, 4);
+        assert_eq!(stats.cols, 6);
+        assert_eq!(stats.nnz, 9);
+        assert_eq!(stats.max_nnz_per_row, 3);
+        // Offsets present: 0-0=0, 1-0=1, 1-1=0, 2-1=1, 0-2=-2, 2-2=0, 3-1=-2, 3-3=0, 4-3=1
+        assert_eq!(stats.nonzero_diagonals, 3);
+        assert_eq!(stats.lower_bandwidth, 2);
+        assert_eq!(stats.upper_bandwidth, 1);
+    }
+
+    #[test]
+    fn fill_ratios() {
+        let stats = MatrixStats::compute(&figure1_matrix());
+        let dia = stats.dia_fill();
+        let ell = stats.ell_fill();
+        assert!((dia - 9.0 / 12.0).abs() < 1e-12);
+        assert!((ell - 9.0 / 12.0).abs() < 1e-12);
+        assert!(stats.dia_admissible());
+        assert!(stats.ell_admissible());
+    }
+
+    #[test]
+    fn empty_matrix_statistics() {
+        let m = SparseTriples::new(crate::Shape::matrix(3, 3));
+        let stats = MatrixStats::compute(&m);
+        assert_eq!(stats.nnz, 0);
+        assert_eq!(stats.nonzero_diagonals, 0);
+        assert_eq!(stats.max_nnz_per_row, 0);
+        assert_eq!(stats.dia_fill(), 0.0);
+        assert_eq!(stats.ell_fill(), 0.0);
+        assert!(!stats.dia_admissible());
+        assert!(!stats.ell_admissible());
+    }
+
+    #[test]
+    fn duplicates_counted_once() {
+        let m = SparseTriples::from_matrix_entries(2, 2, vec![(0, 0, 1.0), (0, 0, 2.0)]).unwrap();
+        let stats = MatrixStats::compute(&m);
+        assert_eq!(stats.nnz, 1);
+        assert_eq!(stats.max_nnz_per_row, 1);
+    }
+}

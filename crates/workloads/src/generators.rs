@@ -1,0 +1,275 @@
+//! Parametric sparse matrix generators.
+
+use std::error::Error;
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sparse_tensor::{SparseTriples, Value};
+
+/// Errors raised by the generators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GeneratorError {
+    /// The requested parameters are inconsistent (e.g. more nonzeros than the
+    /// matrix has cells).
+    InvalidParameters(String),
+}
+
+impl fmt::Display for GeneratorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeneratorError::InvalidParameters(msg) => write!(f, "invalid parameters: {msg}"),
+        }
+    }
+}
+
+impl Error for GeneratorError {}
+
+fn value_for(rng: &mut StdRng) -> Value {
+    // Nonzero values in (0.5, 1.5]; the exact values do not affect conversion
+    // cost but must be nonzero so padding is distinguishable.
+    0.5 + rng.gen::<f64>()
+}
+
+/// Generates a banded matrix whose nonzeros lie on the given diagonal
+/// offsets, filling each diagonal completely.
+///
+/// # Errors
+///
+/// Returns an error when no offset is valid for the shape.
+pub fn banded(
+    rows: usize,
+    cols: usize,
+    offsets: &[i64],
+    seed: u64,
+) -> Result<SparseTriples, GeneratorError> {
+    if offsets.iter().all(|&k| k <= -(rows as i64) || k >= cols as i64) {
+        return Err(GeneratorError::InvalidParameters(
+            "no diagonal offset intersects the matrix".to_string(),
+        ));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = SparseTriples::new(sparse_tensor::Shape::matrix(rows, cols));
+    for &k in offsets {
+        for i in 0..rows {
+            let j = i as i64 + k;
+            if j >= 0 && j < cols as i64 {
+                t.push(vec![i as i64, j], value_for(&mut rng)).expect("in bounds");
+            }
+        }
+    }
+    Ok(t)
+}
+
+/// The symmetric band offsets `0, ±1, ..., ±((count-1)/2)` (plus one extra
+/// positive offset when `count` is even), as used by stencil matrices like
+/// `jnlbrng1` or `ecology1`.
+pub fn stencil_offsets(count: usize) -> Vec<i64> {
+    let mut offsets = vec![0i64];
+    let mut d = 1i64;
+    while offsets.len() < count {
+        offsets.push(d);
+        if offsets.len() < count {
+            offsets.push(-d);
+        }
+        // Widen the stencil the way multi-point stencils do: after the
+        // immediate neighbours, keep doubling the offset.
+        d *= 2;
+    }
+    offsets.truncate(count);
+    offsets
+}
+
+/// Generates a block-structured matrix: dense `block x block` tiles placed on
+/// and near the diagonal until roughly `target_nnz` nonzeros are stored.
+/// Produces the many-diagonals / long-rows structure of FEM matrices such as
+/// `cant` or `shipsec1`.
+///
+/// # Errors
+///
+/// Returns an error when the block does not fit the matrix.
+pub fn blocked(
+    rows: usize,
+    cols: usize,
+    block: usize,
+    blocks_per_row: usize,
+    target_nnz: usize,
+    seed: u64,
+) -> Result<SparseTriples, GeneratorError> {
+    if block == 0 || block > rows || block > cols {
+        return Err(GeneratorError::InvalidParameters(format!(
+            "block size {block} does not fit a {rows}x{cols} matrix"
+        )));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = SparseTriples::with_capacity(sparse_tensor::Shape::matrix(rows, cols), target_nnz);
+    let brows = rows / block;
+    let bcols = cols / block;
+    'outer: for bi in 0..brows {
+        let mut chosen: Vec<usize> = Vec::with_capacity(blocks_per_row);
+        for n in 0..blocks_per_row {
+            // One block on the diagonal, the rest scattered nearby.
+            let bj = if n == 0 {
+                bi.min(bcols - 1)
+            } else {
+                let spread = (bcols / 8).max(2);
+                let lo = bi.saturating_sub(spread / 2);
+                (lo + rng.gen_range(0..spread)).min(bcols - 1)
+            };
+            if chosen.contains(&bj) {
+                continue;
+            }
+            chosen.push(bj);
+            for li in 0..block {
+                for lj in 0..block {
+                    let (i, j) = (bi * block + li, bj * block + lj);
+                    t.push(vec![i as i64, j as i64], value_for(&mut rng)).expect("in bounds");
+                    if t.nnz() >= target_nnz {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+    }
+    Ok(t)
+}
+
+/// Generates an irregular matrix with a prescribed total nonzero count and
+/// maximum row length. Row lengths follow a skewed distribution capped at
+/// `max_row_nnz` (one row is forced to the cap); columns are drawn uniformly,
+/// which produces the large nonzero-diagonal counts of circuit- and web-like
+/// matrices.
+///
+/// # Errors
+///
+/// Returns an error when the parameters are inconsistent.
+pub fn irregular(
+    rows: usize,
+    cols: usize,
+    target_nnz: usize,
+    max_row_nnz: usize,
+    seed: u64,
+) -> Result<SparseTriples, GeneratorError> {
+    if max_row_nnz == 0 || max_row_nnz > cols {
+        return Err(GeneratorError::InvalidParameters(format!(
+            "max_row_nnz {max_row_nnz} does not fit {cols} columns"
+        )));
+    }
+    if target_nnz > rows * max_row_nnz {
+        return Err(GeneratorError::InvalidParameters(format!(
+            "cannot place {target_nnz} nonzeros with at most {max_row_nnz} per row"
+        )));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mean = (target_nnz as f64 / rows as f64).max(1.0);
+    // Draw provisional row lengths from an exponential-ish distribution.
+    let mut lengths = vec![0usize; rows];
+    let mut total = 0usize;
+    for len in lengths.iter_mut() {
+        let draw = (-rng.gen::<f64>().max(1e-12).ln() * mean).round() as usize;
+        *len = draw.clamp(1, max_row_nnz);
+        total += *len;
+    }
+    // Rescale towards the target by trimming or topping up round-robin.
+    let mut i = 0usize;
+    while total > target_nnz {
+        if lengths[i % rows] > 1 {
+            lengths[i % rows] -= 1;
+            total -= 1;
+        }
+        i += 1;
+    }
+    while total < target_nnz {
+        if lengths[i % rows] < max_row_nnz {
+            lengths[i % rows] += 1;
+            total += 1;
+        }
+        i += 1;
+    }
+    // Force the cap to be reached exactly once so max-row statistics match.
+    if let Some(max_pos) = (0..rows).max_by_key(|&r| lengths[r]) {
+        total -= lengths[max_pos];
+        lengths[max_pos] = max_row_nnz;
+        total += max_row_nnz;
+        // Re-trim to the target after forcing the cap.
+        let mut r = 0usize;
+        while total > target_nnz {
+            if r % rows != max_pos && lengths[r % rows] > 1 {
+                lengths[r % rows] -= 1;
+                total -= 1;
+            }
+            r += 1;
+        }
+    }
+    let mut t = SparseTriples::with_capacity(sparse_tensor::Shape::matrix(rows, cols), total);
+    let mut picked: Vec<usize> = Vec::new();
+    for (r, &len) in lengths.iter().enumerate() {
+        picked.clear();
+        while picked.len() < len {
+            let j = rng.gen_range(0..cols);
+            if !picked.contains(&j) {
+                picked.push(j);
+            }
+        }
+        for &j in &picked {
+            t.push(vec![r as i64, j as i64], value_for(&mut rng)).expect("in bounds");
+        }
+    }
+    Ok(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparse_tensor::MatrixStats;
+
+    #[test]
+    fn banded_fills_requested_diagonals() {
+        let t = banded(100, 100, &[0, 1, -1, 5, -5], 42).unwrap();
+        let stats = MatrixStats::compute(&t);
+        assert_eq!(stats.nonzero_diagonals, 5);
+        assert_eq!(stats.max_nnz_per_row, 5);
+        assert_eq!(stats.nnz, 100 + 99 * 2 + 95 * 2);
+        assert!(banded(10, 10, &[20], 0).is_err());
+    }
+
+    #[test]
+    fn stencil_offsets_are_distinct_and_start_at_zero() {
+        for count in [1usize, 5, 7, 13, 22] {
+            let offsets = stencil_offsets(count);
+            assert_eq!(offsets.len(), count);
+            assert_eq!(offsets[0], 0);
+            let mut sorted = offsets.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), count, "duplicate offsets in {offsets:?}");
+        }
+    }
+
+    #[test]
+    fn blocked_produces_dense_tiles() {
+        let t = blocked(200, 200, 4, 8, 5_000, 7).unwrap();
+        let stats = MatrixStats::compute(&t);
+        assert!(stats.nnz >= 3_000 && stats.nnz <= 5_000, "nnz = {}", stats.nnz);
+        assert!(stats.max_nnz_per_row >= 4);
+        assert!(blocked(10, 10, 0, 1, 10, 0).is_err());
+    }
+
+    #[test]
+    fn irregular_hits_nnz_and_max_row_targets() {
+        let t = irregular(1000, 1000, 20_000, 120, 3).unwrap();
+        let stats = MatrixStats::compute(&t);
+        assert_eq!(stats.max_nnz_per_row, 120);
+        let nnz = stats.nnz as f64;
+        assert!((nnz - 20_000.0).abs() / 20_000.0 < 0.05, "nnz = {nnz}");
+        assert!(stats.nonzero_diagonals > 500);
+        assert!(irregular(10, 10, 200, 5, 0).is_err());
+        assert!(irregular(10, 10, 5, 0, 0).is_err());
+    }
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        assert_eq!(irregular(100, 100, 500, 20, 9).unwrap(), irregular(100, 100, 500, 20, 9).unwrap());
+        assert_ne!(irregular(100, 100, 500, 20, 9).unwrap(), irregular(100, 100, 500, 20, 10).unwrap());
+    }
+}

@@ -1,0 +1,17 @@
+//! Synthetic matrix workloads reproducing the structural statistics of the
+//! paper's evaluation matrices (Table 2).
+//!
+//! The paper evaluates on 21 SuiteSparse matrices. Those files are not
+//! available in this environment, so this crate synthesises one matrix per
+//! Table 2 row with matching dimensions, nonzero count, nonzero-diagonal
+//! count, and maximum row length — the statistics that govern conversion
+//! cost (see DESIGN.md, "Substitutions"). Matrices can be generated at a
+//! reduced `scale` so the full benchmark suite runs in minutes rather than
+//! hours; scaling divides the dimensions and nonzero count while preserving
+//! the matrix *class* (banded, multi-diagonal, blocked, irregular).
+
+pub mod generators;
+pub mod suite;
+
+pub use generators::{banded, blocked, irregular, GeneratorError};
+pub use suite::{table2, MatrixClass, MatrixSpec};

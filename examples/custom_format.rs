@@ -1,0 +1,65 @@
+//! Defining a *custom* target format from scratch — the extensibility story
+//! of Section 3: a user supplies only (1) a coordinate remapping, (2) the
+//! level format of each remapped dimension, and the system assembles the new
+//! format without any per-pair conversion code.
+//!
+//! Here we define a 2x2-blocked format whose blocks are interned in a hash
+//! level (a DOK-of-dense-blocks layout), plus a banded skyline format, and
+//! convert the same matrix into both.
+//!
+//! Run with `cargo run --example custom_format`.
+
+use taco_conversion_repro::conv::convert::{AnyMatrix, FormatId};
+use taco_conversion_repro::conv::generic::{convert_with_spec, LevelOutput};
+use taco_conversion_repro::conv::spec::FormatSpec;
+use taco_conversion_repro::formats::CsrMatrix;
+use taco_conversion_repro::levels::LevelKind;
+use taco_conversion_repro::remap::parse_remapping;
+use taco_conversion_repro::tensor::SparseTriples;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let triples = SparseTriples::from_matrix_entries(
+        8,
+        8,
+        vec![
+            (0, 0, 1.0),
+            (0, 1, 2.0),
+            (1, 0, 3.0),
+            (2, 2, 4.0),
+            (3, 3, 5.0),
+            (4, 0, 6.0),
+            (5, 5, 7.0),
+            (6, 6, 8.0),
+            (7, 6, 9.0),
+            (7, 7, 10.0),
+        ],
+    )?;
+    let src = AnyMatrix::Csr(CsrMatrix::from_triples(&triples));
+
+    // A custom blocked format: 2x2 tiles, tiles interned in a hash level,
+    // tile contents dense. The remapping is written in coordinate remapping
+    // notation exactly as a user of the paper's system would write it.
+    let remapping = parse_remapping("(i,j) -> (i/2,j/2,i%2,j%2)")?;
+    let blocked = FormatSpec::new(
+        "DOK-of-blocks",
+        remapping,
+        vec!["bi", "bj", "li", "lj"],
+        vec![LevelKind::Dense, LevelKind::Hashed, LevelKind::Dense, LevelKind::Dense],
+    );
+    let tensor = convert_with_spec(&src, &blocked)?;
+    println!("custom format `{}`:", tensor.spec.name);
+    println!("  required queries: {:?}", blocked.required_queries().iter().map(|q| q.to_string()).collect::<Vec<_>>());
+    if let LevelOutput::Hashed { coords } = &tensor.levels[1] {
+        println!("  {} nonzero 2x2 blocks interned", coords.len());
+    }
+    println!("  {} stored values ({} nonzero)", tensor.vals.len(), tensor.vals.iter().filter(|&&v| v != 0.0).count());
+
+    // The stock skyline spec works through exactly the same machinery.
+    let sky = FormatSpec::stock(FormatId::Skyline);
+    let tensor = convert_with_spec(&src, &sky)?;
+    if let LevelOutput::Banded { pos, first } = &tensor.levels[1] {
+        println!("\nskyline format: row runs {pos:?}");
+        println!("  first stored column per row: {first:?}");
+    }
+    Ok(())
+}

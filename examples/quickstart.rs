@@ -1,0 +1,48 @@
+//! Quickstart: build a sparse matrix, convert it between formats, and
+//! inspect the conversion plan.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use taco_conversion_repro::conv::convert::{convert, plan_for, AnyMatrix, FormatId};
+use taco_conversion_repro::formats::CooMatrix;
+use taco_conversion_repro::tensor::SparseTriples;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Import data as COO triples (cheap appends), the way an application
+    // would load a matrix from disk.
+    let triples = SparseTriples::from_matrix_entries(
+        6,
+        6,
+        vec![
+            (0, 0, 2.0),
+            (0, 1, -1.0),
+            (1, 0, -1.0),
+            (1, 1, 2.0),
+            (1, 2, -1.0),
+            (2, 1, -1.0),
+            (2, 2, 2.0),
+            (3, 3, 2.0),
+            (4, 4, 2.0),
+            (5, 5, 2.0),
+            (5, 0, 0.5),
+        ],
+    )?;
+    let coo = AnyMatrix::Coo(CooMatrix::from_triples(&triples));
+
+    // Convert to the formats evaluated in the paper.
+    for target in [FormatId::Csr, FormatId::Csc, FormatId::Dia, FormatId::Ell] {
+        let converted = convert(&coo, target)?;
+        println!(
+            "converted {} -> {}: {} stored nonzeros",
+            coo.format(),
+            converted.format(),
+            converted.nnz()
+        );
+        assert!(converted.to_triples().same_values(&triples));
+    }
+
+    // Inspect the decisions the planner makes for COO -> ELL.
+    let plan = plan_for(&coo, FormatId::Ell)?;
+    println!("\n{plan}");
+    Ok(())
+}

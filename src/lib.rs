@@ -1,0 +1,12 @@
+//! Umbrella crate for the PLDI 2020 sparse tensor format conversion reproduction.
+//!
+//! Re-exports the public API of all workspace crates so examples and integration
+//! tests can use a single dependency.
+pub use attr_query as query;
+pub use conv_ir as ir;
+pub use conv_workloads as workloads;
+pub use coord_remap as remap;
+pub use level_formats as levels;
+pub use sparse_conv as conv;
+pub use sparse_formats as formats;
+pub use sparse_tensor as tensor;

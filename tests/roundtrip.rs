@@ -1,0 +1,136 @@
+//! Workspace-level integration tests: conversions between every pair of
+//! supported formats preserve the matrix, on both hand-picked and randomly
+//! generated inputs (property-based).
+
+use proptest::prelude::*;
+
+use taco_conversion_repro::conv::convert::{convert, AnyMatrix, FormatId};
+use taco_conversion_repro::conv::engine;
+use taco_conversion_repro::formats::{baselines, CooMatrix, CsrMatrix};
+use taco_conversion_repro::tensor::{MatrixStats, SparseTriples};
+
+fn all_formats() -> Vec<FormatId> {
+    vec![
+        FormatId::Coo,
+        FormatId::Csr,
+        FormatId::Csc,
+        FormatId::Dia,
+        FormatId::Ell,
+        FormatId::Bcsr { block_rows: 2, block_cols: 3 },
+        FormatId::Jad,
+        FormatId::Dok,
+    ]
+}
+
+/// Strategy generating small random sparse matrices (as coordinate/value
+/// lists with possibly duplicated coordinates removed).
+fn arb_matrix() -> impl Strategy<Value = SparseTriples> {
+    (1usize..24, 1usize..24).prop_flat_map(|(rows, cols)| {
+        let max_nnz = (rows * cols).min(64);
+        proptest::collection::vec(
+            ((0..rows), (0..cols), -100i32..100),
+            0..max_nnz,
+        )
+        .prop_map(move |entries| {
+            let mut t = SparseTriples::new(
+                taco_conversion_repro::tensor::Shape::matrix(rows, cols),
+            );
+            for (i, j, v) in entries {
+                if v != 0 && t.get(&[i as i64, j as i64]) == 0.0 {
+                    t.push(vec![i as i64, j as i64], v as f64).expect("in bounds");
+                }
+            }
+            t
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Converting through any pair of formats preserves the matrix values.
+    #[test]
+    fn conversion_preserves_values(t in arb_matrix()) {
+        let coo = AnyMatrix::Coo(CooMatrix::from_triples(&t));
+        for src_format in all_formats() {
+            let src = convert(&coo, src_format).expect("source conversion");
+            prop_assert!(src.to_triples().same_values(&t), "building {} lost values", src_format);
+            for dst_format in all_formats() {
+                let dst = convert(&src, dst_format).expect("target conversion");
+                prop_assert!(
+                    dst.to_triples().same_values(&t),
+                    "{} -> {} lost values",
+                    src_format,
+                    dst_format
+                );
+            }
+        }
+    }
+
+    /// The generated conversions agree with the library baselines.
+    #[test]
+    fn generated_routines_agree_with_baselines(t in arb_matrix()) {
+        let coo = CooMatrix::from_triples(&t);
+        let csr = CsrMatrix::from_triples(&t);
+
+        let ours = engine::to_csr(&coo);
+        let skit = baselines::sparskit::coo_to_csr(&coo);
+        prop_assert_eq!(ours.pos(), skit.pos());
+        prop_assert!(ours.to_triples().same_values(&skit.to_triples()));
+        let noext = baselines::taco_noext::coo_to_csr(&coo);
+        prop_assert!(noext.to_triples().same_values(&t));
+
+        let ours = engine::to_dia(&csr);
+        let skit = baselines::sparskit::csr_to_dia(&csr);
+        prop_assert_eq!(ours.offsets(), skit.offsets());
+        prop_assert_eq!(ours.values(), skit.values());
+
+        let ours = engine::to_ell(&csr);
+        let skit = baselines::sparskit::csr_to_ell(&csr);
+        prop_assert_eq!(ours.slices(), skit.slices());
+        prop_assert_eq!(ours.values(), skit.values());
+
+        let ours = engine::to_csc(&csr);
+        let mkl = baselines::mkl::csr_to_csc(&csr);
+        prop_assert!(ours.to_triples().same_values(&mkl.to_triples()));
+    }
+
+    /// SpMV gives identical results before and after conversion (the
+    /// end-to-end property applications actually rely on).
+    #[test]
+    fn spmv_is_preserved_by_conversion(t in arb_matrix()) {
+        let coo = AnyMatrix::Coo(CooMatrix::from_triples(&t));
+        let reference = engine::spmv_fingerprint(&CooMatrix::from_triples(&t));
+        for format in all_formats() {
+            let converted = convert(&coo, format).expect("conversion");
+            let fingerprint = match &converted {
+                AnyMatrix::Coo(m) => engine::spmv_fingerprint(m),
+                AnyMatrix::Csr(m) => engine::spmv_fingerprint(m),
+                AnyMatrix::Csc(m) => engine::spmv_fingerprint(m),
+                AnyMatrix::Dia(m) => engine::spmv_fingerprint(m),
+                AnyMatrix::Ell(m) => engine::spmv_fingerprint(m),
+                AnyMatrix::Bcsr(m) => engine::spmv_fingerprint(m),
+                AnyMatrix::Skyline(m) => engine::spmv_fingerprint(m),
+                AnyMatrix::Jad(m) => engine::spmv_fingerprint(m),
+                AnyMatrix::Dok(m) => engine::spmv_fingerprint(m),
+            };
+            for (a, b) in reference.iter().zip(&fingerprint) {
+                prop_assert!((a - b).abs() < 1e-9, "{}: {} vs {}", format, a, b);
+            }
+        }
+    }
+
+    /// Matrix statistics (Table 2 columns) are invariant under conversion.
+    #[test]
+    fn statistics_are_invariant_under_conversion(t in arb_matrix()) {
+        let reference = MatrixStats::compute(&t);
+        let coo = AnyMatrix::Coo(CooMatrix::from_triples(&t));
+        for format in [FormatId::Csr, FormatId::Dia, FormatId::Ell, FormatId::Jad] {
+            let converted = convert(&coo, format).expect("conversion");
+            let stats = MatrixStats::compute(&converted.to_triples());
+            prop_assert_eq!(stats.nnz, reference.nnz);
+            prop_assert_eq!(stats.nonzero_diagonals, reference.nonzero_diagonals);
+            prop_assert_eq!(stats.max_nnz_per_row, reference.max_nnz_per_row);
+        }
+    }
+}
