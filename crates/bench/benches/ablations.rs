@@ -32,12 +32,20 @@ fn bench_execution_paths(c: &mut Criterion) {
     let csr_spec = FormatSpec::stock(FormatId::Csr);
 
     let mut group = c.benchmark_group("execution_paths/coo_to_csr");
-    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(600));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
     group.bench_function("engine (monomorphised)", |b| {
         b.iter(|| engine::to_csr(&inputs.coo).nnz())
     });
     group.bench_function("dynamic spec-driven", |b| {
-        b.iter(|| generic::convert_with_spec(&coo_any, &csr_spec).unwrap().vals.len())
+        b.iter(|| {
+            generic::convert_with_spec(&coo_any, &csr_spec)
+                .unwrap()
+                .vals
+                .len()
+        })
     });
     group.bench_function("generated IR + interpreter", |b| {
         b.iter(|| codegen::execute(&coo_any, FormatId::Csr).unwrap().nnz())
@@ -48,7 +56,10 @@ fn bench_execution_paths(c: &mut Criterion) {
 fn bench_counter_strategies(c: &mut Criterion) {
     let inputs = inputs();
     let mut group = c.benchmark_group("counters/to_ell");
-    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(600));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
     group.bench_function("scalar counter (CSR source)", |b| {
         b.iter(|| engine::to_ell(&inputs.csr).slices())
     });
@@ -61,7 +72,10 @@ fn bench_counter_strategies(c: &mut Criterion) {
 fn bench_query_fast_path(c: &mut Criterion) {
     let inputs = inputs();
     let mut group = c.benchmark_group("analysis/row_counts");
-    group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(600));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
     group.bench_function("csr pos differencing", |b| {
         b.iter(|| SourceMatrix::row_counts(&inputs.csr).len())
     });
@@ -71,5 +85,10 @@ fn bench_query_fast_path(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_execution_paths, bench_counter_strategies, bench_query_fast_path);
+criterion_group!(
+    benches,
+    bench_execution_paths,
+    bench_counter_strategies,
+    bench_query_fast_path
+);
 criterion_main!(benches);

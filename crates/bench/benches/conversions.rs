@@ -26,7 +26,10 @@ fn bench_conversions(c: &mut Criterion) {
     let inputs = representative_inputs();
     for conversion in Conversion::all() {
         let mut group = c.benchmark_group(conversion.label());
-        group.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(600));
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(200))
+            .measurement_time(Duration::from_millis(600));
         for input in &inputs {
             if !conversion.reported_for(&input.spec) {
                 continue;

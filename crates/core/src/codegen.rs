@@ -186,8 +186,13 @@ fn gen_to_compressed(
 ) -> Result<Vec<Stmt>, ConvertError> {
     let mut body = vec![comment("analysis: count nonzeros per output group")];
     body.push(alloc_int("count", var(outer_extent), true));
-    body.extend(source_loops(source, vec![store_add("count", var(outer_var), int(1))])?);
-    body.push(comment("assembly: sequenced edge insertion (pos) then coordinate insertion"));
+    body.extend(source_loops(
+        source,
+        vec![store_add("count", var(outer_var), int(1))],
+    )?);
+    body.push(comment(
+        "assembly: sequenced edge insertion (pos) then coordinate insertion",
+    ));
     body.push(alloc_int("B_pos", add(var(outer_extent), int(1)), true));
     body.push(for_(
         "r",
@@ -206,7 +211,13 @@ fn gen_to_compressed(
     body.extend(source_loops(
         source,
         vec![
-            decl("pB", add(load("B_pos", var(outer_var)), load("cursor", var(outer_var)))),
+            decl(
+                "pB",
+                add(
+                    load("B_pos", var(outer_var)),
+                    load("cursor", var(outer_var)),
+                ),
+            ),
             store_add("cursor", var(outer_var), int(1)),
             store("B_crd", var("pB"), var(inner_var)),
             store("B_vals", var("pB"), source_value(source)),
@@ -244,7 +255,9 @@ fn gen_to_dia(source: FormatId, spec: &FormatSpec) -> Result<Vec<Stmt>, ConvertE
     let ndiag = sub(add(var("N"), var("M")), int(1));
     let shift = sub(var("N"), int(1));
 
-    let mut body = vec![comment("fused remapping + analysis: mark nonzero diagonals")];
+    let mut body = vec![comment(
+        "fused remapping + analysis: mark nonzero diagonals",
+    )];
     body.push(alloc_int("nz", ndiag.clone(), true));
     body.extend(source_loops(
         source,
@@ -253,7 +266,9 @@ fn gen_to_dia(source: FormatId, spec: &FormatSpec) -> Result<Vec<Stmt>, ConvertE
             store("nz", add(var("k"), shift.clone()), int(1)),
         ],
     )?);
-    body.push(comment("assembly: collect offsets (perm), build rperm, scatter values"));
+    body.push(comment(
+        "assembly: collect offsets (perm), build rperm, scatter values",
+    ));
     body.push(alloc_int("B_perm", ndiag.clone(), false));
     body.push(decl("K", int(0)));
     body.push(for_(
@@ -273,7 +288,11 @@ fn gen_to_dia(source: FormatId, spec: &FormatSpec) -> Result<Vec<Stmt>, ConvertE
         "d",
         int(0),
         var("K"),
-        vec![store("rperm", add(load("B_perm", var("d")), shift.clone()), var("d"))],
+        vec![store(
+            "rperm",
+            add(load("B_perm", var("d")), shift.clone()),
+            var("d"),
+        )],
     ));
     body.push(alloc_float("B_vals", mul(var("K"), var("N")), true));
     body.extend(source_loops(
@@ -293,7 +312,10 @@ fn gen_to_dia(source: FormatId, spec: &FormatSpec) -> Result<Vec<Stmt>, ConvertE
 fn gen_to_ell(source: FormatId) -> Result<Vec<Stmt>, ConvertError> {
     let mut body = vec![comment("analysis: maximum number of nonzeros in any row")];
     body.push(alloc_int("count", var("N"), true));
-    body.extend(source_loops(source, vec![store_add("count", var("i"), int(1))])?);
+    body.extend(source_loops(
+        source,
+        vec![store_add("count", var("i"), int(1))],
+    )?);
     body.push(decl("K", int(0)));
     body.push(for_(
         "r",
@@ -369,13 +391,25 @@ pub fn execute(src: &AnyMatrix, target: FormatId) -> Result<AnyMatrix, ConvertEr
             interp.insert_buffer("A_vals", Buffer::Floats(m.values().to_vec()));
         }
         AnyMatrix::Csr(m) => {
-            interp.insert_buffer("A_pos", Buffer::Ints(m.pos().iter().map(|&x| x as i64).collect()));
-            interp.insert_buffer("A_crd", Buffer::Ints(m.crd().iter().map(|&x| x as i64).collect()));
+            interp.insert_buffer(
+                "A_pos",
+                Buffer::Ints(m.pos().iter().map(|&x| x as i64).collect()),
+            );
+            interp.insert_buffer(
+                "A_crd",
+                Buffer::Ints(m.crd().iter().map(|&x| x as i64).collect()),
+            );
             interp.insert_buffer("A_vals", Buffer::Floats(m.values().to_vec()));
         }
         AnyMatrix::Csc(m) => {
-            interp.insert_buffer("A_pos", Buffer::Ints(m.pos().iter().map(|&x| x as i64).collect()));
-            interp.insert_buffer("A_crd", Buffer::Ints(m.crd().iter().map(|&x| x as i64).collect()));
+            interp.insert_buffer(
+                "A_pos",
+                Buffer::Ints(m.pos().iter().map(|&x| x as i64).collect()),
+            );
+            interp.insert_buffer(
+                "A_crd",
+                Buffer::Ints(m.crd().iter().map(|&x| x as i64).collect()),
+            );
             interp.insert_buffer("A_vals", Buffer::Floats(m.values().to_vec()));
         }
         other => {
@@ -390,10 +424,20 @@ pub fn execute(src: &AnyMatrix, target: FormatId) -> Result<AnyMatrix, ConvertEr
     let rows = src.rows();
     let cols = src.cols();
     let ints = |interp: &Interpreter, name: &str| -> Vec<usize> {
-        interp.buffer(name).expect("generated buffer").as_ints().iter().map(|&x| x as usize).collect()
+        interp
+            .buffer(name)
+            .expect("generated buffer")
+            .as_ints()
+            .iter()
+            .map(|&x| x as usize)
+            .collect()
     };
     let floats = |interp: &Interpreter, name: &str| -> Vec<f64> {
-        interp.buffer(name).expect("generated buffer").as_floats().to_vec()
+        interp
+            .buffer(name)
+            .expect("generated buffer")
+            .as_floats()
+            .to_vec()
     };
     Ok(match target {
         FormatId::Csr => AnyMatrix::Csr(CsrMatrix::from_parts(
@@ -421,7 +465,12 @@ pub fn execute(src: &AnyMatrix, target: FormatId) -> Result<AnyMatrix, ConvertEr
             let k = interp.int("K").expect("generated scalar K") as usize;
             let perm_full = interp.buffer("B_perm").expect("generated buffer").as_ints();
             let offsets: Vec<i64> = perm_full[..k].to_vec();
-            AnyMatrix::Dia(DiaMatrix::from_parts(rows, cols, offsets, floats(&interp, "B_vals"))?)
+            AnyMatrix::Dia(DiaMatrix::from_parts(
+                rows,
+                cols,
+                offsets,
+                floats(&interp, "B_vals"),
+            )?)
         }
         FormatId::Ell => {
             let k = interp.int("K").expect("generated scalar K") as usize;
@@ -445,7 +494,13 @@ pub fn execute(src: &AnyMatrix, target: FormatId) -> Result<AnyMatrix, ConvertEr
 /// pairs evaluated in Table 3.
 pub fn supported_pairs() -> Vec<(FormatId, FormatId)> {
     let sources = [FormatId::Coo, FormatId::Csr, FormatId::Csc];
-    let targets = [FormatId::Coo, FormatId::Csr, FormatId::Csc, FormatId::Dia, FormatId::Ell];
+    let targets = [
+        FormatId::Coo,
+        FormatId::Csr,
+        FormatId::Csc,
+        FormatId::Dia,
+        FormatId::Ell,
+    ];
     let mut out = Vec::new();
     for s in sources {
         for t in targets {

@@ -50,7 +50,10 @@ impl fmt::Display for FormatId {
             FormatId::Csc => write!(f, "CSC"),
             FormatId::Dia => write!(f, "DIA"),
             FormatId::Ell => write!(f, "ELL"),
-            FormatId::Bcsr { block_rows, block_cols } => {
+            FormatId::Bcsr {
+                block_rows,
+                block_cols,
+            } => {
                 write!(f, "BCSR{block_rows}x{block_cols}")
             }
             FormatId::Skyline => write!(f, "SKY"),
@@ -111,7 +114,10 @@ impl AnyMatrix {
             AnyMatrix::Ell(_) => FormatId::Ell,
             AnyMatrix::Bcsr(m) => {
                 let (block_rows, block_cols) = m.block_shape();
-                FormatId::Bcsr { block_rows, block_cols }
+                FormatId::Bcsr {
+                    block_rows,
+                    block_cols,
+                }
             }
             AnyMatrix::Skyline(_) => FormatId::Skyline,
             AnyMatrix::Jad(_) => FormatId::Jad,
@@ -172,9 +178,10 @@ pub fn convert(src: &AnyMatrix, target: FormatId) -> Result<AnyMatrix, ConvertEr
         FormatId::Csc => AnyMatrix::Csc(with_source!(src, m => engine::to_csc(m))),
         FormatId::Dia => AnyMatrix::Dia(with_source!(src, m => engine::to_dia(m))),
         FormatId::Ell => AnyMatrix::Ell(with_source!(src, m => engine::to_ell(m))),
-        FormatId::Bcsr { block_rows, block_cols } => {
-            AnyMatrix::Bcsr(with_source!(src, m => engine::to_bcsr(m, block_rows, block_cols)))
-        }
+        FormatId::Bcsr {
+            block_rows,
+            block_cols,
+        } => AnyMatrix::Bcsr(with_source!(src, m => engine::to_bcsr(m, block_rows, block_cols))),
         FormatId::Skyline => AnyMatrix::Skyline(with_source!(src, m => engine::to_skyline(m))?),
         FormatId::Jad => AnyMatrix::Jad(with_source!(src, m => engine::to_jad(m))),
         FormatId::Dok => AnyMatrix::Dok(with_source!(src, m => engine::to_dok(m))),
@@ -202,12 +209,23 @@ pub fn plan_for(src: &AnyMatrix, target: FormatId) -> Result<ConversionPlan, Con
     let target_spec = FormatSpec::stock(target);
     let rows_in_order = with_source!(src, m => m.rows_in_order());
     let counts_from_structure = matches!(src.format(), FormatId::Csr | FormatId::Skyline);
-    Ok(ConversionPlan::new(&source_spec, &target_spec, rows_in_order, counts_from_structure))
+    Ok(ConversionPlan::new(
+        &source_spec,
+        &target_spec,
+        rows_in_order,
+        counts_from_structure,
+    ))
 }
 
 /// All format identifiers evaluated in Section 7 (the benchmark set).
 pub fn evaluated_formats() -> Vec<FormatId> {
-    vec![FormatId::Coo, FormatId::Csr, FormatId::Csc, FormatId::Dia, FormatId::Ell]
+    vec![
+        FormatId::Coo,
+        FormatId::Csr,
+        FormatId::Csc,
+        FormatId::Dia,
+        FormatId::Ell,
+    ]
 }
 
 #[cfg(test)]
@@ -222,7 +240,10 @@ mod tests {
             FormatId::Csc,
             FormatId::Dia,
             FormatId::Ell,
-            FormatId::Bcsr { block_rows: 2, block_cols: 2 },
+            FormatId::Bcsr {
+                block_rows: 2,
+                block_cols: 2,
+            },
             FormatId::Jad,
             FormatId::Dok,
         ]
@@ -257,7 +278,14 @@ mod tests {
         assert_eq!(m.rows(), 4);
         assert_eq!(m.cols(), 6);
         assert_eq!(m.nnz(), 9);
-        assert_eq!(FormatId::Bcsr { block_rows: 2, block_cols: 3 }.to_string(), "BCSR2x3");
+        assert_eq!(
+            FormatId::Bcsr {
+                block_rows: 2,
+                block_cols: 3
+            }
+            .to_string(),
+            "BCSR2x3"
+        );
         assert_eq!(FormatId::Dia.to_string(), "DIA");
         assert_eq!(evaluated_formats().len(), 5);
     }
@@ -266,7 +294,10 @@ mod tests {
     fn skyline_target_requires_square_input() {
         let t = figure1_matrix();
         let m = AnyMatrix::from_triples(&t, FormatId::Coo).unwrap();
-        assert!(matches!(convert(&m, FormatId::Skyline), Err(ConvertError::Unsupported(_))));
+        assert!(matches!(
+            convert(&m, FormatId::Skyline),
+            Err(ConvertError::Unsupported(_))
+        ));
     }
 
     #[test]

@@ -164,14 +164,16 @@ pub fn to_ell<S: SourceMatrix>(src: &S) -> EllMatrix {
             vals[p] = v;
         });
     }
-    EllMatrix::from_parts(rows, src.cols(), k, crd, vals)
-        .expect("assembled ELL structure is valid")
+    EllMatrix::from_parts(rows, src.cols(), k, crd, vals).expect("assembled ELL structure is valid")
 }
 
 /// Converts any source to BCSR with the given block shape. The remapping
 /// `(i,j) -> (i/M, j/N, i%M, j%N)` is fused into both passes.
 pub fn to_bcsr<S: SourceMatrix>(src: &S, block_rows: usize, block_cols: usize) -> BcsrMatrix {
-    assert!(block_rows > 0 && block_cols > 0, "block sizes must be positive");
+    assert!(
+        block_rows > 0 && block_cols > 0,
+        "block sizes must be positive"
+    );
     let rows = src.rows();
     let cols = src.cols();
     let brows = rows.div_ceil(block_rows);
@@ -202,7 +204,10 @@ pub fn to_bcsr<S: SourceMatrix>(src: &S, block_rows: usize, block_cols: usize) -
     src.for_each(|i, j, v| {
         let bi = i / block_rows;
         let bj = j / block_cols;
-        let p = pos[bi] + blocks[bi].binary_search(&bj).expect("block registered in analysis");
+        let p = pos[bi]
+            + blocks[bi]
+                .binary_search(&bj)
+                .expect("block registered in analysis");
         vals[p * bsize + (i % block_rows) * block_cols + (j % block_cols)] = v;
     });
     BcsrMatrix::from_parts(rows, cols, block_rows, block_cols, pos, crd, vals)
@@ -242,7 +247,8 @@ pub fn to_skyline<S: SourceMatrix>(src: &S) -> Result<SkylineMatrix, ConvertErro
             vals[pos[i] + (j - first[i])] = v;
         }
     });
-    Ok(SkylineMatrix::from_parts(n, pos, first, vals).expect("assembled skyline structure is valid"))
+    Ok(SkylineMatrix::from_parts(n, pos, first, vals)
+        .expect("assembled skyline structure is valid"))
 }
 
 /// Converts any source to JAD (jagged diagonal storage). Shares the `#i`
@@ -313,9 +319,15 @@ mod tests {
         let reference = CsrMatrix::from_triples(&t);
         assert_eq!(to_csr(&CooMatrix::from_triples(&t)).pos(), reference.pos());
         assert_eq!(to_csr(&CooMatrix::from_triples(&t)).crd(), reference.crd());
-        assert!(to_csr(&CscMatrix::from_triples(&t)).to_triples().same_values(&t));
-        assert!(to_csr(&DiaMatrix::from_triples(&t)).to_triples().same_values(&t));
-        assert!(to_csr(&EllMatrix::from_triples(&t)).to_triples().same_values(&t));
+        assert!(to_csr(&CscMatrix::from_triples(&t))
+            .to_triples()
+            .same_values(&t));
+        assert!(to_csr(&DiaMatrix::from_triples(&t))
+            .to_triples()
+            .same_values(&t));
+        assert!(to_csr(&EllMatrix::from_triples(&t))
+            .to_triples()
+            .same_values(&t));
     }
 
     #[test]
@@ -342,17 +354,29 @@ mod tests {
         assert_eq!(from_csr.values(), reference.values());
         // CSC and COO sources reorder entries within a row but preserve the
         // matrix.
-        assert!(to_ell(&CscMatrix::from_triples(&t)).to_triples().same_values(&t));
-        assert!(to_ell(&CooMatrix::from_triples(&t)).to_triples().same_values(&t));
+        assert!(to_ell(&CscMatrix::from_triples(&t))
+            .to_triples()
+            .same_values(&t));
+        assert!(to_ell(&CooMatrix::from_triples(&t))
+            .to_triples()
+            .same_values(&t));
     }
 
     #[test]
     fn csc_and_coo_targets_preserve_values() {
         let t = example();
-        assert!(to_csc(&CsrMatrix::from_triples(&t)).to_triples().same_values(&t));
-        assert!(to_csc(&CooMatrix::from_triples(&t)).to_triples().same_values(&t));
-        assert!(to_coo(&CsrMatrix::from_triples(&t)).to_triples().same_values(&t));
-        assert!(to_dok(&CsrMatrix::from_triples(&t)).to_triples().same_values(&t));
+        assert!(to_csc(&CsrMatrix::from_triples(&t))
+            .to_triples()
+            .same_values(&t));
+        assert!(to_csc(&CooMatrix::from_triples(&t))
+            .to_triples()
+            .same_values(&t));
+        assert!(to_coo(&CsrMatrix::from_triples(&t))
+            .to_triples()
+            .same_values(&t));
+        assert!(to_dok(&CsrMatrix::from_triples(&t))
+            .to_triples()
+            .same_values(&t));
     }
 
     #[test]
@@ -373,12 +397,9 @@ mod tests {
         )
         .unwrap();
         let sky = to_skyline(&CsrMatrix::from_triples(&square)).unwrap();
-        let lower = SparseTriples::from_matrix_entries(
-            3,
-            3,
-            vec![(0, 0, 1.0), (1, 0, 2.0), (2, 2, 3.0)],
-        )
-        .unwrap();
+        let lower =
+            SparseTriples::from_matrix_entries(3, 3, vec![(0, 0, 1.0), (1, 0, 2.0), (2, 2, 3.0)])
+                .unwrap();
         assert!(sky.to_triples().same_values(&lower));
     }
 
@@ -388,7 +409,9 @@ mod tests {
         let mut coo = CooMatrix::from_triples(&t);
         let mut state = 5usize;
         coo.shuffle_with(|bound| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             state % bound
         });
         assert!(to_csr(&coo).to_triples().same_values(&t));

@@ -182,19 +182,29 @@ impl AnyLevel {
     /// Extracts the assembled data.
     pub fn into_output(self, bounds: DimBounds) -> LevelOutput {
         match self {
-            AnyLevel::Dense(_) => LevelOutput::Dense { extent: bounds.extent() },
+            AnyLevel::Dense(_) => LevelOutput::Dense {
+                extent: bounds.extent(),
+            },
             AnyLevel::Compressed(level) => {
                 let (pos, crd) = level.into_arrays();
                 LevelOutput::Compressed { pos, crd }
             }
-            AnyLevel::Singleton(level) => LevelOutput::Singleton { crd: level.into_crd() },
-            AnyLevel::Sliced(level) => LevelOutput::Sliced { slices: level.slice_count() },
-            AnyLevel::Squeezed(level) => LevelOutput::Squeezed { perm: level.into_perm() },
+            AnyLevel::Singleton(level) => LevelOutput::Singleton {
+                crd: level.into_crd(),
+            },
+            AnyLevel::Sliced(level) => LevelOutput::Sliced {
+                slices: level.slice_count(),
+            },
+            AnyLevel::Squeezed(level) => LevelOutput::Squeezed {
+                perm: level.into_perm(),
+            },
             AnyLevel::Banded(level) => {
                 let (pos, first) = level.into_arrays();
                 LevelOutput::Banded { pos, first }
             }
-            AnyLevel::Hashed(level) => LevelOutput::Hashed { coords: level.coords().to_vec() },
+            AnyLevel::Hashed(level) => LevelOutput::Hashed {
+                coords: level.coords().to_vec(),
+            },
         }
     }
 }
@@ -270,8 +280,9 @@ pub fn convert_with_spec(src: &AnyMatrix, spec: &FormatSpec) -> Result<CustomTen
             // Enumerate parent positions; this requires every ancestor level
             // to be full (dense-like) so that positions correspond to the
             // cartesian product of ancestor coordinates.
-            let ancestors_full =
-                spec.levels[..k].iter().all(|a| matches!(a, LevelKind::Dense | LevelKind::Sliced));
+            let ancestors_full = spec.levels[..k]
+                .iter()
+                .all(|a| matches!(a, LevelKind::Dense | LevelKind::Sliced));
             if k > 0 && !ancestors_full {
                 return Err(ConvertError::Unsupported(format!(
                     "level {k} ({}) needs edge insertion under a non-full ancestor",
@@ -339,7 +350,12 @@ pub fn convert_with_spec(src: &AnyMatrix, spec: &FormatSpec) -> Result<CustomTen
         .enumerate()
         .map(|(k, assembler)| assembler.into_output(bounds[k]))
         .collect();
-    Ok(CustomTensor { spec: spec.clone(), levels, vals, source_shape: (rows, cols) })
+    Ok(CustomTensor {
+        spec: spec.clone(),
+        levels,
+        vals,
+        source_shape: (rows, cols),
+    })
 }
 
 /// Enumerates the positions (and coordinate tuples) of a chain of full
@@ -443,7 +459,12 @@ mod tests {
             "BLOCK-HASH",
             coord_remap::stock::bcsr_with_blocks(2, 2),
             vec!["bi", "bj", "li", "lj"],
-            vec![LevelKind::Dense, LevelKind::Hashed, LevelKind::Dense, LevelKind::Dense],
+            vec![
+                LevelKind::Dense,
+                LevelKind::Hashed,
+                LevelKind::Dense,
+                LevelKind::Dense,
+            ],
         );
         let custom = convert_with_spec(&coo_src(), &spec).unwrap();
         match &custom.levels[1] {
@@ -458,7 +479,14 @@ mod tests {
         let lower = SparseTriples::from_matrix_entries(
             4,
             4,
-            vec![(0, 0, 1.0), (1, 1, 2.0), (2, 0, 3.0), (2, 2, 4.0), (3, 2, 5.0), (3, 3, 6.0)],
+            vec![
+                (0, 0, 1.0),
+                (1, 1, 2.0),
+                (2, 0, 3.0),
+                (2, 2, 4.0),
+                (3, 2, 5.0),
+                (3, 3, 6.0),
+            ],
         )
         .unwrap();
         let src = AnyMatrix::Csr(CsrMatrix::from_triples(&lower));

@@ -18,7 +18,7 @@
 //!   routines and C-like listings structurally comparable to Figure 6.
 //! * [`generic`] — a fully dynamic converter driven by [`FormatSpec`]s and
 //!   trait objects, used for user-defined custom formats.
-//! * [`convert`] — the public entry points ([`convert`](convert::convert),
+//! * [`convert`](mod@convert) — the public entry points ([`convert`](convert::convert),
 //!   [`AnyMatrix`], [`FormatId`]).
 //!
 //! # Quickstart
@@ -34,6 +34,8 @@
 //! assert!(dia.to_triples().same_values(&figure1_matrix()));
 //! # Ok::<(), sparse_conv::ConvertError>(())
 //! ```
+
+#![warn(missing_docs)]
 
 pub mod codegen;
 pub mod convert;

@@ -105,8 +105,11 @@ impl ConversionPlan {
         } else {
             EdgeInsertionMode::Unsequenced
         };
-        let queries: Vec<String> =
-            target.required_queries().iter().map(|q| q.to_string()).collect();
+        let queries: Vec<String> = target
+            .required_queries()
+            .iter()
+            .map(|q| q.to_string())
+            .collect();
         let queries_from_structure = source_counts_from_structure
             && !target.is_structured()
             && queries.iter().all(|q| q.contains("count("));
@@ -115,7 +118,11 @@ impl ConversionPlan {
         let single_pass_assembly = !needs_edges;
         // Passes over the input: analysis (unless answered from structure)
         // plus one assembly pass.
-        let analysis_passes = if queries.is_empty() || queries_from_structure { 0 } else { 1 };
+        let analysis_passes = if queries.is_empty() || queries_from_structure {
+            0
+        } else {
+            1
+        };
         ConversionPlan {
             source: source.name.clone(),
             target: target.name.clone(),
@@ -133,7 +140,15 @@ impl ConversionPlan {
 impl fmt::Display for ConversionPlan {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "conversion plan: {} -> {}", self.source, self.target)?;
-        writeln!(f, "  coordinate remapping: {}", if self.fuse_remapping { "fused (recomputed per pass)" } else { "materialised" })?;
+        writeln!(
+            f,
+            "  coordinate remapping: {}",
+            if self.fuse_remapping {
+                "fused (recomputed per pass)"
+            } else {
+                "materialised"
+            }
+        )?;
         writeln!(f, "  counters: {:?}", self.counters)?;
         writeln!(f, "  edge insertion: {:?}", self.edge_insertion)?;
         if self.queries.is_empty() {
@@ -143,10 +158,22 @@ impl fmt::Display for ConversionPlan {
                 f,
                 "  analysis: {} ({})",
                 self.queries.join("; "),
-                if self.queries_from_structure { "from structure" } else { "one pass over nonzeros" }
+                if self.queries_from_structure {
+                    "from structure"
+                } else {
+                    "one pass over nonzeros"
+                }
             )?;
         }
-        writeln!(f, "  assembly: {}", if self.single_pass_assembly { "single pass" } else { "edge insertion + coordinate insertion" })?;
+        writeln!(
+            f,
+            "  assembly: {}",
+            if self.single_pass_assembly {
+                "single pass"
+            } else {
+                "edge insertion + coordinate insertion"
+            }
+        )?;
         write!(f, "  passes over input nonzeros: {}", self.input_passes)
     }
 }
@@ -156,7 +183,12 @@ mod tests {
     use super::*;
     use crate::convert::FormatId;
 
-    fn plan(src: FormatId, dst: FormatId, in_order: bool, structural_counts: bool) -> ConversionPlan {
+    fn plan(
+        src: FormatId,
+        dst: FormatId,
+        in_order: bool,
+        structural_counts: bool,
+    ) -> ConversionPlan {
         ConversionPlan::new(
             &FormatSpec::stock(src),
             &FormatSpec::stock(dst),

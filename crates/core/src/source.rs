@@ -362,10 +362,16 @@ mod tests {
         let t = figure1_matrix();
         let csr = CsrMatrix::from_triples(&t);
         let coo = CooMatrix::from_triples(&t);
-        assert_eq!(SourceMatrix::row_counts(&csr), SourceMatrix::row_counts(&coo));
+        assert_eq!(
+            SourceMatrix::row_counts(&csr),
+            SourceMatrix::row_counts(&coo)
+        );
         assert_eq!(SourceMatrix::row_counts(&csr), vec![2, 2, 2, 3]);
         let csc = CscMatrix::from_triples(&t);
-        assert_eq!(SourceMatrix::col_counts(&csc), SourceMatrix::col_counts(&coo));
+        assert_eq!(
+            SourceMatrix::col_counts(&csc),
+            SourceMatrix::col_counts(&coo)
+        );
     }
 
     #[test]
@@ -374,18 +380,19 @@ mod tests {
         assert!(SourceMatrix::rows_in_order(&CsrMatrix::from_triples(&t)));
         assert!(!SourceMatrix::rows_in_order(&CooMatrix::from_triples(&t)));
         assert!(!SourceMatrix::rows_in_order(&CscMatrix::from_triples(&t)));
-        assert!(SourceMatrix::stores_only_nonzeros(&CsrMatrix::from_triples(&t)));
-        assert!(!SourceMatrix::stores_only_nonzeros(&DiaMatrix::from_triples(&t)));
+        assert!(SourceMatrix::stores_only_nonzeros(
+            &CsrMatrix::from_triples(&t)
+        ));
+        assert!(!SourceMatrix::stores_only_nonzeros(
+            &DiaMatrix::from_triples(&t)
+        ));
     }
 
     #[test]
     fn skyline_source_iterates_lower_triangle() {
-        let lower = SparseTriples::from_matrix_entries(
-            3,
-            3,
-            vec![(0, 0, 1.0), (2, 0, 2.0), (2, 2, 3.0)],
-        )
-        .unwrap();
+        let lower =
+            SparseTriples::from_matrix_entries(3, 3, vec![(0, 0, 1.0), (2, 0, 2.0), (2, 2, 3.0)])
+                .unwrap();
         let sky = SkylineMatrix::from_triples(&lower);
         assert!(collect(&sky).same_values(&lower));
         assert_eq!(SourceMatrix::nnz(&sky), 3);

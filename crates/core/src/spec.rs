@@ -40,8 +40,16 @@ impl FormatSpec {
         dim_names: Vec<&str>,
         levels: Vec<LevelKind>,
     ) -> Self {
-        assert_eq!(dim_names.len(), remapping.dest_order(), "one name per remapped dimension");
-        assert_eq!(levels.len(), remapping.dest_order(), "one level per remapped dimension");
+        assert_eq!(
+            dim_names.len(),
+            remapping.dest_order(),
+            "one name per remapped dimension"
+        );
+        assert_eq!(
+            levels.len(),
+            remapping.dest_order(),
+            "one level per remapped dimension"
+        );
         FormatSpec {
             name: name.to_string(),
             remapping,
@@ -116,7 +124,10 @@ impl FormatSpec {
                 vec!["k", "i", "j"],
                 vec![LevelKind::Sliced, LevelKind::Dense, LevelKind::Singleton],
             ),
-            FormatId::Bcsr { block_rows, block_cols } => FormatSpec::new(
+            FormatId::Bcsr {
+                block_rows,
+                block_cols,
+            } => FormatSpec::new(
                 "BCSR",
                 stock::bcsr_with_blocks(block_rows, block_cols),
                 vec!["bi", "bj", "li", "lj"],
@@ -137,7 +148,11 @@ impl FormatSpec {
                 "JAD",
                 stock::jad(),
                 vec!["k", "i", "j"],
-                vec![LevelKind::Sliced, LevelKind::Compressed, LevelKind::Singleton],
+                vec![
+                    LevelKind::Sliced,
+                    LevelKind::Compressed,
+                    LevelKind::Singleton,
+                ],
             ),
             FormatId::Dok => panic!("DOK is supported only as a conversion source"),
         }
@@ -156,12 +171,20 @@ mod tests {
             FormatId::Csc,
             FormatId::Dia,
             FormatId::Ell,
-            FormatId::Bcsr { block_rows: 2, block_cols: 2 },
+            FormatId::Bcsr {
+                block_rows: 2,
+                block_cols: 2,
+            },
             FormatId::Skyline,
             FormatId::Jad,
         ] {
             let spec = FormatSpec::stock(id);
-            assert_eq!(spec.levels.len(), spec.remapping.dest_order(), "{}", spec.name);
+            assert_eq!(
+                spec.levels.len(),
+                spec.remapping.dest_order(),
+                "{}",
+                spec.name
+            );
             assert_eq!(spec.dim_names.len(), spec.levels.len());
         }
     }

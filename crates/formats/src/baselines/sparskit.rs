@@ -290,7 +290,9 @@ mod tests {
         let mut coo = CooMatrix::from_triples(&t);
         let mut state = 7usize;
         coo.shuffle_with(|bound| {
-            state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            state = state
+                .wrapping_mul(2862933555777941757)
+                .wrapping_add(3037000493);
             state % bound
         });
         assert!(coo_to_csr(&coo).to_triples().same_values(&t));

@@ -28,7 +28,10 @@ impl BcsrMatrix {
     /// Panics if the tensor is not order 2 or either block size is zero.
     pub fn from_triples(t: &SparseTriples, block_rows: usize, block_cols: usize) -> Self {
         assert_eq!(t.order(), 2, "BCSR matrices are order-2 tensors");
-        assert!(block_rows > 0 && block_cols > 0, "block sizes must be positive");
+        assert!(
+            block_rows > 0 && block_cols > 0,
+            "block sizes must be positive"
+        );
         let rows = t.shape().rows();
         let cols = t.shape().cols();
         let brows = rows.div_ceil(block_rows);
@@ -63,11 +66,21 @@ impl BcsrMatrix {
             let (i, j) = (tr.coord[0] as usize, tr.coord[1] as usize);
             let (bi, bj) = (i / block_rows, j / block_cols);
             let p = pos[bi]
-                + block_sets[bi].binary_search(&bj).expect("block was registered above");
+                + block_sets[bi]
+                    .binary_search(&bj)
+                    .expect("block was registered above");
             let (li, lj) = (i % block_rows, j % block_cols);
             vals[p * bsize + li * block_cols + lj] = tr.value;
         }
-        BcsrMatrix { rows, cols, block_rows, block_cols, pos, crd, vals }
+        BcsrMatrix {
+            rows,
+            cols,
+            block_rows,
+            block_cols,
+            pos,
+            crd,
+            vals,
+        }
     }
 
     /// Creates a BCSR matrix from raw arrays.
@@ -89,18 +102,34 @@ impl BcsrMatrix {
         let brows = rows.div_ceil(block_rows.max(1));
         let bcols = cols.div_ceil(block_cols.max(1));
         if block_rows == 0 || block_cols == 0 {
-            return Err(TensorError::InvalidStructure("block sizes must be positive".into()));
+            return Err(TensorError::InvalidStructure(
+                "block sizes must be positive".into(),
+            ));
         }
         if pos.len() != brows + 1 || pos[0] != 0 || *pos.last().expect("nonempty") != crd.len() {
-            return Err(TensorError::InvalidStructure("invalid BCSR pos array".into()));
+            return Err(TensorError::InvalidStructure(
+                "invalid BCSR pos array".into(),
+            ));
         }
         if crd.iter().any(|&bj| bj >= bcols) {
-            return Err(TensorError::InvalidStructure("BCSR block column out of bounds".into()));
+            return Err(TensorError::InvalidStructure(
+                "BCSR block column out of bounds".into(),
+            ));
         }
         if vals.len() != crd.len() * block_rows * block_cols {
-            return Err(TensorError::InvalidStructure("BCSR vals length mismatch".into()));
+            return Err(TensorError::InvalidStructure(
+                "BCSR vals length mismatch".into(),
+            ));
         }
-        Ok(BcsrMatrix { rows, cols, block_rows, block_cols, pos, crd, vals })
+        Ok(BcsrMatrix {
+            rows,
+            cols,
+            block_rows,
+            block_cols,
+            pos,
+            crd,
+            vals,
+        })
     }
 
     /// Converts back to canonical triples, skipping zero fill.

@@ -21,7 +21,13 @@ pub struct CooMatrix {
 impl CooMatrix {
     /// Creates an empty COO matrix.
     pub fn new(rows: usize, cols: usize) -> Self {
-        CooMatrix { rows, cols, row: Vec::new(), col: Vec::new(), vals: Vec::new() }
+        CooMatrix {
+            rows,
+            cols,
+            row: Vec::new(),
+            col: Vec::new(),
+            vals: Vec::new(),
+        }
     }
 
     /// Creates a COO matrix from parallel arrays.
@@ -52,7 +58,13 @@ impl CooMatrix {
                 )));
             }
         }
-        Ok(CooMatrix { rows, cols, row, col, vals })
+        Ok(CooMatrix {
+            rows,
+            cols,
+            row,
+            col,
+            vals,
+        })
     }
 
     /// Builds a COO matrix from canonical triples, preserving their order.
@@ -64,19 +76,19 @@ impl CooMatrix {
         assert_eq!(t.order(), 2, "COO matrices are order-2 tensors");
         let mut m = CooMatrix::new(t.shape().rows(), t.shape().cols());
         for triple in t.iter() {
-            m.push(triple.coord[0] as usize, triple.coord[1] as usize, triple.value);
+            m.push(
+                triple.coord[0] as usize,
+                triple.coord[1] as usize,
+                triple.value,
+            );
         }
         m
     }
 
     /// Converts back to canonical triples, preserving stored order.
     pub fn to_triples(&self) -> SparseTriples {
-        SparseTriples::from_matrix_entries(
-            self.rows,
-            self.cols,
-            self.iter().collect::<Vec<_>>(),
-        )
-        .expect("stored coordinates are in bounds")
+        SparseTriples::from_matrix_entries(self.rows, self.cols, self.iter().collect::<Vec<_>>())
+            .expect("stored coordinates are in bounds")
     }
 
     /// Appends a nonzero.
@@ -85,7 +97,10 @@ impl CooMatrix {
     ///
     /// Panics if the coordinate is out of bounds.
     pub fn push(&mut self, i: usize, j: usize, v: Value) {
-        assert!(i < self.rows && j < self.cols, "coordinate ({i},{j}) out of bounds");
+        assert!(
+            i < self.rows && j < self.cols,
+            "coordinate ({i},{j}) out of bounds"
+        );
         self.row.push(i);
         self.col.push(j);
         self.vals.push(v);

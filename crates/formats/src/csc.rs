@@ -42,7 +42,9 @@ impl CscMatrix {
             ));
         }
         if pos.windows(2).any(|w| w[0] > w[1]) {
-            return Err(TensorError::InvalidStructure("CSC pos must be monotone".to_string()));
+            return Err(TensorError::InvalidStructure(
+                "CSC pos must be monotone".to_string(),
+            ));
         }
         if crd.len() != vals.len() {
             return Err(TensorError::InvalidStructure(
@@ -50,9 +52,17 @@ impl CscMatrix {
             ));
         }
         if crd.iter().any(|&i| i >= rows) {
-            return Err(TensorError::InvalidStructure("CSC row index out of bounds".to_string()));
+            return Err(TensorError::InvalidStructure(
+                "CSC row index out of bounds".to_string(),
+            ));
         }
-        Ok(CscMatrix { rows, cols, pos, crd, vals })
+        Ok(CscMatrix {
+            rows,
+            cols,
+            pos,
+            crd,
+            vals,
+        })
     }
 
     /// Builds a CSC matrix from canonical triples (reference construction).
@@ -82,7 +92,13 @@ impl CscMatrix {
             crd[p] = triple.coord[0] as usize;
             vals[p] = triple.value;
         }
-        CscMatrix { rows, cols, pos, crd, vals }
+        CscMatrix {
+            rows,
+            cols,
+            pos,
+            crd,
+            vals,
+        }
     }
 
     /// Converts back to canonical triples in stored (column-grouped) order.

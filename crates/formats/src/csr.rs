@@ -46,7 +46,9 @@ impl CsrMatrix {
             ));
         }
         if pos.windows(2).any(|w| w[0] > w[1]) {
-            return Err(TensorError::InvalidStructure("CSR pos must be monotone".to_string()));
+            return Err(TensorError::InvalidStructure(
+                "CSR pos must be monotone".to_string(),
+            ));
         }
         if crd.len() != vals.len() {
             return Err(TensorError::InvalidStructure(
@@ -58,7 +60,13 @@ impl CsrMatrix {
                 "CSR column index out of bounds".to_string(),
             ));
         }
-        Ok(CsrMatrix { rows, cols, pos, crd, vals })
+        Ok(CsrMatrix {
+            rows,
+            cols,
+            pos,
+            crd,
+            vals,
+        })
     }
 
     /// Builds a CSR matrix from canonical triples (reference construction via
@@ -89,7 +97,13 @@ impl CsrMatrix {
             crd[p] = triple.coord[1] as usize;
             vals[p] = triple.value;
         }
-        CsrMatrix { rows, cols, pos, crd, vals }
+        CsrMatrix {
+            rows,
+            cols,
+            pos,
+            crd,
+            vals,
+        }
     }
 
     /// Converts back to canonical triples in stored (row-grouped) order.
@@ -159,9 +173,8 @@ impl CsrMatrix {
 
     /// True when the columns within every row are sorted ascending.
     pub fn has_sorted_rows(&self) -> bool {
-        (0..self.rows).all(|i| {
-            (self.pos[i] + 1..self.pos[i + 1]).all(|p| self.crd[p - 1] <= self.crd[p])
-        })
+        (0..self.rows)
+            .all(|i| (self.pos[i] + 1..self.pos[i + 1]).all(|p| self.crd[p - 1] <= self.crd[p]))
     }
 }
 

@@ -44,10 +44,17 @@ impl DiaMatrix {
                 )));
             }
             if offsets[..n].contains(&k) {
-                return Err(TensorError::InvalidStructure(format!("duplicate DIA offset {k}")));
+                return Err(TensorError::InvalidStructure(format!(
+                    "duplicate DIA offset {k}"
+                )));
             }
         }
-        Ok(DiaMatrix { rows, cols, offsets, vals })
+        Ok(DiaMatrix {
+            rows,
+            cols,
+            offsets,
+            vals,
+        })
     }
 
     /// Builds a DIA matrix from canonical triples (reference construction:
@@ -69,7 +76,12 @@ impl DiaMatrix {
             let d = offsets.binary_search(&k).expect("offset present");
             vals[d * rows + tr.coord[0] as usize] = tr.value;
         }
-        DiaMatrix { rows, cols, offsets, vals }
+        DiaMatrix {
+            rows,
+            cols,
+            offsets,
+            vals,
+        }
     }
 
     /// Converts back to canonical triples, skipping padding zeros.
@@ -127,7 +139,10 @@ impl DiaMatrix {
     ///
     /// Panics if the coordinate is out of bounds.
     pub fn get(&self, i: usize, j: usize) -> Value {
-        assert!(i < self.rows && j < self.cols, "coordinate ({i},{j}) out of bounds");
+        assert!(
+            i < self.rows && j < self.cols,
+            "coordinate ({i},{j}) out of bounds"
+        );
         let k = j as i64 - i as i64;
         match self.offsets.iter().position(|&o| o == k) {
             Some(d) => self.vals[d * self.rows + i],

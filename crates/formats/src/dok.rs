@@ -16,7 +16,11 @@ pub struct DokMatrix {
 impl DokMatrix {
     /// Creates an empty DOK matrix.
     pub fn new(rows: usize, cols: usize) -> Self {
-        DokMatrix { rows, cols, entries: HashMap::new() }
+        DokMatrix {
+            rows,
+            cols,
+            entries: HashMap::new(),
+        }
     }
 
     /// Builds a DOK matrix from canonical triples, summing duplicates.
@@ -49,7 +53,10 @@ impl DokMatrix {
     ///
     /// Panics if the coordinate is out of bounds.
     pub fn insert(&mut self, i: usize, j: usize, v: Value) {
-        assert!(i < self.rows && j < self.cols, "coordinate ({i},{j}) out of bounds");
+        assert!(
+            i < self.rows && j < self.cols,
+            "coordinate ({i},{j}) out of bounds"
+        );
         *self.entries.entry((i, j)).or_insert(0.0) += v;
     }
 

@@ -46,7 +46,13 @@ impl EllMatrix {
                 "ELL column index out of bounds".to_string(),
             ));
         }
-        Ok(EllMatrix { rows, cols, slices, crd, vals })
+        Ok(EllMatrix {
+            rows,
+            cols,
+            slices,
+            crd,
+            vals,
+        })
     }
 
     /// Builds an ELL matrix from canonical triples (reference construction).
@@ -73,7 +79,13 @@ impl EllMatrix {
             crd[k * rows + i] = tr.coord[1] as usize;
             vals[k * rows + i] = tr.value;
         }
-        EllMatrix { rows, cols, slices, crd, vals }
+        EllMatrix {
+            rows,
+            cols,
+            slices,
+            crd,
+            vals,
+        }
     }
 
     /// Converts back to canonical triples, skipping padding entries

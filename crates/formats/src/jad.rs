@@ -53,7 +53,14 @@ impl JadMatrix {
             }
             jd_pos[k + 1] = crd.len();
         }
-        JadMatrix { rows, cols, perm, jd_pos, crd, vals }
+        JadMatrix {
+            rows,
+            cols,
+            perm,
+            jd_pos,
+            crd,
+            vals,
+        }
     }
 
     /// Creates a JAD matrix from raw arrays.
@@ -70,18 +77,33 @@ impl JadMatrix {
         vals: Vec<Value>,
     ) -> Result<Self, TensorError> {
         if perm.len() != rows {
-            return Err(TensorError::InvalidStructure("JAD perm length mismatch".into()));
+            return Err(TensorError::InvalidStructure(
+                "JAD perm length mismatch".into(),
+            ));
         }
         if jd_pos.first() != Some(&0) || jd_pos.last() != Some(&crd.len()) {
-            return Err(TensorError::InvalidStructure("invalid JAD jd_pos array".into()));
+            return Err(TensorError::InvalidStructure(
+                "invalid JAD jd_pos array".into(),
+            ));
         }
         if crd.len() != vals.len() {
-            return Err(TensorError::InvalidStructure("JAD crd/vals length mismatch".into()));
+            return Err(TensorError::InvalidStructure(
+                "JAD crd/vals length mismatch".into(),
+            ));
         }
         if crd.iter().any(|&j| j >= cols) {
-            return Err(TensorError::InvalidStructure("JAD column out of bounds".into()));
+            return Err(TensorError::InvalidStructure(
+                "JAD column out of bounds".into(),
+            ));
         }
-        Ok(JadMatrix { rows, cols, perm, jd_pos, crd, vals })
+        Ok(JadMatrix {
+            rows,
+            cols,
+            perm,
+            jd_pos,
+            crd,
+            vals,
+        })
     }
 
     /// Converts back to canonical triples.

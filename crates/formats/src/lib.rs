@@ -18,6 +18,8 @@
 //! to and from `SparseTriples` (modulo explicit zeros for padded formats such
 //! as DIA and ELL).
 
+#![warn(missing_docs)]
+
 pub mod baselines;
 pub mod bcsr;
 pub mod coo;

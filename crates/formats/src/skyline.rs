@@ -49,7 +49,12 @@ impl SkylineMatrix {
                 vals[pos[i] + (j - first[i])] = tr.value;
             }
         }
-        SkylineMatrix { n, pos, first, vals }
+        SkylineMatrix {
+            n,
+            pos,
+            first,
+            vals,
+        }
     }
 
     /// Creates a skyline matrix from raw arrays.
@@ -64,7 +69,9 @@ impl SkylineMatrix {
         vals: Vec<Value>,
     ) -> Result<Self, TensorError> {
         if pos.len() != n + 1 || first.len() != n {
-            return Err(TensorError::InvalidStructure("invalid skyline array lengths".into()));
+            return Err(TensorError::InvalidStructure(
+                "invalid skyline array lengths".into(),
+            ));
         }
         for i in 0..n {
             if first[i] > i {
@@ -80,9 +87,16 @@ impl SkylineMatrix {
             }
         }
         if vals.len() != pos[n] {
-            return Err(TensorError::InvalidStructure("skyline vals length mismatch".into()));
+            return Err(TensorError::InvalidStructure(
+                "skyline vals length mismatch".into(),
+            ));
         }
-        Ok(SkylineMatrix { n, pos, first, vals })
+        Ok(SkylineMatrix {
+            n,
+            pos,
+            first,
+            vals,
+        })
     }
 
     /// Converts back to canonical triples (lower triangle only, skipping
@@ -135,7 +149,14 @@ mod tests {
         SparseTriples::from_matrix_entries(
             4,
             4,
-            vec![(0, 0, 1.0), (1, 1, 2.0), (2, 0, 3.0), (2, 2, 4.0), (3, 2, 5.0), (3, 3, 6.0)],
+            vec![
+                (0, 0, 1.0),
+                (1, 1, 2.0),
+                (2, 0, 3.0),
+                (2, 2, 4.0),
+                (3, 2, 5.0),
+                (3, 3, 6.0),
+            ],
         )
         .unwrap()
     }

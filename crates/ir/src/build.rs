@@ -20,7 +20,10 @@ pub fn var(name: &str) -> Expr {
 
 /// Buffer load `buffer[index]`.
 pub fn load(buffer: &str, index: Expr) -> Expr {
-    Expr::Load { buffer: buffer.to_string(), index: Box::new(index) }
+    Expr::Load {
+        buffer: buffer.to_string(),
+        index: Box::new(index),
+    }
 }
 
 /// `lhs + rhs`
@@ -90,57 +93,102 @@ pub fn ne(lhs: Expr, rhs: Expr) -> Expr {
 
 /// Declares a scalar with an initial value.
 pub fn decl(name: &str, init: Expr) -> Stmt {
-    Stmt::DeclScalar { name: name.to_string(), init }
+    Stmt::DeclScalar {
+        name: name.to_string(),
+        init,
+    }
 }
 
 /// Assigns to a scalar.
 pub fn assign(name: &str, value: Expr) -> Stmt {
-    Stmt::Assign { name: name.to_string(), value }
+    Stmt::Assign {
+        name: name.to_string(),
+        value,
+    }
 }
 
 /// Allocates an integer buffer.
 pub fn alloc_int(name: &str, size: Expr, zero_init: bool) -> Stmt {
-    Stmt::Alloc { name: name.to_string(), kind: BufferKind::Int, size, zero_init }
+    Stmt::Alloc {
+        name: name.to_string(),
+        kind: BufferKind::Int,
+        size,
+        zero_init,
+    }
 }
 
 /// Allocates a floating-point buffer.
 pub fn alloc_float(name: &str, size: Expr, zero_init: bool) -> Stmt {
-    Stmt::Alloc { name: name.to_string(), kind: BufferKind::Float, size, zero_init }
+    Stmt::Alloc {
+        name: name.to_string(),
+        kind: BufferKind::Float,
+        size,
+        zero_init,
+    }
 }
 
 /// `buffer[index] = value;`
 pub fn store(buffer: &str, index: Expr, value: Expr) -> Stmt {
-    Stmt::Store { buffer: buffer.to_string(), index, value }
+    Stmt::Store {
+        buffer: buffer.to_string(),
+        index,
+        value,
+    }
 }
 
 /// `buffer[index] += value;`
 pub fn store_add(buffer: &str, index: Expr, value: Expr) -> Stmt {
-    Stmt::StoreAdd { buffer: buffer.to_string(), index, value }
+    Stmt::StoreAdd {
+        buffer: buffer.to_string(),
+        index,
+        value,
+    }
 }
 
 /// `buffer[index] = max(buffer[index], value);`
 pub fn store_max(buffer: &str, index: Expr, value: Expr) -> Stmt {
-    Stmt::StoreMax { buffer: buffer.to_string(), index, value }
+    Stmt::StoreMax {
+        buffer: buffer.to_string(),
+        index,
+        value,
+    }
 }
 
 /// `buffer[index] |= value;`
 pub fn store_or(buffer: &str, index: Expr, value: Expr) -> Stmt {
-    Stmt::StoreOr { buffer: buffer.to_string(), index, value }
+    Stmt::StoreOr {
+        buffer: buffer.to_string(),
+        index,
+        value,
+    }
 }
 
 /// `for (var = lo; var < hi; var++) body`
 pub fn for_(var: &str, lo: Expr, hi: Expr, body: Vec<Stmt>) -> Stmt {
-    Stmt::For { var: var.to_string(), lo, hi, body }
+    Stmt::For {
+        var: var.to_string(),
+        lo,
+        hi,
+        body,
+    }
 }
 
 /// `if (cond) then`
 pub fn if_(cond: Expr, then: Vec<Stmt>) -> Stmt {
-    Stmt::If { cond, then, otherwise: vec![] }
+    Stmt::If {
+        cond,
+        then,
+        otherwise: vec![],
+    }
 }
 
 /// `if (cond) then else otherwise`
 pub fn if_else(cond: Expr, then: Vec<Stmt>, otherwise: Vec<Stmt>) -> Stmt {
-    Stmt::If { cond, then, otherwise }
+    Stmt::If {
+        cond,
+        then,
+        otherwise,
+    }
 }
 
 /// A comment line.
@@ -154,14 +202,26 @@ mod tests {
 
     #[test]
     fn builders_produce_expected_nodes() {
-        assert_eq!(add(int(1), int(2)), Expr::binary(IrBinOp::Add, Expr::Int(1), Expr::Int(2)));
-        assert_eq!(lt(var("i"), var("n")), Expr::cmp(CmpOp::Lt, Expr::Var("i".into()), Expr::Var("n".into())));
+        assert_eq!(
+            add(int(1), int(2)),
+            Expr::binary(IrBinOp::Add, Expr::Int(1), Expr::Int(2))
+        );
+        assert_eq!(
+            lt(var("i"), var("n")),
+            Expr::cmp(CmpOp::Lt, Expr::Var("i".into()), Expr::Var("n".into()))
+        );
         match alloc_float("vals", int(8), true) {
-            Stmt::Alloc { kind: BufferKind::Float, zero_init: true, .. } => {}
+            Stmt::Alloc {
+                kind: BufferKind::Float,
+                zero_init: true,
+                ..
+            } => {}
             other => panic!("unexpected {other:?}"),
         }
         match for_("i", int(0), int(3), vec![comment("x")]) {
-            Stmt::For { ref var, ref body, .. } => {
+            Stmt::For {
+                ref var, ref body, ..
+            } => {
                 assert_eq!(var, "i");
                 assert_eq!(body.len(), 1);
             }

@@ -186,7 +186,11 @@ impl Expr {
                 r.collect_buffers(out);
             }
             Expr::Not(e) => e.collect_buffers(out),
-            Expr::Select { cond, then, otherwise } => {
+            Expr::Select {
+                cond,
+                then,
+                otherwise,
+            } => {
                 cond.collect_buffers(out);
                 then.collect_buffers(out);
                 otherwise.collect_buffers(out);
@@ -215,10 +219,17 @@ mod tests {
     fn buffers_read_collects_unique_names() {
         let e = Expr::binary(
             IrBinOp::Add,
-            Expr::Load { buffer: "pos".into(), index: Box::new(Expr::Var("i".into())) },
             Expr::Load {
                 buffer: "pos".into(),
-                index: Box::new(Expr::binary(IrBinOp::Add, Expr::Var("i".into()), Expr::Int(1))),
+                index: Box::new(Expr::Var("i".into())),
+            },
+            Expr::Load {
+                buffer: "pos".into(),
+                index: Box::new(Expr::binary(
+                    IrBinOp::Add,
+                    Expr::Var("i".into()),
+                    Expr::Int(1),
+                )),
             },
         );
         assert_eq!(e.buffers_read(), vec!["pos".to_string()]);

@@ -30,7 +30,9 @@ impl Scalar {
     pub fn as_int(self) -> Result<i64, InterpError> {
         match self {
             Scalar::Int(v) => Ok(v),
-            Scalar::Float(v) => Err(InterpError::TypeError(format!("expected int, got float {v}"))),
+            Scalar::Float(v) => Err(InterpError::TypeError(format!(
+                "expected int, got float {v}"
+            ))),
         }
     }
 
@@ -153,7 +155,10 @@ impl fmt::Display for InterpError {
             InterpError::UndefinedVariable(name) => write!(f, "undefined variable `{name}`"),
             InterpError::UndefinedBuffer(name) => write!(f, "undefined buffer `{name}`"),
             InterpError::OutOfBounds { buffer, index, len } => {
-                write!(f, "index {index} out of bounds for buffer `{buffer}` of length {len}")
+                write!(
+                    f,
+                    "index {index} out of bounds for buffer `{buffer}` of length {len}"
+                )
             }
             InterpError::TypeError(msg) => write!(f, "type error: {msg}"),
             InterpError::DivisionByZero => write!(f, "division by zero"),
@@ -177,7 +182,11 @@ pub struct Interpreter {
 impl Interpreter {
     /// Creates an interpreter with an empty environment.
     pub fn new() -> Self {
-        Interpreter { buffers: HashMap::new(), scalars: HashMap::new(), while_budget: 1 << 32 }
+        Interpreter {
+            buffers: HashMap::new(),
+            scalars: HashMap::new(),
+            while_budget: 1 << 32,
+        }
     }
 
     /// Inserts (or replaces) a named buffer.
@@ -226,7 +235,12 @@ impl Interpreter {
                 self.scalars.insert(name.clone(), v);
                 Ok(())
             }
-            Stmt::Alloc { name, kind, size, zero_init: _ } => {
+            Stmt::Alloc {
+                name,
+                kind,
+                size,
+                zero_init: _,
+            } => {
                 let size = self.eval(size)?.as_int()?;
                 if size < 0 {
                     return Err(InterpError::NegativeAllocation(size));
@@ -238,12 +252,20 @@ impl Interpreter {
                 self.buffers.insert(name.clone(), buffer);
                 Ok(())
             }
-            Stmt::Store { buffer, index, value } => {
+            Stmt::Store {
+                buffer,
+                index,
+                value,
+            } => {
                 let idx = self.eval(index)?.as_int()?;
                 let val = self.eval(value)?;
                 self.buffer_mut(buffer)?.set(idx, val, buffer)
             }
-            Stmt::StoreAdd { buffer, index, value } => {
+            Stmt::StoreAdd {
+                buffer,
+                index,
+                value,
+            } => {
                 let idx = self.eval(index)?.as_int()?;
                 let add = self.eval(value)?;
                 let current = self.buffer_ref(buffer)?.get(idx, buffer)?;
@@ -253,7 +275,11 @@ impl Interpreter {
                 };
                 self.buffer_mut(buffer)?.set(idx, next, buffer)
             }
-            Stmt::StoreMax { buffer, index, value } => {
+            Stmt::StoreMax {
+                buffer,
+                index,
+                value,
+            } => {
                 let idx = self.eval(index)?.as_int()?;
                 let candidate = self.eval(value)?;
                 let current = self.buffer_ref(buffer)?.get(idx, buffer)?;
@@ -263,11 +289,16 @@ impl Interpreter {
                 };
                 self.buffer_mut(buffer)?.set(idx, next, buffer)
             }
-            Stmt::StoreOr { buffer, index, value } => {
+            Stmt::StoreOr {
+                buffer,
+                index,
+                value,
+            } => {
                 let idx = self.eval(index)?.as_int()?;
                 let bit = self.eval(value)?.as_int()?;
                 let current = self.buffer_ref(buffer)?.get(idx, buffer)?.as_int()?;
-                self.buffer_mut(buffer)?.set(idx, Scalar::Int(current | bit), buffer)
+                self.buffer_mut(buffer)?
+                    .set(idx, Scalar::Int(current | bit), buffer)
             }
             Stmt::For { var, lo, hi, body } => {
                 let lo = self.eval(lo)?.as_int()?;
@@ -289,7 +320,11 @@ impl Interpreter {
                 }
                 Ok(())
             }
-            Stmt::If { cond, then, otherwise } => {
+            Stmt::If {
+                cond,
+                then,
+                otherwise,
+            } => {
                 if self.eval(cond)?.as_int()? != 0 {
                     self.exec_block(then)
                 } else {
@@ -301,11 +336,15 @@ impl Interpreter {
     }
 
     fn buffer_ref(&self, name: &str) -> Result<&Buffer, InterpError> {
-        self.buffers.get(name).ok_or_else(|| InterpError::UndefinedBuffer(name.to_string()))
+        self.buffers
+            .get(name)
+            .ok_or_else(|| InterpError::UndefinedBuffer(name.to_string()))
     }
 
     fn buffer_mut(&mut self, name: &str) -> Result<&mut Buffer, InterpError> {
-        self.buffers.get_mut(name).ok_or_else(|| InterpError::UndefinedBuffer(name.to_string()))
+        self.buffers
+            .get_mut(name)
+            .ok_or_else(|| InterpError::UndefinedBuffer(name.to_string()))
     }
 
     /// Evaluates an expression in the current environment.
@@ -365,7 +404,11 @@ impl Interpreter {
                     (a, b) => Scalar::Float(a.as_float().max(b.as_float())),
                 })
             }
-            Expr::Select { cond, then, otherwise } => {
+            Expr::Select {
+                cond,
+                then,
+                otherwise,
+            } => {
                 if self.eval(cond)?.as_int()? != 0 {
                     self.eval(then)
                 } else {
@@ -437,7 +480,12 @@ mod tests {
             vec!["crd".into()],
             vec![
                 alloc_int("count", int(3), true),
-                for_("p", int(0), int(5), vec![store_add("count", load("crd", var("p")), int(1))]),
+                for_(
+                    "p",
+                    int(0),
+                    int(5),
+                    vec![store_add("count", load("crd", var("p")), int(1))],
+                ),
             ],
         );
         let mut interp = Interpreter::new();
@@ -473,7 +521,11 @@ mod tests {
                     cond: lt(var("x"), int(5)),
                     body: vec![assign("x", add(var("x"), int(1)))],
                 },
-                if_else(ge(var("x"), int(5)), vec![decl("ok", int(1))], vec![decl("ok", int(0))]),
+                if_else(
+                    ge(var("x"), int(5)),
+                    vec![decl("ok", int(1))],
+                    vec![decl("ok", int(0))],
+                ),
             ],
         );
         let mut interp = Interpreter::new();
@@ -494,8 +546,14 @@ mod tests {
             interp.eval(&load("missing", int(0))),
             Err(InterpError::UndefinedBuffer(_))
         ));
-        assert!(matches!(interp.eval(&var("nope")), Err(InterpError::UndefinedVariable(_))));
-        assert!(matches!(interp.eval(&div(int(1), int(0))), Err(InterpError::DivisionByZero)));
+        assert!(matches!(
+            interp.eval(&var("nope")),
+            Err(InterpError::UndefinedVariable(_))
+        ));
+        assert!(matches!(
+            interp.eval(&div(int(1), int(0))),
+            Err(InterpError::DivisionByZero)
+        ));
     }
 
     #[test]
@@ -522,7 +580,10 @@ mod tests {
     fn negative_allocation_is_an_error() {
         let f = Function::new("f", vec![], vec![alloc_int("a", int(-1), true)]);
         let mut interp = Interpreter::new();
-        assert!(matches!(interp.run(&f), Err(InterpError::NegativeAllocation(-1))));
+        assert!(matches!(
+            interp.run(&f),
+            Err(InterpError::NegativeAllocation(-1))
+        ));
     }
 
     #[test]
@@ -534,8 +595,14 @@ mod tests {
             otherwise: Box::new(max(int(5), int(3))),
         };
         assert_eq!(interp.eval(&e).unwrap(), Scalar::Int(3));
-        assert_eq!(interp.eval(&Expr::Not(Box::new(int(0)))).unwrap(), Scalar::Int(1));
-        assert_eq!(interp.eval(&Expr::Not(Box::new(int(7)))).unwrap(), Scalar::Int(0));
+        assert_eq!(
+            interp.eval(&Expr::Not(Box::new(int(0)))).unwrap(),
+            Scalar::Int(1)
+        );
+        assert_eq!(
+            interp.eval(&Expr::Not(Box::new(int(7)))).unwrap(),
+            Scalar::Int(0)
+        );
     }
 
     #[test]

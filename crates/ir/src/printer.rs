@@ -23,7 +23,11 @@ pub fn print_expr(expr: &Expr) -> String {
         Expr::Not(e) => format!("!({})", print_expr(e)),
         Expr::Min(l, r) => format!("min({}, {})", print_expr(l), print_expr(r)),
         Expr::Max(l, r) => format!("max({}, {})", print_expr(l), print_expr(r)),
-        Expr::Select { cond, then, otherwise } => format!(
+        Expr::Select {
+            cond,
+            then,
+            otherwise,
+        } => format!(
             "({} ? {} : {})",
             print_expr(cond),
             print_expr(then),
@@ -41,21 +45,52 @@ fn print_stmt(stmt: &Stmt, indent: usize, out: &mut String) {
         Stmt::Assign { name, value } => {
             let _ = writeln!(out, "{pad}{name} = {};", print_expr(value));
         }
-        Stmt::Alloc { name, kind, size, zero_init } => {
+        Stmt::Alloc {
+            name,
+            kind,
+            size,
+            zero_init,
+        } => {
             let ty = match kind {
                 BufferKind::Int => "int",
                 BufferKind::Float => "double",
             };
             let alloc = if *zero_init { "calloc" } else { "malloc" };
-            let _ = writeln!(out, "{pad}{ty}* {name} = {alloc}({}, sizeof({ty}));", print_expr(size));
+            let _ = writeln!(
+                out,
+                "{pad}{ty}* {name} = {alloc}({}, sizeof({ty}));",
+                print_expr(size)
+            );
         }
-        Stmt::Store { buffer, index, value } => {
-            let _ = writeln!(out, "{pad}{buffer}[{}] = {};", print_expr(index), print_expr(value));
+        Stmt::Store {
+            buffer,
+            index,
+            value,
+        } => {
+            let _ = writeln!(
+                out,
+                "{pad}{buffer}[{}] = {};",
+                print_expr(index),
+                print_expr(value)
+            );
         }
-        Stmt::StoreAdd { buffer, index, value } => {
-            let _ = writeln!(out, "{pad}{buffer}[{}] += {};", print_expr(index), print_expr(value));
+        Stmt::StoreAdd {
+            buffer,
+            index,
+            value,
+        } => {
+            let _ = writeln!(
+                out,
+                "{pad}{buffer}[{}] += {};",
+                print_expr(index),
+                print_expr(value)
+            );
         }
-        Stmt::StoreMax { buffer, index, value } => {
+        Stmt::StoreMax {
+            buffer,
+            index,
+            value,
+        } => {
             let idx = print_expr(index);
             let _ = writeln!(
                 out,
@@ -63,8 +98,17 @@ fn print_stmt(stmt: &Stmt, indent: usize, out: &mut String) {
                 print_expr(value)
             );
         }
-        Stmt::StoreOr { buffer, index, value } => {
-            let _ = writeln!(out, "{pad}{buffer}[{}] |= {};", print_expr(index), print_expr(value));
+        Stmt::StoreOr {
+            buffer,
+            index,
+            value,
+        } => {
+            let _ = writeln!(
+                out,
+                "{pad}{buffer}[{}] |= {};",
+                print_expr(index),
+                print_expr(value)
+            );
         }
         Stmt::For { var, lo, hi, body } => {
             let _ = writeln!(
@@ -85,7 +129,11 @@ fn print_stmt(stmt: &Stmt, indent: usize, out: &mut String) {
             }
             let _ = writeln!(out, "{pad}}}");
         }
-        Stmt::If { cond, then, otherwise } => {
+        Stmt::If {
+            cond,
+            then,
+            otherwise,
+        } => {
             let _ = writeln!(out, "{pad}if ({}) {{", print_expr(cond));
             for s in then {
                 print_stmt(s, indent + 1, out);
@@ -155,7 +203,10 @@ mod tests {
                     vec![store_add(
                         "count",
                         var("i"),
-                        sub(load("A_pos", add(var("i"), int(1))), load("A_pos", var("i"))),
+                        sub(
+                            load("A_pos", add(var("i"), int(1))),
+                            load("A_pos", var("i")),
+                        ),
                     )],
                 ),
                 Stmt::Comment("analysis done".into()),
@@ -181,7 +232,10 @@ mod tests {
                     then: vec![assign("x", int(1))],
                     otherwise: vec![assign("x", int(2))],
                 },
-                Stmt::While { cond: lt(var("x"), int(10)), body: vec![assign("x", add(var("x"), int(1)))] },
+                Stmt::While {
+                    cond: lt(var("x"), int(10)),
+                    body: vec![assign("x", add(var("x"), int(1)))],
+                },
             ],
         );
         let text = print_function(&f);

@@ -61,7 +61,11 @@ pub fn simplify_expr(expr: &Expr) -> Expr {
                 Expr::Max(Box::new(l), Box::new(r))
             }
         }
-        Expr::Select { cond, then, otherwise } => {
+        Expr::Select {
+            cond,
+            then,
+            otherwise,
+        } => {
             let cond = simplify_expr(cond);
             match cond {
                 Expr::Int(0) => simplify_expr(otherwise),
@@ -73,9 +77,10 @@ pub fn simplify_expr(expr: &Expr) -> Expr {
                 },
             }
         }
-        Expr::Load { buffer, index } => {
-            Expr::Load { buffer: buffer.clone(), index: Box::new(simplify_expr(index)) }
-        }
+        Expr::Load { buffer, index } => Expr::Load {
+            buffer: buffer.clone(),
+            index: Box::new(simplify_expr(index)),
+        },
         Expr::Int(_) | Expr::Float(_) | Expr::Var(_) => expr.clone(),
     }
 }
@@ -111,34 +116,57 @@ fn fold(op: IrBinOp, a: i64, b: i64) -> Option<i64> {
 
 fn simplify_stmt(stmt: &Stmt) -> Option<Stmt> {
     let simplified = match stmt {
-        Stmt::DeclScalar { name, init } => {
-            Stmt::DeclScalar { name: name.clone(), init: simplify_expr(init) }
-        }
-        Stmt::Assign { name, value } => {
-            Stmt::Assign { name: name.clone(), value: simplify_expr(value) }
-        }
-        Stmt::Alloc { name, kind, size, zero_init } => Stmt::Alloc {
+        Stmt::DeclScalar { name, init } => Stmt::DeclScalar {
+            name: name.clone(),
+            init: simplify_expr(init),
+        },
+        Stmt::Assign { name, value } => Stmt::Assign {
+            name: name.clone(),
+            value: simplify_expr(value),
+        },
+        Stmt::Alloc {
+            name,
+            kind,
+            size,
+            zero_init,
+        } => Stmt::Alloc {
             name: name.clone(),
             kind: *kind,
             size: simplify_expr(size),
             zero_init: *zero_init,
         },
-        Stmt::Store { buffer, index, value } => Stmt::Store {
+        Stmt::Store {
+            buffer,
+            index,
+            value,
+        } => Stmt::Store {
             buffer: buffer.clone(),
             index: simplify_expr(index),
             value: simplify_expr(value),
         },
-        Stmt::StoreAdd { buffer, index, value } => Stmt::StoreAdd {
+        Stmt::StoreAdd {
+            buffer,
+            index,
+            value,
+        } => Stmt::StoreAdd {
             buffer: buffer.clone(),
             index: simplify_expr(index),
             value: simplify_expr(value),
         },
-        Stmt::StoreMax { buffer, index, value } => Stmt::StoreMax {
+        Stmt::StoreMax {
+            buffer,
+            index,
+            value,
+        } => Stmt::StoreMax {
             buffer: buffer.clone(),
             index: simplify_expr(index),
             value: simplify_expr(value),
         },
-        Stmt::StoreOr { buffer, index, value } => Stmt::StoreOr {
+        Stmt::StoreOr {
+            buffer,
+            index,
+            value,
+        } => Stmt::StoreOr {
             buffer: buffer.clone(),
             index: simplify_expr(index),
             value: simplify_expr(value),
@@ -152,16 +180,28 @@ fn simplify_stmt(stmt: &Stmt) -> Option<Stmt> {
                     return None;
                 }
             }
-            Stmt::For { var: var.clone(), lo, hi, body: simplify_block(body) }
+            Stmt::For {
+                var: var.clone(),
+                lo,
+                hi,
+                body: simplify_block(body),
+            }
         }
         Stmt::While { cond, body } => {
             let cond = simplify_expr(cond);
             if cond.is_int(0) {
                 return None;
             }
-            Stmt::While { cond, body: simplify_block(body) }
+            Stmt::While {
+                cond,
+                body: simplify_block(body),
+            }
         }
-        Stmt::If { cond, then, otherwise } => {
+        Stmt::If {
+            cond,
+            then,
+            otherwise,
+        } => {
             let cond = simplify_expr(cond);
             match cond {
                 Expr::Int(0) => {
@@ -169,7 +209,11 @@ fn simplify_stmt(stmt: &Stmt) -> Option<Stmt> {
                     if otherwise.is_empty() {
                         return None;
                     }
-                    return Some(Stmt::If { cond: Expr::Int(1), then: otherwise, otherwise: vec![] });
+                    return Some(Stmt::If {
+                        cond: Expr::Int(1),
+                        then: otherwise,
+                        otherwise: vec![],
+                    });
                 }
                 Expr::Int(_) => {
                     return Some(Stmt::If {
@@ -196,7 +240,11 @@ fn simplify_block(stmts: &[Stmt]) -> Vec<Stmt> {
 
 /// Simplifies every statement of a function.
 pub fn simplify_function(f: &Function) -> Function {
-    Function { name: f.name.clone(), params: f.params.clone(), body: simplify_block(&f.body) }
+    Function {
+        name: f.name.clone(),
+        params: f.params.clone(),
+        body: simplify_block(&f.body),
+    }
 }
 
 #[cfg(test)]
@@ -237,8 +285,15 @@ mod tests {
             vec![
                 for_("i", int(3), int(3), vec![comment("dead")]),
                 if_(int(0), vec![comment("dead")]),
-                if_else(int(0), vec![comment("dead")], vec![decl("x", add(int(1), int(2)))]),
-                Stmt::While { cond: int(0), body: vec![comment("dead")] },
+                if_else(
+                    int(0),
+                    vec![comment("dead")],
+                    vec![decl("x", add(int(1), int(2)))],
+                ),
+                Stmt::While {
+                    cond: int(0),
+                    body: vec![comment("dead")],
+                },
                 decl("y", mul(var("n"), int(1))),
             ],
         );
@@ -263,7 +318,10 @@ mod tests {
     #[test]
     fn not_and_cmp_folding() {
         assert_eq!(simplify_expr(&Expr::Not(Box::new(int(0)))), int(1));
-        assert_eq!(simplify_expr(&Expr::Not(Box::new(var("x")))), Expr::Not(Box::new(var("x"))));
+        assert_eq!(
+            simplify_expr(&Expr::Not(Box::new(var("x")))),
+            Expr::Not(Box::new(var("x")))
+        );
         assert_eq!(simplify_expr(&eq(int(2), int(2))), int(1));
         assert_eq!(simplify_expr(&ne(int(2), int(2))), int(0));
     }

@@ -113,7 +113,12 @@ pub enum Stmt {
 impl Stmt {
     /// Convenience constructor for a `for` loop.
     pub fn for_loop(var: &str, lo: Expr, hi: Expr, body: Vec<Stmt>) -> Self {
-        Stmt::For { var: var.to_string(), lo, hi, body }
+        Stmt::For {
+            var: var.to_string(),
+            lo,
+            hi,
+            body,
+        }
     }
 }
 
@@ -132,7 +137,11 @@ pub struct Function {
 impl Function {
     /// Creates a function.
     pub fn new(name: &str, params: Vec<String>, body: Vec<Stmt>) -> Self {
-        Function { name: name.to_string(), params, body }
+        Function {
+            name: name.to_string(),
+            params,
+            body,
+        }
     }
 
     /// Total number of statements, counting nested bodies (a crude size
@@ -143,7 +152,9 @@ impl Function {
                 .iter()
                 .map(|s| match s {
                     Stmt::For { body, .. } | Stmt::While { body, .. } => 1 + count(body),
-                    Stmt::If { then, otherwise, .. } => 1 + count(then) + count(otherwise),
+                    Stmt::If {
+                        then, otherwise, ..
+                    } => 1 + count(then) + count(otherwise),
                     _ => 1,
                 })
                 .sum()
@@ -163,13 +174,19 @@ mod tests {
             "f",
             vec![],
             vec![
-                Stmt::DeclScalar { name: "x".into(), init: Expr::Int(0) },
+                Stmt::DeclScalar {
+                    name: "x".into(),
+                    init: Expr::Int(0),
+                },
                 Stmt::for_loop(
                     "i",
                     Expr::Int(0),
                     Expr::Int(10),
                     vec![
-                        Stmt::Assign { name: "x".into(), value: Expr::Var("i".into()) },
+                        Stmt::Assign {
+                            name: "x".into(),
+                            value: Expr::Var("i".into()),
+                        },
                         Stmt::If {
                             cond: Expr::Int(1),
                             then: vec![Stmt::Comment("hi".into())],

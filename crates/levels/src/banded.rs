@@ -61,7 +61,11 @@ impl LevelAssembler for BandedLevel {
 
     fn required_query(&self, dims: &[String], level: usize) -> Option<AttrQuery> {
         // Figure 11: Qk := [select [i1, ..., ik-1] -> min(ik) as w].
-        Some(AttrQuery::single(dims[..level].to_vec(), Aggregate::Min(dims[level].clone()), W))
+        Some(AttrQuery::single(
+            dims[..level].to_vec(),
+            Aggregate::Min(dims[level].clone()),
+            W,
+        ))
     }
 
     fn edge_insertion(&self) -> EdgeInsertion {
@@ -85,7 +89,9 @@ impl LevelAssembler for BandedLevel {
         q: Option<&QueryResult>,
     ) {
         let q = q.expect("banded level edge insertion needs its `w` query");
-        let row = *parent_coords.last().expect("banded level needs the parent coordinate");
+        let row = *parent_coords
+            .last()
+            .expect("banded level needs the parent coordinate");
         let w = q.get(parent_coords, W);
         // Rows with no stored nonzeros keep an empty run at the diagonal.
         let (first, run) = if w == attr_query::eval::MIN_EMPTY || w > row {

@@ -36,13 +36,21 @@ impl CompressedLevel {
     /// Creates an empty compressed level that stores each child coordinate
     /// once.
     pub fn new() -> Self {
-        CompressedLevel { pos: Vec::new(), crd: Vec::new(), unique: true, needs_prefix_sum: false }
+        CompressedLevel {
+            pos: Vec::new(),
+            crd: Vec::new(),
+            unique: true,
+            needs_prefix_sum: false,
+        }
     }
 
     /// Creates an empty compressed level that stores duplicates (one entry
     /// per nonzero below it), as COO's row dimension does.
     pub fn non_unique() -> Self {
-        CompressedLevel { unique: false, ..CompressedLevel::new() }
+        CompressedLevel {
+            unique: false,
+            ..CompressedLevel::new()
+        }
     }
 
     /// The assembled `pos` array (valid after `finalize_pos`).
@@ -71,7 +79,10 @@ impl LevelAssembler for CompressedLevel {
     }
 
     fn properties(&self) -> LevelProperties {
-        LevelProperties { unique: self.unique, ..LevelProperties::compressed_like() }
+        LevelProperties {
+            unique: self.unique,
+            ..LevelProperties::compressed_like()
+        }
     }
 
     fn required_query(&self, dims: &[String], level: usize) -> Option<AttrQuery> {
@@ -83,7 +94,11 @@ impl LevelAssembler for CompressedLevel {
         } else {
             dims[level..].to_vec()
         };
-        Some(AttrQuery::single(dims[..level].to_vec(), Aggregate::Count(counted), NIR))
+        Some(AttrQuery::single(
+            dims[..level].to_vec(),
+            Aggregate::Count(counted),
+            NIR,
+        ))
     }
 
     fn edge_insertion(&self) -> EdgeInsertion {

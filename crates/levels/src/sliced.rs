@@ -43,7 +43,11 @@ impl LevelAssembler for SlicedLevel {
 
     fn required_query(&self, dims: &[String], level: usize) -> Option<AttrQuery> {
         // Figure 7: Q1 := [select [] -> max(i1) as max_crd].
-        Some(AttrQuery::single(Vec::new(), Aggregate::Max(dims[level].clone()), MAX_CRD))
+        Some(AttrQuery::single(
+            Vec::new(),
+            Aggregate::Max(dims[level].clone()),
+            MAX_CRD,
+        ))
     }
 
     fn size(&self, parent_size: usize) -> usize {

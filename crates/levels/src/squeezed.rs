@@ -28,7 +28,12 @@ pub struct SqueezedLevel {
 impl SqueezedLevel {
     /// Creates a squeezed level over coordinates `[lower, upper)`.
     pub fn new(lower: i64, upper: i64) -> Self {
-        SqueezedLevel { lower, upper, perm: Vec::new(), rperm: Vec::new() }
+        SqueezedLevel {
+            lower,
+            upper,
+            perm: Vec::new(),
+            rperm: Vec::new(),
+        }
     }
 
     /// The stored coordinate values (DIA's `perm` array of diagonal offsets),
@@ -65,7 +70,11 @@ impl LevelAssembler for SqueezedLevel {
 
     fn required_query(&self, dims: &[String], level: usize) -> Option<AttrQuery> {
         // Figure 11: Qk := [select [ik] -> id() as nz].
-        Some(AttrQuery::single(vec![dims[level].clone()], Aggregate::Id, NZ))
+        Some(AttrQuery::single(
+            vec![dims[level].clone()],
+            Aggregate::Id,
+            NZ,
+        ))
     }
 
     fn size(&self, parent_size: usize) -> usize {
@@ -95,7 +104,11 @@ impl LevelAssembler for SqueezedLevel {
         // get_pos(pk-1, ..., ik) = pk-1 * K + rperm[ik - Mk].
         let coord = *coords.last().expect("squeezed level needs a coordinate");
         let slot = self.rperm[(coord - self.lower) as usize];
-        debug_assert_ne!(slot, usize::MAX, "coordinate {coord} was not marked nonzero");
+        debug_assert_ne!(
+            slot,
+            usize::MAX,
+            "coordinate {coord} was not marked nonzero"
+        );
         parent_pos * self.perm.len() + slot
     }
 

@@ -75,13 +75,22 @@ impl AttrQuery {
     ///
     /// Panics if `fields` is empty.
     pub fn new(group_by: Vec<String>, fields: Vec<QueryField>) -> Self {
-        assert!(!fields.is_empty(), "a query must compute at least one aggregation");
+        assert!(
+            !fields.is_empty(),
+            "a query must compute at least one aggregation"
+        );
         AttrQuery { group_by, fields }
     }
 
     /// Convenience constructor for a single-aggregate query.
     pub fn single(group_by: Vec<String>, aggregate: Aggregate, label: &str) -> Self {
-        AttrQuery::new(group_by, vec![QueryField { aggregate, label: label.to_string() }])
+        AttrQuery::new(
+            group_by,
+            vec![QueryField {
+                aggregate,
+                label: label.to_string(),
+            }],
+        )
     }
 
     /// All index variables the query mentions (group-by plus aggregated).
@@ -106,7 +115,12 @@ impl AttrQuery {
 impl fmt::Display for AttrQuery {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let fields: Vec<String> = self.fields.iter().map(|x| x.to_string()).collect();
-        write!(f, "select [{}] -> {}", self.group_by.join(","), fields.join(", "))
+        write!(
+            f,
+            "select [{}] -> {}",
+            self.group_by.join(","),
+            fields.join(", ")
+        )
     }
 }
 
@@ -124,20 +138,25 @@ mod tests {
 
     #[test]
     fn display_matches_paper_syntax() {
-        let q = AttrQuery::single(
-            vec!["i".into()],
-            Aggregate::Count(vec!["j".into()]),
-            "nir",
-        );
+        let q = AttrQuery::single(vec!["i".into()], Aggregate::Count(vec!["j".into()]), "nir");
         assert_eq!(q.to_string(), "select [i] -> count(j) as nir");
         let q = AttrQuery::new(
             vec!["i".into()],
             vec![
-                QueryField { aggregate: Aggregate::Min("j".into()), label: "minir".into() },
-                QueryField { aggregate: Aggregate::Max("j".into()), label: "maxir".into() },
+                QueryField {
+                    aggregate: Aggregate::Min("j".into()),
+                    label: "minir".into(),
+                },
+                QueryField {
+                    aggregate: Aggregate::Max("j".into()),
+                    label: "maxir".into(),
+                },
             ],
         );
-        assert_eq!(q.to_string(), "select [i] -> min(j) as minir, max(j) as maxir");
+        assert_eq!(
+            q.to_string(),
+            "select [i] -> min(j) as minir, max(j) as maxir"
+        );
         let q = AttrQuery::single(vec!["j".into()], Aggregate::Id, "ne");
         assert_eq!(q.to_string(), "select [j] -> id() as ne");
     }

@@ -105,7 +105,11 @@ impl fmt::Display for CinExpr {
             CinExpr::Coord(e) => write!(f, "{e}"),
             CinExpr::Map { source, value } => write!(f, "map({source}, {value})"),
             CinExpr::Read(a) => write!(f, "{a}"),
-            CinExpr::Width { tensor, over, indices } => {
+            CinExpr::Width {
+                tensor,
+                over,
+                indices,
+            } => {
                 let idx: Vec<String> = indices.iter().map(|e| e.to_string()).collect();
                 write!(f, "width({tensor}; {over})[{}]", idx.join(","))
             }
@@ -131,8 +135,19 @@ pub struct CinStmt {
 
 impl fmt::Display for CinStmt {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let foralls: Vec<String> = self.loop_vars.iter().map(|v| format!("forall {v}")).collect();
-        write!(f, "{}: {} {} {}", foralls.join(" "), self.dest, self.reduction, self.value)?;
+        let foralls: Vec<String> = self
+            .loop_vars
+            .iter()
+            .map(|v| format!("forall {v}"))
+            .collect();
+        write!(
+            f,
+            "{}: {} {} {}",
+            foralls.join(" "),
+            self.dest,
+            self.reduction,
+            self.value
+        )?;
         if let Some(inner) = &self.where_stmt {
             write!(f, " where ({inner})")?;
         }
@@ -227,14 +242,20 @@ pub fn lower_query(
     for g in &query.group_by {
         dest_indices.push(ctx.dim_expr(g)?.1);
     }
-    let dest = Access { tensor: field_label.to_string(), indices: dest_indices.clone() };
+    let dest = Access {
+        tensor: field_label.to_string(),
+        indices: dest_indices.clone(),
+    };
 
     match &field.aggregate {
         Aggregate::Id => Ok(CinStmt {
             loop_vars: src_vars,
             dest,
             reduction: Reduction::Or,
-            value: CinExpr::Map { source: source_access, value: Box::new(CinExpr::Const(1)) },
+            value: CinExpr::Map {
+                source: source_access,
+                value: Box::new(CinExpr::Const(1)),
+            },
             where_stmt: None,
         }),
         Aggregate::Count(counted) => {
@@ -248,7 +269,10 @@ pub fn lower_query(
             let w_name = format!("W_{field_label}");
             let inner = CinStmt {
                 loop_vars: src_vars,
-                dest: Access { tensor: w_name.clone(), indices: w_indices },
+                dest: Access {
+                    tensor: w_name.clone(),
+                    indices: w_indices,
+                },
                 reduction: Reduction::Or,
                 value: CinExpr::Map {
                     source: source_access,
@@ -331,7 +355,10 @@ mod tests {
         let ctx = dia_ctx(&remap);
         let query = parse_query("select [k] -> id() as Q").unwrap();
         let stmt = lower_query(&query, "Q", &ctx).unwrap();
-        assert_eq!(stmt.to_string(), "forall i forall j: Q[j-i] |= map(D[i,j], 1)");
+        assert_eq!(
+            stmt.to_string(),
+            "forall i forall j: Q[j-i] |= map(D[i,j], 1)"
+        );
     }
 
     #[test]
@@ -352,7 +379,10 @@ mod tests {
         let ctx = LowerContext::new(&remap, vec!["i".into(), "j".into()], "B");
         let query = parse_query("select [i] -> max(j) as Q").unwrap();
         let stmt = lower_query(&query, "Q", &ctx).unwrap();
-        assert_eq!(stmt.to_string(), "forall i forall j: Q[i] max= map(B[i,j], j+1)");
+        assert_eq!(
+            stmt.to_string(),
+            "forall i forall j: Q[i] max= map(B[i,j], j+1)"
+        );
     }
 
     #[test]
@@ -362,7 +392,10 @@ mod tests {
         let ctx = LowerContext::new(&remap, vec!["k".into(), "i2".into(), "j2".into()], "B");
         let query = parse_query("select [] -> max(k) as max_crd").unwrap();
         let stmt = lower_query(&query, "max_crd", &ctx).unwrap();
-        assert_eq!(stmt.to_string(), "forall i forall j: max_crd[] max= map(B[i,j], #i+1)");
+        assert_eq!(
+            stmt.to_string(),
+            "forall i forall j: max_crd[] max= map(B[i,j], #i+1)"
+        );
     }
 
     #[test]
@@ -384,10 +417,13 @@ mod tests {
     #[test]
     fn display_of_min_query_negates_coordinate() {
         let remap = Remapping::identity(2);
-        let ctx = LowerContext::new(&remap, vec!["i".into(), "j".into()], "B")
-            .with_lower_bound(1, 0);
+        let ctx =
+            LowerContext::new(&remap, vec!["i".into(), "j".into()], "B").with_lower_bound(1, 0);
         let query = parse_query("select [i] -> min(j) as w").unwrap();
         let stmt = lower_query(&query, "w", &ctx).unwrap();
-        assert_eq!(stmt.to_string(), "forall i forall j: w[i] max= map(B[i,j], 0-j+1)");
+        assert_eq!(
+            stmt.to_string(),
+            "forall i forall j: w[i] max= map(B[i,j], 0-j+1)"
+        );
     }
 }

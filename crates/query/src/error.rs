@@ -39,14 +39,23 @@ impl fmt::Display for QueryError {
                 write!(f, "unknown index variable `{name}`")
             }
             QueryError::UnknownField(name) => write!(f, "unknown query field `{name}`"),
-            QueryError::CoordinateOutOfBounds { coordinate, dimension } => {
-                write!(f, "coordinate {coordinate} out of bounds in dimension {dimension}")
+            QueryError::CoordinateOutOfBounds {
+                coordinate,
+                dimension,
+            } => {
+                write!(
+                    f,
+                    "coordinate {coordinate} out of bounds in dimension {dimension}"
+                )
             }
             QueryError::ArityMismatch { expected, found } => {
                 write!(f, "expected {expected} coordinates, found {found}")
             }
             QueryError::PreconditionViolated(rule) => {
-                write!(f, "preconditions of the `{rule}` transformation are not satisfied")
+                write!(
+                    f,
+                    "preconditions of the `{rule}` transformation are not satisfied"
+                )
             }
         }
     }
@@ -61,12 +70,24 @@ mod tests {
     #[test]
     fn display_is_informative() {
         assert!(QueryError::Parse("bad".into()).to_string().contains("bad"));
-        assert!(QueryError::UnknownIndexVariable("z".into()).to_string().contains("`z`"));
-        assert!(QueryError::UnknownField("nir".into()).to_string().contains("`nir`"));
-        assert!(QueryError::CoordinateOutOfBounds { coordinate: 9, dimension: 1 }
+        assert!(QueryError::UnknownIndexVariable("z".into())
             .to_string()
-            .contains('9'));
-        assert!(QueryError::ArityMismatch { expected: 2, found: 1 }.to_string().contains('2'));
+            .contains("`z`"));
+        assert!(QueryError::UnknownField("nir".into())
+            .to_string()
+            .contains("`nir`"));
+        assert!(QueryError::CoordinateOutOfBounds {
+            coordinate: 9,
+            dimension: 1
+        }
+        .to_string()
+        .contains('9'));
+        assert!(QueryError::ArityMismatch {
+            expected: 2,
+            found: 1
+        }
+        .to_string()
+        .contains('2'));
         assert!(QueryError::PreconditionViolated("inline-temporary")
             .to_string()
             .contains("inline-temporary"));

@@ -51,7 +51,11 @@ impl QueryResult {
             };
             data.push(vec![init; size]);
         }
-        QueryResult { group_bounds, labels, data }
+        QueryResult {
+            group_bounds,
+            labels,
+            data,
+        }
     }
 
     /// The bounds of the group-by coordinate space.
@@ -76,10 +80,17 @@ impl QueryResult {
     /// Panics if the coordinate arity is wrong or any coordinate is outside
     /// its bounds.
     pub fn offset(&self, group_coord: &[i64]) -> usize {
-        assert_eq!(group_coord.len(), self.group_bounds.len(), "group coordinate arity mismatch");
+        assert_eq!(
+            group_coord.len(),
+            self.group_bounds.len(),
+            "group coordinate arity mismatch"
+        );
         let mut off = 0usize;
         for (d, (&c, b)) in group_coord.iter().zip(&self.group_bounds).enumerate() {
-            assert!(b.contains(c), "group coordinate {c} out of bounds {b} in dimension {d}");
+            assert!(
+                b.contains(c),
+                "group coordinate {c} out of bounds {b} in dimension {d}"
+            );
             off = off * b.extent() + (c - b.lower) as usize;
         }
         off
@@ -143,7 +154,11 @@ impl QueryResult {
 
     /// Sum of a field across all groups (used for totals such as `nnz`).
     pub fn field_sum(&self, label: &str) -> i64 {
-        self.field_data(label).iter().copied().filter(|&v| v != MAX_EMPTY && v != MIN_EMPTY).sum()
+        self.field_data(label)
+            .iter()
+            .copied()
+            .filter(|&v| v != MAX_EMPTY && v != MIN_EMPTY)
+            .sum()
     }
 }
 
@@ -170,8 +185,11 @@ pub fn evaluate_on_coords<'a>(
             .position(|n| n == name)
             .ok_or_else(|| QueryError::UnknownIndexVariable(name.to_string()))
     };
-    let group_dims: Vec<usize> =
-        query.group_by.iter().map(|g| dim_of(g)).collect::<Result<_, _>>()?;
+    let group_dims: Vec<usize> = query
+        .group_by
+        .iter()
+        .map(|g| dim_of(g))
+        .collect::<Result<_, _>>()?;
     let group_bounds: Vec<DimBounds> = group_dims.iter().map(|&d| bounds[d]).collect();
     let mut result = QueryResult::new(query, group_bounds);
 
@@ -197,7 +215,10 @@ pub fn evaluate_on_coords<'a>(
         }
         for (d, (&c, b)) in coord.iter().zip(bounds).enumerate() {
             if !b.contains(c) {
-                return Err(QueryError::CoordinateOutOfBounds { coordinate: c, dimension: d });
+                return Err(QueryError::CoordinateOutOfBounds {
+                    coordinate: c,
+                    dimension: d,
+                });
             }
         }
         let group_coord: Vec<i64> = group_dims.iter().map(|&d| coord[d]).collect();
@@ -254,9 +275,13 @@ mod tests {
     fn figure10_count_query() {
         let query = parse_query("select [i] -> count(j) as nir").unwrap();
         let coords = matrix_coords();
-        let result =
-            evaluate_on_coords(&query, &names(), &bounds(), coords.iter().map(|c| c.as_slice()))
-                .unwrap();
+        let result = evaluate_on_coords(
+            &query,
+            &names(),
+            &bounds(),
+            coords.iter().map(|c| c.as_slice()),
+        )
+        .unwrap();
         // Figure 10 (left): nir = [2, 2, 2, 3].
         assert_eq!(result.field_data("nir"), &[2, 2, 2, 3]);
         assert_eq!(result.field_sum("nir"), 9);
@@ -267,9 +292,13 @@ mod tests {
     fn figure10_min_max_query() {
         let query = parse_query("select [i] -> min(j) as minir, max(j) as maxir").unwrap();
         let coords = matrix_coords();
-        let result =
-            evaluate_on_coords(&query, &names(), &bounds(), coords.iter().map(|c| c.as_slice()))
-                .unwrap();
+        let result = evaluate_on_coords(
+            &query,
+            &names(),
+            &bounds(),
+            coords.iter().map(|c| c.as_slice()),
+        )
+        .unwrap();
         // Figure 10 (middle).
         assert_eq!(result.field_data("minir"), &[0, 1, 0, 1]);
         assert_eq!(result.field_data("maxir"), &[1, 2, 2, 4]);
@@ -279,9 +308,13 @@ mod tests {
     fn figure10_id_query() {
         let query = parse_query("select [j] -> id() as ne").unwrap();
         let coords = matrix_coords();
-        let result =
-            evaluate_on_coords(&query, &names(), &bounds(), coords.iter().map(|c| c.as_slice()))
-                .unwrap();
+        let result = evaluate_on_coords(
+            &query,
+            &names(),
+            &bounds(),
+            coords.iter().map(|c| c.as_slice()),
+        )
+        .unwrap();
         // Figure 10 (right): R[4].ne == 1 and R[5].ne == 0.
         assert_eq!(result.field_data("ne"), &[1, 1, 1, 1, 1, 0]);
     }
@@ -337,8 +370,7 @@ mod tests {
     #[test]
     fn empty_input_keeps_initial_values() {
         let query = parse_query("select [i] -> max(j) as m, count(j) as c").unwrap();
-        let result =
-            evaluate_on_coords(&query, &names(), &bounds(), std::iter::empty()).unwrap();
+        let result = evaluate_on_coords(&query, &names(), &bounds(), std::iter::empty()).unwrap();
         assert_eq!(result.field_data("c"), &[0, 0, 0, 0]);
         assert!(result.field_data("m").iter().all(|&v| v == MAX_EMPTY));
         assert_eq!(result.field_max("m"), None);
@@ -354,12 +386,22 @@ mod tests {
         let query = parse_query("select [i] -> id() as x").unwrap();
         let bad = vec![vec![0i64]];
         assert!(matches!(
-            evaluate_on_coords(&query, &names(), &bounds(), bad.iter().map(|c| c.as_slice())),
+            evaluate_on_coords(
+                &query,
+                &names(),
+                &bounds(),
+                bad.iter().map(|c| c.as_slice())
+            ),
             Err(QueryError::ArityMismatch { .. })
         ));
         let oob = vec![vec![9i64, 0]];
         assert!(matches!(
-            evaluate_on_coords(&query, &names(), &bounds(), oob.iter().map(|c| c.as_slice())),
+            evaluate_on_coords(
+                &query,
+                &names(),
+                &bounds(),
+                oob.iter().map(|c| c.as_slice())
+            ),
             Err(QueryError::CoordinateOutOfBounds { .. })
         ));
     }

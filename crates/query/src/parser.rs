@@ -200,7 +200,10 @@ mod tests {
         let q = parse_query("select [] -> max(i1) as max_crd").unwrap();
         assert!(q.group_by.is_empty());
         let q = parse_query("select [i] -> count(j,k) as nnz_in_slice").unwrap();
-        assert_eq!(q.fields[0].aggregate, Aggregate::Count(vec!["j".into(), "k".into()]));
+        assert_eq!(
+            q.fields[0].aggregate,
+            Aggregate::Count(vec!["j".into(), "k".into()])
+        );
     }
 
     #[test]
@@ -212,7 +215,11 @@ mod tests {
             "select [i,j] -> count(k) as n",
         ] {
             let q = parse_query(text).unwrap();
-            assert_eq!(parse_query(&q.to_string()).unwrap(), q, "roundtrip for {text}");
+            assert_eq!(
+                parse_query(&q.to_string()).unwrap(),
+                q,
+                "roundtrip for {text}"
+            );
         }
     }
 

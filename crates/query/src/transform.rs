@@ -28,7 +28,10 @@ pub fn reduction_to_assign(stmt: &CinStmt) -> Result<CinStmt, QueryError> {
     if !covered {
         return Err(QueryError::PreconditionViolated("reduction-to-assign"));
     }
-    Ok(CinStmt { reduction: Reduction::Assign, ..stmt.clone() })
+    Ok(CinStmt {
+        reduction: Reduction::Assign,
+        ..stmt.clone()
+    })
 }
 
 /// `inline-temporary`: when the `where` clause defines its temporary with a
@@ -60,7 +63,10 @@ pub fn inline_temporary(stmt: &CinStmt) -> Result<CinStmt, QueryError> {
     let value = replace_temp_reads(&stmt.value, temp, &inner.value);
     Ok(CinStmt {
         loop_vars: inner.loop_vars.clone(),
-        dest: Access { tensor: stmt.dest.tensor.clone(), indices: dest_indices },
+        dest: Access {
+            tensor: stmt.dest.tensor.clone(),
+            indices: dest_indices,
+        },
         reduction: stmt.reduction,
         value: simplify(&value),
         where_stmt: None,
@@ -100,8 +106,7 @@ pub fn simplify_width_count(
     if !indexes_innermost || used_by_dest {
         return Err(QueryError::PreconditionViolated("simplify-width-count"));
     }
-    let remaining: Vec<String> =
-        stmt.loop_vars[..stmt.loop_vars.len() - 1].to_vec();
+    let remaining: Vec<String> = stmt.loop_vars[..stmt.loop_vars.len() - 1].to_vec();
     let width = CinExpr::Width {
         tensor: source.tensor.clone(),
         over: innermost,
@@ -145,9 +150,15 @@ pub fn counter_to_histogram(stmt: &CinStmt) -> Result<CinStmt, QueryError> {
     hist_indices.extend(counter_vars.iter().map(|v| IndexExpr::Var(v.clone())));
     let inner = CinStmt {
         loop_vars: stmt.loop_vars.clone(),
-        dest: Access { tensor: hist_name.clone(), indices: hist_indices },
+        dest: Access {
+            tensor: hist_name.clone(),
+            indices: hist_indices,
+        },
         reduction: Reduction::Add,
-        value: CinExpr::Map { source: source.clone(), value: Box::new(CinExpr::Const(1)) },
+        value: CinExpr::Map {
+            source: source.clone(),
+            value: Box::new(CinExpr::Const(1)),
+        },
         where_stmt: None,
     };
     // Outer statement: max over the histogram.
@@ -193,7 +204,10 @@ pub fn optimize(stmt: &CinStmt, source_stores_only_nonzeros: bool) -> CinStmt {
     if let Ok(assigned) = reduction_to_assign(&current) {
         current = assigned;
     }
-    CinStmt { value: simplify(&current.value), ..current }
+    CinStmt {
+        value: simplify(&current.value),
+        ..current
+    }
 }
 
 /// Collapses `map(map(B, c1), c2)` into `map(B, c2)` (constant folding on
@@ -202,7 +216,11 @@ pub fn simplify(expr: &CinExpr) -> CinExpr {
     match expr {
         CinExpr::Map { source, value } => {
             let value = simplify(value);
-            if let CinExpr::Map { source: inner_source, value: inner_value } = &value {
+            if let CinExpr::Map {
+                source: inner_source,
+                value: inner_value,
+            } = &value
+            {
                 // map(X, map(Y, v)) with the same guard collapses; lowering
                 // only produces nested maps guarded by the same source.
                 if inner_source.tensor == source.tensor {
@@ -212,7 +230,10 @@ pub fn simplify(expr: &CinExpr) -> CinExpr {
                     };
                 }
             }
-            CinExpr::Map { source: source.clone(), value: Box::new(value) }
+            CinExpr::Map {
+                source: source.clone(),
+                value: Box::new(value),
+            }
         }
         CinExpr::Mul(l, r) => {
             let (l, r) = (simplify(l), simplify(r));
@@ -238,9 +259,7 @@ fn reads_with_vars(expr: &CinExpr, tensor: &str, vars: &[String]) -> bool {
                     .all(|(e, v)| matches!(e, IndexExpr::Var(name) if name == v))
         }
         CinExpr::Map { value, .. } => reads_with_vars(value, tensor, vars),
-        CinExpr::Mul(l, r) => {
-            reads_with_vars(l, tensor, vars) || reads_with_vars(r, tensor, vars)
-        }
+        CinExpr::Mul(l, r) => reads_with_vars(l, tensor, vars) || reads_with_vars(r, tensor, vars),
         _ => false,
     }
 }
@@ -320,7 +339,10 @@ mod tests {
         let query = parse_query("select [i] -> count(j) as Q").unwrap();
         let canonical = lower_query(&query, "Q", &ctx).unwrap();
         let optimized = optimize(&canonical, false);
-        assert_eq!(optimized.to_string(), "forall i forall j: Q[i] += map(B[i,j], 1)");
+        assert_eq!(
+            optimized.to_string(),
+            "forall i forall j: Q[i] += map(B[i,j], 1)"
+        );
     }
 
     #[test]
@@ -344,7 +366,10 @@ mod tests {
         // The inner statement's loop variables all appear as its indices, so
         // the rule applies there...
         let inner = canonical.where_stmt.as_deref().unwrap();
-        assert_eq!(reduction_to_assign(inner).unwrap().reduction, Reduction::Assign);
+        assert_eq!(
+            reduction_to_assign(inner).unwrap().reduction,
+            Reduction::Assign
+        );
         // ...but not on the outer statement, whose `j` is a reduction variable.
         assert!(reduction_to_assign(&canonical).is_err());
     }
@@ -363,7 +388,10 @@ mod tests {
         ));
         let inlined = inline_temporary(&prepared).unwrap();
         assert!(inlined.where_stmt.is_none());
-        assert_eq!(inlined.to_string(), "forall i forall j: Q[i] += map(B[i,j], 1)");
+        assert_eq!(
+            inlined.to_string(),
+            "forall i forall j: Q[i] += map(B[i,j], 1)"
+        );
     }
 
     #[test]
@@ -380,7 +408,9 @@ mod tests {
         );
         // The driver applies it automatically.
         let optimized = optimize(&canonical, false);
-        assert!(optimized.to_string().starts_with("forall i: K[] max= W_K[i]"));
+        assert!(optimized
+            .to_string()
+            .starts_with("forall i: K[] max= W_K[i]"));
     }
 
     #[test]
@@ -414,7 +444,10 @@ mod tests {
         };
         assert_eq!(
             simplify(&nested),
-            CinExpr::Map { source: access.clone(), value: Box::new(CinExpr::Const(1)) }
+            CinExpr::Map {
+                source: access.clone(),
+                value: Box::new(CinExpr::Const(1))
+            }
         );
         let unit = CinExpr::Mul(
             Box::new(CinExpr::Read(access.clone())),

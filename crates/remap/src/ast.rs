@@ -209,7 +209,10 @@ pub struct DstIndex {
 impl DstIndex {
     /// A destination index with no let bindings.
     pub fn simple(expr: IndexExpr) -> Self {
-        DstIndex { lets: Vec::new(), expr }
+        DstIndex {
+            lets: Vec::new(),
+            expr,
+        }
     }
 
     /// True when this destination coordinate uses a counter.
@@ -244,8 +247,14 @@ impl Remapping {
     ///
     /// Panics if either side is empty.
     pub fn new(src: Vec<String>, dst: Vec<DstIndex>) -> Self {
-        assert!(!src.is_empty(), "remapping must have at least one source index");
-        assert!(!dst.is_empty(), "remapping must have at least one destination index");
+        assert!(
+            !src.is_empty(),
+            "remapping must have at least one source index"
+        );
+        assert!(
+            !dst.is_empty(),
+            "remapping must have at least one destination index"
+        );
         Remapping { src, dst }
     }
 
@@ -254,7 +263,10 @@ impl Remapping {
     /// presentation).
     pub fn identity(order: usize) -> Self {
         let names = canonical_names(order);
-        let dst = names.iter().map(|n| DstIndex::simple(IndexExpr::Var(n.clone()))).collect();
+        let dst = names
+            .iter()
+            .map(|n| DstIndex::simple(IndexExpr::Var(n.clone())))
+            .collect();
         Remapping::new(names, dst)
     }
 
@@ -323,7 +335,10 @@ impl FromStr for Remapping {
 /// for orders up to 4, then `i1, i2, ...`.
 pub fn canonical_names(order: usize) -> Vec<String> {
     if order <= 4 {
-        ["i", "j", "k", "l"][..order].iter().map(|s| s.to_string()).collect()
+        ["i", "j", "k", "l"][..order]
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
     } else {
         (1..=order).map(|d| format!("i{d}")).collect()
     }
@@ -369,7 +384,11 @@ mod tests {
         assert!(dst.has_counter());
         let r = Remapping::new(
             vec!["i".into(), "j".into()],
-            vec![dst, DstIndex::simple(IndexExpr::var("i")), DstIndex::simple(IndexExpr::var("j"))],
+            vec![
+                dst,
+                DstIndex::simple(IndexExpr::var("i")),
+                DstIndex::simple(IndexExpr::var("j")),
+            ],
         );
         assert!(r.has_counter());
         assert!(!r.is_identity());

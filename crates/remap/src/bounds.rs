@@ -40,7 +40,8 @@ impl BoundsEnv {
         assert_eq!(dims.len(), remap.source_order(), "dimension count mismatch");
         let mut env = BoundsEnv::new();
         for (name, &extent) in remap.src.iter().zip(dims) {
-            env.vars.insert(name.clone(), DimBounds::from_extent(extent));
+            env.vars
+                .insert(name.clone(), DimBounds::from_extent(extent));
         }
         env
     }
@@ -66,7 +67,10 @@ impl BoundsEnv {
     fn var(&self, name: &str) -> Result<Interval, RemapError> {
         self.vars
             .get(name)
-            .map(|b| Interval { lo: b.lower, hi: b.upper - 1 })
+            .map(|b| Interval {
+                lo: b.lower,
+                hi: b.upper - 1,
+            })
             .ok_or_else(|| RemapError::UnboundVariable(name.to_string()))
     }
 
@@ -114,7 +118,10 @@ impl Interval {
 }
 
 fn combine(op: BinOp, a: Interval, b: Interval) -> Result<Interval, RemapError> {
-    let iv = |lo: i64, hi: i64| Interval { lo: lo.min(hi), hi: lo.max(hi) };
+    let iv = |lo: i64, hi: i64| Interval {
+        lo: lo.min(hi),
+        hi: lo.max(hi),
+    };
     match op {
         BinOp::Add => Ok(iv(a.lo.saturating_add(b.lo), a.hi.saturating_add(b.hi))),
         BinOp::Sub => Ok(iv(a.lo.saturating_sub(b.hi), a.hi.saturating_sub(b.lo))),
@@ -146,9 +153,15 @@ fn combine(op: BinOp, a: Interval, b: Interval) -> Result<Interval, RemapError> 
             }
             let max_abs = b.lo.abs().max(b.hi.abs()) - 1;
             if a.nonneg() {
-                Ok(Interval { lo: 0, hi: max_abs.min(a.hi) })
+                Ok(Interval {
+                    lo: 0,
+                    hi: max_abs.min(a.hi),
+                })
             } else {
-                Ok(Interval { lo: -max_abs, hi: max_abs })
+                Ok(Interval {
+                    lo: -max_abs,
+                    hi: max_abs,
+                })
             }
         }
         BinOp::Shl => {
@@ -178,9 +191,15 @@ fn combine(op: BinOp, a: Interval, b: Interval) -> Result<Interval, RemapError> 
         }
         BinOp::And => {
             if a.nonneg() && b.nonneg() {
-                Ok(Interval { lo: 0, hi: a.hi.min(b.hi) })
+                Ok(Interval {
+                    lo: 0,
+                    hi: a.hi.min(b.hi),
+                })
             } else {
-                Ok(Interval { lo: a.lo.min(b.lo).min(0), hi: a.hi.max(b.hi).max(0) })
+                Ok(Interval {
+                    lo: a.lo.min(b.lo).min(0),
+                    hi: a.hi.max(b.hi).max(0),
+                })
             }
         }
         BinOp::Or | BinOp::Xor => {
@@ -194,7 +213,10 @@ fn combine(op: BinOp, a: Interval, b: Interval) -> Result<Interval, RemapError> 
                 Ok(Interval { lo: 0, hi: mask })
             } else {
                 // Conservative fallback for signed bit operations.
-                Ok(Interval { lo: i64::MIN / 4, hi: i64::MAX / 4 })
+                Ok(Interval {
+                    lo: i64::MIN / 4,
+                    hi: i64::MAX / 4,
+                })
             }
         }
     }
@@ -272,7 +294,9 @@ mod tests {
     #[test]
     fn bcsr_block_bounds_use_parameters() {
         let remap = parse_remapping("(i,j) -> (i/M,j/N,i,j)").unwrap();
-        let env = BoundsEnv::for_remapping(&remap, &[8, 12]).with_param("M", 2).with_param("N", 3);
+        let env = BoundsEnv::for_remapping(&remap, &[8, 12])
+            .with_param("M", 2)
+            .with_param("N", 3);
         let bounds = infer_bounds(&remap, &env).unwrap();
         assert_eq!(bounds[0], DimBounds::new(0, 4));
         assert_eq!(bounds[1], DimBounds::new(0, 4));
@@ -293,29 +317,41 @@ mod tests {
 
     #[test]
     fn morton_bits_are_bounded() {
-        let remap =
-            parse_remapping("(i,j) -> (r=i/4 in s=j/4 in (r&1)|((s&1)<<1),i,j)").unwrap();
+        let remap = parse_remapping("(i,j) -> (r=i/4 in s=j/4 in (r&1)|((s&1)<<1),i,j)").unwrap();
         let env = BoundsEnv::for_remapping(&remap, &[16, 16]);
         let bounds = infer_bounds(&remap, &env).unwrap();
         assert_eq!(bounds[0].lower, 0);
-        assert!(bounds[0].upper <= 4, "two interleaved bits fit in [0, 4), got {}", bounds[0]);
+        assert!(
+            bounds[0].upper <= 4,
+            "two interleaved bits fit in [0, 4), got {}",
+            bounds[0]
+        );
     }
 
     #[test]
     fn division_by_zero_parameter_is_detected() {
         let remap = parse_remapping("(i,j) -> (i/M,i,j)").unwrap();
         let env = BoundsEnv::for_remapping(&remap, &[4, 4]).with_param("M", 0);
-        assert!(matches!(infer_bounds(&remap, &env), Err(RemapError::DivisionByZero)));
+        assert!(matches!(
+            infer_bounds(&remap, &env),
+            Err(RemapError::DivisionByZero)
+        ));
     }
 
     #[test]
     fn missing_bindings_are_reported() {
         let remap = parse_remapping("(i,j) -> (i/M,i,j)").unwrap();
         let env = BoundsEnv::for_remapping(&remap, &[4, 4]);
-        assert!(matches!(infer_bounds(&remap, &env), Err(RemapError::MissingParameter(_))));
+        assert!(matches!(
+            infer_bounds(&remap, &env),
+            Err(RemapError::MissingParameter(_))
+        ));
         let remap = parse_remapping("(i,j) -> (i,j)").unwrap();
         let env = BoundsEnv::new().with_var("i", DimBounds::from_extent(4));
-        assert!(matches!(infer_bounds(&remap, &env), Err(RemapError::UnboundVariable(_))));
+        assert!(matches!(
+            infer_bounds(&remap, &env),
+            Err(RemapError::UnboundVariable(_))
+        ));
     }
 
     #[test]

@@ -68,14 +68,31 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        assert!(RemapError::UnboundVariable("q".into()).to_string().contains("`q`"));
-        assert!(RemapError::MissingParameter("N".into()).to_string().contains("`N`"));
-        assert!(RemapError::ArityMismatch { expected: 2, found: 3 }.to_string().contains('2'));
-        assert!(RemapError::DivisionByZero.to_string().contains("zero"));
-        assert!(RemapError::Lex { position: 3, found: '$' }.to_string().contains('$'));
-        assert!(RemapError::Parse { message: "expected `)`".into(), position: 7 }
+        assert!(RemapError::UnboundVariable("q".into())
             .to_string()
-            .contains("expected"));
+            .contains("`q`"));
+        assert!(RemapError::MissingParameter("N".into())
+            .to_string()
+            .contains("`N`"));
+        assert!(RemapError::ArityMismatch {
+            expected: 2,
+            found: 3
+        }
+        .to_string()
+        .contains('2'));
+        assert!(RemapError::DivisionByZero.to_string().contains("zero"));
+        assert!(RemapError::Lex {
+            position: 3,
+            found: '$'
+        }
+        .to_string()
+        .contains('$'));
+        assert!(RemapError::Parse {
+            message: "expected `)`".into(),
+            position: 7
+        }
+        .to_string()
+        .contains("expected"));
         assert!(RemapError::InvalidShift(-1).to_string().contains("-1"));
     }
 

@@ -110,7 +110,11 @@ pub struct EvalContext<'a> {
 impl<'a> EvalContext<'a> {
     /// Creates a context with no parameters bound.
     pub fn new(remap: &'a Remapping) -> Self {
-        EvalContext { remap, params: HashMap::new(), counters: CounterState::new() }
+        EvalContext {
+            remap,
+            params: HashMap::new(),
+            counters: CounterState::new(),
+        }
     }
 
     /// Binds a symbolic parameter (e.g. a block size `M`) to a value.
@@ -235,7 +239,11 @@ impl<'a> EvalContext<'a> {
                 bounds[d] = DimBounds::new(lo, hi + 1);
             }
         }
-        Ok(RemappedTriples { bounds, triples, source_shape: tensor.shape().clone() })
+        Ok(RemappedTriples {
+            bounds,
+            triples,
+            source_shape: tensor.shape().clone(),
+        })
     }
 }
 
@@ -323,17 +331,21 @@ mod tests {
     #[test]
     fn bcsr_remapping_uses_parameters() {
         let remap = parse_remapping("(i,j) -> (i/M,j/N,i,j)").unwrap();
-        let mut ctx = EvalContext::new(&remap).with_param("M", 2).with_param("N", 3);
+        let mut ctx = EvalContext::new(&remap)
+            .with_param("M", 2)
+            .with_param("N", 3);
         assert_eq!(ctx.apply(&[3, 4]).unwrap(), vec![1, 1, 3, 4]);
         // Missing parameter is an error.
         let mut bare = EvalContext::new(&remap);
-        assert!(matches!(bare.apply(&[1, 1]), Err(RemapError::MissingParameter(_))));
+        assert!(matches!(
+            bare.apply(&[1, 1]),
+            Err(RemapError::MissingParameter(_))
+        ));
     }
 
     #[test]
     fn let_bindings_and_bitops_compute_morton_bits() {
-        let remap =
-            parse_remapping("(i,j) -> (r=i/2 in s=j/2 in (r&1)|((s&1)<<1),i,j)").unwrap();
+        let remap = parse_remapping("(i,j) -> (r=i/2 in s=j/2 in (r&1)|((s&1)<<1),i,j)").unwrap();
         let mut ctx = EvalContext::new(&remap);
         assert_eq!(ctx.apply(&[2, 2]).unwrap()[0], 0b01 | 0b10);
         assert_eq!(ctx.apply(&[0, 2]).unwrap()[0], 0b10);
@@ -347,17 +359,32 @@ mod tests {
         let mut ctx = EvalContext::new(&remap);
         assert!(matches!(
             ctx.apply(&[1]),
-            Err(RemapError::ArityMismatch { expected: 2, found: 1 })
+            Err(RemapError::ArityMismatch {
+                expected: 2,
+                found: 1
+            })
         ));
     }
 
     #[test]
     fn division_and_shift_errors() {
         assert_eq!(apply_binop(BinOp::Div, 7, 2).unwrap(), 3);
-        assert!(matches!(apply_binop(BinOp::Div, 1, 0), Err(RemapError::DivisionByZero)));
-        assert!(matches!(apply_binop(BinOp::Rem, 1, 0), Err(RemapError::DivisionByZero)));
-        assert!(matches!(apply_binop(BinOp::Shl, 1, 64), Err(RemapError::InvalidShift(64))));
-        assert!(matches!(apply_binop(BinOp::Shr, 1, -1), Err(RemapError::InvalidShift(-1))));
+        assert!(matches!(
+            apply_binop(BinOp::Div, 1, 0),
+            Err(RemapError::DivisionByZero)
+        ));
+        assert!(matches!(
+            apply_binop(BinOp::Rem, 1, 0),
+            Err(RemapError::DivisionByZero)
+        ));
+        assert!(matches!(
+            apply_binop(BinOp::Shl, 1, 64),
+            Err(RemapError::InvalidShift(64))
+        ));
+        assert!(matches!(
+            apply_binop(BinOp::Shr, 1, -1),
+            Err(RemapError::InvalidShift(-1))
+        ));
         assert_eq!(apply_binop(BinOp::Xor, 0b1100, 0b1010).unwrap(), 0b0110);
     }
 

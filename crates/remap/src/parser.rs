@@ -17,7 +17,11 @@ use crate::token::{lex, SpannedToken, Token};
 /// conform to the grammar of Figure 8.
 pub fn parse_remapping(input: &str) -> Result<Remapping, RemapError> {
     let tokens = lex(input)?;
-    let mut parser = Parser { tokens, pos: 0, input_len: input.len() };
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        input_len: input.len(),
+    };
     let remapping = parser.parse_remapping()?;
     parser.expect_end()?;
     Ok(remapping)
@@ -32,7 +36,11 @@ pub fn parse_remapping(input: &str) -> Result<Remapping, RemapError> {
 /// Returns an error if the text is not a valid `ivar_let`.
 pub fn parse_dst_index(input: &str, src_vars: &[String]) -> Result<DstIndex, RemapError> {
     let tokens = lex(input)?;
-    let mut parser = Parser { tokens, pos: 0, input_len: input.len() };
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        input_len: input.len(),
+    };
     let dst = parser.parse_ivar_let(src_vars)?;
     parser.expect_end()?;
     Ok(dst)
@@ -54,7 +62,10 @@ impl Parser {
     }
 
     fn position(&self) -> usize {
-        self.tokens.get(self.pos).map(|t| t.position).unwrap_or(self.input_len)
+        self.tokens
+            .get(self.pos)
+            .map(|t| t.position)
+            .unwrap_or(self.input_len)
     }
 
     fn advance(&mut self) -> Option<Token> {
@@ -66,7 +77,10 @@ impl Parser {
     }
 
     fn error(&self, message: impl Into<String>) -> RemapError {
-        RemapError::Parse { message: message.into(), position: self.position() }
+        RemapError::Parse {
+            message: message.into(),
+            position: self.position(),
+        }
     }
 
     fn expect(&mut self, expected: &Token, what: &str) -> Result<(), RemapError> {
@@ -281,11 +295,14 @@ mod tests {
     fn parses_bcsr_remapping_with_parameters() {
         let r = parse_remapping("(i,j) -> (i/M,j/N,i,j)").unwrap();
         assert_eq!(r.params(), vec!["M".to_string(), "N".to_string()]);
-        assert_eq!(r.dst[0].expr, IndexExpr::binary(
-            BinOp::Div,
-            IndexExpr::var("i"),
-            IndexExpr::Param("M".into()),
-        ));
+        assert_eq!(
+            r.dst[0].expr,
+            IndexExpr::binary(
+                BinOp::Div,
+                IndexExpr::var("i"),
+                IndexExpr::Param("M".into()),
+            )
+        );
     }
 
     #[test]
@@ -307,7 +324,10 @@ mod tests {
     #[test]
     fn parses_multi_variable_counter() {
         let r = parse_remapping("(i,j,k) -> (#i j,i,j,k)").unwrap();
-        assert_eq!(r.dst[0].expr, IndexExpr::Counter(vec!["i".into(), "j".into()]));
+        assert_eq!(
+            r.dst[0].expr,
+            IndexExpr::Counter(vec!["i".into(), "j".into()])
+        );
         // The remaining destination coordinates are the plain variables.
         assert_eq!(r.dst.len(), 4);
         assert_eq!(r.dst[1].expr, IndexExpr::var("i"));

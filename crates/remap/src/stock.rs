@@ -45,7 +45,10 @@ pub fn bcsr() -> Remapping {
 ///
 /// Panics if either block size is zero.
 pub fn bcsr_with_blocks(block_rows: usize, block_cols: usize) -> Remapping {
-    assert!(block_rows > 0 && block_cols > 0, "block sizes must be positive");
+    assert!(
+        block_rows > 0 && block_cols > 0,
+        "block sizes must be positive"
+    );
     let (bm, bn) = (block_rows as i64, block_cols as i64);
     let i = || IndexExpr::var("i");
     let j = || IndexExpr::var("j");
@@ -118,7 +121,10 @@ pub fn hicoo_matrix(block: usize, bits: u32) -> Remapping {
     let local_i = IndexExpr::binary(BinOp::Rem, i(), IndexExpr::Const(b));
     let local_j = IndexExpr::binary(BinOp::Rem, j(), IndexExpr::Const(b));
     let block_morton = DstIndex {
-        lets: vec![("r".to_string(), block_i.clone()), ("s".to_string(), block_j.clone())],
+        lets: vec![
+            ("r".to_string(), block_i.clone()),
+            ("s".to_string(), block_j.clone()),
+        ],
         expr: morton_interleave_expr(
             &[IndexExpr::LetVar("r".into()), IndexExpr::LetVar("s".into())],
             bits,
@@ -182,13 +188,20 @@ mod tests {
         let expr = morton_interleave_expr(&[IndexExpr::var("i"), IndexExpr::var("j")], 4);
         let remap = Remapping::new(
             vec!["i".into(), "j".into()],
-            vec![DstIndex::simple(expr), DstIndex::simple(IndexExpr::var("i"))],
+            vec![
+                DstIndex::simple(expr),
+                DstIndex::simple(IndexExpr::var("i")),
+            ],
         );
         let mut ctx = EvalContext::new(&remap);
         for i in 0..16i64 {
             for j in 0..16i64 {
                 let got = ctx.apply(&[i, j]).unwrap()[0];
-                assert_eq!(got as u64, reference_morton(i as u64, j as u64, 4), "({i},{j})");
+                assert_eq!(
+                    got as u64,
+                    reference_morton(i as u64, j as u64, 4),
+                    "({i},{j})"
+                );
             }
         }
     }

@@ -134,7 +134,10 @@ pub fn lex(input: &str) -> Result<Vec<SpannedToken>, RemapError> {
                     pos += 2;
                     Token::Shl
                 } else {
-                    return Err(RemapError::Lex { position: pos, found: '<' });
+                    return Err(RemapError::Lex {
+                        position: pos,
+                        found: '<',
+                    });
                 }
             }
             '>' => {
@@ -142,7 +145,10 @@ pub fn lex(input: &str) -> Result<Vec<SpannedToken>, RemapError> {
                     pos += 2;
                     Token::Shr
                 } else {
-                    return Err(RemapError::Lex { position: pos, found: '>' });
+                    return Err(RemapError::Lex {
+                        position: pos,
+                        found: '>',
+                    });
                 }
             }
             c if c.is_ascii_digit() => {
@@ -168,9 +174,17 @@ pub fn lex(input: &str) -> Result<Vec<SpannedToken>, RemapError> {
                 pos = end;
                 Token::Ident(name)
             }
-            other => return Err(RemapError::Lex { position: pos, found: other }),
+            other => {
+                return Err(RemapError::Lex {
+                    position: pos,
+                    found: other,
+                })
+            }
         };
-        tokens.push(SpannedToken { token, position: start });
+        tokens.push(SpannedToken {
+            token,
+            position: start,
+        });
     }
     Ok(tokens)
 }
@@ -244,9 +258,18 @@ mod tests {
 
     #[test]
     fn rejects_stray_characters() {
-        assert!(matches!(lex("i $ j"), Err(RemapError::Lex { found: '$', .. })));
-        assert!(matches!(lex("i < j"), Err(RemapError::Lex { found: '<', .. })));
-        assert!(matches!(lex("i > j"), Err(RemapError::Lex { found: '>', .. })));
+        assert!(matches!(
+            lex("i $ j"),
+            Err(RemapError::Lex { found: '$', .. })
+        ));
+        assert!(matches!(
+            lex("i < j"),
+            Err(RemapError::Lex { found: '<', .. })
+        ));
+        assert!(matches!(
+            lex("i > j"),
+            Err(RemapError::Lex { found: '>', .. })
+        ));
     }
 
     #[test]

@@ -27,7 +27,10 @@ impl Shape {
     ///
     /// Panics if `dims` is empty.
     pub fn new(dims: Vec<usize>) -> Self {
-        assert!(!dims.is_empty(), "a tensor must have at least one dimension");
+        assert!(
+            !dims.is_empty(),
+            "a tensor must have at least one dimension"
+        );
         Shape { dims }
     }
 
@@ -94,7 +97,10 @@ impl Shape {
     ///
     /// Panics if the coordinate is out of bounds.
     pub fn linearize(&self, coord: &[i64]) -> usize {
-        assert!(self.contains(coord), "coordinate {coord:?} out of bounds for {self}");
+        assert!(
+            self.contains(coord),
+            "coordinate {coord:?} out of bounds for {self}"
+        );
         let mut off = 0usize;
         for (d, &c) in coord.iter().enumerate() {
             off = off * self.dims[d] + c as usize;
@@ -140,13 +146,19 @@ impl DimBounds {
     ///
     /// Panics if `upper < lower`.
     pub fn new(lower: i64, upper: i64) -> Self {
-        assert!(upper >= lower, "upper bound {upper} below lower bound {lower}");
+        assert!(
+            upper >= lower,
+            "upper bound {upper} below lower bound {lower}"
+        );
         DimBounds { lower, upper }
     }
 
     /// Bounds of an ordinary dimension `[0, extent)`.
     pub fn from_extent(extent: usize) -> Self {
-        DimBounds { lower: 0, upper: extent as i64 }
+        DimBounds {
+            lower: 0,
+            upper: extent as i64,
+        }
     }
 
     /// Number of distinct coordinate values in the bounds.

@@ -16,7 +16,11 @@ pub struct DenseMatrix {
 impl DenseMatrix {
     /// Creates a `rows x cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        DenseMatrix { rows, cols, data: vec![0.0; rows * cols] }
+        DenseMatrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a matrix from a row-major data vector.
@@ -56,7 +60,10 @@ impl DenseMatrix {
     ///
     /// Panics if the index is out of bounds.
     pub fn get(&self, i: usize, j: usize) -> Value {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         self.data[i * self.cols + j]
     }
 
@@ -66,7 +73,10 @@ impl DenseMatrix {
     ///
     /// Panics if the index is out of bounds.
     pub fn get_mut(&mut self, i: usize, j: usize) -> &mut Value {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         &mut self.data[i * self.cols + j]
     }
 

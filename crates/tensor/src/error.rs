@@ -41,7 +41,10 @@ impl fmt::Display for TensorError {
                 write!(f, "coordinate {coord:?} out of bounds for shape {shape}")
             }
             TensorError::OrderMismatch { expected, found } => {
-                write!(f, "expected order-{expected} coordinate, found order-{found}")
+                write!(
+                    f,
+                    "expected order-{expected} coordinate, found order-{found}"
+                )
             }
             TensorError::ShapeMismatch { left, right } => {
                 write!(f, "shape mismatch: {left} vs {right}")
@@ -59,11 +62,20 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = TensorError::OutOfBounds { coord: vec![5, 0], shape: Shape::matrix(4, 6) };
+        let e = TensorError::OutOfBounds {
+            coord: vec![5, 0],
+            shape: Shape::matrix(4, 6),
+        };
         assert!(e.to_string().contains("out of bounds"));
-        let e = TensorError::OrderMismatch { expected: 2, found: 3 };
+        let e = TensorError::OrderMismatch {
+            expected: 2,
+            found: 3,
+        };
         assert!(e.to_string().contains("order-2"));
-        let e = TensorError::ShapeMismatch { left: Shape::matrix(1, 2), right: Shape::matrix(2, 1) };
+        let e = TensorError::ShapeMismatch {
+            left: Shape::matrix(1, 2),
+            right: Shape::matrix(2, 1),
+        };
         assert!(e.to_string().contains("mismatch"));
         let e = TensorError::InvalidStructure("pos not monotone".into());
         assert!(e.to_string().contains("pos not monotone"));

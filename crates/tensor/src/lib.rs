@@ -22,6 +22,8 @@
 //! assert_eq!(m.nnz(), 9);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod coord;
 pub mod dense;
 pub mod error;

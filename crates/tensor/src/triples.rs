@@ -42,13 +42,19 @@ pub struct SparseTriples {
 impl SparseTriples {
     /// Creates an empty tensor with the given shape.
     pub fn new(shape: Shape) -> Self {
-        SparseTriples { shape, triples: Vec::new() }
+        SparseTriples {
+            shape,
+            triples: Vec::new(),
+        }
     }
 
     /// Creates an empty tensor with the given shape, reserving room for `cap`
     /// nonzeros.
     pub fn with_capacity(shape: Shape, cap: usize) -> Self {
-        SparseTriples { shape, triples: Vec::with_capacity(cap) }
+        SparseTriples {
+            shape,
+            triples: Vec::with_capacity(cap),
+        }
     }
 
     /// Builds a tensor from parallel coordinate / value lists.
@@ -80,7 +86,9 @@ impl SparseTriples {
     ) -> Result<Self, TensorError> {
         SparseTriples::from_entries(
             Shape::matrix(rows, cols),
-            entries.into_iter().map(|(i, j, v)| (vec![i as i64, j as i64], v)),
+            entries
+                .into_iter()
+                .map(|(i, j, v)| (vec![i as i64, j as i64], v)),
         )
     }
 
@@ -117,7 +125,10 @@ impl SparseTriples {
             });
         }
         if !self.shape.contains(&coord) {
-            return Err(TensorError::OutOfBounds { coord, shape: self.shape.clone() });
+            return Err(TensorError::OutOfBounds {
+                coord,
+                shape: self.shape.clone(),
+            });
         }
         self.triples.push(Triple::new(coord, value));
         Ok(())
@@ -152,7 +163,9 @@ impl SparseTriples {
 
     /// Returns true when components are sorted lexicographically by coordinate.
     pub fn is_sorted(&self) -> bool {
-        self.triples.windows(2).all(|w| lex_cmp(&w[0].coord, &w[1].coord) != std::cmp::Ordering::Greater)
+        self.triples
+            .windows(2)
+            .all(|w| lex_cmp(&w[0].coord, &w[1].coord) != std::cmp::Ordering::Greater)
     }
 
     /// Sums duplicate coordinates together, leaving a sorted, duplicate-free
@@ -241,7 +254,8 @@ impl SparseTriples {
 impl Extend<(Coord, Value)> for SparseTriples {
     fn extend<T: IntoIterator<Item = (Coord, Value)>>(&mut self, iter: T) {
         for (coord, value) in iter {
-            self.push(coord, value).expect("coordinate out of bounds in Extend");
+            self.push(coord, value)
+                .expect("coordinate out of bounds in Extend");
         }
     }
 }
@@ -263,8 +277,14 @@ mod tests {
     fn push_validates_bounds_and_order() {
         let mut t = SparseTriples::new(Shape::matrix(2, 2));
         assert!(t.push(vec![1, 1], 1.0).is_ok());
-        assert!(matches!(t.push(vec![2, 0], 1.0), Err(TensorError::OutOfBounds { .. })));
-        assert!(matches!(t.push(vec![0], 1.0), Err(TensorError::OrderMismatch { .. })));
+        assert!(matches!(
+            t.push(vec![2, 0], 1.0),
+            Err(TensorError::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            t.push(vec![0], 1.0),
+            Err(TensorError::OrderMismatch { .. })
+        ));
     }
 
     #[test]
@@ -279,12 +299,9 @@ mod tests {
 
     #[test]
     fn sum_duplicates_merges() {
-        let mut t = SparseTriples::from_matrix_entries(
-            2,
-            2,
-            vec![(0, 1, 1.0), (0, 1, 2.5), (1, 0, 3.0)],
-        )
-        .unwrap();
+        let mut t =
+            SparseTriples::from_matrix_entries(2, 2, vec![(0, 1, 1.0), (0, 1, 2.5), (1, 0, 3.0)])
+                .unwrap();
         t.sum_duplicates();
         assert_eq!(t.nnz(), 2);
         assert_eq!(t.get(&[0, 1]), 3.5);
@@ -337,8 +354,7 @@ mod tests {
     #[test]
     fn same_values_merges_duplicates() {
         let a = SparseTriples::from_matrix_entries(2, 2, vec![(0, 0, 3.0)]).unwrap();
-        let b =
-            SparseTriples::from_matrix_entries(2, 2, vec![(0, 0, 1.0), (0, 0, 2.0)]).unwrap();
+        let b = SparseTriples::from_matrix_entries(2, 2, vec![(0, 0, 1.0), (0, 0, 2.0)]).unwrap();
         assert!(a.same_values(&b));
     }
 
@@ -351,8 +367,7 @@ mod tests {
 
     #[test]
     fn get_sums_duplicates() {
-        let t =
-            SparseTriples::from_matrix_entries(2, 2, vec![(0, 0, 1.0), (0, 0, 4.0)]).unwrap();
+        let t = SparseTriples::from_matrix_entries(2, 2, vec![(0, 0, 1.0), (0, 0, 4.0)]).unwrap();
         assert_eq!(t.get(&[0, 0]), 5.0);
         assert_eq!(t.get(&[1, 1]), 0.0);
     }

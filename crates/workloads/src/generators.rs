@@ -43,7 +43,10 @@ pub fn banded(
     offsets: &[i64],
     seed: u64,
 ) -> Result<SparseTriples, GeneratorError> {
-    if offsets.iter().all(|&k| k <= -(rows as i64) || k >= cols as i64) {
+    if offsets
+        .iter()
+        .all(|&k| k <= -(rows as i64) || k >= cols as i64)
+    {
         return Err(GeneratorError::InvalidParameters(
             "no diagonal offset intersects the matrix".to_string(),
         ));
@@ -54,7 +57,8 @@ pub fn banded(
         for i in 0..rows {
             let j = i as i64 + k;
             if j >= 0 && j < cols as i64 {
-                t.push(vec![i as i64, j], value_for(&mut rng)).expect("in bounds");
+                t.push(vec![i as i64, j], value_for(&mut rng))
+                    .expect("in bounds");
             }
         }
     }
@@ -123,7 +127,8 @@ pub fn blocked(
             for li in 0..block {
                 for lj in 0..block {
                     let (i, j) = (bi * block + li, bj * block + lj);
-                    t.push(vec![i as i64, j as i64], value_for(&mut rng)).expect("in bounds");
+                    t.push(vec![i as i64, j as i64], value_for(&mut rng))
+                        .expect("in bounds");
                     if t.nnz() >= target_nnz {
                         break 'outer;
                     }
@@ -212,7 +217,8 @@ pub fn irregular(
             }
         }
         for &j in &picked {
-            t.push(vec![r as i64, j as i64], value_for(&mut rng)).expect("in bounds");
+            t.push(vec![r as i64, j as i64], value_for(&mut rng))
+                .expect("in bounds");
         }
     }
     Ok(t)
@@ -250,7 +256,11 @@ mod tests {
     fn blocked_produces_dense_tiles() {
         let t = blocked(200, 200, 4, 8, 5_000, 7).unwrap();
         let stats = MatrixStats::compute(&t);
-        assert!(stats.nnz >= 3_000 && stats.nnz <= 5_000, "nnz = {}", stats.nnz);
+        assert!(
+            stats.nnz >= 3_000 && stats.nnz <= 5_000,
+            "nnz = {}",
+            stats.nnz
+        );
         assert!(stats.max_nnz_per_row >= 4);
         assert!(blocked(10, 10, 0, 1, 10, 0).is_err());
     }
@@ -269,7 +279,13 @@ mod tests {
 
     #[test]
     fn generators_are_deterministic_per_seed() {
-        assert_eq!(irregular(100, 100, 500, 20, 9).unwrap(), irregular(100, 100, 500, 20, 9).unwrap());
-        assert_ne!(irregular(100, 100, 500, 20, 9).unwrap(), irregular(100, 100, 500, 20, 10).unwrap());
+        assert_eq!(
+            irregular(100, 100, 500, 20, 9).unwrap(),
+            irregular(100, 100, 500, 20, 9).unwrap()
+        );
+        assert_ne!(
+            irregular(100, 100, 500, 20, 9).unwrap(),
+            irregular(100, 100, 500, 20, 10).unwrap()
+        );
     }
 }

@@ -76,7 +76,10 @@ impl MatrixSpec {
                 // stencil matrices (e.g. majorbasis) have more diagonals than
                 // nonzeros per row, which this stand-in approximates from
                 // below (see EXPERIMENTS.md).
-                let count = self.nonzero_diagonals.min(self.max_nnz_per_row).min(dim / 2);
+                let count = self
+                    .nonzero_diagonals
+                    .min(self.max_nnz_per_row)
+                    .min(dim / 2);
                 let offsets = stencil_offsets(count);
                 banded(dim, dim, &offsets, seed).expect("banded parameters are valid")
             }
@@ -99,7 +102,10 @@ impl MatrixSpec {
     /// # Errors
     ///
     /// Propagates generator errors (none occur for the stock suite).
-    pub fn generate_with_stats(&self, scale: f64) -> Result<(SparseTriples, MatrixStats), GeneratorError> {
+    pub fn generate_with_stats(
+        &self,
+        scale: f64,
+    ) -> Result<(SparseTriples, MatrixStats), GeneratorError> {
         let m = self.generate(scale);
         let stats = MatrixStats::compute(&m);
         Ok((m, stats))
@@ -108,7 +114,9 @@ impl MatrixSpec {
 
 /// A tiny deterministic string hash for per-matrix seeds.
 fn fxhash(name: &str) -> u64 {
-    name.bytes().fold(0xcbf29ce484222325u64, |h, b| (h ^ b as u64).wrapping_mul(0x100000001b3))
+    name.bytes().fold(0xcbf29ce484222325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x100000001b3)
+    })
 }
 
 /// The 21 matrices of Table 2.
@@ -135,15 +143,33 @@ pub fn table2() -> Vec<MatrixSpec> {
         spec("consph", 83_300, 6_010_000, 13_000, 81, false, Blocked),
         spec("denormal", 89_400, 1_160_000, 13, 13, false, Banded),
         spec("Baumann", 112_000, 748_000, 7, 7, true, Banded),
-        spec("cop20k_A", 121_000, 2_620_000, 221_000, 81, false, Irregular),
+        spec(
+            "cop20k_A", 121_000, 2_620_000, 221_000, 81, false, Irregular,
+        ),
         spec("shipsec1", 141_000, 3_570_000, 10_000, 102, false, Blocked),
         spec("majorbasis", 160_000, 1_750_000, 22, 11, true, Banded),
         spec("scircuit", 171_000, 959_000, 159_000, 353, true, Irregular),
-        spec("mac_econ_fwd500", 207_000, 1_270_000, 511, 44, true, Irregular),
+        spec(
+            "mac_econ_fwd500",
+            207_000,
+            1_270_000,
+            511,
+            44,
+            true,
+            Irregular,
+        ),
         spec("pwtk", 218_000, 11_500_000, 20_000, 180, false, Blocked),
         spec("Lin", 256_000, 1_770_000, 7, 7, false, Banded),
         spec("ecology1", 1_000_000, 5_000_000, 5, 5, false, Banded),
-        spec("webbase-1M", 1_000_000, 3_110_000, 564_000, 4_700, true, Irregular),
+        spec(
+            "webbase-1M",
+            1_000_000,
+            3_110_000,
+            564_000,
+            4_700,
+            true,
+            Irregular,
+        ),
         spec("atmosmodd", 1_270_000, 8_810_000, 7, 7, true, Banded),
     ]
 }
@@ -162,15 +188,31 @@ mod tests {
         assert_eq!(suite.iter().filter(|s| s.non_symmetric).count(), 8);
         // The paper omits DIA/ELL results for the very sparse, very
         // irregular matrices.
-        assert!(!suite.iter().find(|s| s.name == "webbase-1M").unwrap().dia_admissible());
-        assert!(suite.iter().find(|s| s.name == "ecology1").unwrap().dia_admissible());
-        assert!(suite.iter().find(|s| s.name == "Lin").unwrap().ell_admissible());
+        assert!(!suite
+            .iter()
+            .find(|s| s.name == "webbase-1M")
+            .unwrap()
+            .dia_admissible());
+        assert!(suite
+            .iter()
+            .find(|s| s.name == "ecology1")
+            .unwrap()
+            .dia_admissible());
+        assert!(suite
+            .iter()
+            .find(|s| s.name == "Lin")
+            .unwrap()
+            .ell_admissible());
     }
 
     #[test]
     fn banded_specs_reproduce_their_statistics_at_scale() {
         let suite = table2();
-        for spec in suite.iter().filter(|s| s.class == MatrixClass::Banded).take(4) {
+        for spec in suite
+            .iter()
+            .filter(|s| s.class == MatrixClass::Banded)
+            .take(4)
+        {
             let (_, stats) = spec.generate_with_stats(0.02).unwrap();
             assert_eq!(
                 stats.nonzero_diagonals,

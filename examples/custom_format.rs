@@ -44,15 +44,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "DOK-of-blocks",
         remapping,
         vec!["bi", "bj", "li", "lj"],
-        vec![LevelKind::Dense, LevelKind::Hashed, LevelKind::Dense, LevelKind::Dense],
+        vec![
+            LevelKind::Dense,
+            LevelKind::Hashed,
+            LevelKind::Dense,
+            LevelKind::Dense,
+        ],
     );
     let tensor = convert_with_spec(&src, &blocked)?;
     println!("custom format `{}`:", tensor.spec.name);
-    println!("  required queries: {:?}", blocked.required_queries().iter().map(|q| q.to_string()).collect::<Vec<_>>());
+    println!(
+        "  required queries: {:?}",
+        blocked
+            .required_queries()
+            .iter()
+            .map(|q| q.to_string())
+            .collect::<Vec<_>>()
+    );
     if let LevelOutput::Hashed { coords } = &tensor.levels[1] {
         println!("  {} nonzero 2x2 blocks interned", coords.len());
     }
-    println!("  {} stored values ({} nonzero)", tensor.vals.len(), tensor.vals.iter().filter(|&&v| v != 0.0).count());
+    println!(
+        "  {} stored values ({} nonzero)",
+        tensor.vals.len(),
+        tensor.vals.iter().filter(|&&v| v != 0.0).count()
+    );
 
     // The stock skyline spec works through exactly the same machinery.
     let sky = FormatSpec::stock(FormatId::Skyline);

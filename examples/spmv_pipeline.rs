@@ -14,7 +14,10 @@ use taco_conversion_repro::workloads::table2;
 fn main() {
     // A banded stencil matrix (the `denormal` stand-in from Table 2) at a
     // laptop-friendly scale.
-    let spec = table2().into_iter().find(|s| s.name == "denormal").expect("in suite");
+    let spec = table2()
+        .into_iter()
+        .find(|s| s.name == "denormal")
+        .expect("in suite");
     let triples = spec.generate(0.05);
     let coo = CooMatrix::from_triples(&triples);
     let x: Vec<f64> = (0..coo.cols()).map(|j| (j % 10) as f64).collect();
@@ -46,7 +49,12 @@ fn main() {
     assert!(close(&y_coo, &y_csr));
     assert!(close(&y_coo, &y_dia));
 
-    println!("matrix: {} stand-in, {} rows, {} nonzeros", spec.name, coo.rows(), coo.nnz());
+    println!(
+        "matrix: {} stand-in, {} rows, {} nonzeros",
+        spec.name,
+        coo.rows(),
+        coo.nnz()
+    );
     println!("conversion COO->CSR: {csr_conv:?}   COO->DIA: {dia_conv:?}");
     println!("SpMV per iteration: COO {coo_time:?}   CSR {csr_time:?}   DIA {dia_time:?}");
     let fastest = csr_time.min(dia_time);

@@ -13,7 +13,11 @@ use conv_bench::{BenchInputs, Conversion, Impl};
 
 #[test]
 fn table3_cells_agree_across_implementations_on_real_workloads() {
-    for spec in table2().into_iter().filter(|s| s.class == MatrixClass::Banded).take(3) {
+    for spec in table2()
+        .into_iter()
+        .filter(|s| s.class == MatrixClass::Banded)
+        .take(3)
+    {
         let inputs = BenchInputs::build(&spec, 0.01);
         for conversion in Conversion::all() {
             if !conversion.reported_for(&inputs.spec) {
@@ -22,7 +26,11 @@ fn table3_cells_agree_across_implementations_on_real_workloads() {
             let mut outputs = Vec::new();
             for implementation in [Impl::Generated, Impl::Sparskit, Impl::Mkl, Impl::TacoNoExt] {
                 if implementation.supports(conversion) {
-                    outputs.push(conv_bench::run_conversion(&inputs, conversion, implementation));
+                    outputs.push(conv_bench::run_conversion(
+                        &inputs,
+                        conversion,
+                        implementation,
+                    ));
                 }
             }
             assert!(
@@ -37,7 +45,10 @@ fn table3_cells_agree_across_implementations_on_real_workloads() {
 
 #[test]
 fn synthetic_suite_matches_paper_statistics_for_banded_matrices() {
-    for spec in table2().into_iter().filter(|s| s.class == MatrixClass::Banded) {
+    for spec in table2()
+        .into_iter()
+        .filter(|s| s.class == MatrixClass::Banded)
+    {
         let m = spec.generate(0.01);
         let stats = MatrixStats::compute(&m);
         assert_eq!(
@@ -46,14 +57,25 @@ fn synthetic_suite_matches_paper_statistics_for_banded_matrices() {
             "{}: diagonal count mismatch",
             spec.name
         );
-        assert!(stats.max_nnz_per_row <= spec.max_nnz_per_row + 2, "{}", spec.name);
+        assert!(
+            stats.max_nnz_per_row <= spec.max_nnz_per_row + 2,
+            "{}",
+            spec.name
+        );
     }
 }
 
 #[test]
 fn specification_languages_cover_all_stock_formats() {
-    for id in [FormatId::Coo, FormatId::Csr, FormatId::Csc, FormatId::Dia, FormatId::Ell, FormatId::Skyline, FormatId::Jad]
-    {
+    for id in [
+        FormatId::Coo,
+        FormatId::Csr,
+        FormatId::Csc,
+        FormatId::Dia,
+        FormatId::Ell,
+        FormatId::Skyline,
+        FormatId::Jad,
+    ] {
         let spec = FormatSpec::stock(id);
         // Remapping text round-trips through the parser.
         let reparsed = parse_remapping(&spec.remapping.to_string()).expect("remapping parses");
@@ -70,7 +92,10 @@ fn specification_languages_cover_all_stock_formats() {
 fn dia_remapping_matches_measured_diagonal_statistics() {
     // The remapped first coordinate of each nonzero is its diagonal offset;
     // the number of distinct offsets equals MatrixStats::nonzero_diagonals.
-    let spec = table2().into_iter().find(|s| s.name == "denormal").expect("in suite");
+    let spec = table2()
+        .into_iter()
+        .find(|s| s.name == "denormal")
+        .expect("in suite");
     let m = spec.generate(0.01);
     let remap = parse_remapping("(i,j) -> (j-i,i,j)").unwrap();
     let mut ctx = EvalContext::new(&remap);

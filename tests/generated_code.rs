@@ -3,9 +3,9 @@
 //! the library baselines on realistic (Table 2 stand-in) matrices.
 
 use taco_conversion_repro::conv::codegen;
+use taco_conversion_repro::conv::convert::plan_for;
 use taco_conversion_repro::conv::convert::{convert, AnyMatrix, FormatId};
 use taco_conversion_repro::conv::plan::CounterStrategy;
-use taco_conversion_repro::conv::convert::plan_for;
 use taco_conversion_repro::formats::{CooMatrix, CscMatrix, CsrMatrix};
 use taco_conversion_repro::workloads::table2;
 
@@ -15,7 +15,10 @@ fn small_suite() -> Vec<(String, sparse_tensor::SparseTriples)> {
     ["jnlbrng1", "cant", "scircuit"]
         .iter()
         .map(|name| {
-            let spec = table2().into_iter().find(|s| &s.name == name).expect("known matrix");
+            let spec = table2()
+                .into_iter()
+                .find(|s| &s.name == name)
+                .expect("known matrix");
             (name.to_string(), spec.generate(0.003))
         })
         .collect()
@@ -59,8 +62,14 @@ fn plans_match_the_papers_code_generation_decisions() {
     let csr = AnyMatrix::Csr(CsrMatrix::from_triples(&triples));
 
     // CSR -> ELL uses the scalar-counter optimisation; COO -> ELL cannot.
-    assert_eq!(plan_for(&csr, FormatId::Ell).unwrap().counters, CounterStrategy::Scalar);
-    assert_eq!(plan_for(&coo, FormatId::Ell).unwrap().counters, CounterStrategy::Array);
+    assert_eq!(
+        plan_for(&csr, FormatId::Ell).unwrap().counters,
+        CounterStrategy::Scalar
+    );
+    assert_eq!(
+        plan_for(&coo, FormatId::Ell).unwrap().counters,
+        CounterStrategy::Array
+    );
     // DIA and ELL targets assemble in a single pass (no edge insertion); CSR
     // targets need the two-phase pos/crd construction.
     assert!(plan_for(&coo, FormatId::Dia).unwrap().single_pass_assembly);

@@ -16,7 +16,10 @@ fn all_formats() -> Vec<FormatId> {
         FormatId::Csc,
         FormatId::Dia,
         FormatId::Ell,
-        FormatId::Bcsr { block_rows: 2, block_cols: 3 },
+        FormatId::Bcsr {
+            block_rows: 2,
+            block_cols: 3,
+        },
         FormatId::Jad,
         FormatId::Dok,
     ]
@@ -27,21 +30,19 @@ fn all_formats() -> Vec<FormatId> {
 fn arb_matrix() -> impl Strategy<Value = SparseTriples> {
     (1usize..24, 1usize..24).prop_flat_map(|(rows, cols)| {
         let max_nnz = (rows * cols).min(64);
-        proptest::collection::vec(
-            ((0..rows), (0..cols), -100i32..100),
-            0..max_nnz,
-        )
-        .prop_map(move |entries| {
-            let mut t = SparseTriples::new(
-                taco_conversion_repro::tensor::Shape::matrix(rows, cols),
-            );
-            for (i, j, v) in entries {
-                if v != 0 && t.get(&[i as i64, j as i64]) == 0.0 {
-                    t.push(vec![i as i64, j as i64], v as f64).expect("in bounds");
+        proptest::collection::vec(((0..rows), (0..cols), -100i32..100), 0..max_nnz).prop_map(
+            move |entries| {
+                let mut t =
+                    SparseTriples::new(taco_conversion_repro::tensor::Shape::matrix(rows, cols));
+                for (i, j, v) in entries {
+                    if v != 0 && t.get(&[i as i64, j as i64]) == 0.0 {
+                        t.push(vec![i as i64, j as i64], v as f64)
+                            .expect("in bounds");
+                    }
                 }
-            }
-            t
-        })
+                t
+            },
+        )
     })
 }
 

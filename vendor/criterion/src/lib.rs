@@ -1,0 +1,240 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! This environment has no network access, so the workspace vendors the small
+//! API subset its benches use: [`Criterion`], [`BenchmarkGroup`] with
+//! `sample_size`/`warm_up_time`/`measurement_time`, `bench_function`,
+//! `bench_with_input`, [`BenchmarkId`], [`black_box`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurement model: each benchmark is calibrated with a single timed call,
+//! an iteration count is chosen so one sample lasts roughly
+//! `measurement_time / sample_size`, and the median per-iteration time over
+//! `sample_size` samples is printed. Measurement only happens when the
+//! binary is invoked with `--bench` (which `cargo bench` passes); under
+//! `cargo test --benches` cargo runs the binary with no arguments, and every
+//! benchmark body then runs exactly once with nothing measured, so benches
+//! stay compile- and run-checked without slowing the test suite down. This
+//! mirrors upstream criterion's behavior.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], criterion's optimisation barrier.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifies one benchmark within a group: a function (implementation) name
+/// plus a parameter (input) name.
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from an implementation label and an input label.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+/// Timing state handed to a benchmark body.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+    test_mode: bool,
+}
+
+impl Bencher {
+    /// Runs `f` for the sample's iteration count and records the elapsed time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            self.elapsed = Duration::from_nanos(1);
+            return;
+        }
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+#[derive(Clone)]
+struct Settings {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    test_mode: bool,
+}
+
+impl Settings {
+    fn run<F: FnMut(&mut Bencher)>(&self, label: &str, mut f: F) {
+        if self.test_mode {
+            let mut b = Bencher {
+                iters: 1,
+                elapsed: Duration::ZERO,
+                test_mode: true,
+            };
+            f(&mut b);
+            println!("test {label} ... ok");
+            return;
+        }
+        // Calibrate: one iteration, also serving as warm-up.
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+            test_mode: false,
+        };
+        let warm_up_start = Instant::now();
+        f(&mut b);
+        while warm_up_start.elapsed() < self.warm_up_time {
+            f(&mut b);
+        }
+        let per_iter = b.elapsed.max(Duration::from_nanos(1));
+        let budget = self.measurement_time.max(Duration::from_millis(1));
+        let per_sample = budget / self.sample_size.max(1) as u32;
+        let iters = (per_sample.as_nanos() / per_iter.as_nanos()).clamp(1, u64::MAX as u128) as u64;
+
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size.max(1) {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+                test_mode: false,
+            };
+            f(&mut b);
+            samples.push(Duration::from_nanos(
+                (b.elapsed.as_nanos() / iters as u128) as u64,
+            ));
+        }
+        samples.sort();
+        let median = samples[samples.len() / 2];
+        let best = samples[0];
+        println!("{label:<60} median {median:>12?}   best {best:>12?}   ({iters} iters/sample)");
+    }
+}
+
+/// Top-level harness state, one per bench executable.
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench` invokes the binary with `--bench`; `cargo test
+        // --benches` invokes it with no arguments. Only measure in the
+        // former case, like upstream criterion.
+        let test_mode = !std::env::args().any(|a| a == "--bench");
+        Criterion {
+            settings: Settings {
+                sample_size: 100,
+                warm_up_time: Duration::from_secs(3),
+                measurement_time: Duration::from_secs(5),
+                test_mode,
+            },
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            settings: self.settings.clone(),
+            _parent: self,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        self.settings.run(name, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    settings: Settings,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n;
+        self
+    }
+
+    /// Sets the warm-up duration per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        self.settings.run(&label, f);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input under `id` within this group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        self.settings.run(&label, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Collects benchmark functions into a single runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Defines `main` for a bench executable from one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,97 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! property-testing crate.
+//!
+//! This environment has no network access, so the workspace vendors the small
+//! API subset its tests use: the [`strategy::Strategy`] trait with `prop_map` and
+//! `prop_flat_map`, range and tuple strategies, [`collection::vec`],
+//! [`test_runner::ProptestConfig`], the [`proptest!`] macro, and the
+//! `prop_assert*` macros.
+//!
+//! Semantics differ from upstream in two deliberate ways:
+//!
+//! * **no shrinking** — a failing case panics with the generated input's
+//!   `Debug` representation instead of a minimised counterexample, and
+//! * **fixed seed** — generation is deterministic across runs, so failures
+//!   are reproducible without a persistence file.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-import surface mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Defines property tests: each `fn name(pat in strategy) { body }` becomes a
+/// `#[test]` that evaluates `body` against `config.cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; matches one test fn at a time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = $config:expr;) => {};
+    (config = $config:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($pat:pat in $strat:expr) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut runner = $crate::test_runner::TestRunner::new(config);
+            let strat = $strat;
+            for case in 0..runner.cases() {
+                let value = $crate::strategy::Strategy::new_value(&strat, &mut runner);
+                let debug_repr = format!("{:?}", value);
+                let $pat = value;
+                let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| $body));
+                if let Err(panic) = result {
+                    eprintln!(
+                        "proptest case {}/{} failed for input: {}",
+                        case + 1,
+                        runner.cases(),
+                        debug_repr
+                    );
+                    ::std::panic::resume_unwind(panic);
+                }
+            }
+        }
+        $crate::__proptest_items! { config = $config; $($rest)* }
+    };
+}

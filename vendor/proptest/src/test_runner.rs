@@ -1,0 +1,50 @@
+//! Test-runner configuration and RNG state.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleUniform, SeedableRng};
+
+/// Configuration for a `proptest!` block.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Creates a configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Per-property runner: the configuration plus the RNG strategies draw from.
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: StdRng,
+}
+
+impl TestRunner {
+    /// Creates a runner with a fixed seed so failures reproduce across runs.
+    pub fn new(config: ProptestConfig) -> Self {
+        TestRunner {
+            config,
+            rng: StdRng::seed_from_u64(0x70726f7074657374),
+        }
+    }
+
+    /// Number of cases to run.
+    pub fn cases(&self) -> u32 {
+        self.config.cases
+    }
+
+    /// Draws a value uniformly from a half-open integer range.
+    pub fn rng_range<T: SampleUniform>(&mut self, range: std::ops::Range<T>) -> T {
+        self.rng.gen_range(range)
+    }
+}
