@@ -29,7 +29,7 @@ fn inputs() -> BenchInputs {
 fn bench_execution_paths(c: &mut Criterion) {
     let inputs = inputs();
     let coo_any = AnyMatrix::Coo(inputs.coo.clone());
-    let csr_spec = FormatSpec::stock(FormatId::Csr);
+    let csr_spec = FormatSpec::stock(FormatId::Csr).expect("CSR has a stock spec");
 
     let mut group = c.benchmark_group("execution_paths/coo_to_csr");
     group

@@ -1,0 +1,121 @@
+//! Throughput benchmarks for the `conv-runtime` conversion service:
+//!
+//! * the three parallel kernels at one thread vs. `BENCH_THREADS` threads on
+//!   the largest Table 2 matrix (the paper's heaviest input, synthesised at
+//!   `BENCH_SCALE`),
+//! * `convert_batch` scheduling a mixed workload across the pool, with the
+//!   plan cache asserted warm — zero plans are built during measurement.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use conv_bench::{env_f64, env_usize, BenchInputs};
+use conv_runtime::{ConversionService, ServiceConfig, WorkerPool};
+use sparse_conv::convert::{AnyMatrix, FormatId};
+
+fn thread_counts() -> Vec<usize> {
+    let max = env_usize(
+        "BENCH_THREADS",
+        WorkerPool::machine_sized().threads().max(4),
+    );
+    if max > 1 {
+        vec![1, max]
+    } else {
+        vec![1]
+    }
+}
+
+fn heaviest_inputs() -> BenchInputs {
+    let scale = env_f64("BENCH_SCALE", 0.02);
+    BenchInputs::build(&conv_bench::largest_spec(), scale)
+}
+
+fn bench_parallel_kernels(c: &mut Criterion) {
+    let inputs = heaviest_inputs();
+    let coo = AnyMatrix::Coo(inputs.coo.clone());
+    let csr = AnyMatrix::Csr(inputs.csr.clone());
+    let cases: [(&str, &AnyMatrix, FormatId); 3] = [
+        ("coo_to_csr", &coo, FormatId::Csr),
+        ("csr_to_csc", &csr, FormatId::Csc),
+        (
+            "csr_to_bcsr",
+            &csr,
+            FormatId::Bcsr {
+                block_rows: 4,
+                block_cols: 4,
+            },
+        ),
+    ];
+    for (name, src, target) in cases {
+        let mut group = c.benchmark_group(format!("service/{name}"));
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(200))
+            .measurement_time(Duration::from_millis(600));
+        for threads in thread_counts() {
+            let service = ConversionService::new(ServiceConfig {
+                threads,
+                parallel_nnz_threshold: 0,
+            });
+            service.convert(src, target).expect("warm-up conversion");
+            group.bench_function(BenchmarkId::new("threads", threads), |b| {
+                b.iter(|| service.convert(src, target).expect("conversion").nnz());
+            });
+        }
+        group.finish();
+    }
+}
+
+fn bench_batch_throughput(c: &mut Criterion) {
+    let inputs = heaviest_inputs();
+    let coo = AnyMatrix::Coo(inputs.coo.clone());
+    let csr = AnyMatrix::Csr(inputs.csr.clone());
+    let jobs: Vec<(AnyMatrix, FormatId)> = vec![
+        (coo.clone(), FormatId::Csr),
+        (csr.clone(), FormatId::Csc),
+        (coo.clone(), FormatId::Jad),
+        (
+            csr.clone(),
+            FormatId::Bcsr {
+                block_rows: 4,
+                block_cols: 4,
+            },
+        ),
+        (coo, FormatId::Csc),
+        (csr, FormatId::Coo),
+    ];
+    let mut group = c.benchmark_group("service/convert_batch");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    for threads in thread_counts() {
+        let service = ConversionService::new(ServiceConfig {
+            threads,
+            parallel_nnz_threshold: usize::MAX, // batch is the parallel axis
+        });
+        // Warm the plan cache, then require that measurement builds no plan.
+        for result in service.convert_batch(&jobs) {
+            result.expect("warm-up batch");
+        }
+        let warm_misses = service.stats().plan_misses;
+        group.bench_function(BenchmarkId::new("threads", threads), |b| {
+            b.iter(|| {
+                service
+                    .convert_batch(&jobs)
+                    .into_iter()
+                    .map(|r| r.expect("batch conversion").nnz())
+                    .sum::<usize>()
+            });
+        });
+        assert_eq!(
+            service.stats().plan_misses,
+            warm_misses,
+            "plan cache must build zero plans after warm-up"
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_kernels, bench_batch_throughput);
+criterion_main!(benches);

@@ -1,15 +1,76 @@
-//! Regenerates Table 2: the structural statistics of the evaluation matrices.
+//! Regenerates Table 2 (structural statistics of the evaluation matrices)
+//! and benchmarks the conversion service on representative rows, emitting
+//! the machine-readable `BENCH_conversions.json` the perf-trajectory tooling
+//! tracks.
 //!
-//! The paper reports statistics of 21 SuiteSparse matrices; this binary
-//! prints the same columns for the synthetic stand-ins at the chosen scale
-//! (environment variable `TABLE_SCALE`, default 0.05) next to the paper's
-//! full-size numbers.
+//! Usage: `table2 [FORMAT ...]` — the optional arguments are conversion
+//! *target* formats parsed by `FormatId::from_str` (e.g. `CSR CSC BCSR4x4`);
+//! the default is the paper's evaluated set (CSR, CSC, DIA, ELL). Each
+//! target is converted to from COO and CSR sources through
+//! `conv_runtime::ConversionService` at one thread and at `BENCH_THREADS`
+//! threads.
+//!
+//! Environment variables:
+//!
+//! * `TABLE_SCALE` — matrix scale relative to the paper's sizes (default 0.05),
+//! * `TABLE_REPS` — repetitions per measurement, median reported (default 3),
+//! * `BENCH_THREADS` — pool width of the parallel measurement (default: the
+//!   machine's available parallelism),
+//! * `BENCH_JSON` — output path (default `BENCH_conversions.json`).
 
-use conv_bench::{env_f64, suite};
+use conv_bench::{env_f64, env_usize, render_bench_json, suite, BenchInputs, BenchRecord};
+use conv_runtime::{ConversionService, ServiceConfig, WorkerPool};
+use sparse_conv::convert::{evaluated_formats, AnyMatrix, FormatId};
 use sparse_tensor::MatrixStats;
+
+/// The rows benchmarked by default: one banded stencil, one FEM-like blocked
+/// matrix, one irregular matrix (same picks as the criterion benches).
+const BENCH_MATRICES: [&str; 3] = ["jnlbrng1", "cant", "scircuit"];
+
+fn target_formats_from_cli() -> Vec<FormatId> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        return evaluated_formats()
+            .into_iter()
+            .filter(|f| *f != FormatId::Coo)
+            .collect();
+    }
+    let mut formats = Vec::new();
+    for arg in args {
+        match arg.parse::<FormatId>() {
+            Ok(FormatId::Dok) => {
+                eprintln!("skipping DOK: it is supported only as a conversion source")
+            }
+            Ok(f) => formats.push(f),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if formats.is_empty() {
+        eprintln!("error: no benchmarkable target format in the requested set");
+        std::process::exit(2);
+    }
+    formats
+}
+
+fn admissible(target: FormatId, stats: &MatrixStats) -> bool {
+    match target {
+        FormatId::Dia => stats.dia_admissible(),
+        FormatId::Ell => stats.ell_admissible(),
+        _ => true,
+    }
+}
 
 fn main() {
     let scale = env_f64("TABLE_SCALE", 0.05);
+    let reps = env_usize("TABLE_REPS", 3);
+    let threads = env_usize("BENCH_THREADS", WorkerPool::machine_sized().threads());
+    let json_path =
+        std::env::var("BENCH_JSON").unwrap_or_else(|_| "BENCH_conversions.json".to_string());
+    let targets = target_formats_from_cli();
+
     println!("Table 2 reproduction (synthetic stand-ins at scale {scale})");
     println!(
         "{:<18} {:>12} {:>10} {:>10} {:>9} | {:>12} {:>10} {:>10} {:>9}",
@@ -23,6 +84,7 @@ fn main() {
         "gen diag",
         "gen mr"
     );
+    let mut measured = Vec::new();
     for spec in suite(None) {
         let matrix = spec.generate(scale);
         let stats = MatrixStats::compute(&matrix);
@@ -38,8 +100,78 @@ fn main() {
             stats.nonzero_diagonals,
             stats.max_nnz_per_row,
         );
+        if BENCH_MATRICES.contains(&spec.name) {
+            measured.push((BenchInputs::from_triples(spec, &matrix), stats));
+        }
     }
     println!();
     println!("Columns: dims, number of nonzeros, number of nonzero diagonals, max nonzeros/row.");
     println!("Set TABLE_SCALE=1.0 for paper-sized matrices (slow for the largest rows).");
+
+    // Conversion-service benchmark on the representative rows.
+    let thread_counts: Vec<usize> = if threads > 1 {
+        vec![1, threads]
+    } else {
+        vec![1]
+    };
+    let target_names: Vec<String> = targets.iter().map(|t| t.to_string()).collect();
+    println!();
+    println!(
+        "Conversion benchmark ({} reps, median; targets: {}; {} thread pool(s))",
+        reps,
+        target_names.join(", "),
+        thread_counts.len()
+    );
+    let mut records: Vec<BenchRecord> = Vec::new();
+    for (inputs, stats) in &measured {
+        let sources = [
+            AnyMatrix::Coo(inputs.coo.clone()),
+            AnyMatrix::Csr(inputs.csr.clone()),
+        ];
+        for &threads in &thread_counts {
+            let service = ConversionService::new(ServiceConfig {
+                threads,
+                parallel_nnz_threshold: 0,
+            });
+            for src in &sources {
+                for &target in &targets {
+                    if target == src.format() || !admissible(target, stats) {
+                        continue;
+                    }
+                    // Warm the plan cache so the measurement sees the steady
+                    // state the service is designed for.
+                    if service.convert(src, target).is_err() {
+                        continue;
+                    }
+                    let median = conv_bench::median_time(reps, || {
+                        service
+                            .convert(src, target)
+                            .expect("warmed conversion")
+                            .nnz()
+                    });
+                    println!(
+                        "  {:<10} {:>4} -> {:<8} {} thread(s): {:>12} ns",
+                        inputs.spec.name,
+                        src.format(),
+                        target.to_string(),
+                        threads,
+                        median.as_nanos()
+                    );
+                    records.push(BenchRecord {
+                        matrix: inputs.spec.name.to_string(),
+                        source: src.format().to_string(),
+                        target: target.to_string(),
+                        threads,
+                        median_ns: median.as_nanos(),
+                    });
+                }
+            }
+        }
+    }
+
+    let json = render_bench_json(scale, reps, &records);
+    match std::fs::write(&json_path, &json) {
+        Ok(()) => println!("\nwrote {} entries to {json_path}", records.len()),
+        Err(e) => eprintln!("\nfailed to write {json_path}: {e}"),
+    }
 }

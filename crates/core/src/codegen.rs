@@ -120,12 +120,6 @@ fn source_value(source: FormatId) -> Expr {
     }
 }
 
-/// True when the source visits rows in ascending order (enables scalar
-/// counters, Section 4.2).
-fn source_rows_in_order(source: FormatId) -> bool {
-    matches!(source, FormatId::Csr)
-}
-
 /// Generates a conversion routine from `source` to `target`.
 ///
 /// # Errors
@@ -152,7 +146,7 @@ pub fn generate(source: FormatId, target: FormatId) -> Result<Function, ConvertE
     .map(str::to_string)
     .collect();
 
-    let target_spec = FormatSpec::stock(target);
+    let target_spec = FormatSpec::stock(target)?;
     let body = match target {
         FormatId::Csr => gen_to_compressed(source, "i", "N")?,
         FormatId::Csc => gen_to_compressed(source, "j", "M")?,
@@ -326,7 +320,7 @@ fn gen_to_ell(source: FormatId) -> Result<Vec<Stmt>, ConvertError> {
     body.push(comment("assembly: scatter into K slices (calloc'd output)"));
     body.push(alloc_int("B_crd", mul(var("K"), var("N")), true));
     body.push(alloc_float("B_vals", mul(var("K"), var("N")), true));
-    if source_rows_in_order(source) {
+    if source.iterates_rows_in_order() {
         // Scalar counter reset per row: re-emit the row loop directly.
         body.push(for_(
             "i",

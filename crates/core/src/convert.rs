@@ -42,6 +42,23 @@ pub enum FormatId {
     Dok,
 }
 
+impl FormatId {
+    /// True when the format's storage groups nonzeros by row and iterates
+    /// rows in ascending order (the property [`SourceMatrix::rows_in_order`]
+    /// reports for every stock container of this format). The planner uses
+    /// it to choose scalar counters and sequenced edge insertion.
+    pub fn iterates_rows_in_order(self) -> bool {
+        matches!(self, FormatId::Csr | FormatId::Skyline)
+    }
+
+    /// True when per-row nonzero counts can be read off the format's
+    /// structure (a row `pos` array) without touching nonzeros — the
+    /// optimised `count` query of Section 5.2.
+    pub fn counts_from_structure(self) -> bool {
+        matches!(self, FormatId::Csr | FormatId::Skyline)
+    }
+}
+
 impl fmt::Display for FormatId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -59,6 +76,59 @@ impl fmt::Display for FormatId {
             FormatId::Skyline => write!(f, "SKY"),
             FormatId::Jad => write!(f, "JAD"),
             FormatId::Dok => write!(f, "DOK"),
+        }
+    }
+}
+
+/// Error returned when a format name does not parse as a [`FormatId`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseFormatIdError(String);
+
+impl fmt::Display for ParseFormatIdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown format `{}` (expected COO, CSR, CSC, DIA, ELL, SKY, JAD, \
+             DOK, or BCSR<rows>x<cols> such as BCSR2x2)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseFormatIdError {}
+
+impl std::str::FromStr for FormatId {
+    type Err = ParseFormatIdError;
+
+    /// Parses the names the `Display` impl emits (case-insensitive), so every
+    /// variant round-trips through its `Display` form — including block
+    /// shapes: `"BCSR2x3"` parses to `FormatId::Bcsr { block_rows: 2,
+    /// block_cols: 3 }`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParseFormatIdError(s.to_string());
+        let upper = s.trim().to_ascii_uppercase();
+        if let Some(blocks) = upper.strip_prefix("BCSR") {
+            let (rows, cols) = blocks.split_once('X').ok_or_else(err)?;
+            let block_rows: usize = rows.parse().map_err(|_| err())?;
+            let block_cols: usize = cols.parse().map_err(|_| err())?;
+            if block_rows == 0 || block_cols == 0 {
+                return Err(err());
+            }
+            return Ok(FormatId::Bcsr {
+                block_rows,
+                block_cols,
+            });
+        }
+        match upper.as_str() {
+            "COO" => Ok(FormatId::Coo),
+            "CSR" => Ok(FormatId::Csr),
+            "CSC" => Ok(FormatId::Csc),
+            "DIA" => Ok(FormatId::Dia),
+            "ELL" => Ok(FormatId::Ell),
+            "SKY" | "SKYLINE" => Ok(FormatId::Skyline),
+            "JAD" => Ok(FormatId::Jad),
+            "DOK" => Ok(FormatId::Dok),
+            _ => Err(err()),
         }
     }
 }
@@ -170,7 +240,9 @@ impl AnyMatrix {
 /// # Errors
 ///
 /// Returns an error when the target cannot represent the input (e.g. skyline
-/// targets require square matrices).
+/// targets require square matrices), or [`ConvertError::UnsupportedTarget`]
+/// for formats without a coordinate-hierarchy specification (DOK is supported
+/// only as a conversion source).
 pub fn convert(src: &AnyMatrix, target: FormatId) -> Result<AnyMatrix, ConvertError> {
     Ok(match target {
         FormatId::Coo => AnyMatrix::Coo(with_source!(src, m => engine::to_coo(m))),
@@ -184,7 +256,7 @@ pub fn convert(src: &AnyMatrix, target: FormatId) -> Result<AnyMatrix, ConvertEr
         } => AnyMatrix::Bcsr(with_source!(src, m => engine::to_bcsr(m, block_rows, block_cols))),
         FormatId::Skyline => AnyMatrix::Skyline(with_source!(src, m => engine::to_skyline(m))?),
         FormatId::Jad => AnyMatrix::Jad(with_source!(src, m => engine::to_jad(m))),
-        FormatId::Dok => AnyMatrix::Dok(with_source!(src, m => engine::to_dok(m))),
+        FormatId::Dok => return Err(ConvertError::UnsupportedTarget(target)),
     })
 }
 
@@ -196,24 +268,42 @@ pub fn convert(src: &AnyMatrix, target: FormatId) -> Result<AnyMatrix, ConvertEr
 /// Returns an error for targets without a coordinate-hierarchy specification
 /// (DOK).
 pub fn plan_for(src: &AnyMatrix, target: FormatId) -> Result<ConversionPlan, ConvertError> {
-    if matches!(target, FormatId::Dok) {
-        return Err(ConvertError::Unsupported(
-            "DOK is not described by a coordinate hierarchy; it is supported only as a source"
-                .to_string(),
-        ));
-    }
-    let source_spec = match src.format() {
-        FormatId::Dok => FormatSpec::stock(FormatId::Coo),
-        other => FormatSpec::stock(other),
-    };
-    let target_spec = FormatSpec::stock(target);
     let rows_in_order = with_source!(src, m => m.rows_in_order());
-    let counts_from_structure = matches!(src.format(), FormatId::Csr | FormatId::Skyline);
+    plan_for_pair_with_order(src.format(), target, rows_in_order)
+}
+
+/// Builds the conversion plan for a format *pair*, without a matrix instance:
+/// the per-instance properties are taken from the format's storage invariants
+/// (the same values every stock container reports). This is the planner
+/// entry point conversion services cache on — the plan for a pair never
+/// changes between calls, so it only needs to be built once.
+///
+/// # Errors
+///
+/// Returns an error for targets without a coordinate-hierarchy specification
+/// (DOK).
+pub fn plan_for_pair(source: FormatId, target: FormatId) -> Result<ConversionPlan, ConvertError> {
+    plan_for_pair_with_order(source, target, source.iterates_rows_in_order())
+}
+
+fn plan_for_pair_with_order(
+    source: FormatId,
+    target: FormatId,
+    rows_in_order: bool,
+) -> Result<ConversionPlan, ConvertError> {
+    if matches!(target, FormatId::Dok) {
+        return Err(ConvertError::UnsupportedTarget(target));
+    }
+    let source_spec = match source {
+        FormatId::Dok => FormatSpec::stock(FormatId::Coo)?,
+        other => FormatSpec::stock(other)?,
+    };
+    let target_spec = FormatSpec::stock(target)?;
     Ok(ConversionPlan::new(
         &source_spec,
         &target_spec,
         rows_in_order,
-        counts_from_structure,
+        source.counts_from_structure(),
     ))
 }
 
@@ -245,17 +335,18 @@ mod tests {
                 block_cols: 2,
             },
             FormatId::Jad,
-            FormatId::Dok,
         ]
     }
 
     #[test]
     fn every_pair_of_evaluated_formats_roundtrips() {
         let t = figure1_matrix();
-        let sources: Vec<AnyMatrix> = all_targets()
+        // Every target format plus DOK (a valid *source* built directly).
+        let mut sources: Vec<AnyMatrix> = all_targets()
             .into_iter()
             .map(|f| AnyMatrix::from_triples(&t, f).unwrap())
             .collect();
+        sources.push(AnyMatrix::Dok(DokMatrix::from_triples(&t)));
         for src in &sources {
             for dst in all_targets() {
                 let converted = convert(src, dst).unwrap();
@@ -268,6 +359,40 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn dok_target_is_rejected_without_aborting() {
+        let t = figure1_matrix();
+        let m = AnyMatrix::from_triples(&t, FormatId::Coo).unwrap();
+        assert_eq!(
+            convert(&m, FormatId::Dok),
+            Err(ConvertError::UnsupportedTarget(FormatId::Dok))
+        );
+        assert!(AnyMatrix::from_triples(&t, FormatId::Dok).is_err());
+    }
+
+    #[test]
+    fn format_ids_round_trip_through_display_and_from_str() {
+        let mut ids = all_targets();
+        ids.push(FormatId::Skyline);
+        ids.push(FormatId::Dok);
+        ids.push(FormatId::Bcsr {
+            block_rows: 16,
+            block_cols: 3,
+        });
+        for id in ids {
+            let rendered = id.to_string();
+            assert_eq!(rendered.parse::<FormatId>().unwrap(), id, "{rendered}");
+            // CLI input is case-insensitive.
+            assert_eq!(rendered.to_lowercase().parse::<FormatId>().unwrap(), id);
+        }
+        assert!("BCSRxx2".parse::<FormatId>().is_err());
+        assert!("BCSR0x2".parse::<FormatId>().is_err());
+        assert!("HICOO".parse::<FormatId>().is_err());
+        assert!("".parse::<FormatId>().is_err());
+        let msg = "HICOO".parse::<FormatId>().unwrap_err().to_string();
+        assert!(msg.contains("HICOO"), "{msg}");
     }
 
     #[test]
@@ -312,5 +437,24 @@ mod tests {
         let plan = plan_for(&coo, FormatId::Ell).unwrap();
         assert_eq!(plan.counters, crate::plan::CounterStrategy::Array);
         assert!(plan_for(&coo, FormatId::Dok).is_err());
+    }
+
+    #[test]
+    fn instance_free_planning_agrees_with_instance_planning() {
+        let t = figure1_matrix();
+        for src in [FormatId::Coo, FormatId::Csr, FormatId::Csc] {
+            let m = AnyMatrix::from_triples(&t, src).unwrap();
+            for dst in all_targets() {
+                assert_eq!(
+                    plan_for_pair(src, dst).unwrap(),
+                    plan_for(&m, dst).unwrap(),
+                    "{src} -> {dst}"
+                );
+            }
+        }
+        assert_eq!(
+            plan_for_pair(FormatId::Csr, FormatId::Dok),
+            Err(ConvertError::UnsupportedTarget(FormatId::Dok))
+        );
     }
 }

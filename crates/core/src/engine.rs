@@ -15,8 +15,7 @@
 //!    scatters nonzeros directly into place — never through a CSR temporary.
 
 use sparse_formats::{
-    BcsrMatrix, CooMatrix, CscMatrix, CsrMatrix, DiaMatrix, DokMatrix, EllMatrix, JadMatrix,
-    SkylineMatrix,
+    BcsrMatrix, CooMatrix, CscMatrix, CsrMatrix, DiaMatrix, EllMatrix, JadMatrix, SkylineMatrix,
 };
 use sparse_tensor::Value;
 
@@ -287,13 +286,6 @@ pub fn to_jad<S: SourceMatrix>(src: &S) -> JadMatrix {
         .expect("assembled JAD structure is valid")
 }
 
-/// Converts any source to DOK (hash-map storage, duplicates summed).
-pub fn to_dok<S: SourceMatrix>(src: &S) -> DokMatrix {
-    let mut dok = DokMatrix::new(src.rows(), src.cols());
-    src.for_each(|i, j, v| dok.insert(i, j, v));
-    dok
-}
-
 /// The value-preservation check used throughout the engine tests: SpMV with a
 /// deterministic vector before and after conversion.
 pub fn spmv_fingerprint<S: SourceMatrix>(src: &S) -> Vec<Value> {
@@ -306,6 +298,7 @@ pub fn spmv_fingerprint<S: SourceMatrix>(src: &S) -> Vec<Value> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sparse_formats::DokMatrix;
     use sparse_tensor::example::figure1_matrix;
     use sparse_tensor::SparseTriples;
 
@@ -374,9 +367,7 @@ mod tests {
         assert!(to_coo(&CsrMatrix::from_triples(&t))
             .to_triples()
             .same_values(&t));
-        assert!(to_dok(&CsrMatrix::from_triples(&t))
-            .to_triples()
-            .same_values(&t));
+        assert!(DokMatrix::from_triples(&t).to_triples().same_values(&t));
     }
 
     #[test]

@@ -3,12 +3,18 @@
 use std::error::Error;
 use std::fmt;
 
+use crate::convert::FormatId;
+
 /// Errors raised while planning or executing a conversion.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ConvertError {
     /// The requested target format cannot represent the input (e.g. skyline
     /// targets require a square matrix).
     Unsupported(String),
+    /// The requested format is not available as a conversion target (DOK is
+    /// not described by a coordinate hierarchy; it is supported only as a
+    /// conversion *source*).
+    UnsupportedTarget(FormatId),
     /// The produced data structures failed validation.
     Structure(sparse_tensor::TensorError),
     /// A remapping failed to evaluate.
@@ -23,6 +29,13 @@ impl fmt::Display for ConvertError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ConvertError::Unsupported(msg) => write!(f, "unsupported conversion: {msg}"),
+            ConvertError::UnsupportedTarget(id) => {
+                write!(
+                    f,
+                    "{id} has no coordinate-hierarchy specification and cannot \
+                     be a conversion target (it is supported only as a source)"
+                )
+            }
             ConvertError::Structure(e) => write!(f, "invalid output structure: {e}"),
             ConvertError::Remap(e) => write!(f, "remapping error: {e}"),
             ConvertError::Query(e) => write!(f, "attribute query error: {e}"),
@@ -74,5 +87,8 @@ mod tests {
         assert!(ConvertError::Unsupported("skyline needs square".into())
             .to_string()
             .contains("skyline"));
+        assert!(ConvertError::UnsupportedTarget(FormatId::Dok)
+            .to_string()
+            .contains("DOK"));
     }
 }

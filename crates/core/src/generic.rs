@@ -391,7 +391,7 @@ mod tests {
 
     #[test]
     fn dynamic_csr_matches_engine_csr() {
-        let spec = FormatSpec::stock(FormatId::Csr);
+        let spec = FormatSpec::stock(FormatId::Csr).unwrap();
         let custom = convert_with_spec(&coo_src(), &spec).unwrap();
         let reference = engine::to_csr(&CooMatrix::from_triples(&figure1_matrix()));
         match &custom.levels[1] {
@@ -407,7 +407,7 @@ mod tests {
 
     #[test]
     fn dynamic_dia_matches_engine_dia() {
-        let spec = FormatSpec::stock(FormatId::Dia);
+        let spec = FormatSpec::stock(FormatId::Dia).unwrap();
         let custom = convert_with_spec(&coo_src(), &spec).unwrap();
         let reference = engine::to_dia(&CooMatrix::from_triples(&figure1_matrix()));
         match &custom.levels[0] {
@@ -419,7 +419,7 @@ mod tests {
 
     #[test]
     fn dynamic_ell_matches_engine_ell() {
-        let spec = FormatSpec::stock(FormatId::Ell);
+        let spec = FormatSpec::stock(FormatId::Ell).unwrap();
         let custom = convert_with_spec(&coo_src(), &spec).unwrap();
         let reference = engine::to_ell(&CooMatrix::from_triples(&figure1_matrix()));
         match &custom.levels[0] {
@@ -438,7 +438,7 @@ mod tests {
 
     #[test]
     fn dynamic_coo_target_keeps_duplicless_row_entries() {
-        let spec = FormatSpec::stock(FormatId::Coo);
+        let spec = FormatSpec::stock(FormatId::Coo).unwrap();
         let custom = convert_with_spec(&coo_src(), &spec).unwrap();
         match (&custom.levels[0], &custom.levels[1]) {
             (LevelOutput::Compressed { pos, crd }, LevelOutput::Singleton { crd: cols }) => {
@@ -490,7 +490,8 @@ mod tests {
         )
         .unwrap();
         let src = AnyMatrix::Csr(CsrMatrix::from_triples(&lower));
-        let custom = convert_with_spec(&src, &FormatSpec::stock(FormatId::Skyline)).unwrap();
+        let custom =
+            convert_with_spec(&src, &FormatSpec::stock(FormatId::Skyline).unwrap()).unwrap();
         match &custom.levels[1] {
             LevelOutput::Banded { pos, first } => {
                 assert_eq!(pos, &[0, 1, 2, 5, 7]);
@@ -504,12 +505,12 @@ mod tests {
     #[test]
     fn dynamic_path_accepts_structured_sources() {
         let dia = AnyMatrix::Dia(DiaMatrix::from_triples(&figure1_matrix()));
-        let spec = FormatSpec::stock(FormatId::Csr);
+        let spec = FormatSpec::stock(FormatId::Csr).unwrap();
         let custom = convert_with_spec(&dia, &spec).unwrap();
         let reference = engine::to_csr(&DiaMatrix::from_triples(&figure1_matrix()));
         assert_eq!(custom.vals, reference.values());
         let ell = AnyMatrix::Ell(EllMatrix::from_triples(&figure1_matrix()));
-        let custom = convert_with_spec(&ell, &FormatSpec::stock(FormatId::Csc)).unwrap();
+        let custom = convert_with_spec(&ell, &FormatSpec::stock(FormatId::Csc).unwrap()).unwrap();
         let reference = engine::to_csc(&EllMatrix::from_triples(&figure1_matrix()));
         assert_eq!(custom.vals, reference.values());
     }

@@ -190,8 +190,8 @@ mod tests {
         structural_counts: bool,
     ) -> ConversionPlan {
         ConversionPlan::new(
-            &FormatSpec::stock(src),
-            &FormatSpec::stock(dst),
+            &FormatSpec::stock(src).unwrap(),
+            &FormatSpec::stock(dst).unwrap(),
             in_order,
             structural_counts,
         )

@@ -12,6 +12,7 @@ use coord_remap::{stock, Remapping};
 use level_formats::LevelKind;
 
 use crate::convert::FormatId;
+use crate::error::ConvertError;
 
 /// The specification of one tensor format.
 #[derive(Debug, Clone, PartialEq)]
@@ -86,14 +87,40 @@ impl FormatSpec {
         self.remapping.has_counter()
     }
 
+    /// A structural fingerprint of the specification: two specs that render
+    /// the same remapping, dimension names, and level composition hash
+    /// equally. Plan caches key on this so a *re-specified* format (e.g. a
+    /// user spec shadowing a stock one) invalidates cached plans.
+    pub fn fingerprint(&self) -> u64 {
+        // FNV-1a over the rendered spec; stable across processes (unlike
+        // `DefaultHasher`, whose keys are randomised per process).
+        let mut h = 0xcbf29ce484222325u64;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+            }
+            h = (h ^ 0xff).wrapping_mul(0x100000001b3); // field separator
+        };
+        eat(self.name.as_bytes());
+        eat(self.remapping.to_string().as_bytes());
+        for name in &self.dim_names {
+            eat(name.as_bytes());
+        }
+        for level in &self.levels {
+            eat(level.to_string().as_bytes());
+        }
+        h
+    }
+
     /// The stock specification of a built-in format.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics for [`FormatId::Dok`], which is not described by a coordinate
-    /// hierarchy (it is supported only as a conversion *source*).
-    pub fn stock(id: FormatId) -> FormatSpec {
-        match id {
+    /// Returns [`ConvertError::UnsupportedTarget`] for [`FormatId::Dok`],
+    /// which is not described by a coordinate hierarchy (it is supported only
+    /// as a conversion *source*).
+    pub fn stock(id: FormatId) -> Result<FormatSpec, ConvertError> {
+        Ok(match id {
             FormatId::Coo => FormatSpec::new(
                 "COO",
                 stock::row_major_matrix(),
@@ -154,8 +181,8 @@ impl FormatSpec {
                     LevelKind::Singleton,
                 ],
             ),
-            FormatId::Dok => panic!("DOK is supported only as a conversion source"),
-        }
+            FormatId::Dok => return Err(ConvertError::UnsupportedTarget(id)),
+        })
     }
 }
 
@@ -178,7 +205,7 @@ mod tests {
             FormatId::Skyline,
             FormatId::Jad,
         ] {
-            let spec = FormatSpec::stock(id);
+            let spec = FormatSpec::stock(id).unwrap();
             assert_eq!(
                 spec.levels.len(),
                 spec.remapping.dest_order(),
@@ -191,35 +218,62 @@ mod tests {
 
     #[test]
     fn structured_formats_are_detected() {
-        assert!(!FormatSpec::stock(FormatId::Csr).is_structured());
-        assert!(!FormatSpec::stock(FormatId::Csc).is_structured());
-        assert!(FormatSpec::stock(FormatId::Dia).is_structured());
-        assert!(FormatSpec::stock(FormatId::Ell).is_structured());
-        assert!(FormatSpec::stock(FormatId::Ell).uses_counters());
-        assert!(!FormatSpec::stock(FormatId::Dia).uses_counters());
+        assert!(!FormatSpec::stock(FormatId::Csr).unwrap().is_structured());
+        assert!(!FormatSpec::stock(FormatId::Csc).unwrap().is_structured());
+        assert!(FormatSpec::stock(FormatId::Dia).unwrap().is_structured());
+        assert!(FormatSpec::stock(FormatId::Ell).unwrap().is_structured());
+        assert!(FormatSpec::stock(FormatId::Ell).unwrap().uses_counters());
+        assert!(!FormatSpec::stock(FormatId::Dia).unwrap().uses_counters());
     }
 
     #[test]
     fn required_queries_follow_level_formats() {
-        let csr = FormatSpec::stock(FormatId::Csr);
+        let csr = FormatSpec::stock(FormatId::Csr).unwrap();
         let queries = csr.required_queries();
         assert_eq!(queries.len(), 1);
         assert_eq!(queries[0].to_string(), "select [i] -> count(j) as nir");
 
-        let dia = FormatSpec::stock(FormatId::Dia);
+        let dia = FormatSpec::stock(FormatId::Dia).unwrap();
         let queries = dia.required_queries();
         assert_eq!(queries.len(), 1);
         assert_eq!(queries[0].to_string(), "select [k] -> id() as nz");
 
-        let ell = FormatSpec::stock(FormatId::Ell);
+        let ell = FormatSpec::stock(FormatId::Ell).unwrap();
         let queries = ell.required_queries();
         assert_eq!(queries.len(), 1);
         assert_eq!(queries[0].to_string(), "select [] -> max(k) as max_crd");
     }
 
     #[test]
-    #[should_panic]
     fn dok_has_no_stock_spec() {
-        FormatSpec::stock(FormatId::Dok);
+        assert_eq!(
+            FormatSpec::stock(FormatId::Dok),
+            Err(ConvertError::UnsupportedTarget(FormatId::Dok))
+        );
+    }
+
+    #[test]
+    fn fingerprints_distinguish_specs() {
+        let csr = FormatSpec::stock(FormatId::Csr).unwrap();
+        let csc = FormatSpec::stock(FormatId::Csc).unwrap();
+        assert_eq!(
+            csr.fingerprint(),
+            FormatSpec::stock(FormatId::Csr).unwrap().fingerprint()
+        );
+        assert_ne!(csr.fingerprint(), csc.fingerprint());
+        assert_ne!(
+            FormatSpec::stock(FormatId::Bcsr {
+                block_rows: 2,
+                block_cols: 2
+            })
+            .unwrap()
+            .fingerprint(),
+            FormatSpec::stock(FormatId::Bcsr {
+                block_rows: 2,
+                block_cols: 4
+            })
+            .unwrap()
+            .fingerprint()
+        );
     }
 }

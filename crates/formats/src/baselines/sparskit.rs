@@ -112,6 +112,8 @@ pub fn csc_to_csr(a: &CscMatrix) -> CsrMatrix {
 /// nonzero. The paper attributes SPARSKIT's ~2x slowdown on this conversion
 /// to that algorithm, so the port keeps both behaviours (with `idiag` set to
 /// "all nonzero diagonals", as in the evaluation).
+// Keeps the Fortran `infdia` loop structure of the original.
+#[allow(clippy::needless_range_loop)]
 pub fn csr_to_dia(a: &CsrMatrix) -> DiaMatrix {
     let rows = a.rows();
     let cols = a.cols();
@@ -176,6 +178,8 @@ pub fn csr_to_dia(a: &CsrMatrix) -> DiaMatrix {
 /// explicit pass (the paper credits the generated code's use of `calloc` for
 /// part of its speedup), so the port allocates and then explicitly zero-fills
 /// before scattering.
+// Keeps the Fortran `csrell` counter loop of the original.
+#[allow(clippy::explicit_counter_loop)]
 pub fn csr_to_ell(a: &CsrMatrix) -> EllMatrix {
     let rows = a.rows();
     let pos = a.pos();

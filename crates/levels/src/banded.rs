@@ -92,7 +92,9 @@ impl LevelAssembler for BandedLevel {
         let row = *parent_coords
             .last()
             .expect("banded level needs the parent coordinate");
-        let w = q.get(parent_coords, W);
+        let w = q
+            .get(parent_coords, W)
+            .expect("banded level authored its `w` query");
         // Rows with no stored nonzeros keep an empty run at the diagonal.
         let (first, run) = if w == attr_query::eval::MIN_EMPTY || w > row {
             (row.max(0) as usize, 0usize)
@@ -139,7 +141,7 @@ mod tests {
         assert_eq!(query.to_string(), "select [i] -> min(j) as w");
         let mut q = QueryResult::new(&query, vec![DimBounds::from_extent(4)]);
         for (i, w) in [0i64, 1, 0, 2].iter().enumerate() {
-            q.set(&[i as i64], W, *w);
+            q.set(&[i as i64], W, *w).unwrap();
         }
         q
     }

@@ -126,7 +126,10 @@ impl LevelAssembler for CompressedLevel {
         q: Option<&QueryResult>,
     ) {
         let q = q.expect("compressed level edge insertion needs its `nir` query");
-        let children = q.get(parent_coords, NIR).max(0) as usize;
+        let children = q
+            .get(parent_coords, NIR)
+            .expect("compressed level authored its `nir` query")
+            .max(0) as usize;
         if sequenced {
             // seq_insert_edges: pos[p+1] = pos[p] + nir.
             self.pos[parent_pos + 1] = self.pos[parent_pos] + children;
@@ -188,7 +191,7 @@ mod tests {
         let query = nir_query();
         let mut q = QueryResult::new(&query, vec![DimBounds::from_extent(4)]);
         for (i, n) in [2i64, 2, 2, 3].iter().enumerate() {
-            q.set(&[i as i64], NIR, *n);
+            q.set(&[i as i64], NIR, *n).unwrap();
         }
         let mut level = CompressedLevel::new();
         level.init_edges(4, sequenced, Some(&q));

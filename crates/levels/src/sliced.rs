@@ -57,7 +57,10 @@ impl LevelAssembler for SlicedLevel {
     fn init_coords(&mut self, _parent_size: usize, q: Option<&QueryResult>) {
         // init_coords(sz0, Q1): K = Q1[0][].max_crd + 1.
         let q = q.expect("sliced level needs its `max_crd` query");
-        self.k = match q.field_max(MAX_CRD) {
+        let max_crd = q
+            .field_max(MAX_CRD)
+            .expect("sliced level authored its `max_crd` query");
+        self.k = match max_crd {
             Some(max_crd) => (max_crd + 1).max(0) as usize,
             None => 0,
         };
@@ -83,7 +86,7 @@ mod tests {
         assert_eq!(query.to_string(), "select [] -> max(k) as max_crd");
 
         let mut q = QueryResult::new(&query, vec![]);
-        q.set(&[], MAX_CRD, 2);
+        q.set(&[], MAX_CRD, 2).unwrap();
         level.init_coords(1, Some(&q));
         assert_eq!(level.slice_count(), 3);
         assert_eq!(level.size(1), 3);

@@ -86,7 +86,10 @@ impl LevelAssembler for SqueezedLevel {
         let q = q.expect("squeezed level needs its `nz` query");
         self.perm.clear();
         for c in self.lower..self.upper {
-            if q.get(&[c], NZ) != 0 {
+            let nz = q
+                .get(&[c], NZ)
+                .expect("squeezed level authored its `nz` query");
+            if nz != 0 {
                 self.perm.push(c);
             }
         }
@@ -133,7 +136,7 @@ mod tests {
 
         let mut q = QueryResult::new(&query, vec![DimBounds::new(-3, 6)]);
         for k in [-2i64, 0, 1] {
-            q.set(&[k], NZ, 1);
+            q.set(&[k], NZ, 1).unwrap();
         }
         level.init_coords(1, Some(&q));
         assert_eq!(level.perm(), &[-2, 0, 1]);

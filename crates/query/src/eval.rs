@@ -96,69 +96,94 @@ impl QueryResult {
         off
     }
 
-    fn field_index(&self, label: &str) -> usize {
+    fn field_index(&self, label: &str) -> Result<usize, QueryError> {
         self.labels
             .iter()
             .position(|l| l == label)
-            .unwrap_or_else(|| panic!("unknown query field `{label}`"))
+            .ok_or_else(|| QueryError::UnknownField(label.to_string()))
     }
 
     /// Reads a field value for a group coordinate.
     ///
+    /// # Errors
+    ///
+    /// Returns [`QueryError::UnknownField`] for a label the query did not
+    /// define.
+    ///
     /// # Panics
     ///
-    /// Panics on an unknown label or out-of-bounds coordinate.
-    pub fn get(&self, group_coord: &[i64], label: &str) -> i64 {
-        self.data[self.field_index(label)][self.offset(group_coord)]
+    /// Panics on an out-of-bounds coordinate.
+    pub fn get(&self, group_coord: &[i64], label: &str) -> Result<i64, QueryError> {
+        Ok(self.data[self.field_index(label)?][self.offset(group_coord)])
     }
 
     /// Writes a field value for a group coordinate.
     ///
+    /// # Errors
+    ///
+    /// Returns [`QueryError::UnknownField`] for a label the query did not
+    /// define.
+    ///
     /// # Panics
     ///
-    /// Panics on an unknown label or out-of-bounds coordinate.
-    pub fn set(&mut self, group_coord: &[i64], label: &str, value: i64) {
-        let field = self.field_index(label);
+    /// Panics on an out-of-bounds coordinate.
+    pub fn set(&mut self, group_coord: &[i64], label: &str, value: i64) -> Result<(), QueryError> {
+        let field = self.field_index(label)?;
         let off = self.offset(group_coord);
         self.data[field][off] = value;
+        Ok(())
     }
 
     /// The dense array backing one field.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on an unknown label.
-    pub fn field_data(&self, label: &str) -> &[i64] {
-        &self.data[self.field_index(label)]
+    /// Returns [`QueryError::UnknownField`] for a label the query did not
+    /// define.
+    pub fn field_data(&self, label: &str) -> Result<&[i64], QueryError> {
+        Ok(&self.data[self.field_index(label)?])
     }
 
     /// Mutable access to the dense array backing one field.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on an unknown label.
-    pub fn field_data_mut(&mut self, label: &str) -> &mut [i64] {
-        let field = self.field_index(label);
-        &mut self.data[field]
+    /// Returns [`QueryError::UnknownField`] for a label the query did not
+    /// define.
+    pub fn field_data_mut(&mut self, label: &str) -> Result<&mut [i64], QueryError> {
+        let field = self.field_index(label)?;
+        Ok(&mut self.data[field])
     }
 
     /// Maximum value of a field across all groups, treating empty-group
-    /// sentinels as absent. Returns `None` when every group is empty.
-    pub fn field_max(&self, label: &str) -> Option<i64> {
-        self.field_data(label)
+    /// sentinels as absent. Returns `Ok(None)` when every group is empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueryError::UnknownField`] for a label the query did not
+    /// define.
+    pub fn field_max(&self, label: &str) -> Result<Option<i64>, QueryError> {
+        Ok(self
+            .field_data(label)?
             .iter()
             .copied()
             .filter(|&v| v != MAX_EMPTY && v != MIN_EMPTY)
-            .max()
+            .max())
     }
 
     /// Sum of a field across all groups (used for totals such as `nnz`).
-    pub fn field_sum(&self, label: &str) -> i64 {
-        self.field_data(label)
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueryError::UnknownField`] for a label the query did not
+    /// define.
+    pub fn field_sum(&self, label: &str) -> Result<i64, QueryError> {
+        Ok(self
+            .field_data(label)?
             .iter()
             .copied()
             .filter(|&v| v != MAX_EMPTY && v != MIN_EMPTY)
-            .sum()
+            .sum())
     }
 }
 
@@ -283,9 +308,9 @@ mod tests {
         )
         .unwrap();
         // Figure 10 (left): nir = [2, 2, 2, 3].
-        assert_eq!(result.field_data("nir"), &[2, 2, 2, 3]);
-        assert_eq!(result.field_sum("nir"), 9);
-        assert_eq!(result.field_max("nir"), Some(3));
+        assert_eq!(result.field_data("nir").unwrap(), &[2, 2, 2, 3]);
+        assert_eq!(result.field_sum("nir").unwrap(), 9);
+        assert_eq!(result.field_max("nir").unwrap(), Some(3));
     }
 
     #[test]
@@ -300,8 +325,8 @@ mod tests {
         )
         .unwrap();
         // Figure 10 (middle).
-        assert_eq!(result.field_data("minir"), &[0, 1, 0, 1]);
-        assert_eq!(result.field_data("maxir"), &[1, 2, 2, 4]);
+        assert_eq!(result.field_data("minir").unwrap(), &[0, 1, 0, 1]);
+        assert_eq!(result.field_data("maxir").unwrap(), &[1, 2, 2, 4]);
     }
 
     #[test]
@@ -316,7 +341,7 @@ mod tests {
         )
         .unwrap();
         // Figure 10 (right): R[4].ne == 1 and R[5].ne == 0.
-        assert_eq!(result.field_data("ne"), &[1, 1, 1, 1, 1, 0]);
+        assert_eq!(result.field_data("ne").unwrap(), &[1, 1, 1, 1, 1, 0]);
     }
 
     #[test]
@@ -336,26 +361,30 @@ mod tests {
         let result =
             evaluate_on_coords(&nz, &names, &bounds, remapped.iter().map(|c| c.as_slice()))
                 .unwrap();
-        assert_eq!(result.field_sum("nz"), 3, "three nonzero diagonals");
-        assert_eq!(result.get(&[-2], "nz"), 1);
-        assert_eq!(result.get(&[0], "nz"), 1);
-        assert_eq!(result.get(&[1], "nz"), 1);
-        assert_eq!(result.get(&[2], "nz"), 0);
+        assert_eq!(
+            result.field_sum("nz").unwrap(),
+            3,
+            "three nonzero diagonals"
+        );
+        assert_eq!(result.get(&[-2], "nz").unwrap(), 1);
+        assert_eq!(result.get(&[0], "nz").unwrap(), 1);
+        assert_eq!(result.get(&[1], "nz").unwrap(), 1);
+        assert_eq!(result.get(&[2], "nz").unwrap(), 0);
 
         // Bandwidth query: select [] -> min(k) as lb, max(k) as ub.
         let bw = parse_query("select [] -> min(k) as lb, max(k) as ub").unwrap();
         let result =
             evaluate_on_coords(&bw, &names, &bounds, remapped.iter().map(|c| c.as_slice()))
                 .unwrap();
-        assert_eq!(result.get(&[], "lb"), -2);
-        assert_eq!(result.get(&[], "ub"), 1);
+        assert_eq!(result.get(&[], "lb").unwrap(), -2);
+        assert_eq!(result.get(&[], "ub").unwrap(), 1);
     }
 
     #[test]
     fn count_is_distinct_over_subtensors() {
         // Two nonzeros in the same (i, j) position count once; the count of
         // nonzero rows per matrix uses count(i) at an empty group-by.
-        let coords = vec![vec![0i64, 1], vec![0, 1], vec![2, 3]];
+        let coords = [vec![0i64, 1], vec![0, 1], vec![2, 3]];
         let query = parse_query("select [] -> count(i) as nrows").unwrap();
         let result = evaluate_on_coords(
             &query,
@@ -364,16 +393,20 @@ mod tests {
             coords.iter().map(|c| c.as_slice()),
         )
         .unwrap();
-        assert_eq!(result.get(&[], "nrows"), 2);
+        assert_eq!(result.get(&[], "nrows").unwrap(), 2);
     }
 
     #[test]
     fn empty_input_keeps_initial_values() {
         let query = parse_query("select [i] -> max(j) as m, count(j) as c").unwrap();
         let result = evaluate_on_coords(&query, &names(), &bounds(), std::iter::empty()).unwrap();
-        assert_eq!(result.field_data("c"), &[0, 0, 0, 0]);
-        assert!(result.field_data("m").iter().all(|&v| v == MAX_EMPTY));
-        assert_eq!(result.field_max("m"), None);
+        assert_eq!(result.field_data("c").unwrap(), &[0, 0, 0, 0]);
+        assert!(result
+            .field_data("m")
+            .unwrap()
+            .iter()
+            .all(|&v| v == MAX_EMPTY));
+        assert_eq!(result.field_max("m").unwrap(), None);
     }
 
     #[test]
@@ -384,7 +417,7 @@ mod tests {
             Err(QueryError::UnknownIndexVariable(_))
         ));
         let query = parse_query("select [i] -> id() as x").unwrap();
-        let bad = vec![vec![0i64]];
+        let bad = [vec![0i64]];
         assert!(matches!(
             evaluate_on_coords(
                 &query,
@@ -394,7 +427,7 @@ mod tests {
             ),
             Err(QueryError::ArityMismatch { .. })
         ));
-        let oob = vec![vec![9i64, 0]];
+        let oob = [vec![9i64, 0]];
         assert!(matches!(
             evaluate_on_coords(
                 &query,
@@ -412,10 +445,23 @@ mod tests {
         let mut result = QueryResult::new(&query, vec![DimBounds::from_extent(3)]);
         assert_eq!(result.group_size(), 3);
         assert_eq!(result.labels(), &["nir".to_string()]);
-        result.set(&[1], "nir", 7);
-        assert_eq!(result.get(&[1], "nir"), 7);
-        result.field_data_mut("nir")[2] = 9;
-        assert_eq!(result.get(&[2], "nir"), 9);
+        result.set(&[1], "nir", 7).unwrap();
+        assert_eq!(result.get(&[1], "nir").unwrap(), 7);
+        result.field_data_mut("nir").unwrap()[2] = 9;
+        assert_eq!(result.get(&[2], "nir").unwrap(), 9);
         assert_eq!(result.group_bounds(), &[DimBounds::from_extent(3)]);
+    }
+
+    #[test]
+    fn unknown_field_is_an_error_not_a_panic() {
+        let query = parse_query("select [i] -> count(j) as nir").unwrap();
+        let mut result = QueryResult::new(&query, vec![DimBounds::from_extent(3)]);
+        let expected = QueryError::UnknownField("bogus".to_string());
+        assert_eq!(result.get(&[0], "bogus"), Err(expected.clone()));
+        assert_eq!(result.set(&[0], "bogus", 1), Err(expected.clone()));
+        assert_eq!(result.field_data("bogus"), Err(expected.clone()));
+        assert!(result.field_data_mut("bogus").is_err());
+        assert_eq!(result.field_max("bogus"), Err(expected.clone()));
+        assert_eq!(result.field_sum("bogus"), Err(expected));
     }
 }

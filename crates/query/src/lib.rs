@@ -37,8 +37,9 @@
 //!     &[DimBounds::from_extent(4), DimBounds::from_extent(4)],
 //!     coords.iter().map(|c| c.as_slice()),
 //! )?;
-//! assert_eq!(result.get(&[0], "nir"), 2);
-//! assert_eq!(result.get(&[2], "nir"), 0);
+//! assert_eq!(result.get(&[0], "nir")?, 2);
+//! assert_eq!(result.get(&[2], "nir")?, 0);
+//! assert!(result.get(&[0], "oops").is_err());
 //! # Ok::<(), attr_query::QueryError>(())
 //! ```
 

@@ -122,11 +122,8 @@ impl IndexExpr {
 
     fn collect_free_vars(&self, out: &mut Vec<String>) {
         match self {
-            IndexExpr::Var(v) => {
-                if !out.contains(v) {
-                    out.push(v.clone());
-                }
-            }
+            IndexExpr::Var(v) if !out.contains(v) => out.push(v.clone()),
+            IndexExpr::Var(_) => {}
             IndexExpr::Counter(vs) => {
                 for v in vs {
                     if !out.contains(v) {
@@ -151,11 +148,8 @@ impl IndexExpr {
 
     fn collect_params(&self, out: &mut Vec<String>) {
         match self {
-            IndexExpr::Param(p) => {
-                if !out.contains(p) {
-                    out.push(p.clone());
-                }
-            }
+            IndexExpr::Param(p) if !out.contains(p) => out.push(p.clone()),
+            IndexExpr::Param(_) => {}
             IndexExpr::Binary(_, l, r) => {
                 l.collect_params(out);
                 r.collect_params(out);

@@ -1,0 +1,253 @@
+//! Memoisation of conversion plans.
+//!
+//! The paper's generator pays its specialisation cost once per format pair
+//! and amortises it over every subsequent conversion; [`PlanCache`] gives the
+//! runtime the same property. Plans are keyed by `(source, target, spec
+//! fingerprint)` — the fingerprint (see
+//! [`FormatSpec::fingerprint`](sparse_conv::FormatSpec::fingerprint)) records
+//! the rendered specification text the plan was built from. Today every
+//! `FormatId` maps to one stock spec, so the fingerprint is determined by the
+//! pair; it is part of the key so that persisted or cross-version keys stop
+//! matching the moment a stock specification's text changes, and so
+//! user-supplied specs can join the same keyspace later without conflating
+//! entries.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use sparse_conv::convert::{plan_for_pair, FormatId};
+use sparse_conv::{ConversionPlan, ConvertError, FormatSpec};
+
+/// The planning function a [`PlanCache`] memoises. Injectable so tests (and
+/// alternative planners) can count or replace planning work.
+pub type Planner = dyn Fn(FormatId, FormatId) -> Result<ConversionPlan, ConvertError> + Send + Sync;
+
+/// Cache key: one plan per (source format, target format, spec fingerprint).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    /// Source format.
+    pub source: FormatId,
+    /// Target format.
+    pub target: FormatId,
+    /// Combined fingerprint of the source and target [`FormatSpec`]s.
+    pub spec_fingerprint: u64,
+}
+
+/// A thread-safe, memoising front end to the conversion planner.
+pub struct PlanCache {
+    planner: Box<Planner>,
+    plans: Mutex<HashMap<PlanKey, Arc<ConversionPlan>>>,
+    fingerprints: Mutex<HashMap<FormatId, u64>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PlanCache {
+    /// A cache over the stock planner
+    /// ([`plan_for_pair`]).
+    pub fn new() -> Self {
+        Self::with_planner(Box::new(plan_for_pair))
+    }
+
+    /// A cache over a custom planning function; `planner` runs at most once
+    /// per distinct [`PlanKey`].
+    pub fn with_planner(planner: Box<Planner>) -> Self {
+        PlanCache {
+            planner,
+            plans: Mutex::new(HashMap::new()),
+            fingerprints: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The cache key for a pair: DOK sources are planned through the COO
+    /// spec (they have no coordinate hierarchy of their own), matching
+    /// [`plan_for_pair`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConvertError::UnsupportedTarget`] for DOK targets.
+    pub fn key_for(&self, source: FormatId, target: FormatId) -> Result<PlanKey, ConvertError> {
+        let spec_source = match source {
+            FormatId::Dok => FormatId::Coo,
+            other => other,
+        };
+        // One lock acquisition covers both lookups on the hot path.
+        let mut memo = self.fingerprints.lock().unwrap();
+        let fp_source = Self::fingerprint_of(&mut memo, spec_source)?;
+        let fp_target = Self::fingerprint_of(&mut memo, target)?;
+        Ok(PlanKey {
+            source,
+            target,
+            spec_fingerprint: fp_source.rotate_left(17) ^ fp_target,
+        })
+    }
+
+    fn fingerprint_of(
+        memo: &mut HashMap<FormatId, u64>,
+        id: FormatId,
+    ) -> Result<u64, ConvertError> {
+        if let Some(&fp) = memo.get(&id) {
+            return Ok(fp);
+        }
+        let fp = FormatSpec::stock(id)?.fingerprint();
+        memo.insert(id, fp);
+        Ok(fp)
+    }
+
+    /// The plan for a pair, building it through the planner only on the
+    /// first request.
+    ///
+    /// # Errors
+    ///
+    /// Propagates planner errors (e.g. DOK targets); errors are not cached.
+    pub fn plan(
+        &self,
+        source: FormatId,
+        target: FormatId,
+    ) -> Result<Arc<ConversionPlan>, ConvertError> {
+        let key = self.key_for(source, target)?;
+        if let Some(plan) = self.plans.lock().unwrap().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(plan));
+        }
+        // Plan outside the lock: planning is pure and an occasional duplicate
+        // build on a race is cheaper than holding the map across it.
+        let plan = Arc::new((self.planner)(source, target)?);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.plans
+            .lock()
+            .unwrap()
+            .entry(key)
+            .or_insert_with(|| Arc::clone(&plan));
+        Ok(plan)
+    }
+
+    /// Number of requests answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of requests that had to build a plan (== plans built, absent
+    /// races).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct plans currently cached.
+    pub fn len(&self) -> usize {
+        self.plans.lock().unwrap().len()
+    }
+
+    /// True when no plan has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every cached plan (counters are preserved).
+    pub fn clear(&self) {
+        self.plans.lock().unwrap().clear();
+    }
+}
+
+impl std::fmt::Debug for PlanCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlanCache")
+            .field("plans", &self.len())
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn second_request_for_a_pair_plans_nothing() {
+        let built = Arc::new(AtomicUsize::new(0));
+        let counter = Arc::clone(&built);
+        let cache = PlanCache::with_planner(Box::new(move |s, t| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            plan_for_pair(s, t)
+        }));
+        let first = cache.plan(FormatId::Coo, FormatId::Csr).unwrap();
+        assert_eq!(built.load(Ordering::SeqCst), 1);
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+
+        let second = cache.plan(FormatId::Coo, FormatId::Csr).unwrap();
+        assert_eq!(built.load(Ordering::SeqCst), 1, "no re-planning");
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(*first, *second);
+    }
+
+    #[test]
+    fn distinct_pairs_get_distinct_entries() {
+        let cache = PlanCache::new();
+        cache.plan(FormatId::Coo, FormatId::Csr).unwrap();
+        cache.plan(FormatId::Csr, FormatId::Csc).unwrap();
+        cache
+            .plan(
+                FormatId::Csr,
+                FormatId::Bcsr {
+                    block_rows: 2,
+                    block_cols: 2,
+                },
+            )
+            .unwrap();
+        cache
+            .plan(
+                FormatId::Csr,
+                FormatId::Bcsr {
+                    block_rows: 4,
+                    block_cols: 4,
+                },
+            )
+            .unwrap();
+        assert_eq!(cache.len(), 4);
+        assert!(!cache.is_empty());
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.misses(), 4, "counters survive clear");
+    }
+
+    #[test]
+    fn dok_sources_are_planned_as_coo_and_dok_targets_fail() {
+        let cache = PlanCache::new();
+        let dok = cache.plan(FormatId::Dok, FormatId::Csr).unwrap();
+        assert_eq!(dok.source, "COO");
+        assert!(matches!(
+            cache.plan(FormatId::Csr, FormatId::Dok),
+            Err(ConvertError::UnsupportedTarget(FormatId::Dok))
+        ));
+        // Failed plans are not cached and do not count as hits.
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn cache_is_shareable_across_threads() {
+        let cache = Arc::new(PlanCache::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let cache = Arc::clone(&cache);
+                s.spawn(move || {
+                    for _ in 0..8 {
+                        cache.plan(FormatId::Coo, FormatId::Csr).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.hits() + cache.misses(), 32);
+        assert_eq!(cache.len(), 1);
+    }
+}

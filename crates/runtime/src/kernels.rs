@@ -1,0 +1,397 @@
+//! Row-range–partitioned parallel conversion kernels.
+//!
+//! Each kernel is the parallel counterpart of one hot-path routine in
+//! `sparse_conv::engine`, restructured around the observation that both the
+//! analysis and the assembly phase of a conversion decompose over contiguous
+//! ranges of the outer storage level (Chou et al. 2018's coordinate
+//! hierarchies make this safe to state generically: a parent's children
+//! never straddle a range boundary):
+//!
+//! 1. *partitioned analysis* — every worker computes the attribute-query
+//!    histogram for its range only,
+//! 2. *prefix-sum merge* — the per-range histograms are merged into the
+//!    global `pos` array **and** into per-range scatter cursors (a worker's
+//!    cursor for parent `i` starts after all of `i`'s entries owned by
+//!    earlier ranges),
+//! 3. *partitioned assembly* — every worker scatters its range through its
+//!    own cursors.
+//!
+//! Because the per-range cursors encode exactly the positions the sequential
+//! kernel would have used, the output is **bit-identical** to the sequential
+//! engine for any thread count — the property the runtime's tests enforce.
+//!
+//! Workers are plain `std::thread::scope` threads; no work stealing, no
+//! channels. The scatter phase writes disjoint index sets of the shared
+//! output buffers through the private `SharedSlice` wrapper.
+
+use std::marker::PhantomData;
+
+use sparse_conv::engine;
+use sparse_formats::{BcsrMatrix, CooMatrix, CscMatrix, CsrMatrix};
+use sparse_tensor::Value;
+
+use crate::partition::{balanced_chunks_by_pos, even_chunks};
+
+/// A shared mutable slice for scatter phases whose write-index sets are
+/// disjoint across workers.
+///
+/// Rust cannot prove disjointness of histogram-derived scatter indices, so
+/// the kernels assert it by construction: every output position is derived
+/// from a prefix sum over per-worker counts, which partitions the index
+/// space. This wrapper only exposes raw writes; reads happen after the scope
+/// joins.
+struct SharedSlice<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: workers only write, through `write`, at indices the caller
+// guarantees are distinct across threads; the borrow checker serialises all
+// reads after the scope ends.
+unsafe impl<T: Send> Sync for SharedSlice<'_, T> {}
+
+impl<'a, T> SharedSlice<'a, T> {
+    fn new(data: &'a mut [T]) -> Self {
+        SharedSlice {
+            ptr: data.as_mut_ptr(),
+            len: data.len(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Writes `value` at `idx`.
+    ///
+    /// # Safety
+    ///
+    /// `idx` must be in bounds and no other thread may read or write it for
+    /// the lifetime of the enclosing thread scope.
+    unsafe fn write(&self, idx: usize, value: T) {
+        debug_assert!(idx < self.len);
+        *self.ptr.add(idx) = value;
+    }
+}
+
+/// Merges per-chunk histograms into the global prefix-sum `pos` array plus
+/// one scatter-cursor array per chunk (step 2 of the module recipe).
+fn merge_histograms(hists: &[Vec<usize>], parents: usize) -> (Vec<usize>, Vec<Vec<usize>>) {
+    let mut pos = vec![0usize; parents + 1];
+    for i in 0..parents {
+        let total: usize = hists.iter().map(|h| h[i]).sum();
+        pos[i + 1] = pos[i] + total;
+    }
+    let mut cursors = Vec::with_capacity(hists.len());
+    let mut running: Vec<usize> = pos[..parents].to_vec();
+    for hist in hists {
+        cursors.push(running.clone());
+        for i in 0..parents {
+            running[i] += hist[i];
+        }
+    }
+    (pos, cursors)
+}
+
+/// Parallel COO→CSR: per-chunk row histograms, prefix-sum merge, partitioned
+/// scatter. Bit-identical to [`engine::to_csr`] on the same input.
+pub fn coo_to_csr(coo: &CooMatrix, threads: usize) -> CsrMatrix {
+    let rows = coo.rows();
+    let nnz = coo.nnz();
+    if threads <= 1 || nnz == 0 {
+        return engine::to_csr(coo);
+    }
+    let row_idx = coo.row_indices();
+    let col_idx = coo.col_indices();
+    let values = coo.values();
+    let chunks = even_chunks(nnz, threads);
+
+    // Analysis: select [i] -> count(j) as nir, one histogram per chunk.
+    let hists: Vec<Vec<usize>> = std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .map(|r| {
+                let r = r.clone();
+                s.spawn(move || {
+                    let mut hist = vec![0usize; rows];
+                    for &i in &row_idx[r] {
+                        hist[i] += 1;
+                    }
+                    hist
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let (pos, cursors) = merge_histograms(&hists, rows);
+
+    // Assembly: each worker scatters its chunk through its own cursors; the
+    // cursor construction partitions the output index space.
+    let mut crd = vec![0usize; nnz];
+    let mut vals = vec![0.0 as Value; nnz];
+    {
+        let crd_out = SharedSlice::new(&mut crd);
+        let vals_out = SharedSlice::new(&mut vals);
+        std::thread::scope(|s| {
+            for (r, mut cursor) in chunks.iter().cloned().zip(cursors) {
+                let crd_out = &crd_out;
+                let vals_out = &vals_out;
+                s.spawn(move || {
+                    for p in r {
+                        let i = row_idx[p];
+                        let dst = cursor[i];
+                        cursor[i] += 1;
+                        // SAFETY: `dst` comes from this chunk's cursor range,
+                        // disjoint from every other chunk's by construction.
+                        unsafe {
+                            crd_out.write(dst, col_idx[p]);
+                            vals_out.write(dst, values[p]);
+                        }
+                    }
+                });
+            }
+        });
+    }
+    CsrMatrix::from_parts(rows, coo.cols(), pos, crd, vals)
+        .expect("assembled CSR structure is valid")
+}
+
+/// Parallel CSR→CSC transpose: chunks of whole rows (nnz-balanced via the
+/// source `pos` array), per-chunk column histograms, prefix-sum merge,
+/// partitioned scatter. Bit-identical to [`engine::to_csc`].
+pub fn csr_to_csc(csr: &CsrMatrix, threads: usize) -> CscMatrix {
+    let cols = csr.cols();
+    let nnz = csr.nnz();
+    if threads <= 1 || nnz == 0 {
+        return engine::to_csc(csr);
+    }
+    let src_pos = csr.pos();
+    let src_crd = csr.crd();
+    let src_vals = csr.values();
+    let chunks = balanced_chunks_by_pos(src_pos, threads);
+
+    let hists: Vec<Vec<usize>> = std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .map(|r| {
+                let r = r.clone();
+                s.spawn(move || {
+                    let mut hist = vec![0usize; cols];
+                    for &j in &src_crd[src_pos[r.start]..src_pos[r.end]] {
+                        hist[j] += 1;
+                    }
+                    hist
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let (pos, cursors) = merge_histograms(&hists, cols);
+
+    let mut crd = vec![0usize; nnz];
+    let mut vals = vec![0.0 as Value; nnz];
+    {
+        let crd_out = SharedSlice::new(&mut crd);
+        let vals_out = SharedSlice::new(&mut vals);
+        std::thread::scope(|s| {
+            for (r, mut cursor) in chunks.iter().cloned().zip(cursors) {
+                let crd_out = &crd_out;
+                let vals_out = &vals_out;
+                s.spawn(move || {
+                    for i in r {
+                        for p in src_pos[i]..src_pos[i + 1] {
+                            let j = src_crd[p];
+                            let dst = cursor[j];
+                            cursor[j] += 1;
+                            // SAFETY: cursor ranges partition the output.
+                            unsafe {
+                                crd_out.write(dst, i);
+                                vals_out.write(dst, src_vals[p]);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+    }
+    CscMatrix::from_parts(csr.rows(), cols, pos, crd, vals)
+        .expect("assembled CSC structure is valid")
+}
+
+/// Parallel CSR→BCSR: chunks of whole *block rows* (so a block never
+/// straddles workers), per-chunk block discovery, prefix-sum merge,
+/// partitioned scatter into the dense blocks. Bit-identical to
+/// [`engine::to_bcsr`].
+///
+/// # Panics
+///
+/// Panics if a block dimension is zero (same contract as the engine).
+pub fn csr_to_bcsr(
+    csr: &CsrMatrix,
+    block_rows: usize,
+    block_cols: usize,
+    threads: usize,
+) -> BcsrMatrix {
+    assert!(
+        block_rows > 0 && block_cols > 0,
+        "block sizes must be positive"
+    );
+    let rows = csr.rows();
+    let nnz = csr.nnz();
+    if threads <= 1 || nnz == 0 {
+        return engine::to_bcsr(csr, block_rows, block_cols);
+    }
+    let src_pos = csr.pos();
+    let src_crd = csr.crd();
+    let src_vals = csr.values();
+    let brows = rows.div_ceil(block_rows);
+
+    // Balance chunks of block rows by their nonzero count, read off src_pos.
+    let block_row_pos: Vec<usize> = (0..=brows)
+        .map(|bi| src_pos[(bi * block_rows).min(rows)])
+        .collect();
+    let chunks = balanced_chunks_by_pos(&block_row_pos, threads);
+
+    // Analysis: the sorted, deduplicated block-column set of every owned
+    // block row (select [bi] -> count(bj), plus the coordinates themselves).
+    let mut blocks: Vec<Vec<usize>> = vec![Vec::new(); brows];
+    {
+        let blocks_out = SharedSlice::new(&mut blocks);
+        std::thread::scope(|s| {
+            for r in &chunks {
+                let r = r.clone();
+                let blocks_out = &blocks_out;
+                s.spawn(move || {
+                    for bi in r {
+                        let mut set: Vec<usize> = Vec::new();
+                        let row_lo = bi * block_rows;
+                        let row_hi = (row_lo + block_rows).min(rows);
+                        for &j in &src_crd[src_pos[row_lo]..src_pos[row_hi]] {
+                            set.push(j / block_cols);
+                        }
+                        set.sort_unstable();
+                        set.dedup();
+                        // SAFETY: block row `bi` belongs to exactly one chunk.
+                        unsafe { blocks_out.write(bi, set) };
+                    }
+                });
+            }
+        });
+    }
+
+    // Sequenced edge insertion over block rows (cheap, sequential).
+    let mut pos = vec![0usize; brows + 1];
+    for bi in 0..brows {
+        pos[bi + 1] = pos[bi] + blocks[bi].len();
+    }
+    let nblocks = pos[brows];
+    let bsize = block_rows * block_cols;
+
+    // Assembly: a chunk's block rows own the contiguous output span
+    // [pos[r.start], pos[r.end]); scatter blocks and values in parallel.
+    let mut crd = vec![0usize; nblocks];
+    let mut vals = vec![0.0 as Value; nblocks * bsize];
+    {
+        let crd_out = SharedSlice::new(&mut crd);
+        let vals_out = SharedSlice::new(&mut vals);
+        let blocks = &blocks;
+        std::thread::scope(|s| {
+            for r in &chunks {
+                let r = r.clone();
+                let crd_out = &crd_out;
+                let vals_out = &vals_out;
+                let pos = &pos;
+                s.spawn(move || {
+                    for bi in r {
+                        let base = pos[bi];
+                        for (n, &bj) in blocks[bi].iter().enumerate() {
+                            // SAFETY: output spans are disjoint per block row.
+                            unsafe { crd_out.write(base + n, bj) };
+                        }
+                        let row_lo = bi * block_rows;
+                        let row_hi = (row_lo + block_rows).min(rows);
+                        for i in row_lo..row_hi {
+                            for p in src_pos[i]..src_pos[i + 1] {
+                                let j = src_crd[p];
+                                let bj = j / block_cols;
+                                let b = base
+                                    + blocks[bi]
+                                        .binary_search(&bj)
+                                        .expect("block registered in analysis");
+                                let dst =
+                                    b * bsize + (i % block_rows) * block_cols + (j % block_cols);
+                                // SAFETY: dst lies in this block row's span.
+                                unsafe { vals_out.write(dst, src_vals[p]) };
+                            }
+                        }
+                    }
+                });
+            }
+        });
+    }
+    BcsrMatrix::from_parts(rows, csr.cols(), block_rows, block_cols, pos, crd, vals)
+        .expect("assembled BCSR structure is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparse_tensor::example::figure1_matrix;
+
+    fn shuffled_coo() -> CooMatrix {
+        let mut coo = CooMatrix::from_triples(&figure1_matrix());
+        let mut state = 7usize;
+        coo.shuffle_with(|bound| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state % bound
+        });
+        coo
+    }
+
+    #[test]
+    fn parallel_coo_to_csr_is_bit_identical() {
+        let coo = shuffled_coo();
+        let reference = engine::to_csr(&coo);
+        for threads in [1, 2, 3, 4, 9] {
+            let parallel = coo_to_csr(&coo, threads);
+            assert_eq!(parallel.pos(), reference.pos(), "{threads} threads");
+            assert_eq!(parallel.crd(), reference.crd(), "{threads} threads");
+            assert_eq!(parallel.values(), reference.values(), "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn parallel_csr_to_csc_is_bit_identical() {
+        let csr = CsrMatrix::from_triples(&figure1_matrix());
+        let reference = engine::to_csc(&csr);
+        for threads in [1, 2, 4, 16] {
+            let parallel = csr_to_csc(&csr, threads);
+            assert_eq!(parallel.pos(), reference.pos());
+            assert_eq!(parallel.crd(), reference.crd());
+            assert_eq!(parallel.values(), reference.values());
+        }
+    }
+
+    #[test]
+    fn parallel_csr_to_bcsr_is_bit_identical() {
+        let csr = CsrMatrix::from_triples(&figure1_matrix());
+        for (br, bc) in [(2, 2), (2, 3), (3, 1)] {
+            let reference = engine::to_bcsr(&csr, br, bc);
+            for threads in [1, 2, 4] {
+                let parallel = csr_to_bcsr(&csr, br, bc, threads);
+                assert_eq!(parallel.pos(), reference.pos(), "{br}x{bc}/{threads}");
+                assert_eq!(parallel.crd(), reference.crd(), "{br}x{bc}/{threads}");
+                assert_eq!(parallel.values(), reference.values(), "{br}x{bc}/{threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_matrices_take_the_sequential_path() {
+        let coo = CooMatrix::new(3, 5);
+        assert_eq!(coo_to_csr(&coo, 4).nnz(), 0);
+        let csr = engine::to_csr(&coo);
+        assert_eq!(csr_to_csc(&csr, 4).nnz(), 0);
+        assert_eq!(csr_to_bcsr(&csr, 2, 2, 4).num_blocks(), 0);
+    }
+}

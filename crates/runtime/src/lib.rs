@@ -1,0 +1,58 @@
+//! A concurrent conversion *service* on top of `sparse-conv`.
+//!
+//! The paper's performance argument rests on amortising specialisation: the
+//! generator emits one routine per format pair, and every subsequent
+//! conversion reuses it. `conv-runtime` brings the same economics to this
+//! reproduction at execution time:
+//!
+//! * [`cache::PlanCache`] memoises [`ConversionPlan`](sparse_conv::ConversionPlan)s
+//!   per `(source, target, spec fingerprint)` so planning happens once per
+//!   pair, not once per call;
+//! * [`kernels`] are row-range–partitioned parallel versions of the hot
+//!   conversion paths (COO→CSR via per-chunk histograms merged by prefix
+//!   sum, CSR→CSC transpose, CSR→BCSR), built on scoped `std::thread`s and
+//!   **bit-identical** to the sequential engine;
+//! * [`service::ConversionService`] is the batch front end: it routes each
+//!   request (direct vs. via-COO, decided by a cost model over the plan and
+//!   the source's storage statistics), picks parallel or sequential
+//!   execution, and schedules independent conversions across a
+//!   [`pool::WorkerPool`].
+//!
+//! # Quickstart
+//!
+//! ```
+//! use conv_runtime::{ConversionService, ServiceConfig};
+//! use sparse_conv::convert::{AnyMatrix, FormatId};
+//! use sparse_formats::CooMatrix;
+//! use sparse_tensor::example::figure1_matrix;
+//!
+//! let service = ConversionService::new(ServiceConfig::with_threads(4));
+//! let coo = AnyMatrix::Coo(CooMatrix::from_triples(&figure1_matrix()));
+//!
+//! // Single conversions reuse cached plans...
+//! let csr = service.convert(&coo, FormatId::Csr)?;
+//! assert_eq!(csr.format(), FormatId::Csr);
+//!
+//! // ...and batches spread independent jobs across the worker pool.
+//! let jobs = vec![(coo.clone(), FormatId::Csc), (csr, FormatId::Ell)];
+//! let results = service.convert_batch(&jobs);
+//! assert!(results.iter().all(|r| r.is_ok()));
+//!
+//! // After the warm-up above, re-converting the same pair plans nothing.
+//! let before = service.stats().plan_misses;
+//! service.convert(&coo, FormatId::Csr)?;
+//! assert_eq!(service.stats().plan_misses, before);
+//! # Ok::<(), sparse_conv::ConvertError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod kernels;
+pub mod partition;
+pub mod pool;
+pub mod service;
+
+pub use cache::{PlanCache, PlanKey};
+pub use pool::WorkerPool;
+pub use service::{ConversionService, Route, ServiceConfig, ServiceStats};

@@ -1,0 +1,135 @@
+//! Row-range partitioning for the parallel kernels.
+//!
+//! The coordinate-hierarchy abstraction (Chou et al. 2018) stores a matrix
+//! level by level, so any contiguous range of outer-level positions (rows,
+//! block rows, or raw nonzero indices) can be analysed and assembled
+//! independently of every other range. The helpers here carve the outer
+//! dimension into such ranges: [`even_chunks`] splits an index space into
+//! equally sized pieces, and [`balanced_chunks_by_pos`] splits a compressed
+//! level's parents so every piece owns roughly the same number of
+//! *children* (nonzeros), which is what actually balances work for skewed
+//! matrices.
+
+use std::ops::Range;
+
+/// Splits `0..n` into at most `parts` contiguous, non-empty ranges of nearly
+/// equal length (the first `n % parts` ranges are one element longer).
+/// Returns an empty vector when `n == 0`.
+///
+/// # Panics
+///
+/// Panics if `parts == 0`.
+pub fn even_chunks(n: usize, parts: usize) -> Vec<Range<usize>> {
+    assert!(parts > 0, "at least one chunk");
+    let parts = parts.min(n);
+    let mut out = Vec::with_capacity(parts);
+    if n == 0 {
+        return out;
+    }
+    let base = n / parts;
+    let extra = n % parts;
+    let mut start = 0;
+    for c in 0..parts {
+        let len = base + usize::from(c < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Splits the parents of a compressed level (`pos.len() - 1` of them) into at
+/// most `parts` contiguous ranges holding roughly `pos[last] / parts`
+/// children each. Every parent lands in exactly one range; empty trailing
+/// ranges are dropped.
+///
+/// # Panics
+///
+/// Panics if `parts == 0` or `pos` is empty (a `pos` array always has at
+/// least the leading 0).
+pub fn balanced_chunks_by_pos(pos: &[usize], parts: usize) -> Vec<Range<usize>> {
+    assert!(parts > 0, "at least one chunk");
+    assert!(!pos.is_empty(), "pos arrays start with 0");
+    let parents = pos.len() - 1;
+    let total = pos[parents];
+    if parents == 0 {
+        return Vec::new();
+    }
+    if total == 0 {
+        return even_chunks(parents, parts);
+    }
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0usize;
+    for c in 0..parts {
+        if start == parents {
+            break;
+        }
+        // The last chunk takes everything left; earlier chunks stop at the
+        // first parent whose cumulative child count crosses the next target.
+        let mut end = if c + 1 == parts {
+            parents
+        } else {
+            let target = (total * (c + 1)) / parts;
+            match pos.binary_search(&target) {
+                Ok(i) => i,
+                Err(i) => i.saturating_sub(1),
+            }
+        };
+        end = end.clamp(start + 1, parents);
+        out.push(start..end);
+        start = end;
+    }
+    if start < parents {
+        // Rounding left parents unassigned: give them to the last chunk.
+        let last = out.pop().unwrap_or(start..start);
+        out.push(last.start..parents);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn covers(chunks: &[Range<usize>], n: usize) {
+        let mut next = 0;
+        for r in chunks {
+            assert_eq!(r.start, next, "contiguous");
+            assert!(r.end > r.start, "non-empty");
+            next = r.end;
+        }
+        assert_eq!(next, n, "covers 0..{n}");
+    }
+
+    #[test]
+    fn even_chunks_cover_the_space() {
+        covers(&even_chunks(10, 3), 10);
+        covers(&even_chunks(3, 8), 3);
+        covers(&even_chunks(1, 1), 1);
+        assert!(even_chunks(0, 4).is_empty());
+        assert_eq!(even_chunks(10, 3), vec![0..4, 4..7, 7..10]);
+    }
+
+    #[test]
+    fn balanced_chunks_follow_the_child_distribution() {
+        // One heavy parent followed by light ones.
+        let pos = [0usize, 90, 92, 94, 96, 98, 100];
+        let chunks = balanced_chunks_by_pos(&pos, 2);
+        covers(&chunks, 6);
+        // The heavy parent sits alone; the rest go to the second chunk.
+        assert_eq!(chunks[0], 0..1);
+
+        let uniform = [0usize, 10, 20, 30, 40];
+        let chunks = balanced_chunks_by_pos(&uniform, 2);
+        covers(&chunks, 4);
+        assert_eq!(chunks, vec![0..2, 2..4]);
+    }
+
+    #[test]
+    fn balanced_chunks_handle_degenerate_inputs() {
+        assert!(balanced_chunks_by_pos(&[0], 4).is_empty());
+        covers(&balanced_chunks_by_pos(&[0, 0, 0, 0], 2), 3);
+        covers(&balanced_chunks_by_pos(&[0, 5], 4), 1);
+        // More parts than parents.
+        covers(&balanced_chunks_by_pos(&[0, 1, 2], 8), 2);
+    }
+}

@@ -1,0 +1,115 @@
+//! A scoped worker pool for batch scheduling.
+//!
+//! The pool runs a fixed-size set of `std::thread::scope` workers that pull
+//! job indices from a shared atomic counter — self-balancing without
+//! channels or work stealing, and safe to use with borrowed job data because
+//! the scope outlives no borrow.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A fixed-width pool of scoped worker threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerPool {
+    threads: usize,
+}
+
+impl WorkerPool {
+    /// A pool of `threads` workers (clamped to at least one).
+    pub fn new(threads: usize) -> Self {
+        WorkerPool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// A pool sized to the machine (`std::thread::available_parallelism`,
+    /// falling back to one worker when it cannot be determined).
+    pub fn machine_sized() -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        WorkerPool::new(threads)
+    }
+
+    /// Number of workers.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `job(0..count)` across the pool and returns the results in job
+    /// order. Jobs are claimed dynamically, so cheap jobs do not stall
+    /// behind expensive ones assigned to the same worker.
+    ///
+    /// With one worker (or one job) everything runs on the calling thread.
+    pub fn run<T, F>(&self, count: usize, job: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if count == 0 {
+            return Vec::new();
+        }
+        let workers = self.threads.min(count);
+        if workers == 1 {
+            return (0..count).map(&job).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let mut per_worker: Vec<Vec<(usize, T)>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let next = &next;
+                    let job = &job;
+                    s.spawn(move || {
+                        let mut out = Vec::new();
+                        loop {
+                            let idx = next.fetch_add(1, Ordering::Relaxed);
+                            if idx >= count {
+                                break;
+                            }
+                            out.push((idx, job(idx)));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let mut slots: Vec<Option<T>> = (0..count).map(|_| None).collect();
+        for chunk in &mut per_worker {
+            for (idx, value) in chunk.drain(..) {
+                slots[idx] = Some(value);
+            }
+        }
+        slots
+            .into_iter()
+            .map(|v| v.expect("every job index was claimed exactly once"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_job_order() {
+        let pool = WorkerPool::new(4);
+        let out = pool.run(32, |i| i * i);
+        assert_eq!(out, (0..32).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_worker_and_empty_batches() {
+        let pool = WorkerPool::new(1);
+        assert_eq!(pool.threads(), 1);
+        assert_eq!(pool.run(3, |i| i + 1), vec![1, 2, 3]);
+        assert!(pool.run(0, |i| i).is_empty());
+        assert_eq!(WorkerPool::new(0).threads(), 1);
+        assert!(WorkerPool::machine_sized().threads() >= 1);
+    }
+
+    #[test]
+    fn more_workers_than_jobs_is_fine() {
+        let pool = WorkerPool::new(16);
+        assert_eq!(pool.run(2, |i| i), vec![0, 1]);
+    }
+}

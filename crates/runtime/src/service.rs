@@ -1,0 +1,443 @@
+//! The conversion service: cached planning, routed execution, batching.
+//!
+//! [`ConversionService`] is the front door of the runtime. Every conversion
+//! goes through three stages:
+//!
+//! 1. **plan** — the [`PlanCache`] returns the pair's [`ConversionPlan`],
+//!    building it at most once per `(source, target, spec fingerprint)`;
+//! 2. **route** — a cost model over the plan and the source's storage
+//!    statistics decides between converting *directly* and going *via COO*
+//!    first (profitable when a padded source such as DIA or ELL would be
+//!    re-scanned by a multi-pass plan);
+//! 3. **execute** — hot pairs (COO→CSR, CSR→CSC, CSR→BCSR) run on the
+//!    row-range–partitioned parallel kernels when the input is large enough
+//!    to pay for thread startup; everything else falls back to the
+//!    sequential `sparse_conv` engine. Both paths produce bit-identical
+//!    output.
+//!
+//! [`ConversionService::convert_batch`] schedules many independent
+//! conversions across a [`WorkerPool`]; batched jobs execute sequentially
+//! inside each worker (the batch itself is the parallel axis), so a batch
+//! never oversubscribes the machine.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use sparse_conv::convert::{AnyMatrix, FormatId};
+use sparse_conv::{engine, ConversionPlan, ConvertError};
+
+use crate::cache::PlanCache;
+use crate::kernels;
+use crate::pool::WorkerPool;
+
+/// Tuning knobs of a [`ConversionService`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Worker threads for parallel kernels and batch scheduling.
+    pub threads: usize,
+    /// Minimum number of stored nonzeros before a conversion is worth
+    /// running on the parallel kernels (small inputs lose to thread
+    /// startup).
+    pub parallel_nnz_threshold: usize,
+}
+
+impl ServiceConfig {
+    /// A config using `threads` workers and the default parallelism
+    /// threshold.
+    pub fn with_threads(threads: usize) -> Self {
+        ServiceConfig {
+            threads: threads.max(1),
+            ..ServiceConfig::default()
+        }
+    }
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            threads: WorkerPool::machine_sized().threads(),
+            parallel_nnz_threshold: 1 << 14,
+        }
+    }
+}
+
+/// How the service decided to execute a conversion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// Run the (source → target) routine directly.
+    Direct,
+    /// Convert to COO first, then (COO → target): cheaper when the source
+    /// stores many padding zeros that a multi-pass plan would re-scan.
+    ViaCoo,
+}
+
+/// Monotonic counters describing what a service has executed.
+#[derive(Debug, Default)]
+struct ServiceCounters {
+    conversions: AtomicU64,
+    parallel_kernels: AtomicU64,
+    sequential: AtomicU64,
+    via_coo: AtomicU64,
+    batch_jobs: AtomicU64,
+}
+
+/// A point-in-time copy of a service's counters (plus its plan-cache
+/// statistics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Conversions requested (batch jobs included).
+    pub conversions: u64,
+    /// Conversions executed on a parallel kernel.
+    pub parallel_kernels: u64,
+    /// Conversions executed on the sequential engine.
+    pub sequential: u64,
+    /// Conversions routed through an intermediate COO.
+    pub via_coo: u64,
+    /// Jobs submitted through [`ConversionService::convert_batch`].
+    pub batch_jobs: u64,
+    /// Plan-cache hits.
+    pub plan_hits: u64,
+    /// Plan-cache misses (plans built).
+    pub plan_misses: u64,
+    /// Distinct plans currently cached.
+    pub cached_plans: usize,
+}
+
+/// A concurrent conversion service over the `sparse_conv` engine.
+#[derive(Debug)]
+pub struct ConversionService {
+    config: ServiceConfig,
+    pool: WorkerPool,
+    cache: PlanCache,
+    counters: ServiceCounters,
+}
+
+impl Default for ConversionService {
+    fn default() -> Self {
+        Self::new(ServiceConfig::default())
+    }
+}
+
+impl ConversionService {
+    /// A service with the given configuration and an empty plan cache.
+    pub fn new(config: ServiceConfig) -> Self {
+        ConversionService {
+            config,
+            pool: WorkerPool::new(config.threads),
+            cache: PlanCache::new(),
+            counters: ServiceCounters::default(),
+        }
+    }
+
+    /// The service's configuration.
+    pub fn config(&self) -> ServiceConfig {
+        self.config
+    }
+
+    /// The plan cache (for inspection and warm-up).
+    pub fn plan_cache(&self) -> &PlanCache {
+        &self.cache
+    }
+
+    /// Builds (and caches) the plans for every pair in `pairs`, so a later
+    /// traffic burst pays no planning cost.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first planning error (e.g. a DOK target).
+    pub fn warm_up(&self, pairs: &[(FormatId, FormatId)]) -> Result<(), ConvertError> {
+        for &(source, target) in pairs {
+            self.cache.plan(source, target)?;
+        }
+        Ok(())
+    }
+
+    /// Converts one matrix, with cached planning, cost-model routing, and
+    /// parallel kernels for the hot pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the target cannot represent the input or has no
+    /// coordinate-hierarchy specification (DOK).
+    pub fn convert(&self, src: &AnyMatrix, target: FormatId) -> Result<AnyMatrix, ConvertError> {
+        self.convert_inner(src, target, true)
+    }
+
+    /// The route [`ConversionService::convert`] would take for this source
+    /// instance and target (exposed for inspection and tests).
+    ///
+    /// # Errors
+    ///
+    /// Propagates planning errors.
+    pub fn route_for(&self, src: &AnyMatrix, target: FormatId) -> Result<Route, ConvertError> {
+        let plan = self.cache.plan(src.format(), target)?;
+        self.choose_route(src, target, &plan)
+    }
+
+    /// Converts a batch of independent jobs across the worker pool,
+    /// returning one result per job in submission order. Planning is shared
+    /// through the cache; each job executes sequentially inside its worker
+    /// (the batch is the parallel axis).
+    pub fn convert_batch(
+        &self,
+        jobs: &[(AnyMatrix, FormatId)],
+    ) -> Vec<Result<AnyMatrix, ConvertError>> {
+        self.counters
+            .batch_jobs
+            .fetch_add(jobs.len() as u64, Ordering::Relaxed);
+        // Warm the cache up front so workers race on conversions, not plans.
+        for (src, target) in jobs {
+            let _ = self.cache.plan(src.format(), *target);
+        }
+        self.pool.run(jobs.len(), |i| {
+            let (src, target) = &jobs[i];
+            self.convert_inner(src, *target, false)
+        })
+    }
+
+    /// A snapshot of the service's execution and plan-cache statistics.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            conversions: self.counters.conversions.load(Ordering::Relaxed),
+            parallel_kernels: self.counters.parallel_kernels.load(Ordering::Relaxed),
+            sequential: self.counters.sequential.load(Ordering::Relaxed),
+            via_coo: self.counters.via_coo.load(Ordering::Relaxed),
+            batch_jobs: self.counters.batch_jobs.load(Ordering::Relaxed),
+            plan_hits: self.cache.hits(),
+            plan_misses: self.cache.misses(),
+            cached_plans: self.cache.len(),
+        }
+    }
+
+    fn convert_inner(
+        &self,
+        src: &AnyMatrix,
+        target: FormatId,
+        allow_parallel: bool,
+    ) -> Result<AnyMatrix, ConvertError> {
+        let plan = self.cache.plan(src.format(), target)?;
+        self.counters.conversions.fetch_add(1, Ordering::Relaxed);
+        match self.choose_route(src, target, &plan)? {
+            Route::Direct => self.execute(src, target, allow_parallel),
+            Route::ViaCoo => {
+                self.counters.via_coo.fetch_add(1, Ordering::Relaxed);
+                let coo = AnyMatrix::Coo(match src {
+                    AnyMatrix::Dia(m) => engine::to_coo(m),
+                    AnyMatrix::Ell(m) => engine::to_coo(m),
+                    AnyMatrix::Bcsr(m) => engine::to_coo(m),
+                    AnyMatrix::Skyline(m) => engine::to_coo(m),
+                    // Unpadded sources never choose ViaCoo; keep the match
+                    // total anyway.
+                    _ => return self.execute(src, target, allow_parallel),
+                });
+                self.execute(&coo, target, allow_parallel)
+            }
+        }
+    }
+
+    /// Stored entries of the source's value array, padding included — the
+    /// unit every plan pass actually scans.
+    fn stored_entries(src: &AnyMatrix) -> usize {
+        match src {
+            AnyMatrix::Dia(m) => m.values().len(),
+            AnyMatrix::Ell(m) => m.values().len(),
+            AnyMatrix::Bcsr(m) => m.values().len(),
+            AnyMatrix::Skyline(m) => m.values().len(),
+            other => other.nnz(),
+        }
+    }
+
+    fn choose_route(
+        &self,
+        src: &AnyMatrix,
+        target: FormatId,
+        plan: &ConversionPlan,
+    ) -> Result<Route, ConvertError> {
+        let stored = Self::stored_entries(src);
+        let nnz = src.nnz();
+        if stored <= nnz || matches!(target, FormatId::Coo) || nnz == 0 {
+            return Ok(Route::Direct);
+        }
+        // Every pass of the direct plan re-scans the padded storage; the
+        // via-COO route scans it once, materialises nnz triples, then runs
+        // the (COO → target) plan over unpadded data.
+        let direct_cost = plan.input_passes * stored;
+        let coo_plan = self.cache.plan(FormatId::Coo, target)?;
+        let via_cost = stored + nnz + coo_plan.input_passes * nnz;
+        Ok(if via_cost < direct_cost {
+            Route::ViaCoo
+        } else {
+            Route::Direct
+        })
+    }
+
+    fn parallel_worthwhile(&self, nnz: usize, allow_parallel: bool) -> bool {
+        allow_parallel && self.config.threads > 1 && nnz >= self.config.parallel_nnz_threshold
+    }
+
+    fn execute(
+        &self,
+        src: &AnyMatrix,
+        target: FormatId,
+        allow_parallel: bool,
+    ) -> Result<AnyMatrix, ConvertError> {
+        let threads = self.config.threads;
+        if self.parallel_worthwhile(src.nnz(), allow_parallel) {
+            match (src, target) {
+                (AnyMatrix::Coo(m), FormatId::Csr) => {
+                    self.counters
+                        .parallel_kernels
+                        .fetch_add(1, Ordering::Relaxed);
+                    return Ok(AnyMatrix::Csr(kernels::coo_to_csr(m, threads)));
+                }
+                (AnyMatrix::Csr(m), FormatId::Csc) => {
+                    self.counters
+                        .parallel_kernels
+                        .fetch_add(1, Ordering::Relaxed);
+                    return Ok(AnyMatrix::Csc(kernels::csr_to_csc(m, threads)));
+                }
+                (
+                    AnyMatrix::Csr(m),
+                    FormatId::Bcsr {
+                        block_rows,
+                        block_cols,
+                    },
+                ) => {
+                    self.counters
+                        .parallel_kernels
+                        .fetch_add(1, Ordering::Relaxed);
+                    return Ok(AnyMatrix::Bcsr(kernels::csr_to_bcsr(
+                        m, block_rows, block_cols, threads,
+                    )));
+                }
+                _ => {}
+            }
+        }
+        self.counters.sequential.fetch_add(1, Ordering::Relaxed);
+        sparse_conv::convert(src, target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparse_formats::{CooMatrix, CsrMatrix, DiaMatrix};
+    use sparse_tensor::example::figure1_matrix;
+    use sparse_tensor::SparseTriples;
+
+    fn service(threads: usize) -> ConversionService {
+        ConversionService::new(ServiceConfig {
+            threads,
+            parallel_nnz_threshold: 0,
+        })
+    }
+
+    #[test]
+    fn service_output_matches_the_sequential_engine() {
+        let t = figure1_matrix();
+        let coo = AnyMatrix::Coo(CooMatrix::from_triples(&t));
+        let svc = service(4);
+        for target in [
+            FormatId::Csr,
+            FormatId::Csc,
+            FormatId::Dia,
+            FormatId::Ell,
+            FormatId::Jad,
+        ] {
+            let got = svc.convert(&coo, target).unwrap();
+            let want = sparse_conv::convert(&coo, target).unwrap();
+            assert_eq!(got, want, "{target}");
+        }
+        let stats = svc.stats();
+        assert_eq!(stats.conversions, 5);
+        assert!(stats.parallel_kernels >= 1, "COO→CSR ran parallel");
+    }
+
+    #[test]
+    fn planning_happens_once_per_pair() {
+        let t = figure1_matrix();
+        let coo = AnyMatrix::Coo(CooMatrix::from_triples(&t));
+        let svc = service(2);
+        for _ in 0..5 {
+            svc.convert(&coo, FormatId::Csr).unwrap();
+        }
+        let stats = svc.stats();
+        assert_eq!(stats.plan_misses, 1);
+        assert_eq!(stats.plan_hits, 4);
+        assert_eq!(stats.cached_plans, 1);
+    }
+
+    #[test]
+    fn batch_results_keep_submission_order_and_surface_errors() {
+        let t = figure1_matrix();
+        let coo = AnyMatrix::Coo(CooMatrix::from_triples(&t));
+        let csr = AnyMatrix::Csr(CsrMatrix::from_triples(&t));
+        let jobs = vec![
+            (coo.clone(), FormatId::Csr),
+            (csr.clone(), FormatId::Csc),
+            (coo.clone(), FormatId::Skyline), // rectangular: must fail
+            (csr.clone(), FormatId::Dok),     // unsupported target
+            (coo.clone(), FormatId::Ell),
+        ];
+        let svc = service(3);
+        let results = svc.convert_batch(&jobs);
+        assert_eq!(results.len(), 5);
+        assert_eq!(results[0].as_ref().unwrap().format(), FormatId::Csr);
+        assert_eq!(results[1].as_ref().unwrap().format(), FormatId::Csc);
+        assert!(matches!(results[2], Err(ConvertError::Unsupported(_))));
+        assert!(matches!(
+            results[3],
+            Err(ConvertError::UnsupportedTarget(FormatId::Dok))
+        ));
+        assert_eq!(results[4].as_ref().unwrap().format(), FormatId::Ell);
+        assert_eq!(svc.stats().batch_jobs, 5);
+    }
+
+    #[test]
+    fn padded_multi_pass_sources_route_via_coo() {
+        // A 64x64 matrix with a dense main diagonal plus a scatter of first-row
+        // entries, one per extra diagonal: DIA stores 32*64 padded entries for
+        // 95 nonzeros, and DIA→ELL is a two-pass plan, so scanning the padding
+        // twice costs far more than materialising COO once.
+        let mut entries: Vec<(usize, usize, f64)> = (0..64).map(|i| (i, i, 1.0)).collect();
+        entries.extend((1..32).map(|j| (0usize, j, 2.0)));
+        let t = SparseTriples::from_matrix_entries(64, 64, entries).unwrap();
+        let dia = AnyMatrix::Dia(DiaMatrix::from_triples(&t));
+        let svc = service(1);
+        assert_eq!(svc.route_for(&dia, FormatId::Ell).unwrap(), Route::ViaCoo);
+        // COO targets and unpadded sources stay direct.
+        assert_eq!(svc.route_for(&dia, FormatId::Coo).unwrap(), Route::Direct);
+        let csr = AnyMatrix::Csr(CsrMatrix::from_triples(&t));
+        assert_eq!(svc.route_for(&csr, FormatId::Ell).unwrap(), Route::Direct);
+        // The routed conversion still produces the engine's exact output.
+        let got = svc.convert(&dia, FormatId::Ell).unwrap();
+        let want = sparse_conv::convert(&dia, FormatId::Ell).unwrap();
+        assert_eq!(got, want);
+        assert_eq!(svc.stats().via_coo, 1);
+    }
+
+    #[test]
+    fn warm_up_builds_every_plan_in_advance() {
+        let svc = service(2);
+        svc.warm_up(&[
+            (FormatId::Coo, FormatId::Csr),
+            (FormatId::Csr, FormatId::Csc),
+        ])
+        .unwrap();
+        assert_eq!(svc.stats().cached_plans, 2);
+        assert!(svc.warm_up(&[(FormatId::Csr, FormatId::Dok)]).is_err());
+    }
+
+    #[test]
+    fn small_inputs_do_not_spawn_threads() {
+        let t = figure1_matrix();
+        let coo = AnyMatrix::Coo(CooMatrix::from_triples(&t));
+        let svc = ConversionService::new(ServiceConfig {
+            threads: 4,
+            parallel_nnz_threshold: 1_000_000,
+        });
+        svc.convert(&coo, FormatId::Csr).unwrap();
+        let stats = svc.stats();
+        assert_eq!(stats.parallel_kernels, 0);
+        assert_eq!(stats.sequential, 1);
+    }
+}

@@ -1,0 +1,150 @@
+//! Property tests: every parallel kernel produces output byte-equal to the
+//! sequential engine, across random matrices and 1/2/4-thread pools, and the
+//! plan cache never re-plans a warm pair.
+
+use proptest::prelude::*;
+
+use conv_runtime::{kernels, ConversionService, PlanCache, ServiceConfig};
+use sparse_conv::convert::{AnyMatrix, FormatId};
+use sparse_conv::engine;
+use sparse_formats::{CooMatrix, CsrMatrix};
+use sparse_tensor::{Shape, SparseTriples};
+
+const THREAD_POOLS: [usize; 3] = [1, 2, 4];
+
+/// Random sparse matrices as duplicate-free triples, with a shuffle seed so
+/// COO inputs arrive in arbitrary storage order (as imported data would).
+fn arb_matrix() -> impl Strategy<Value = (SparseTriples, u64)> {
+    (1usize..32, 1usize..32).prop_flat_map(|(rows, cols)| {
+        let max_nnz = (rows * cols).min(96);
+        (
+            proptest::collection::vec(((0..rows), (0..cols), -100i32..100), 0..max_nnz),
+            1u64..u64::MAX,
+        )
+            .prop_map(move |(entries, seed)| {
+                let mut t = SparseTriples::new(Shape::matrix(rows, cols));
+                for (i, j, v) in entries {
+                    if v != 0 && t.get(&[i as i64, j as i64]) == 0.0 {
+                        t.push(vec![i as i64, j as i64], v as f64)
+                            .expect("in bounds");
+                    }
+                }
+                (t, seed)
+            })
+    })
+}
+
+fn shuffled_coo(t: &SparseTriples, seed: u64) -> CooMatrix {
+    let mut coo = CooMatrix::from_triples(t);
+    let mut state = seed;
+    coo.shuffle_with(|bound| {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state as usize) % bound
+    });
+    coo
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// COO→CSR: the partitioned histogram + prefix-sum-merge kernel matches
+    /// the sequential engine bit for bit at every pool width.
+    #[test]
+    fn parallel_coo_to_csr_is_byte_equal((t, seed) in arb_matrix()) {
+        let coo = shuffled_coo(&t, seed);
+        let reference = engine::to_csr(&coo);
+        for threads in THREAD_POOLS {
+            let parallel = kernels::coo_to_csr(&coo, threads);
+            prop_assert_eq!(parallel.pos(), reference.pos(), "pos, {} threads", threads);
+            prop_assert_eq!(parallel.crd(), reference.crd(), "crd, {} threads", threads);
+            prop_assert_eq!(parallel.values(), reference.values(), "vals, {} threads", threads);
+        }
+    }
+
+    /// CSR→CSC: the partitioned transpose matches the sequential engine.
+    #[test]
+    fn parallel_csr_to_csc_is_byte_equal((t, _) in arb_matrix()) {
+        let csr = CsrMatrix::from_triples(&t);
+        let reference = engine::to_csc(&csr);
+        for threads in THREAD_POOLS {
+            let parallel = kernels::csr_to_csc(&csr, threads);
+            prop_assert_eq!(parallel.pos(), reference.pos(), "pos, {} threads", threads);
+            prop_assert_eq!(parallel.crd(), reference.crd(), "crd, {} threads", threads);
+            prop_assert_eq!(parallel.values(), reference.values(), "vals, {} threads", threads);
+        }
+    }
+
+    /// CSR→BCSR: block discovery and dense-block scatter match the engine
+    /// for a spread of block shapes.
+    #[test]
+    fn parallel_csr_to_bcsr_is_byte_equal(
+        ((t, _), block_rows, block_cols) in (arb_matrix(), 1usize..5, 1usize..5)
+    ) {
+        let csr = CsrMatrix::from_triples(&t);
+        let reference = engine::to_bcsr(&csr, block_rows, block_cols);
+        for threads in THREAD_POOLS {
+            let parallel = kernels::csr_to_bcsr(&csr, block_rows, block_cols, threads);
+            prop_assert_eq!(parallel.pos(), reference.pos(), "pos, {} threads", threads);
+            prop_assert_eq!(parallel.crd(), reference.crd(), "crd, {} threads", threads);
+            prop_assert_eq!(parallel.values(), reference.values(), "vals, {} threads", threads);
+        }
+    }
+
+    /// The full service (routing included) returns exactly what the
+    /// sequential `sparse_conv::convert` returns, at every pool width.
+    #[test]
+    fn service_conversions_match_sequential_convert((t, seed) in arb_matrix()) {
+        let coo = AnyMatrix::Coo(shuffled_coo(&t, seed));
+        for threads in THREAD_POOLS {
+            let service = ConversionService::new(ServiceConfig {
+                threads,
+                parallel_nnz_threshold: 0,
+            });
+            for target in [
+                FormatId::Csr,
+                FormatId::Csc,
+                FormatId::Dia,
+                FormatId::Ell,
+                FormatId::Jad,
+                FormatId::Bcsr { block_rows: 2, block_cols: 2 },
+            ] {
+                let got = service.convert(&coo, target).expect("conversion");
+                let want = sparse_conv::convert(&coo, target).expect("conversion");
+                prop_assert_eq!(got, want, "{} at {} threads", target, threads);
+            }
+        }
+    }
+}
+
+#[test]
+fn plan_cache_never_replans_a_warm_pair() {
+    let planned = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+    let counter = std::sync::Arc::clone(&planned);
+    let cache = PlanCache::with_planner(Box::new(move |s, t| {
+        counter.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        sparse_conv::convert::plan_for_pair(s, t)
+    }));
+    let pairs = [
+        (FormatId::Coo, FormatId::Csr),
+        (FormatId::Csr, FormatId::Csc),
+        (FormatId::Csc, FormatId::Dia),
+    ];
+    for (s, t) in pairs {
+        cache.plan(s, t).unwrap();
+    }
+    let built_after_warmup = planned.load(std::sync::atomic::Ordering::SeqCst);
+    assert_eq!(built_after_warmup, pairs.len());
+    for _ in 0..10 {
+        for (s, t) in pairs {
+            cache.plan(s, t).unwrap();
+        }
+    }
+    assert_eq!(
+        planned.load(std::sync::atomic::Ordering::SeqCst),
+        built_after_warmup,
+        "zero re-planning after warm-up"
+    );
+    assert_eq!(cache.hits(), 30);
+}

@@ -107,12 +107,9 @@ impl DenseMatrix {
     pub fn spmv(&self, x: &[Value]) -> Vec<Value> {
         assert_eq!(x.len(), self.cols, "vector length mismatch");
         let mut y = vec![0.0; self.rows];
-        for i in 0..self.rows {
-            let mut acc = 0.0;
-            for j in 0..self.cols {
-                acc += self.data[i * self.cols + j] * x[j];
-            }
-            y[i] = acc;
+        for (i, yi) in y.iter_mut().enumerate() {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            *yi = row.iter().zip(x).map(|(a, b)| a * b).sum();
         }
         y
     }

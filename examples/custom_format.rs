@@ -71,7 +71,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // The stock skyline spec works through exactly the same machinery.
-    let sky = FormatSpec::stock(FormatId::Skyline);
+    let sky = FormatSpec::stock(FormatId::Skyline)?;
     let tensor = convert_with_spec(&src, &sky)?;
     if let LevelOutput::Banded { pos, first } = &tensor.levels[1] {
         println!("\nskyline format: row runs {pos:?}");

@@ -56,7 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             evaluate_on_coords(&query, &names, &bounds, coords.iter().map(|c| c.as_slice()))?;
         println!("  {text}");
         for label in result.labels() {
-            println!("    {label}: {:?}", result.field_data(label));
+            println!("    {label}: {:?}", result.field_data(label)?);
         }
     }
     Ok(())

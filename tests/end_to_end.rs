@@ -76,7 +76,7 @@ fn specification_languages_cover_all_stock_formats() {
         FormatId::Skyline,
         FormatId::Jad,
     ] {
-        let spec = FormatSpec::stock(id);
+        let spec = FormatSpec::stock(id).expect("stock spec");
         // Remapping text round-trips through the parser.
         let reparsed = parse_remapping(&spec.remapping.to_string()).expect("remapping parses");
         assert_eq!(reparsed, spec.remapping, "{id}");

@@ -6,10 +6,10 @@ use proptest::prelude::*;
 
 use taco_conversion_repro::conv::convert::{convert, AnyMatrix, FormatId};
 use taco_conversion_repro::conv::engine;
-use taco_conversion_repro::formats::{baselines, CooMatrix, CsrMatrix};
+use taco_conversion_repro::formats::{baselines, CooMatrix, CsrMatrix, DokMatrix};
 use taco_conversion_repro::tensor::{MatrixStats, SparseTriples};
 
-fn all_formats() -> Vec<FormatId> {
+fn all_targets() -> Vec<FormatId> {
     vec![
         FormatId::Coo,
         FormatId::Csr,
@@ -21,8 +21,19 @@ fn all_formats() -> Vec<FormatId> {
             block_cols: 3,
         },
         FormatId::Jad,
-        FormatId::Dok,
     ]
+}
+
+/// Every matrix in every target format, plus DOK (a source-only format built
+/// through its reference constructor; `convert` rejects it as a target).
+fn all_sources(t: &SparseTriples) -> Vec<AnyMatrix> {
+    let coo = AnyMatrix::Coo(CooMatrix::from_triples(t));
+    let mut sources: Vec<AnyMatrix> = all_targets()
+        .into_iter()
+        .map(|f| convert(&coo, f).expect("source conversion"))
+        .collect();
+    sources.push(AnyMatrix::Dok(DokMatrix::from_triples(t)));
+    sources
 }
 
 /// Strategy generating small random sparse matrices (as coordinate/value
@@ -52,19 +63,18 @@ proptest! {
     /// Converting through any pair of formats preserves the matrix values.
     #[test]
     fn conversion_preserves_values(t in arb_matrix()) {
-        let coo = AnyMatrix::Coo(CooMatrix::from_triples(&t));
-        for src_format in all_formats() {
-            let src = convert(&coo, src_format).expect("source conversion");
-            prop_assert!(src.to_triples().same_values(&t), "building {} lost values", src_format);
-            for dst_format in all_formats() {
+        for src in all_sources(&t) {
+            prop_assert!(src.to_triples().same_values(&t), "building {} lost values", src.format());
+            for dst_format in all_targets() {
                 let dst = convert(&src, dst_format).expect("target conversion");
                 prop_assert!(
                     dst.to_triples().same_values(&t),
                     "{} -> {} lost values",
-                    src_format,
+                    src.format(),
                     dst_format
                 );
             }
+            prop_assert!(convert(&src, FormatId::Dok).is_err(), "DOK target must be rejected");
         }
     }
 
@@ -100,10 +110,9 @@ proptest! {
     /// end-to-end property applications actually rely on).
     #[test]
     fn spmv_is_preserved_by_conversion(t in arb_matrix()) {
-        let coo = AnyMatrix::Coo(CooMatrix::from_triples(&t));
         let reference = engine::spmv_fingerprint(&CooMatrix::from_triples(&t));
-        for format in all_formats() {
-            let converted = convert(&coo, format).expect("conversion");
+        for converted in all_sources(&t) {
+            let format = converted.format();
             let fingerprint = match &converted {
                 AnyMatrix::Coo(m) => engine::spmv_fingerprint(m),
                 AnyMatrix::Csr(m) => engine::spmv_fingerprint(m),

@@ -1,0 +1,95 @@
+//! Integration tests for the `conv-runtime` conversion service, driving it
+//! with the Table 2 synthetic workloads: batched conversions agree with the
+//! sequential engine at every pool width, planning is amortised across a
+//! batch, and routing never changes results.
+
+use taco_conversion_repro::conv::convert::{convert, AnyMatrix, FormatId};
+use taco_conversion_repro::formats::{CooMatrix, CsrMatrix};
+use taco_conversion_repro::runtime::{ConversionService, ServiceConfig};
+use taco_conversion_repro::workloads::table2;
+
+fn workload_inputs() -> Vec<AnyMatrix> {
+    table2()
+        .iter()
+        .filter(|s| ["jnlbrng1", "cant", "scircuit"].contains(&s.name))
+        .flat_map(|s| {
+            let t = s.generate(0.01);
+            [
+                AnyMatrix::Coo(CooMatrix::from_triples(&t)),
+                AnyMatrix::Csr(CsrMatrix::from_triples(&t)),
+            ]
+        })
+        .collect()
+}
+
+#[test]
+fn batched_service_conversions_match_the_sequential_engine() {
+    let sources = workload_inputs();
+    let targets = [
+        FormatId::Coo,
+        FormatId::Csr,
+        FormatId::Csc,
+        FormatId::Ell,
+        FormatId::Jad,
+        FormatId::Bcsr {
+            block_rows: 4,
+            block_cols: 4,
+        },
+    ];
+    let jobs: Vec<(AnyMatrix, FormatId)> = sources
+        .iter()
+        .flat_map(|s| targets.iter().map(move |&t| (s.clone(), t)))
+        .collect();
+
+    let expected: Vec<AnyMatrix> = jobs
+        .iter()
+        .map(|(src, target)| convert(src, *target).expect("sequential conversion"))
+        .collect();
+
+    for threads in [1, 4] {
+        let service = ConversionService::new(ServiceConfig {
+            threads,
+            parallel_nnz_threshold: 0,
+        });
+        let results = service.convert_batch(&jobs);
+        assert_eq!(results.len(), expected.len());
+        for ((job, result), want) in jobs.iter().zip(&results).zip(&expected) {
+            let got = result.as_ref().expect("service conversion");
+            assert_eq!(
+                got,
+                want,
+                "{} -> {} differs at {} threads",
+                job.0.format(),
+                job.1,
+                threads
+            );
+        }
+        let stats = service.stats();
+        assert_eq!(stats.batch_jobs, jobs.len() as u64);
+        // 2 source formats x 6 targets = 12 distinct pairs; everything else
+        // must come from the cache.
+        assert_eq!(stats.plan_misses, 12, "planning is amortised");
+        assert!(stats.plan_hits >= (jobs.len() as u64) - 12);
+    }
+}
+
+#[test]
+fn single_conversions_amortise_planning_across_calls() {
+    let service = ConversionService::new(ServiceConfig::with_threads(2));
+    let sources = workload_inputs();
+    for src in &sources {
+        service.convert(src, FormatId::Csc).expect("conversion");
+    }
+    let stats = service.stats();
+    // Two distinct source formats -> two plans, regardless of matrix count.
+    assert_eq!(stats.plan_misses, 2);
+    assert_eq!(stats.conversions, sources.len() as u64);
+}
+
+#[test]
+fn service_rejects_dok_targets_like_the_engine() {
+    let service = ConversionService::default();
+    let src = workload_inputs().remove(0);
+    assert!(service.convert(&src, FormatId::Dok).is_err());
+    assert!(convert(&src, FormatId::Dok).is_err());
+}
