@@ -162,6 +162,7 @@ fn main() {
                         source: src.format().to_string(),
                         target: target.to_string(),
                         threads,
+                        scale,
                         median_ns: median.as_nanos(),
                     });
                 }

@@ -1,0 +1,165 @@
+//! Benchmarks the order-3 tensor conversions (the paper's Table 4-style
+//! COO→CSF sorting/packing evaluation) through the conversion service, and
+//! appends machine-readable rows to the `BENCH_conversions.json` document
+//! that `table2` starts (falling back to a fresh document when none
+//! exists).
+//!
+//! Usage: `table4 [FORMAT ...]` — the optional arguments are conversion
+//! *target* formats parsed by `FormatId::from_str`; only the tensor formats
+//! (`COO3`, `CSF`) are accepted. The default benchmarks both directions:
+//! COO3→CSF and CSF→COO3, each from synthetic order-3 tensors at one thread
+//! and at `BENCH_THREADS` threads.
+//!
+//! Environment variables:
+//!
+//! * `TENSOR_SCALE` — tensor size relative to the default (default 1.0; CI
+//!   smoke mode uses a small fraction),
+//! * `TABLE_REPS` — repetitions per measurement, median reported (default 3),
+//! * `BENCH_THREADS` — pool width of the parallel measurement (default: the
+//!   machine's available parallelism),
+//! * `BENCH_JSON` — output path (default `BENCH_conversions.json`).
+
+use conv_bench::{env_f64, env_usize, merge_bench_json, render_bench_json, BenchRecord};
+use conv_runtime::{ConversionService, ServiceConfig, WorkerPool};
+use conv_workloads::{tensor3_fibered, tensor3_uniform};
+use sparse_conv::convert::{AnyMatrix, FormatId};
+use sparse_formats::CooTensor;
+use sparse_tensor::SparseTriples;
+
+/// Synthesises the benchmark tensors at the given scale: one uniform-random
+/// tensor (unstructured, fiber-heavy) and one mode-1-fibered tensor (skewed,
+/// factorisation-style).
+fn tensors(scale: f64) -> Vec<(&'static str, SparseTriples)> {
+    let s = |n: usize| ((n as f64 * scale).round() as usize).max(2);
+    let uniform_dims = [s(256), s(256), s(256)];
+    // Clamp to the cell count so extreme smoke-mode scales stay valid.
+    let uniform_nnz = ((200_000_f64 * scale * scale).round().max(16.0) as usize)
+        .min(uniform_dims.iter().product());
+    vec![
+        (
+            "uniform3d",
+            tensor3_uniform(uniform_dims, uniform_nnz, 42)
+                .expect("uniform tensor parameters are valid"),
+        ),
+        (
+            "fibered3d",
+            tensor3_fibered(
+                [s(512), s(256), s(128)],
+                s(16).min(s(256)),
+                s(24).min(s(128)),
+                7,
+            )
+            .expect("fibered tensor parameters are valid"),
+        ),
+    ]
+}
+
+fn target_formats_from_cli() -> Vec<FormatId> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        return vec![FormatId::Csf, FormatId::Coo3];
+    }
+    let mut formats = Vec::new();
+    for arg in args {
+        match arg.parse::<FormatId>() {
+            Ok(f @ (FormatId::Csf | FormatId::Coo3)) => formats.push(f),
+            Ok(f) => eprintln!("skipping {f}: table4 benchmarks order-3 tensor targets only"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if formats.is_empty() {
+        eprintln!("error: no benchmarkable tensor target in the requested set");
+        std::process::exit(2);
+    }
+    formats
+}
+
+fn main() {
+    let scale = env_f64("TENSOR_SCALE", 1.0);
+    let reps = env_usize("TABLE_REPS", 3);
+    let threads = env_usize("BENCH_THREADS", WorkerPool::machine_sized().threads());
+    let json_path =
+        std::env::var("BENCH_JSON").unwrap_or_else(|_| "BENCH_conversions.json".to_string());
+    let targets = target_formats_from_cli();
+
+    let thread_counts: Vec<usize> = if threads > 1 {
+        vec![1, threads]
+    } else {
+        vec![1]
+    };
+    let target_names: Vec<String> = targets.iter().map(|t| t.to_string()).collect();
+    println!(
+        "Tensor conversion benchmark (order-3, scale {scale}, {reps} reps, median; \
+         targets: {}; {} thread pool(s))",
+        target_names.join(", "),
+        thread_counts.len()
+    );
+    let mut records: Vec<BenchRecord> = Vec::new();
+    for (name, triples) in tensors(scale) {
+        let coo3 = AnyMatrix::Coo3(CooTensor::from_triples(&triples));
+        println!(
+            "  {:<10} {} dims, {} nnz",
+            name,
+            triples.shape(),
+            triples.nnz()
+        );
+        for &threads in &thread_counts {
+            let service = ConversionService::new(ServiceConfig {
+                threads,
+                parallel_nnz_threshold: 0,
+            });
+            // CSF sources are derived once per pool.
+            let csf = service
+                .convert(&coo3, FormatId::Csf)
+                .expect("COO3 converts to CSF");
+            for &target in &targets {
+                let sources: Vec<&AnyMatrix> = match target {
+                    FormatId::Csf => vec![&coo3],
+                    _ => vec![&csf],
+                };
+                for src in sources {
+                    if service.convert(src, target).is_err() {
+                        continue;
+                    }
+                    let median = conv_bench::median_time(reps, || {
+                        service
+                            .convert(src, target)
+                            .expect("warmed conversion")
+                            .nnz()
+                    });
+                    println!(
+                        "  {:<10} {:>4} -> {:<4} {} thread(s): {:>12} ns",
+                        name,
+                        src.format(),
+                        target.to_string(),
+                        threads,
+                        median.as_nanos()
+                    );
+                    records.push(BenchRecord {
+                        matrix: name.to_string(),
+                        source: src.format().to_string(),
+                        target: target.to_string(),
+                        threads,
+                        scale,
+                        median_ns: median.as_nanos(),
+                    });
+                }
+            }
+        }
+    }
+
+    let json = match std::fs::read_to_string(&json_path)
+        .ok()
+        .and_then(|existing| merge_bench_json(&existing, &records))
+    {
+        Some(merged) => merged,
+        None => render_bench_json(scale, reps, &records),
+    };
+    match std::fs::write(&json_path, &json) {
+        Ok(()) => println!("\nappended {} entries to {json_path}", records.len()),
+        Err(e) => eprintln!("\nfailed to write {json_path}: {e}"),
+    }
+}

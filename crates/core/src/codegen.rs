@@ -25,7 +25,7 @@ use conv_ir::printer::print_function;
 use conv_ir::simplify::simplify_function;
 use conv_ir::{Expr, Function, Stmt};
 use coord_remap::{BinOp as RBinOp, IndexExpr};
-use sparse_formats::{CooMatrix, CscMatrix, CsrMatrix, DiaMatrix, EllMatrix};
+use sparse_formats::{CooMatrix, CooTensor, CscMatrix, CsfTensor, CsrMatrix, DiaMatrix, EllMatrix};
 
 use crate::convert::{AnyMatrix, FormatId};
 use crate::error::ConvertError;
@@ -67,10 +67,47 @@ fn lower_index_expr(expr: &IndexExpr, src_vars: &[(String, &str)]) -> Expr {
     }
 }
 
-/// Wraps `body` (which may reference the IR variables `i`, `j`, and the value
-/// expression returned alongside) in loops iterating the source format.
+/// Wraps `body` (which may reference the IR variables `i`, `j` — and `k` for
+/// order-3 sources — plus the value expression returned alongside) in loops
+/// iterating the source format.
 fn source_loops(source: FormatId, body: Vec<Stmt>) -> Result<Vec<Stmt>, ConvertError> {
     match source {
+        FormatId::Coo3 => Ok(vec![for_(
+            "p",
+            int(0),
+            var("nnz"),
+            [
+                vec![
+                    decl("i", load("A1_crd", var("p"))),
+                    decl("j", load("A2_crd", var("p"))),
+                    decl("k", load("A3_crd", var("p"))),
+                ],
+                body,
+            ]
+            .concat(),
+        )]),
+        FormatId::Csf => Ok(vec![for_(
+            "r",
+            int(0),
+            var("R1"),
+            vec![
+                decl("i", load("A1_crd", var("r"))),
+                for_(
+                    "s",
+                    load("A2_pos", var("r")),
+                    load("A2_pos", add(var("r"), int(1))),
+                    vec![
+                        decl("j", load("A2_crd", var("s"))),
+                        for_(
+                            "p",
+                            load("A3_pos", var("s")),
+                            load("A3_pos", add(var("s"), int(1))),
+                            [vec![decl("k", load("A3_crd", var("p")))], body].concat(),
+                        ),
+                    ],
+                ),
+            ],
+        )]),
         FormatId::Coo => Ok(vec![for_(
             "p",
             int(0),
@@ -115,7 +152,9 @@ fn source_loops(source: FormatId, body: Vec<Stmt>) -> Result<Vec<Stmt>, ConvertE
 /// The expression reading the current nonzero's value inside the source loops.
 fn source_value(source: FormatId) -> Expr {
     match source {
-        FormatId::Coo | FormatId::Csr | FormatId::Csc => load("A_vals", var("p")),
+        FormatId::Coo | FormatId::Csr | FormatId::Csc | FormatId::Coo3 | FormatId::Csf => {
+            load("A_vals", var("p"))
+        }
         _ => unreachable!("guarded by source_loops"),
     }
 }
@@ -136,6 +175,10 @@ pub fn generate(source: FormatId, target: FormatId) -> Result<Function, ConvertE
     let params: Vec<String> = match source {
         FormatId::Coo => vec!["A1_crd", "A2_crd", "A_vals", "N", "M", "nnz"],
         FormatId::Csr | FormatId::Csc => vec!["A_pos", "A_crd", "A_vals", "N", "M", "nnz"],
+        FormatId::Coo3 => vec!["A1_crd", "A2_crd", "A3_crd", "A_vals", "N", "M", "L", "nnz"],
+        FormatId::Csf => vec![
+            "A1_crd", "A2_pos", "A2_crd", "A3_pos", "A3_crd", "A_vals", "N", "M", "L", "R1", "nnz",
+        ],
         other => {
             return Err(ConvertError::Unsupported(format!(
                 "code generation does not support {other} sources yet"
@@ -145,6 +188,15 @@ pub fn generate(source: FormatId, target: FormatId) -> Result<Function, ConvertE
     .into_iter()
     .map(str::to_string)
     .collect();
+    // Order-3 sources convert among the tensor formats; matrix targets
+    // cannot represent them (and vice versa).
+    let tensor_source = matches!(source, FormatId::Coo3 | FormatId::Csf);
+    let tensor_target = matches!(target, FormatId::Coo3 | FormatId::Csf);
+    if tensor_source != tensor_target {
+        return Err(ConvertError::Unsupported(format!(
+            "code generation cannot mix the order of {source} sources and {target} targets"
+        )));
+    }
 
     let target_spec = FormatSpec::stock(target)?;
     let body = match target {
@@ -153,6 +205,8 @@ pub fn generate(source: FormatId, target: FormatId) -> Result<Function, ConvertE
         FormatId::Coo => gen_to_coo(source)?,
         FormatId::Dia => gen_to_dia(source, &target_spec)?,
         FormatId::Ell => gen_to_ell(source)?,
+        FormatId::Csf => gen_to_csf(source)?,
+        FormatId::Coo3 => gen_to_coo3(source)?,
         other => {
             return Err(ConvertError::Unsupported(format!(
                 "code generation does not support {other} targets yet"
@@ -358,6 +412,169 @@ fn gen_to_ell(source: FormatId) -> Result<Vec<Stmt>, ConvertError> {
     Ok(body)
 }
 
+/// One stable counting-sort pass over the working arrays, keyed by
+/// `key_buf` with `extent` distinct values, scattering `(i, j, k, v)` from
+/// the `src` array set into the `dst` array set.
+fn counting_sort_pass(
+    pass: usize,
+    key_buf: &str,
+    extent: &str,
+    src: [&str; 4],
+    dst: [&str; 4],
+) -> Vec<Stmt> {
+    let cnt = format!("cnt{pass}");
+    let mut body = vec![comment(&format!(
+        "stable counting sort by {key_buf} ({extent} buckets)"
+    ))];
+    body.push(alloc_int(&cnt, add(var(extent), int(1)), true));
+    body.push(for_(
+        "p",
+        int(0),
+        var("nnz"),
+        vec![store_add(
+            &cnt,
+            add(load(key_buf, var("p")), int(1)),
+            int(1),
+        )],
+    ));
+    body.push(for_(
+        "r",
+        int(0),
+        var(extent),
+        vec![store(
+            &cnt,
+            add(var("r"), int(1)),
+            add(load(&cnt, add(var("r"), int(1))), load(&cnt, var("r"))),
+        )],
+    ));
+    for (n, name) in dst.iter().enumerate() {
+        if n < 3 {
+            body.push(alloc_int(name, var("nnz"), false));
+        } else {
+            body.push(alloc_float(name, var("nnz"), false));
+        }
+    }
+    body.push(for_(
+        "p",
+        int(0),
+        var("nnz"),
+        vec![
+            decl("d", load(&cnt, load(key_buf, var("p")))),
+            store_add(&cnt, load(key_buf, var("p")), int(1)),
+            store(dst[0], var("d"), load(src[0], var("p"))),
+            store(dst[1], var("d"), load(src[1], var("p"))),
+            store(dst[2], var("d"), load(src[2], var("p"))),
+            store(dst[3], var("d"), load(src[3], var("p"))),
+        ],
+    ));
+    body
+}
+
+/// COO3 → CSF: the paper's tensor sort-then-pack conversion, lowered to the
+/// IR. The lexicographic sort is realised as three stable counting-sort
+/// passes (least-significant dimension first), which is bit-identical to the
+/// engine's stable comparison sort; the pack pass then opens a fresh fiber
+/// at the first level whose coordinate changes.
+fn gen_to_csf(source: FormatId) -> Result<Vec<Stmt>, ConvertError> {
+    if source != FormatId::Coo3 {
+        return Err(ConvertError::Unsupported(format!(
+            "code generation does not support {source} sources for CSF targets yet"
+        )));
+    }
+    let mut body = vec![comment(
+        "sort: LSD radix over (k, j, i) = stable lexicographic order",
+    )];
+    body.extend(counting_sort_pass(
+        1,
+        "A3_crd",
+        "L",
+        ["A1_crd", "A2_crd", "A3_crd", "A_vals"],
+        ["t1_i", "t1_j", "t1_k", "t1_v"],
+    ));
+    body.extend(counting_sort_pass(
+        2,
+        "t1_j",
+        "M",
+        ["t1_i", "t1_j", "t1_k", "t1_v"],
+        ["t2_i", "t2_j", "t2_k", "t2_v"],
+    ));
+    body.extend(counting_sort_pass(
+        3,
+        "t2_i",
+        "N",
+        ["t2_i", "t2_j", "t2_k", "t2_v"],
+        ["s_i", "s_j", "s_k", "s_v"],
+    ));
+    body.push(comment(
+        "pack: append fibers where a coordinate prefix changes",
+    ));
+    body.push(alloc_int("B1_crd", var("nnz"), false));
+    body.push(alloc_int("B2_pos", add(var("nnz"), int(1)), true));
+    body.push(alloc_int("B2_crd", var("nnz"), false));
+    body.push(alloc_int("B3_pos", add(var("nnz"), int(1)), true));
+    body.push(alloc_int("B3_crd", var("nnz"), false));
+    body.push(alloc_float("B_vals", var("nnz"), false));
+    body.push(decl("q1", int(0)));
+    body.push(decl("q2", int(0)));
+    body.push(decl("prev_i", int(-1)));
+    body.push(decl("prev_j", int(-1)));
+    body.push(for_(
+        "p",
+        int(0),
+        var("nnz"),
+        vec![
+            decl("i", load("s_i", var("p"))),
+            decl("j", load("s_j", var("p"))),
+            if_(
+                ne(var("i"), var("prev_i")),
+                vec![
+                    store("B1_crd", var("q1"), var("i")),
+                    assign("q1", add(var("q1"), int(1))),
+                    assign("prev_i", var("i")),
+                    assign("prev_j", int(-1)),
+                ],
+            ),
+            if_(
+                ne(var("j"), var("prev_j")),
+                vec![
+                    store("B2_crd", var("q2"), var("j")),
+                    assign("q2", add(var("q2"), int(1))),
+                    store("B2_pos", var("q1"), var("q2")),
+                    assign("prev_j", var("j")),
+                ],
+            ),
+            store("B3_crd", var("p"), load("s_k", var("p"))),
+            store("B_vals", var("p"), load("s_v", var("p"))),
+            store("B3_pos", var("q2"), add(var("p"), int(1))),
+        ],
+    ));
+    Ok(body)
+}
+
+/// CSF / COO3 → COO3: append coordinates and values in source order (the
+/// order-3 analogue of [`gen_to_coo`]).
+fn gen_to_coo3(source: FormatId) -> Result<Vec<Stmt>, ConvertError> {
+    let mut body = vec![
+        comment("assembly: append nonzeros in source order"),
+        alloc_int("B1_crd", var("nnz"), false),
+        alloc_int("B2_crd", var("nnz"), false),
+        alloc_int("B3_crd", var("nnz"), false),
+        alloc_float("B_vals", var("nnz"), false),
+        decl("q", int(0)),
+    ];
+    body.extend(source_loops(
+        source,
+        vec![
+            store("B1_crd", var("q"), var("i")),
+            store("B2_crd", var("q"), var("j")),
+            store("B3_crd", var("q"), var("k")),
+            store("B_vals", var("q"), source_value(source)),
+            assign("q", add(var("q"), int(1))),
+        ],
+    )?);
+    Ok(body)
+}
+
 /// Executes a generated routine on an actual matrix and reconstructs the
 /// target container from the output buffers.
 ///
@@ -369,8 +586,18 @@ pub fn execute(src: &AnyMatrix, target: FormatId) -> Result<AnyMatrix, ConvertEr
     let source = src.format();
     let function = generate(source, target)?;
     let mut interp = Interpreter::new();
-    interp.insert_int("N", src.rows() as i64);
-    interp.insert_int("M", src.cols() as i64);
+    let shape = src.shape();
+    if matches!(src, AnyMatrix::Coo3(_) | AnyMatrix::Csf(_)) && shape.order() != 3 {
+        return Err(ConvertError::Unsupported(format!(
+            "code generation supports order-3 tensor sources only, got order {}",
+            shape.order()
+        )));
+    }
+    interp.insert_int("N", shape.dim(0) as i64);
+    interp.insert_int("M", shape.dim(1) as i64);
+    if shape.order() > 2 {
+        interp.insert_int("L", shape.dim(2) as i64);
+    }
     interp.insert_int("nnz", src.nnz() as i64);
     match src {
         AnyMatrix::Coo(m) => {
@@ -405,6 +632,39 @@ pub fn execute(src: &AnyMatrix, target: FormatId) -> Result<AnyMatrix, ConvertEr
                 Buffer::Ints(m.crd().iter().map(|&x| x as i64).collect()),
             );
             interp.insert_buffer("A_vals", Buffer::Floats(m.values().to_vec()));
+        }
+        AnyMatrix::Coo3(t) => {
+            for (d, name) in ["A1_crd", "A2_crd", "A3_crd"].into_iter().enumerate() {
+                interp.insert_buffer(
+                    name,
+                    Buffer::Ints(t.crd(d).iter().map(|&x| x as i64).collect()),
+                );
+            }
+            interp.insert_buffer("A_vals", Buffer::Floats(t.values().to_vec()));
+        }
+        AnyMatrix::Csf(t) => {
+            interp.insert_int("R1", t.num_fibers(0) as i64);
+            interp.insert_buffer(
+                "A1_crd",
+                Buffer::Ints(t.crd(0).iter().map(|&x| x as i64).collect()),
+            );
+            interp.insert_buffer(
+                "A2_pos",
+                Buffer::Ints(t.pos(0).iter().map(|&x| x as i64).collect()),
+            );
+            interp.insert_buffer(
+                "A2_crd",
+                Buffer::Ints(t.crd(1).iter().map(|&x| x as i64).collect()),
+            );
+            interp.insert_buffer(
+                "A3_pos",
+                Buffer::Ints(t.pos(1).iter().map(|&x| x as i64).collect()),
+            );
+            interp.insert_buffer(
+                "A3_crd",
+                Buffer::Ints(t.crd(2).iter().map(|&x| x as i64).collect()),
+            );
+            interp.insert_buffer("A_vals", Buffer::Floats(t.values().to_vec()));
         }
         other => {
             return Err(ConvertError::Unsupported(format!(
@@ -476,6 +736,33 @@ pub fn execute(src: &AnyMatrix, target: FormatId) -> Result<AnyMatrix, ConvertEr
                 floats(&interp, "B_vals"),
             )?)
         }
+        FormatId::Csf => {
+            let q1 = interp.int("q1").expect("generated scalar q1") as usize;
+            let q2 = interp.int("q2").expect("generated scalar q2") as usize;
+            let nnz = src.nnz();
+            AnyMatrix::Csf(CsfTensor::from_parts(
+                shape,
+                vec![
+                    ints(&interp, "B1_crd")[..q1].to_vec(),
+                    ints(&interp, "B2_crd")[..q2].to_vec(),
+                    ints(&interp, "B3_crd")[..nnz].to_vec(),
+                ],
+                vec![
+                    ints(&interp, "B2_pos")[..q1 + 1].to_vec(),
+                    ints(&interp, "B3_pos")[..q2 + 1].to_vec(),
+                ],
+                floats(&interp, "B_vals")[..nnz].to_vec(),
+            )?)
+        }
+        FormatId::Coo3 => AnyMatrix::Coo3(CooTensor::from_parts(
+            shape,
+            vec![
+                ints(&interp, "B1_crd"),
+                ints(&interp, "B2_crd"),
+                ints(&interp, "B3_crd"),
+            ],
+            floats(&interp, "B_vals"),
+        )?),
         other => {
             return Err(ConvertError::Unsupported(format!(
                 "code generation does not support {other} targets yet"
@@ -504,6 +791,15 @@ pub fn supported_pairs() -> Vec<(FormatId, FormatId)> {
         }
     }
     out
+}
+
+/// The order-3 (source, target) pairs the code generator covers (the
+/// paper's tensor sorting/packing conversions).
+pub fn supported_tensor_pairs() -> Vec<(FormatId, FormatId)> {
+    vec![
+        (FormatId::Coo3, FormatId::Csf),
+        (FormatId::Csf, FormatId::Coo3),
+    ]
 }
 
 #[cfg(test)]
@@ -564,6 +860,57 @@ mod tests {
             let generated = execute(&src, target).unwrap();
             assert!(generated.to_triples().same_values(&t), "target {target}");
         }
+    }
+
+    #[test]
+    fn generated_tensor_code_matches_engine() {
+        let t = sparse_tensor::example::example3_tensor();
+        for (source, target) in supported_tensor_pairs() {
+            let src = AnyMatrix::from_triples(&t, source).unwrap();
+            let generated = execute(&src, target).unwrap();
+            let engine_result = convert(&src, target).unwrap();
+            assert_eq!(
+                generated, engine_result,
+                "generated code disagrees with the engine for {source} -> {target}"
+            );
+        }
+    }
+
+    #[test]
+    fn generated_coo3_to_csf_handles_shuffled_input() {
+        let t = sparse_tensor::example::example3_tensor();
+        let mut coo = sparse_formats::CooTensor::from_triples(&t);
+        let mut state = 23usize;
+        coo.shuffle_with(|bound| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(13);
+            state % bound
+        });
+        let src = AnyMatrix::Coo3(coo.clone());
+        let generated = execute(&src, FormatId::Csf).unwrap();
+        // The counting-sort lowering must match the engine's stable sort on
+        // the same (shuffled) input, bit for bit.
+        assert_eq!(generated, AnyMatrix::Csf(crate::engine::to_csf(&coo)));
+        assert!(generated.to_triples().same_values(&t));
+    }
+
+    #[test]
+    fn tensor_listings_have_sort_and_pack_phases() {
+        let listing = listing(FormatId::Coo3, FormatId::Csf).unwrap();
+        assert!(listing.contains("convert_coo3_to_csf"));
+        assert!(listing.contains("stable counting sort"), "{listing}");
+        assert!(listing.contains("B2_pos"), "{listing}");
+        assert!(listing.contains("B3_pos"), "{listing}");
+    }
+
+    #[test]
+    fn mixed_order_pairs_are_rejected() {
+        assert!(generate(FormatId::Coo3, FormatId::Csr).is_err());
+        assert!(generate(FormatId::Csr, FormatId::Csf).is_err());
+        assert!(generate(FormatId::Csf, FormatId::Csf).is_err());
+        // An order-2 CSF container cannot drive the order-3 generated code.
+        let m = figure1_matrix();
+        let dcsr = convert(&AnyMatrix::Coo(CooMatrix::from_triples(&m)), FormatId::Csf).unwrap();
+        assert!(execute(&dcsr, FormatId::Coo3).is_err());
     }
 
     #[test]

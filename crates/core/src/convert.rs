@@ -3,15 +3,15 @@
 use std::fmt;
 
 use sparse_formats::{
-    BcsrMatrix, CooMatrix, CscMatrix, CsrMatrix, DiaMatrix, DokMatrix, EllMatrix, JadMatrix,
-    SkylineMatrix,
+    BcsrMatrix, CooMatrix, CooTensor, CscMatrix, CsfTensor, CsrMatrix, DiaMatrix, DokMatrix,
+    EllMatrix, JadMatrix, SkylineMatrix,
 };
-use sparse_tensor::SparseTriples;
+use sparse_tensor::{Shape, SparseTriples};
 
 use crate::engine;
 use crate::error::ConvertError;
 use crate::plan::ConversionPlan;
-use crate::source::SourceMatrix;
+use crate::source::{MatrixAsTensor, SourceMatrix};
 use crate::spec::FormatSpec;
 
 /// Identifies a supported storage format.
@@ -40,6 +40,11 @@ pub enum FormatId {
     Jad,
     /// Dictionary of keys.
     Dok,
+    /// Order-3 coordinate format (rank-N [`CooTensor`] container).
+    Coo3,
+    /// Compressed sparse fiber (rank-N [`CsfTensor`] container; order 2 is
+    /// DCSR).
+    Csf,
 }
 
 impl FormatId {
@@ -48,14 +53,26 @@ impl FormatId {
     /// reports for every stock container of this format). The planner uses
     /// it to choose scalar counters and sequenced edge insertion.
     pub fn iterates_rows_in_order(self) -> bool {
-        matches!(self, FormatId::Csr | FormatId::Skyline)
+        matches!(self, FormatId::Csr | FormatId::Skyline | FormatId::Csf)
     }
 
     /// True when per-row nonzero counts can be read off the format's
     /// structure (a row `pos` array) without touching nonzeros — the
     /// optimised `count` query of Section 5.2.
     pub fn counts_from_structure(self) -> bool {
-        matches!(self, FormatId::Csr | FormatId::Skyline)
+        matches!(self, FormatId::Csr | FormatId::Skyline | FormatId::Csf)
+    }
+
+    /// Order of the format's *stock specification*: 3 for the tensor
+    /// formats, 2 for every matrix format. Note that `Csf` *containers* are
+    /// rank-N — converting a matrix to [`FormatId::Csf`] yields an order-2
+    /// fiber tree (DCSR) — so rank checks against a concrete value must use
+    /// [`AnyMatrix::order`], not this method.
+    pub fn order(self) -> usize {
+        match self {
+            FormatId::Coo3 | FormatId::Csf => 3,
+            _ => 2,
+        }
     }
 }
 
@@ -76,6 +93,8 @@ impl fmt::Display for FormatId {
             FormatId::Skyline => write!(f, "SKY"),
             FormatId::Jad => write!(f, "JAD"),
             FormatId::Dok => write!(f, "DOK"),
+            FormatId::Coo3 => write!(f, "COO3"),
+            FormatId::Csf => write!(f, "CSF"),
         }
     }
 }
@@ -89,7 +108,7 @@ impl fmt::Display for ParseFormatIdError {
         write!(
             f,
             "unknown format `{}` (expected COO, CSR, CSC, DIA, ELL, SKY, JAD, \
-             DOK, or BCSR<rows>x<cols> such as BCSR2x2)",
+             DOK, COO3, CSF, or BCSR<rows>x<cols> such as BCSR2x2)",
             self.0
         )
     }
@@ -120,6 +139,8 @@ impl std::str::FromStr for FormatId {
             });
         }
         match upper.as_str() {
+            "COO3" => Ok(FormatId::Coo3),
+            "CSF" => Ok(FormatId::Csf),
             "COO" => Ok(FormatId::Coo),
             "CSR" => Ok(FormatId::Csr),
             "CSC" => Ok(FormatId::Csc),
@@ -133,7 +154,10 @@ impl std::str::FromStr for FormatId {
     }
 }
 
-/// A matrix in any supported format.
+/// A tensor in any supported format. Matrix formats hold order-2 containers;
+/// the `Coo3` and `Csf` variants hold the rank-`N` tensor containers (the
+/// name `AnyMatrix` predates the rank-N generalisation and is kept for
+/// source compatibility — [`AnyTensor`] aliases it).
 #[derive(Debug, Clone, PartialEq)]
 pub enum AnyMatrix {
     /// COO storage.
@@ -154,9 +178,18 @@ pub enum AnyMatrix {
     Jad(JadMatrix),
     /// DOK storage.
     Dok(DokMatrix),
+    /// Rank-`N` COO storage.
+    Coo3(CooTensor),
+    /// Rank-`N` CSF storage.
+    Csf(CsfTensor),
 }
 
-/// Applies a closure to the contained matrix as a [`SourceMatrix`].
+/// The rank-neutral name for [`AnyMatrix`].
+pub type AnyTensor = AnyMatrix;
+
+/// Applies a closure to the contained matrix as a [`SourceMatrix`]. The
+/// rank-`N` tensor variants must be dispatched by the caller *before*
+/// reaching this macro; they have no [`SourceMatrix`] view.
 macro_rules! with_source {
     ($matrix:expr, $binding:ident => $body:expr) => {
         match $matrix {
@@ -169,6 +202,9 @@ macro_rules! with_source {
             AnyMatrix::Skyline($binding) => $body,
             AnyMatrix::Jad($binding) => $body,
             AnyMatrix::Dok($binding) => $body,
+            AnyMatrix::Coo3(_) | AnyMatrix::Csf(_) => {
+                unreachable!("rank-N tensor variants are dispatched before with_source!")
+            }
         }
     };
 }
@@ -192,63 +228,143 @@ impl AnyMatrix {
             AnyMatrix::Skyline(_) => FormatId::Skyline,
             AnyMatrix::Jad(_) => FormatId::Jad,
             AnyMatrix::Dok(_) => FormatId::Dok,
+            AnyMatrix::Coo3(_) => FormatId::Coo3,
+            AnyMatrix::Csf(_) => FormatId::Csf,
         }
     }
 
-    /// Number of rows.
-    pub fn rows(&self) -> usize {
-        with_source!(self, m => SourceMatrix::rows(m))
+    /// The canonical shape of the stored tensor.
+    pub fn shape(&self) -> Shape {
+        match self {
+            AnyMatrix::Coo3(t) => t.shape().clone(),
+            AnyMatrix::Csf(t) => t.shape().clone(),
+            m => Shape::matrix(
+                with_source!(m, s => SourceMatrix::rows(s)),
+                with_source!(m, s => SourceMatrix::cols(s)),
+            ),
+        }
     }
 
-    /// Number of columns.
+    /// The tensor's order (number of dimensions).
+    pub fn order(&self) -> usize {
+        match self {
+            AnyMatrix::Coo3(t) => t.order(),
+            AnyMatrix::Csf(t) => t.order(),
+            _ => 2,
+        }
+    }
+
+    /// Number of rows (the extent of the first dimension).
+    pub fn rows(&self) -> usize {
+        match self {
+            AnyMatrix::Coo3(t) => t.shape().dim(0),
+            AnyMatrix::Csf(t) => t.shape().dim(0),
+            m => with_source!(m, s => SourceMatrix::rows(s)),
+        }
+    }
+
+    /// Number of columns (the extent of the second dimension; 1 for order-1
+    /// tensor containers, which have no second dimension).
     pub fn cols(&self) -> usize {
-        with_source!(self, m => SourceMatrix::cols(m))
+        let tensor_cols = |shape: &Shape| {
+            if shape.order() > 1 {
+                shape.dim(1)
+            } else {
+                1
+            }
+        };
+        match self {
+            AnyMatrix::Coo3(t) => tensor_cols(t.shape()),
+            AnyMatrix::Csf(t) => tensor_cols(t.shape()),
+            m => with_source!(m, s => SourceMatrix::cols(s)),
+        }
     }
 
     /// Number of stored nonzeros.
     pub fn nnz(&self) -> usize {
-        with_source!(self, m => SourceMatrix::nnz(m))
+        match self {
+            AnyMatrix::Coo3(t) => t.nnz(),
+            AnyMatrix::Csf(t) => t.nnz(),
+            m => with_source!(m, s => SourceMatrix::nnz(s)),
+        }
     }
 
     /// Converts to canonical triples (padding skipped).
     pub fn to_triples(&self) -> SparseTriples {
-        let mut t = SparseTriples::with_capacity(
-            sparse_tensor::Shape::matrix(self.rows(), self.cols()),
-            self.nnz(),
-        );
-        with_source!(self, m => m.for_each(|i, j, v| {
-            t.push(vec![i as i64, j as i64], v).expect("source coordinates are in bounds");
-        }));
-        t
+        match self {
+            AnyMatrix::Coo3(t) => t.to_triples(),
+            AnyMatrix::Csf(t) => t.to_triples(),
+            m => {
+                let mut t = SparseTriples::with_capacity(self.shape(), self.nnz());
+                with_source!(m, s => s.for_each(|i, j, v| {
+                    t.push(vec![i as i64, j as i64], v).expect("source coordinates are in bounds");
+                }));
+                t
+            }
+        }
     }
 
-    /// Builds a matrix in the given format from canonical triples (via the
+    /// Builds a tensor in the given format from canonical triples (via the
     /// reference constructors; conversion benchmarks use [`convert`] instead).
+    /// Order-2 inputs route through [`CooMatrix`], higher orders through
+    /// [`CooTensor`].
     ///
     /// # Errors
     ///
     /// Returns an error when the format cannot represent the input.
     pub fn from_triples(t: &SparseTriples, format: FormatId) -> Result<Self, ConvertError> {
-        let coo = CooMatrix::from_triples(t);
-        convert(&AnyMatrix::Coo(coo), format)
+        let source = if t.order() == 2 {
+            AnyMatrix::Coo(CooMatrix::from_triples(t))
+        } else {
+            AnyMatrix::Coo3(CooTensor::from_triples(t))
+        };
+        convert(&source, format)
     }
 }
 
-/// Converts a matrix to the requested target format using the generated
+/// Converts a tensor to the requested target format using the generated
 /// (engine) conversion path.
 ///
 /// # Errors
 ///
 /// Returns an error when the target cannot represent the input (e.g. skyline
-/// targets require square matrices), or [`ConvertError::UnsupportedTarget`]
-/// for formats without a coordinate-hierarchy specification (DOK is supported
-/// only as a conversion source).
+/// targets require square matrices, matrix targets require order-2 sources),
+/// or [`ConvertError::UnsupportedTarget`] for formats without a
+/// coordinate-hierarchy specification (DOK is supported only as a conversion
+/// source).
 pub fn convert(src: &AnyMatrix, target: FormatId) -> Result<AnyMatrix, ConvertError> {
+    if matches!(target, FormatId::Dok) {
+        return Err(ConvertError::UnsupportedTarget(target));
+    }
+    // Rank-N tensor sources convert among the tensor formats through the
+    // rank-generic kernels; matrix targets cannot represent them. COO3
+    // targets are strictly order-3 (an order-2 CSF unpacks through the
+    // matrix COO path instead), matching the matrix-source rule below.
+    if let AnyMatrix::Coo3(_) | AnyMatrix::Csf(_) = src {
+        if target == FormatId::Coo3 && src.order() != 3 {
+            return Err(ConvertError::Unsupported(format!(
+                "COO3 targets require an order-3 source, got order-{} {}",
+                src.order(),
+                src.format()
+            )));
+        }
+        return match (src, target) {
+            (AnyMatrix::Coo3(t), FormatId::Coo3) => Ok(AnyMatrix::Coo3(engine::tensor_to_coo(t))),
+            (AnyMatrix::Coo3(t), FormatId::Csf) => Ok(AnyMatrix::Csf(engine::to_csf(t))),
+            (AnyMatrix::Csf(t), FormatId::Coo3) => Ok(AnyMatrix::Coo3(engine::tensor_to_coo(t))),
+            (AnyMatrix::Csf(t), FormatId::Csf) => Ok(AnyMatrix::Csf(engine::to_csf(t))),
+            _ => Err(ConvertError::Unsupported(format!(
+                "{target} targets cannot represent an order-{} {} source",
+                src.order(),
+                src.format()
+            ))),
+        };
+    }
     Ok(match target {
         FormatId::Coo => AnyMatrix::Coo(with_source!(src, m => engine::to_coo(m))),
         FormatId::Csr => AnyMatrix::Csr(with_source!(src, m => engine::to_csr(m))),
         FormatId::Csc => AnyMatrix::Csc(with_source!(src, m => engine::to_csc(m))),
-        FormatId::Dia => AnyMatrix::Dia(with_source!(src, m => engine::to_dia(m))),
+        FormatId::Dia => AnyMatrix::Dia(with_source!(src, m => engine::to_dia(m))?),
         FormatId::Ell => AnyMatrix::Ell(with_source!(src, m => engine::to_ell(m))),
         FormatId::Bcsr {
             block_rows,
@@ -256,7 +372,17 @@ pub fn convert(src: &AnyMatrix, target: FormatId) -> Result<AnyMatrix, ConvertEr
         } => AnyMatrix::Bcsr(with_source!(src, m => engine::to_bcsr(m, block_rows, block_cols))),
         FormatId::Skyline => AnyMatrix::Skyline(with_source!(src, m => engine::to_skyline(m))?),
         FormatId::Jad => AnyMatrix::Jad(with_source!(src, m => engine::to_jad(m))),
-        FormatId::Dok => return Err(ConvertError::UnsupportedTarget(target)),
+        // An order-2 source packs into CSF as DCSR through the adapter.
+        FormatId::Csf => {
+            AnyMatrix::Csf(with_source!(src, m => engine::to_csf(&MatrixAsTensor::new(m))))
+        }
+        FormatId::Coo3 => {
+            return Err(ConvertError::Unsupported(format!(
+                "COO3 targets require an order-3 source, got order-2 {}",
+                src.format()
+            )))
+        }
+        FormatId::Dok => unreachable!("rejected above"),
     })
 }
 
@@ -268,7 +394,13 @@ pub fn convert(src: &AnyMatrix, target: FormatId) -> Result<AnyMatrix, ConvertEr
 /// Returns an error for targets without a coordinate-hierarchy specification
 /// (DOK).
 pub fn plan_for(src: &AnyMatrix, target: FormatId) -> Result<ConversionPlan, ConvertError> {
-    let rows_in_order = with_source!(src, m => m.rows_in_order());
+    let rows_in_order = match src {
+        // CSF's fiber-tree walk visits roots in ascending order; COO makes no
+        // ordering promise.
+        AnyMatrix::Coo3(_) => false,
+        AnyMatrix::Csf(_) => true,
+        m => with_source!(m, s => s.rows_in_order()),
+    };
     plan_for_pair_with_order(src.format(), target, rows_in_order)
 }
 
@@ -316,6 +448,12 @@ pub fn evaluated_formats() -> Vec<FormatId> {
         FormatId::Dia,
         FormatId::Ell,
     ]
+}
+
+/// The rank-N tensor format identifiers (Section 7's third-order
+/// conversions).
+pub fn tensor_formats() -> Vec<FormatId> {
+    vec![FormatId::Coo3, FormatId::Csf]
 }
 
 #[cfg(test)]
@@ -377,6 +515,8 @@ mod tests {
         let mut ids = all_targets();
         ids.push(FormatId::Skyline);
         ids.push(FormatId::Dok);
+        ids.push(FormatId::Coo3);
+        ids.push(FormatId::Csf);
         ids.push(FormatId::Bcsr {
             block_rows: 16,
             block_cols: 3,
@@ -413,6 +553,76 @@ mod tests {
         );
         assert_eq!(FormatId::Dia.to_string(), "DIA");
         assert_eq!(evaluated_formats().len(), 5);
+    }
+
+    #[test]
+    fn order_3_sources_convert_between_tensor_formats() {
+        let t = sparse_tensor::example::example3_tensor();
+        let coo3 = AnyMatrix::from_triples(&t, FormatId::Coo3).unwrap();
+        assert_eq!(coo3.format(), FormatId::Coo3);
+        assert_eq!(coo3.order(), 3);
+        assert_eq!(coo3.shape().dims(), &[3, 4, 5]);
+        assert_eq!(coo3.nnz(), 8);
+        let csf = convert(&coo3, FormatId::Csf).unwrap();
+        assert_eq!(csf.format(), FormatId::Csf);
+        assert!(csf.to_triples().same_values(&t));
+        let back = convert(&csf, FormatId::Coo3).unwrap();
+        assert!(back.to_triples().same_values(&t));
+        // Identity conversions work on both tensor formats.
+        assert!(convert(&coo3, FormatId::Coo3).is_ok());
+        assert!(convert(&csf, FormatId::Csf).is_ok());
+    }
+
+    #[test]
+    fn rank_mismatches_are_rejected_with_errors() {
+        let t3 = sparse_tensor::example::example3_tensor();
+        let coo3 = AnyMatrix::from_triples(&t3, FormatId::Coo3).unwrap();
+        // Tensor source, matrix target.
+        assert!(matches!(
+            convert(&coo3, FormatId::Csr),
+            Err(ConvertError::Unsupported(_))
+        ));
+        assert!(matches!(
+            convert(&coo3, FormatId::Dok),
+            Err(ConvertError::UnsupportedTarget(FormatId::Dok))
+        ));
+        // Matrix source, COO3 target.
+        let m = AnyMatrix::from_triples(&figure1_matrix(), FormatId::Coo).unwrap();
+        assert!(matches!(
+            convert(&m, FormatId::Coo3),
+            Err(ConvertError::Unsupported(_))
+        ));
+        // Matrix source, CSF target: supported (order-2 CSF is DCSR).
+        let dcsr = convert(&m, FormatId::Csf).unwrap();
+        assert_eq!(dcsr.format(), FormatId::Csf);
+        assert_eq!(dcsr.order(), 2);
+        assert!(dcsr.to_triples().same_values(&figure1_matrix()));
+        // An order-2 CSF cannot masquerade as COO3 either — the COO3 target
+        // is strictly order-3 regardless of the source container.
+        assert!(matches!(
+            convert(&dcsr, FormatId::Coo3),
+            Err(ConvertError::Unsupported(_))
+        ));
+        assert!(convert(&dcsr, FormatId::Csf).is_ok());
+    }
+
+    #[test]
+    fn tensor_pairs_have_plans() {
+        let plan = plan_for_pair(FormatId::Coo3, FormatId::Csf).unwrap();
+        assert_eq!(plan.source, "COO3");
+        assert_eq!(plan.target, "CSF");
+        assert_eq!(plan.counters, crate::plan::CounterStrategy::NotNeeded);
+        let t = sparse_tensor::example::example3_tensor();
+        let coo3 = AnyMatrix::from_triples(&t, FormatId::Coo3).unwrap();
+        assert_eq!(plan_for(&coo3, FormatId::Csf).unwrap(), plan);
+        let csf = convert(&coo3, FormatId::Csf).unwrap();
+        assert_eq!(
+            plan_for(&csf, FormatId::Coo3).unwrap(),
+            plan_for_pair(FormatId::Csf, FormatId::Coo3).unwrap()
+        );
+        assert_eq!(tensor_formats().len(), 2);
+        assert_eq!(FormatId::Csf.order(), 3);
+        assert_eq!(FormatId::Csr.order(), 2);
     }
 
     #[test]

@@ -14,13 +14,15 @@
 //! 3. *assembly* sizes the output in one shot from the query results and
 //!    scatters nonzeros directly into place — never through a CSR temporary.
 
+use sparse_formats::csf::{lex_sort_perm, pack_sorted};
 use sparse_formats::{
-    BcsrMatrix, CooMatrix, CscMatrix, CsrMatrix, DiaMatrix, EllMatrix, JadMatrix, SkylineMatrix,
+    BcsrMatrix, CooMatrix, CooTensor, CscMatrix, CsfTensor, CsrMatrix, DiaMatrix, EllMatrix,
+    JadMatrix, SkylineMatrix,
 };
 use sparse_tensor::Value;
 
 use crate::error::ConvertError;
-use crate::source::SourceMatrix;
+use crate::source::{SourceMatrix, SourceTensor};
 
 /// Converts any source to COO, preserving the source's iteration order.
 pub fn to_coo<S: SourceMatrix>(src: &S) -> CooMatrix {
@@ -87,12 +89,59 @@ pub fn to_csc<S: SourceMatrix>(src: &S) -> CscMatrix {
         .expect("assembled CSC structure is valid")
 }
 
+/// Converts any tensor source to rank-`N` COO, preserving the source's
+/// iteration order (the tensor counterpart of [`to_coo`]).
+pub fn tensor_to_coo<S: SourceTensor>(src: &S) -> CooTensor {
+    let shape = src.shape().clone();
+    let order = shape.order();
+    let mut crd: Vec<Vec<usize>> = vec![Vec::with_capacity(src.nnz()); order];
+    let mut vals: Vec<Value> = Vec::with_capacity(src.nnz());
+    src.for_each_coord(|coord, v| {
+        for (d, &c) in coord.iter().enumerate() {
+            crd[d].push(c as usize);
+        }
+        vals.push(v);
+    });
+    CooTensor::from_parts(shape, crd, vals).expect("source coordinates are in bounds")
+}
+
+/// Converts any tensor source to CSF by the paper's sort-then-pack recipe:
+/// a stable lexicographic sort of the coordinates (skipped when the source
+/// already iterates in order, e.g. CSF itself) followed by a single packing
+/// pass that opens a fresh fiber at the first level whose coordinate
+/// changes. Works at any order — order-2 sources yield DCSR.
+pub fn to_csf<S: SourceTensor>(src: &S) -> CsfTensor {
+    let shape = src.shape().clone();
+    let order = shape.order();
+    let nnz = src.nnz();
+    let mut columns: Vec<Vec<usize>> = vec![Vec::with_capacity(nnz); order];
+    let mut vals: Vec<Value> = Vec::with_capacity(nnz);
+    src.for_each_coord(|coord, v| {
+        for (d, &c) in coord.iter().enumerate() {
+            columns[d].push(c as usize);
+        }
+        vals.push(v);
+    });
+    let perm: Vec<usize> = if src.coords_in_order() {
+        (0..nnz).collect()
+    } else {
+        lex_sort_perm(&columns)
+    };
+    pack_sorted(shape, |d, p| columns[d][perm[p]], |p| vals[perm[p]], nnz)
+}
+
 /// Converts any source to DIA (generalises Figure 6a to any source and to
 /// rectangular matrices). The remapping `k = j - i` is fused into both the
 /// analysis pass (building the nonzero-diagonal bit set) and the assembly
 /// pass, so no remapped coordinates are materialised and no CSR temporary is
 /// needed.
-pub fn to_dia<S: SourceMatrix>(src: &S) -> DiaMatrix {
+///
+/// # Errors
+///
+/// Returns [`ConvertError::Structure`] if the assembled arrays fail DIA
+/// validation (continuing the library-wide panics-to-errors sweep; the
+/// engine's own assembly never produces such arrays).
+pub fn to_dia<S: SourceMatrix>(src: &S) -> Result<DiaMatrix, ConvertError> {
     let rows = src.rows();
     let cols = src.cols();
     let shift = rows as i64 - 1;
@@ -122,7 +171,7 @@ pub fn to_dia<S: SourceMatrix>(src: &S) -> DiaMatrix {
         let d = rperm[(j as i64 - i as i64 + shift) as usize];
         vals[d * rows + i] = v;
     });
-    DiaMatrix::from_parts(rows, cols, offsets, vals).expect("assembled DIA structure is valid")
+    Ok(DiaMatrix::from_parts(rows, cols, offsets, vals)?)
 }
 
 /// Converts any source to ELL (generalises Figure 6b). The `#i` counter of
@@ -328,9 +377,9 @@ mod tests {
         let t = example();
         let reference = DiaMatrix::from_triples(&t);
         for dia in [
-            to_dia(&CooMatrix::from_triples(&t)),
-            to_dia(&CsrMatrix::from_triples(&t)),
-            to_dia(&CscMatrix::from_triples(&t)),
+            to_dia(&CooMatrix::from_triples(&t)).unwrap(),
+            to_dia(&CsrMatrix::from_triples(&t)).unwrap(),
+            to_dia(&CscMatrix::from_triples(&t)).unwrap(),
         ] {
             assert_eq!(dia.offsets(), reference.offsets());
             assert_eq!(dia.values(), reference.values());
@@ -406,7 +455,7 @@ mod tests {
             state % bound
         });
         assert!(to_csr(&coo).to_triples().same_values(&t));
-        assert!(to_dia(&coo).to_triples().same_values(&t));
+        assert!(to_dia(&coo).unwrap().to_triples().same_values(&t));
         assert!(to_ell(&coo).to_triples().same_values(&t));
         assert!(to_csc(&coo).to_triples().same_values(&t));
     }
@@ -416,7 +465,7 @@ mod tests {
         let t = example();
         let csr = CsrMatrix::from_triples(&t);
         let expected = spmv_fingerprint(&csr);
-        assert_eq!(spmv_fingerprint(&to_dia(&csr)), expected);
+        assert_eq!(spmv_fingerprint(&to_dia(&csr).unwrap()), expected);
         assert_eq!(spmv_fingerprint(&to_ell(&csr)), expected);
         assert_eq!(spmv_fingerprint(&to_csc(&csr)), expected);
         assert_eq!(spmv_fingerprint(&to_bcsr(&csr, 2, 2)), expected);
@@ -424,11 +473,38 @@ mod tests {
     }
 
     #[test]
+    fn csf_from_coo3_matches_the_reference_constructor() {
+        let t = sparse_tensor::example::example3_tensor();
+        let coo = CooTensor::from_triples(&t);
+        let csf = to_csf(&coo);
+        assert_eq!(csf, CsfTensor::from_triples(&t));
+        assert!(csf.to_triples().same_values(&t));
+        // CSF sources skip the sort and pack straight through.
+        assert_eq!(to_csf(&csf), csf);
+        // COO targets preserve the fiber-tree order of a CSF source.
+        let back = tensor_to_coo(&csf);
+        assert!(back.is_sorted());
+        assert!(back.to_triples().same_values(&t));
+        // COO→COO preserves source order.
+        assert_eq!(tensor_to_coo(&coo), coo);
+    }
+
+    #[test]
+    fn csf_from_order2_source_is_dcsr() {
+        let t = example();
+        let csr = CsrMatrix::from_triples(&t);
+        let csf = to_csf(&crate::source::MatrixAsTensor::new(&csr));
+        assert_eq!(csf.order(), 2);
+        assert_eq!(csf, CsfTensor::from_triples(&t));
+        assert!(csf.to_triples().same_values(&t));
+    }
+
+    #[test]
     fn empty_matrices_convert_cleanly() {
         let t = SparseTriples::new(sparse_tensor::Shape::matrix(5, 4));
         let coo = CooMatrix::from_triples(&t);
         assert_eq!(to_csr(&coo).nnz(), 0);
-        assert_eq!(to_dia(&coo).num_diagonals(), 0);
+        assert_eq!(to_dia(&coo).unwrap().num_diagonals(), 0);
         assert_eq!(to_ell(&coo).slices(), 0);
         assert_eq!(to_jad(&coo).num_jagged_diagonals(), 0);
         assert_eq!(to_bcsr(&coo, 2, 2).num_blocks(), 0);

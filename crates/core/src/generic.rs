@@ -16,7 +16,7 @@ use level_formats::{
     BandedLevel, CompressedLevel, DenseLevel, EdgeInsertion, HashedLevel, LevelAssembler,
     LevelKind, LevelProperties, PositionKind, SingletonLevel, SlicedLevel, SqueezedLevel,
 };
-use sparse_tensor::{DimBounds, Value};
+use sparse_tensor::{DimBounds, Shape, Value};
 use std::collections::HashMap;
 
 use crate::convert::AnyMatrix;
@@ -76,8 +76,8 @@ pub struct CustomTensor {
     pub levels: Vec<LevelOutput>,
     /// The value array, indexed by the last level's positions.
     pub vals: Vec<Value>,
-    /// The canonical (source) matrix shape.
-    pub source_shape: (usize, usize),
+    /// The canonical (source) tensor shape.
+    pub source_shape: Shape,
 }
 
 /// A level assembler of any kind, dispatched by enumeration (so that the
@@ -226,26 +226,56 @@ pub fn make_assembler(kind: LevelKind, bounds: DimBounds) -> AnyLevel {
     }
 }
 
-/// Converts a matrix into the format described by `spec`.
+/// Converts a tensor into the format described by `spec`.
 ///
 /// # Errors
 ///
-/// Returns an error when the remapping or a query fails to evaluate, or when
-/// the spec's level composition requires edge insertion under a non-full
-/// ancestor (a composition the dynamic driver does not support).
+/// Returns an error when the source's order does not match the spec's
+/// remapping, the remapping or a query fails to evaluate, or the spec's
+/// level composition requires edge insertion under a non-full ancestor that
+/// is not an ordered chain of dense/compressed levels (the one grouping the
+/// dynamic driver can reconstruct by sorting, as in CSF).
 pub fn convert_with_spec(src: &AnyMatrix, spec: &FormatSpec) -> Result<CustomTensor, ConvertError> {
     let triples = src.to_triples();
-    let rows = src.rows();
-    let cols = src.cols();
+    let shape = src.shape();
+    if shape.order() != spec.remapping.source_order() {
+        return Err(ConvertError::Unsupported(format!(
+            "format {} remaps order-{} tensors, got an order-{} source",
+            spec.name,
+            spec.remapping.source_order(),
+            shape.order()
+        )));
+    }
 
     // Phase 1: coordinate remapping (Section 4).
     let remapping: &Remapping = &spec.remapping;
     let mut ctx = EvalContext::new(remapping);
-    let remapped = ctx.apply_all(&triples)?;
+    let mut remapped = ctx.apply_all(&triples)?;
+
+    // Compressed levels nested under non-full ancestors (CSF's fiber chains)
+    // need the input grouped by coordinate prefix; a stable lexicographic
+    // sort of the remapped nonzeros establishes exactly the grouping the
+    // paper's sort-then-pack COO→CSF recipe uses. Formats whose chains are
+    // full-rooted (CSR, DIA, ...) keep the source iteration order.
+    if needs_prefix_grouping(&spec.levels) {
+        remapped.triples.sort_by(|a, b| a.0.cmp(&b.0));
+        // The dynamic driver sizes compressed levels from count-*distinct*
+        // queries, so duplicate coordinates (which the monomorphised engine
+        // stores as adjacent innermost entries) cannot be assembled here;
+        // reject them instead of overrunning the coordinate arrays. The sort
+        // above makes the check a free adjacent comparison.
+        if remapped.triples.windows(2).any(|w| w[0].0 == w[1].0) {
+            return Err(ConvertError::Unsupported(format!(
+                "the dynamic converter requires duplicate-free coordinates for {} \
+                 targets; sum duplicates first (the engine path stores them verbatim)",
+                spec.name
+            )));
+        }
+    }
 
     // Static bounds of each remapped dimension, used to size dense, squeezed,
     // and counter-derived dimensions.
-    let env = BoundsEnv::for_remapping(remapping, &[rows, cols]).with_nnz(triples.nnz());
+    let env = BoundsEnv::for_remapping(remapping, shape.dims()).with_nnz(triples.nnz());
     let bounds = coord_remap::infer_bounds(remapping, &env)?;
 
     // Phase 2: analysis (Section 5) — evaluate each level's attribute query
@@ -277,20 +307,40 @@ pub fn convert_with_spec(src: &AnyMatrix, spec: &FormatSpec) -> Result<CustomTen
         parent_sizes.push(parent_size);
         let q = queries[k].as_ref();
         if assembler.edge_insertion() == EdgeInsertion::SequencedOrUnsequenced {
-            // Enumerate parent positions; this requires every ancestor level
-            // to be full (dense-like) so that positions correspond to the
-            // cartesian product of ancestor coordinates.
+            // Enumerate parent positions with their coordinate tuples. When
+            // every ancestor level is full (dense-like), positions are the
+            // cartesian product of ancestor coordinates. Otherwise the
+            // ancestors form a fiber chain: provided they are ordered and
+            // unique (dense or compressed) and the input has been sorted,
+            // parent position `p` is exactly the `p`-th distinct coordinate
+            // prefix in lexicographic order.
             let ancestors_full = spec.levels[..k]
                 .iter()
                 .all(|a| matches!(a, LevelKind::Dense | LevelKind::Sliced));
-            if k > 0 && !ancestors_full {
+            let ancestors_chainable = spec.levels[..k].iter().all(|a| {
+                matches!(
+                    a,
+                    LevelKind::Dense | LevelKind::Sliced | LevelKind::Compressed
+                )
+            });
+            if k > 0 && !ancestors_full && !ancestors_chainable {
                 return Err(ConvertError::Unsupported(format!(
-                    "level {k} ({}) needs edge insertion under a non-full ancestor",
+                    "level {k} ({}) needs edge insertion under a non-full, \
+                     non-unique ancestor",
                     spec.levels[k]
                 )));
             }
+            let parents = if ancestors_full {
+                enumerate_full_positions(&bounds[..k])
+            } else {
+                enumerate_prefix_positions(&remapped.triples, k)
+            };
+            debug_assert!(
+                ancestors_full || parents.len() == parent_size,
+                "distinct prefixes must match the assembled parent size"
+            );
             assembler.init_edges(parent_size, true, q);
-            for (pos, parent_coords) in enumerate_full_positions(&bounds[..k]) {
+            for (pos, parent_coords) in parents {
                 assembler.insert_edges(pos, &parent_coords, true, q);
             }
             assembler.finalize_edges(parent_size, true);
@@ -354,8 +404,36 @@ pub fn convert_with_spec(src: &AnyMatrix, spec: &FormatSpec) -> Result<CustomTen
         spec: spec.clone(),
         levels,
         vals,
-        source_shape: (rows, cols),
+        source_shape: shape,
     })
+}
+
+/// True when some compressed-like level sits under a non-full ancestor, so
+/// the input must be grouped (sorted) by coordinate prefix before assembly.
+fn needs_prefix_grouping(levels: &[LevelKind]) -> bool {
+    levels.iter().enumerate().any(|(k, kind)| {
+        k > 0
+            && matches!(
+                kind,
+                LevelKind::Compressed | LevelKind::CompressedNonUnique | LevelKind::Banded
+            )
+            && !levels[..k]
+                .iter()
+                .all(|a| matches!(a, LevelKind::Dense | LevelKind::Sliced))
+    })
+}
+
+/// Enumerates the distinct coordinate prefixes of length `k` of
+/// lexicographically sorted nonzeros, paired with their positions (ranks).
+fn enumerate_prefix_positions(sorted: &[(Vec<i64>, Value)], k: usize) -> Vec<(usize, Vec<i64>)> {
+    let mut out: Vec<(usize, Vec<i64>)> = Vec::new();
+    for (coord, _) in sorted {
+        let prefix = &coord[..k];
+        if out.last().is_none_or(|(_, p)| p.as_slice() != prefix) {
+            out.push((out.len(), prefix.to_vec()));
+        }
+    }
+    out
 }
 
 /// Enumerates the positions (and coordinate tuples) of a chain of full
@@ -409,7 +487,7 @@ mod tests {
     fn dynamic_dia_matches_engine_dia() {
         let spec = FormatSpec::stock(FormatId::Dia).unwrap();
         let custom = convert_with_spec(&coo_src(), &spec).unwrap();
-        let reference = engine::to_dia(&CooMatrix::from_triples(&figure1_matrix()));
+        let reference = engine::to_dia(&CooMatrix::from_triples(&figure1_matrix())).unwrap();
         match &custom.levels[0] {
             LevelOutput::Squeezed { perm } => assert_eq!(perm, reference.offsets()),
             other => panic!("unexpected level output {other:?}"),
@@ -500,6 +578,82 @@ mod tests {
             other => panic!("unexpected level output {other:?}"),
         }
         assert_eq!(custom.vals, &[1.0, 2.0, 3.0, 0.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn dynamic_csf_matches_engine_csf() {
+        // The COO3 source is deliberately unsorted; the dynamic driver must
+        // re-establish the fiber grouping by sorting, exactly like the
+        // engine's sort-then-pack kernel.
+        let t = sparse_tensor::example::example3_tensor();
+        let src = AnyMatrix::Coo3(sparse_formats::CooTensor::from_triples(&t));
+        let spec = FormatSpec::stock(FormatId::Csf).unwrap();
+        let custom = convert_with_spec(&src, &spec).unwrap();
+        let reference = engine::to_csf(&sparse_formats::CooTensor::from_triples(&t));
+        // Level l's `pos` array groups level l's coordinates under their
+        // *parents*: level 0 has the single root parent, level l ≥ 1 maps to
+        // the CSF container's pos(l - 1).
+        for (level, (crd_ref, pos_ref)) in [
+            (reference.crd(0), vec![0, reference.num_fibers(0)]),
+            (reference.crd(1), reference.pos(0).to_vec()),
+            (reference.crd(2), reference.pos(1).to_vec()),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            match &custom.levels[level] {
+                LevelOutput::Compressed { pos, crd } => {
+                    let crd_usize: Vec<usize> = crd.iter().map(|&c| c as usize).collect();
+                    assert_eq!(crd_usize, crd_ref, "crd at level {level}");
+                    assert_eq!(pos, &pos_ref, "pos at level {level}");
+                }
+                other => panic!("unexpected level output {other:?}"),
+            }
+        }
+        assert_eq!(custom.vals, reference.values());
+        assert_eq!(custom.source_shape, *t.shape());
+    }
+
+    #[test]
+    fn dynamic_coo3_preserves_source_order() {
+        let t = sparse_tensor::example::example3_tensor();
+        let src = AnyMatrix::Coo3(sparse_formats::CooTensor::from_triples(&t));
+        let spec = FormatSpec::stock(FormatId::Coo3).unwrap();
+        let custom = convert_with_spec(&src, &spec).unwrap();
+        // COO3 has no compressed level under a non-full ancestor, so the
+        // source order survives: the values come out exactly as stored.
+        let expected: Vec<f64> = t.iter().map(|tr| tr.value).collect();
+        assert_eq!(custom.vals, expected);
+    }
+
+    #[test]
+    fn duplicate_coordinates_are_rejected_not_panicking() {
+        // The engine stores duplicate components verbatim (adjacent innermost
+        // entries); the dynamic driver sizes compressed levels from
+        // count-distinct queries and must reject duplicates with an error.
+        let mut coo = sparse_formats::CooTensor::new(sparse_tensor::Shape::tensor3(2, 2, 2));
+        coo.push(&[1, 1, 0], 2.0);
+        coo.push(&[1, 1, 0], 3.0);
+        let spec = FormatSpec::stock(FormatId::Csf).unwrap();
+        assert!(matches!(
+            convert_with_spec(&AnyMatrix::Coo3(coo), &spec),
+            Err(ConvertError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn order_mismatches_are_rejected() {
+        let spec = FormatSpec::stock(FormatId::Csf).unwrap();
+        assert!(matches!(
+            convert_with_spec(&coo_src(), &spec),
+            Err(ConvertError::Unsupported(_))
+        ));
+        let t = sparse_tensor::example::example3_tensor();
+        let src = AnyMatrix::Coo3(sparse_formats::CooTensor::from_triples(&t));
+        assert!(matches!(
+            convert_with_spec(&src, &FormatSpec::stock(FormatId::Csr).unwrap()),
+            Err(ConvertError::Unsupported(_))
+        ));
     }
 
     #[test]

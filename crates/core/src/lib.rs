@@ -46,8 +46,8 @@ pub mod plan;
 pub mod source;
 pub mod spec;
 
-pub use convert::{convert, AnyMatrix, FormatId};
+pub use convert::{convert, AnyMatrix, AnyTensor, FormatId};
 pub use error::ConvertError;
 pub use plan::ConversionPlan;
-pub use source::SourceMatrix;
+pub use source::{MatrixAsTensor, SourceMatrix, SourceTensor};
 pub use spec::FormatSpec;

@@ -8,10 +8,10 @@
 //! can per-row counts be read off the structure without touching nonzeros?).
 
 use sparse_formats::{
-    BcsrMatrix, CooMatrix, CscMatrix, CsrMatrix, DiaMatrix, DokMatrix, EllMatrix, JadMatrix,
-    SkylineMatrix,
+    BcsrMatrix, CooMatrix, CooTensor, CscMatrix, CsfTensor, CsrMatrix, DiaMatrix, DokMatrix,
+    EllMatrix, JadMatrix, SkylineMatrix,
 };
-use sparse_tensor::Value;
+use sparse_tensor::{Shape, Value};
 
 /// A matrix the conversion engine can read.
 ///
@@ -59,6 +59,94 @@ pub trait SourceMatrix {
         let mut counts = vec![0usize; self.cols()];
         self.for_each(|_, j, _| counts[j] += 1);
         counts
+    }
+}
+
+/// An order-`N` tensor the conversion engine can read — the rank-generic
+/// counterpart of [`SourceMatrix`].
+///
+/// `for_each_coord` visits nonzeros in the format's storage order with their
+/// full canonical coordinate tuple; `coords_in_order` reports whether that
+/// order is already lexicographic (CSF walks its fiber tree in sorted order,
+/// so sort-based kernels can skip their sorting pass).
+pub trait SourceTensor {
+    /// The tensor's canonical shape.
+    fn shape(&self) -> &Shape;
+
+    /// Number of stored nonzeros.
+    fn nnz(&self) -> usize;
+
+    /// Visits every nonzero in storage order with its coordinate tuple.
+    fn for_each_coord<F: FnMut(&[i64], Value)>(&self, f: F);
+
+    /// True when nonzeros are visited in lexicographic coordinate order.
+    fn coords_in_order(&self) -> bool {
+        false
+    }
+}
+
+impl SourceTensor for CooTensor {
+    fn shape(&self) -> &Shape {
+        CooTensor::shape(self)
+    }
+
+    fn nnz(&self) -> usize {
+        CooTensor::nnz(self)
+    }
+
+    fn for_each_coord<F: FnMut(&[i64], Value)>(&self, f: F) {
+        self.for_each(f);
+    }
+}
+
+impl SourceTensor for CsfTensor {
+    fn shape(&self) -> &Shape {
+        CsfTensor::shape(self)
+    }
+
+    fn nnz(&self) -> usize {
+        CsfTensor::nnz(self)
+    }
+
+    fn for_each_coord<F: FnMut(&[i64], Value)>(&self, f: F) {
+        self.for_each(f);
+    }
+
+    fn coords_in_order(&self) -> bool {
+        // The fiber-tree walk visits coordinates lexicographically.
+        true
+    }
+}
+
+/// Adapts any [`SourceMatrix`] into an order-2 [`SourceTensor`], so the
+/// rank-generic kernels (e.g. COO→CSF, which yields DCSR at order 2) accept
+/// matrix sources without duplicating iteration code.
+pub struct MatrixAsTensor<'a, M: SourceMatrix> {
+    shape: Shape,
+    inner: &'a M,
+}
+
+impl<'a, M: SourceMatrix> MatrixAsTensor<'a, M> {
+    /// Wraps a matrix source.
+    pub fn new(inner: &'a M) -> Self {
+        MatrixAsTensor {
+            shape: Shape::matrix(inner.rows(), inner.cols()),
+            inner,
+        }
+    }
+}
+
+impl<M: SourceMatrix> SourceTensor for MatrixAsTensor<'_, M> {
+    fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    fn nnz(&self) -> usize {
+        self.inner.nnz()
+    }
+
+    fn for_each_coord<F: FnMut(&[i64], Value)>(&self, mut f: F) {
+        self.inner.for_each(|i, j, v| f(&[i as i64, j as i64], v));
     }
 }
 
@@ -386,6 +474,39 @@ mod tests {
         assert!(!SourceMatrix::stores_only_nonzeros(
             &DiaMatrix::from_triples(&t)
         ));
+    }
+
+    #[test]
+    fn tensor_sources_iterate_the_same_nonzeros() {
+        let t = sparse_tensor::example::example3_tensor();
+        let coo = CooTensor::from_triples(&t);
+        let csf = CsfTensor::from_triples(&t);
+        let mut coo_seen = SparseTriples::new(t.shape().clone());
+        SourceTensor::for_each_coord(&coo, |c, v| coo_seen.push(c.to_vec(), v).unwrap());
+        assert_eq!(coo_seen, t, "COO preserves source order");
+        let mut csf_seen = SparseTriples::new(t.shape().clone());
+        SourceTensor::for_each_coord(&csf, |c, v| csf_seen.push(c.to_vec(), v).unwrap());
+        assert!(csf_seen.is_sorted(), "CSF iterates in fiber-tree order");
+        assert!(csf_seen.same_values(&t));
+        assert!(!SourceTensor::coords_in_order(&coo));
+        assert!(SourceTensor::coords_in_order(&csf));
+        assert_eq!(SourceTensor::nnz(&csf), 8);
+        assert_eq!(SourceTensor::shape(&coo).dims(), &[3, 4, 5]);
+    }
+
+    #[test]
+    fn matrix_as_tensor_adapts_order_2_sources() {
+        let t = figure1_matrix();
+        let csr = CsrMatrix::from_triples(&t);
+        let adapted = MatrixAsTensor::new(&csr);
+        assert_eq!(
+            SourceTensor::shape(&adapted),
+            &sparse_tensor::Shape::matrix(4, 6)
+        );
+        assert_eq!(SourceTensor::nnz(&adapted), 9);
+        let mut seen = SparseTriples::new(sparse_tensor::Shape::matrix(4, 6));
+        adapted.for_each_coord(|c, v| seen.push(c.to_vec(), v).unwrap());
+        assert!(seen.same_values(&t));
     }
 
     #[test]

@@ -74,6 +74,12 @@ impl FormatSpec {
         out
     }
 
+    /// Order of the canonical tensors the format stores (2 for the matrix
+    /// formats, 3 for COO3 and CSF).
+    pub fn source_order(&self) -> usize {
+        self.remapping.source_order()
+    }
+
     /// True when the format stores nonzeros in an order other than the
     /// lexicographic order of their canonical coordinates (DIA, ELL, BCSR,
     /// HiCOO-style formats); such formats are exactly the ones taco without
@@ -181,6 +187,26 @@ impl FormatSpec {
                     LevelKind::Singleton,
                 ],
             ),
+            FormatId::Coo3 => FormatSpec::new(
+                "COO3",
+                Remapping::identity(3),
+                vec!["i", "j", "k"],
+                vec![
+                    LevelKind::CompressedNonUnique,
+                    LevelKind::Singleton,
+                    LevelKind::Singleton,
+                ],
+            ),
+            FormatId::Csf => FormatSpec::new(
+                "CSF",
+                Remapping::identity(3),
+                vec!["i", "j", "k"],
+                vec![
+                    LevelKind::Compressed,
+                    LevelKind::Compressed,
+                    LevelKind::Compressed,
+                ],
+            ),
             FormatId::Dok => return Err(ConvertError::UnsupportedTarget(id)),
         })
     }
@@ -204,6 +230,8 @@ mod tests {
             },
             FormatId::Skyline,
             FormatId::Jad,
+            FormatId::Coo3,
+            FormatId::Csf,
         ] {
             let spec = FormatSpec::stock(id).unwrap();
             assert_eq!(
@@ -242,6 +270,34 @@ mod tests {
         let queries = ell.required_queries();
         assert_eq!(queries.len(), 1);
         assert_eq!(queries[0].to_string(), "select [] -> max(k) as max_crd");
+    }
+
+    #[test]
+    fn csf_spec_is_an_order_3_compressed_chain() {
+        let csf = FormatSpec::stock(FormatId::Csf).unwrap();
+        assert_eq!(csf.source_order(), 3);
+        assert!(!csf.is_structured());
+        assert!(!csf.uses_counters());
+        let queries: Vec<String> = csf
+            .required_queries()
+            .iter()
+            .map(|q| q.to_string())
+            .collect();
+        assert_eq!(
+            queries,
+            vec![
+                "select [] -> count(i) as nir",
+                "select [i] -> count(j) as nir",
+                "select [i,j] -> count(k) as nir",
+            ]
+        );
+        let coo3 = FormatSpec::stock(FormatId::Coo3).unwrap();
+        assert_eq!(coo3.source_order(), 3);
+        assert_eq!(coo3.required_queries().len(), 1);
+        assert_eq!(
+            coo3.required_queries()[0].to_string(),
+            "select [] -> count(i,j,k) as nir"
+        );
     }
 
     #[test]

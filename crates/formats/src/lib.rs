@@ -7,6 +7,8 @@
 //!   — the formats evaluated in Section 7 of the paper,
 //! * [`BcsrMatrix`], [`SkylineMatrix`], [`DokMatrix`], [`JadMatrix`] — further
 //!   formats discussed in Sections 2, 4 and 6,
+//! * [`CooTensor`], [`CsfTensor`] — rank-`N` tensor containers (Section 7's
+//!   third-order COO→CSF conversions; CSF of order 2 is DCSR),
 //! * hand-written *reference* conversions to and from canonical
 //!   [`sparse_tensor::SparseTriples`] (ground truth for tests),
 //! * [`baselines`] — Rust ports of the SPARSKIT and Intel MKL conversion
@@ -23,7 +25,9 @@
 pub mod baselines;
 pub mod bcsr;
 pub mod coo;
+pub mod coo_tensor;
 pub mod csc;
+pub mod csf;
 pub mod csr;
 pub mod dia;
 pub mod dok;
@@ -34,7 +38,9 @@ pub mod spmv;
 
 pub use bcsr::BcsrMatrix;
 pub use coo::CooMatrix;
+pub use coo_tensor::CooTensor;
 pub use csc::CscMatrix;
+pub use csf::CsfTensor;
 pub use csr::CsrMatrix;
 pub use dia::DiaMatrix;
 pub use dok::DokMatrix;

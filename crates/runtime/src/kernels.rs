@@ -27,10 +27,11 @@
 use std::marker::PhantomData;
 
 use sparse_conv::engine;
-use sparse_formats::{BcsrMatrix, CooMatrix, CscMatrix, CsrMatrix};
+use sparse_formats::csf::pack_sorted;
+use sparse_formats::{BcsrMatrix, CooMatrix, CooTensor, CscMatrix, CsfTensor, CsrMatrix};
 use sparse_tensor::Value;
 
-use crate::partition::{balanced_chunks_by_pos, even_chunks};
+use crate::partition::{balanced_chunks_by_pos, even_chunks, merge_histograms, outer_extent};
 
 /// A shared mutable slice for scatter phases whose write-index sets are
 /// disjoint across workers.
@@ -70,25 +71,6 @@ impl<'a, T> SharedSlice<'a, T> {
         debug_assert!(idx < self.len);
         *self.ptr.add(idx) = value;
     }
-}
-
-/// Merges per-chunk histograms into the global prefix-sum `pos` array plus
-/// one scatter-cursor array per chunk (step 2 of the module recipe).
-fn merge_histograms(hists: &[Vec<usize>], parents: usize) -> (Vec<usize>, Vec<Vec<usize>>) {
-    let mut pos = vec![0usize; parents + 1];
-    for i in 0..parents {
-        let total: usize = hists.iter().map(|h| h[i]).sum();
-        pos[i + 1] = pos[i] + total;
-    }
-    let mut cursors = Vec::with_capacity(hists.len());
-    let mut running: Vec<usize> = pos[..parents].to_vec();
-    for hist in hists {
-        cursors.push(running.clone());
-        for i in 0..parents {
-            running[i] += hist[i];
-        }
-    }
-    (pos, cursors)
 }
 
 /// Parallel COO→CSR: per-chunk row histograms, prefix-sum merge, partitioned
@@ -331,6 +313,134 @@ pub fn csr_to_bcsr(
         .expect("assembled BCSR structure is valid")
 }
 
+/// Parallel COO→CSF, partitioned by *root fibers* (distinct outer
+/// coordinates): the tensor counterpart of [`coo_to_csr`], and the paper's
+/// sort-then-pack conversion restaged for threads.
+///
+/// 1. *partitioned analysis* — per-chunk histograms over the root
+///    coordinate (the outer dimension of the canonical shape),
+/// 2. *prefix-sum merge + partitioned scatter* — a stable bucket sort that
+///    groups nonzeros by root while preserving source order inside each
+///    root (the cursors encode exactly the sequential positions),
+/// 3. *root-fiber-partitioned sort + pack* — the roots are carved into
+///    nnz-balanced chunks; every worker stably sorts its contiguous span by
+///    full coordinate and packs its own fibers; the per-chunk CSF arrays
+///    concatenate exactly because chunk boundaries coincide with root-fiber
+///    boundaries.
+///
+/// A stable bucket sort by the outer coordinate followed by a stable sort of
+/// each bucket span is the same permutation as one global stable
+/// lexicographic sort, so the output is **bit-identical** to
+/// [`engine::to_csf`] at any thread count.
+pub fn coo_to_csf(coo: &CooTensor, threads: usize) -> CsfTensor {
+    let nnz = coo.nnz();
+    let order = coo.order();
+    if threads <= 1 || nnz == 0 || order < 2 {
+        return engine::to_csf(coo);
+    }
+    let shape = coo.shape();
+    let roots = outer_extent(shape);
+    let root_crd = coo.crd(0);
+
+    // Analysis: per-chunk root histograms over even nonzero chunks.
+    let chunks = even_chunks(nnz, threads);
+    let hists: Vec<Vec<usize>> = std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .map(|r| {
+                let r = r.clone();
+                s.spawn(move || {
+                    let mut hist = vec![0usize; roots];
+                    for &i in &root_crd[r] {
+                        hist[i] += 1;
+                    }
+                    hist
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let (root_pos, cursors) = merge_histograms(&hists, roots);
+
+    // Stable bucket sort by root: scatter the source permutation.
+    let mut perm = vec![0usize; nnz];
+    {
+        let perm_out = SharedSlice::new(&mut perm);
+        std::thread::scope(|s| {
+            for (r, mut cursor) in chunks.iter().cloned().zip(cursors) {
+                let perm_out = &perm_out;
+                s.spawn(move || {
+                    for p in r {
+                        let dst = cursor[root_crd[p]];
+                        cursor[root_crd[p]] += 1;
+                        // SAFETY: cursor ranges partition the output.
+                        unsafe { perm_out.write(dst, p) };
+                    }
+                });
+            }
+        });
+    }
+
+    // Root-fiber chunks, nnz-balanced off the merged root pos array; each
+    // chunk owns the contiguous permutation span of whole root fibers.
+    let root_chunks = balanced_chunks_by_pos(&root_pos, threads);
+    let mut spans: Vec<&mut [usize]> = Vec::with_capacity(root_chunks.len());
+    {
+        let mut rest: &mut [usize] = &mut perm;
+        let mut consumed = 0usize;
+        for rc in &root_chunks {
+            let hi = root_pos[rc.end];
+            let (span, tail) = rest.split_at_mut(hi - consumed);
+            spans.push(span);
+            rest = tail;
+            consumed = hi;
+        }
+    }
+
+    // Sort each span stably by full coordinate, then pack it into partial
+    // CSF arrays. The span is already grouped by ascending root with source
+    // order inside each root, so the stable span sort completes the global
+    // stable lexicographic order.
+    let columns: Vec<&[usize]> = (0..order).map(|d| coo.crd(d)).collect();
+    let partials: Vec<CsfTensor> = std::thread::scope(|s| {
+        let handles: Vec<_> = spans
+            .into_iter()
+            .map(|span| {
+                let columns = &columns;
+                let vals = coo.values();
+                let shape = shape.clone();
+                s.spawn(move || {
+                    span.sort_by(|&a, &b| sparse_formats::csf::lex_cmp_at(columns, a, b));
+                    pack_sorted(
+                        shape,
+                        |d, p| columns[d][span[p]],
+                        |p| vals[span[p]],
+                        span.len(),
+                    )
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // Stitch: chunk boundaries are root-fiber boundaries, so the per-chunk
+    // level arrays concatenate with offset fix-ups on the pos arrays.
+    let mut crd: Vec<Vec<usize>> = vec![Vec::new(); order];
+    let mut pos: Vec<Vec<usize>> = vec![vec![0usize]; order - 1];
+    let mut vals: Vec<Value> = Vec::with_capacity(nnz);
+    for part in &partials {
+        for (l, level_crd) in crd.iter_mut().enumerate() {
+            level_crd.extend_from_slice(part.crd(l));
+        }
+        for (l, level_pos) in pos.iter_mut().enumerate() {
+            let offset = *level_pos.last().expect("pos arrays start with 0");
+            level_pos.extend(part.pos(l)[1..].iter().map(|&p| p + offset));
+        }
+        vals.extend_from_slice(part.values());
+    }
+    CsfTensor::from_parts(shape.clone(), crd, pos, vals).expect("assembled CSF structure is valid")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -387,11 +497,40 @@ mod tests {
     }
 
     #[test]
+    fn parallel_coo_to_csf_is_bit_identical() {
+        let t = sparse_tensor::example::example3_tensor();
+        let mut coo = CooTensor::from_triples(&t);
+        let mut state = 3usize;
+        coo.shuffle_with(|bound| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state % bound
+        });
+        let reference = engine::to_csf(&coo);
+        for threads in [1, 2, 3, 4, 9] {
+            assert_eq!(coo_to_csf(&coo, threads), reference, "{threads} threads");
+        }
+        assert!(reference.to_triples().same_values(&t));
+    }
+
+    #[test]
+    fn parallel_csf_kernel_handles_order_2_tensors() {
+        let coo = CooTensor::from_triples(&figure1_matrix());
+        let reference = engine::to_csf(&coo);
+        for threads in [2, 4] {
+            assert_eq!(coo_to_csf(&coo, threads), reference);
+        }
+    }
+
+    #[test]
     fn empty_matrices_take_the_sequential_path() {
         let coo = CooMatrix::new(3, 5);
         assert_eq!(coo_to_csr(&coo, 4).nnz(), 0);
         let csr = engine::to_csr(&coo);
         assert_eq!(csr_to_csc(&csr, 4).nnz(), 0);
         assert_eq!(csr_to_bcsr(&csr, 2, 2, 4).num_blocks(), 0);
+        let empty = CooTensor::new(sparse_tensor::Shape::tensor3(3, 3, 3));
+        assert_eq!(coo_to_csf(&empty, 4).nnz(), 0);
     }
 }

@@ -8,9 +8,10 @@
 //! * [`cache::PlanCache`] memoises [`ConversionPlan`](sparse_conv::ConversionPlan)s
 //!   per `(source, target, spec fingerprint)` so planning happens once per
 //!   pair, not once per call;
-//! * [`kernels`] are row-range–partitioned parallel versions of the hot
+//! * [`kernels`] are outer-range–partitioned parallel versions of the hot
 //!   conversion paths (COO→CSR via per-chunk histograms merged by prefix
-//!   sum, CSR→CSC transpose, CSR→BCSR), built on scoped `std::thread`s and
+//!   sum, CSR→CSC transpose, CSR→BCSR, and the root-fiber-partitioned
+//!   order-3 COO3→CSF sort-and-pack), built on scoped `std::thread`s and
 //!   **bit-identical** to the sequential engine;
 //! * [`service::ConversionService`] is the batch front end: it routes each
 //!   request (direct vs. via-COO, decided by a cost model over the plan and

@@ -1,16 +1,23 @@
-//! Row-range partitioning for the parallel kernels.
+//! Outer-range partitioning for the parallel kernels.
 //!
-//! The coordinate-hierarchy abstraction (Chou et al. 2018) stores a matrix
+//! The coordinate-hierarchy abstraction (Chou et al. 2018) stores a tensor
 //! level by level, so any contiguous range of outer-level positions (rows,
-//! block rows, or raw nonzero indices) can be analysed and assembled
-//! independently of every other range. The helpers here carve the outer
-//! dimension into such ranges: [`even_chunks`] splits an index space into
-//! equally sized pieces, and [`balanced_chunks_by_pos`] splits a compressed
-//! level's parents so every piece owns roughly the same number of
-//! *children* (nonzeros), which is what actually balances work for skewed
-//! matrices.
+//! tensor root coordinates, block rows, or raw nonzero indices) can be
+//! analysed and assembled independently of every other range. The helpers
+//! here carve the outer dimension into such ranges, shared by the matrix
+//! kernels (rows) and the tensor kernels (root fibers): [`outer_extent`]
+//! reads the partitioned space off the canonical [`Shape`] instead of
+//! per-kernel `rows`/`cols` plumbing, [`even_chunks`] splits a raw index
+//! space into equally sized pieces, and [`balanced_chunks_by_pos`] splits a
+//! compressed level's parents so every piece owns roughly the same number
+//! of *children* (nonzeros), which is what actually balances work for
+//! skewed inputs. [`merge_histograms`] is the prefix-sum merge every
+//! histogram-scatter kernel uses to turn per-chunk counts into a global
+//! `pos` array plus per-chunk scatter cursors.
 
 use std::ops::Range;
+
+use sparse_tensor::Shape;
 
 /// Splits `0..n` into at most `parts` contiguous, non-empty ranges of nearly
 /// equal length (the first `n % parts` ranges are one element longer).
@@ -35,6 +42,41 @@ pub fn even_chunks(n: usize, parts: usize) -> Vec<Range<usize>> {
         start += len;
     }
     out
+}
+
+/// The extent of the outer storage level of a tensor with the given
+/// canonical shape: its first dimension. Kernels read the partitioned space
+/// off the [`Shape`] instead of plumbing separate `rows` / `cols` (or
+/// per-dimension) scalars; its histogram sizes and root-range partitions
+/// ([`balanced_chunks_by_pos`] over the merged root `pos`) follow from it.
+pub fn outer_extent(shape: &Shape) -> usize {
+    shape.dim(0)
+}
+
+/// Merges per-chunk histograms over the outer level into the global
+/// prefix-sum `pos` array plus one scatter-cursor array per chunk: chunk
+/// `c`'s cursor for parent `i` starts after all of `i`'s entries owned by
+/// chunks before `c`, which is exactly the position a sequential pass would
+/// have used — the property that makes histogram-scatter kernels
+/// bit-identical to their sequential counterparts.
+///
+/// `parents` is the outer extent (see [`outer_extent`]); every histogram
+/// must have that length.
+pub fn merge_histograms(hists: &[Vec<usize>], parents: usize) -> (Vec<usize>, Vec<Vec<usize>>) {
+    let mut pos = vec![0usize; parents + 1];
+    for i in 0..parents {
+        let total: usize = hists.iter().map(|h| h[i]).sum();
+        pos[i + 1] = pos[i] + total;
+    }
+    let mut cursors = Vec::with_capacity(hists.len());
+    let mut running: Vec<usize> = pos[..parents].to_vec();
+    for hist in hists {
+        cursors.push(running.clone());
+        for i in 0..parents {
+            running[i] += hist[i];
+        }
+    }
+    (pos, cursors)
 }
 
 /// Splits the parents of a compressed level (`pos.len() - 1` of them) into at
@@ -122,6 +164,24 @@ mod tests {
         let chunks = balanced_chunks_by_pos(&uniform, 2);
         covers(&chunks, 4);
         assert_eq!(chunks, vec![0..2, 2..4]);
+    }
+
+    #[test]
+    fn outer_extent_reads_the_first_dimension() {
+        assert_eq!(outer_extent(&Shape::matrix(10, 99)), 10);
+        assert_eq!(outer_extent(&Shape::tensor3(7, 2, 2)), 7);
+    }
+
+    #[test]
+    fn merged_cursors_encode_sequential_positions() {
+        // Two chunks over three parents: chunk 0 saw [2, 0, 1], chunk 1 saw
+        // [1, 2, 0]; the merged pos is the total histogram's prefix sum and
+        // chunk 1's cursors start where chunk 0's entries end.
+        let hists = vec![vec![2, 0, 1], vec![1, 2, 0]];
+        let (pos, cursors) = merge_histograms(&hists, 3);
+        assert_eq!(pos, vec![0, 3, 5, 6]);
+        assert_eq!(cursors[0], vec![0, 3, 5]);
+        assert_eq!(cursors[1], vec![2, 3, 6]);
     }
 
     #[test]

@@ -9,11 +9,11 @@
 //!    statistics decides between converting *directly* and going *via COO*
 //!    first (profitable when a padded source such as DIA or ELL would be
 //!    re-scanned by a multi-pass plan);
-//! 3. **execute** — hot pairs (COO→CSR, CSR→CSC, CSR→BCSR) run on the
-//!    row-range–partitioned parallel kernels when the input is large enough
-//!    to pay for thread startup; everything else falls back to the
-//!    sequential `sparse_conv` engine. Both paths produce bit-identical
-//!    output.
+//! 3. **execute** — hot pairs (COO→CSR, CSR→CSC, CSR→BCSR, and the tensor
+//!    pair COO3→CSF) run on the outer-range–partitioned parallel kernels
+//!    when the input is large enough to pay for thread startup; everything
+//!    else falls back to the sequential `sparse_conv` engine. Both paths
+//!    produce bit-identical output.
 //!
 //! [`ConversionService::convert_batch`] schedules many independent
 //! conversions across a [`WorkerPool`]; batched jobs execute sequentially
@@ -309,6 +309,12 @@ impl ConversionService {
                         m, block_rows, block_cols, threads,
                     )));
                 }
+                (AnyMatrix::Coo3(t), FormatId::Csf) => {
+                    self.counters
+                        .parallel_kernels
+                        .fetch_add(1, Ordering::Relaxed);
+                    return Ok(AnyMatrix::Csf(kernels::coo_to_csf(t, threads)));
+                }
                 _ => {}
             }
         }
@@ -413,6 +419,23 @@ mod tests {
         let want = sparse_conv::convert(&dia, FormatId::Ell).unwrap();
         assert_eq!(got, want);
         assert_eq!(svc.stats().via_coo, 1);
+    }
+
+    #[test]
+    fn tensor_conversions_run_on_the_parallel_kernel() {
+        let t = sparse_tensor::example::example3_tensor();
+        let coo3 = AnyMatrix::Coo3(sparse_formats::CooTensor::from_triples(&t));
+        let svc = service(4);
+        let got = svc.convert(&coo3, FormatId::Csf).unwrap();
+        let want = sparse_conv::convert(&coo3, FormatId::Csf).unwrap();
+        assert_eq!(got, want);
+        assert_eq!(svc.stats().parallel_kernels, 1);
+        // CSF → COO3 goes through the sequential engine.
+        let back = svc.convert(&got, FormatId::Coo3).unwrap();
+        assert!(back.to_triples().same_values(&t));
+        assert_eq!(svc.stats().sequential, 1);
+        // Rank mismatches surface as errors, not panics.
+        assert!(svc.convert(&coo3, FormatId::Csr).is_err());
     }
 
     #[test]

@@ -7,7 +7,7 @@ use proptest::prelude::*;
 use conv_runtime::{kernels, ConversionService, PlanCache, ServiceConfig};
 use sparse_conv::convert::{AnyMatrix, FormatId};
 use sparse_conv::engine;
-use sparse_formats::{CooMatrix, CsrMatrix};
+use sparse_formats::{CooMatrix, CooTensor, CsrMatrix};
 use sparse_tensor::{Shape, SparseTriples};
 
 const THREAD_POOLS: [usize; 3] = [1, 2, 4];
@@ -32,6 +32,39 @@ fn arb_matrix() -> impl Strategy<Value = (SparseTriples, u64)> {
                 (t, seed)
             })
     })
+}
+
+/// Random order-3 tensors as duplicate-free triples plus a shuffle seed.
+fn arb_tensor3() -> impl Strategy<Value = (SparseTriples, u64)> {
+    (1usize..12, 1usize..12, 1usize..12).prop_flat_map(|(d0, d1, d2)| {
+        let max_nnz = (d0 * d1 * d2).min(96);
+        (
+            proptest::collection::vec(((0..d0), (0..d1), (0..d2), -100i32..100), 0..max_nnz),
+            1u64..u64::MAX,
+        )
+            .prop_map(move |(entries, seed)| {
+                let mut t = SparseTriples::new(Shape::tensor3(d0, d1, d2));
+                for (i, j, k, v) in entries {
+                    let coord = vec![i as i64, j as i64, k as i64];
+                    if v != 0 && t.get(&coord) == 0.0 {
+                        t.push(coord, v as f64).expect("in bounds");
+                    }
+                }
+                (t, seed)
+            })
+    })
+}
+
+fn shuffled_coo3(t: &SparseTriples, seed: u64) -> CooTensor {
+    let mut coo = CooTensor::from_triples(t);
+    let mut state = seed;
+    coo.shuffle_with(|bound| {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state as usize) % bound
+    });
+    coo
 }
 
 fn shuffled_coo(t: &SparseTriples, seed: u64) -> CooMatrix {
@@ -89,6 +122,39 @@ proptest! {
             prop_assert_eq!(parallel.pos(), reference.pos(), "pos, {} threads", threads);
             prop_assert_eq!(parallel.crd(), reference.crd(), "crd, {} threads", threads);
             prop_assert_eq!(parallel.values(), reference.values(), "vals, {} threads", threads);
+        }
+    }
+
+    /// COO3→CSF: the root-fiber-partitioned sort-and-pack kernel matches the
+    /// sequential engine bit for bit at every pool width.
+    #[test]
+    fn parallel_coo3_to_csf_is_byte_equal((t, seed) in arb_tensor3()) {
+        let coo = shuffled_coo3(&t, seed);
+        let reference = engine::to_csf(&coo);
+        for threads in THREAD_POOLS {
+            let parallel = kernels::coo_to_csf(&coo, threads);
+            prop_assert_eq!(&parallel, &reference, "{} threads", threads);
+        }
+        prop_assert!(reference.to_triples().same_values(&t));
+    }
+
+    /// The service's tensor route (parallel kernel included) matches the
+    /// sequential `sparse_conv::convert`, and CSF→COO3 round-trips to the
+    /// sorted triples.
+    #[test]
+    fn service_tensor_conversions_match_sequential_convert((t, seed) in arb_tensor3()) {
+        let coo3 = AnyMatrix::Coo3(shuffled_coo3(&t, seed));
+        for threads in THREAD_POOLS {
+            let service = ConversionService::new(ServiceConfig {
+                threads,
+                parallel_nnz_threshold: 0,
+            });
+            let got = service.convert(&coo3, FormatId::Csf).expect("conversion");
+            let want = sparse_conv::convert(&coo3, FormatId::Csf).expect("conversion");
+            prop_assert_eq!(&got, &want, "COO3→CSF at {} threads", threads);
+            let back = service.convert(&got, FormatId::Coo3).expect("conversion");
+            prop_assert!(back.to_triples().same_values(&t));
+            prop_assert!(back.to_triples().is_sorted(), "CSF iterates in sorted order");
         }
     }
 

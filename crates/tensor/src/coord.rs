@@ -44,6 +44,11 @@ impl Shape {
         Shape::new(vec![len])
     }
 
+    /// Convenience constructor for an order-3 tensor shape.
+    pub fn tensor3(d0: usize, d1: usize, d2: usize) -> Self {
+        Shape::new(vec![d0, d1, d2])
+    }
+
     /// The number of dimensions (the tensor order).
     pub fn order(&self) -> usize {
         self.dims.len()

@@ -45,6 +45,36 @@ pub fn figure1_matrix() -> SparseTriples {
         .expect("example entries are in bounds")
 }
 
+/// Coordinates and values of the running order-3 example tensor used by the
+/// rank-N conversion tests: a 3x4x5 tensor with eight nonzeros spread over
+/// three root slices, deliberately listed *out* of lexicographic order (COO
+/// inputs are not assumed sorted).
+pub const EXAMPLE3_ENTRIES: [(usize, usize, usize, Value); 8] = [
+    (2, 0, 1, 6.0),
+    (0, 0, 0, 1.0),
+    (0, 2, 4, 3.0),
+    (2, 3, 0, 7.0),
+    (0, 0, 3, 2.0),
+    (2, 0, 4, 5.0),
+    (1, 1, 2, 4.0),
+    (2, 3, 3, 8.0),
+];
+
+/// Shape of the order-3 example tensor.
+pub const EXAMPLE3_DIMS: [usize; 3] = [3, 4, 5];
+
+/// Builds the 3x4x5 order-3 example tensor as canonical triples, preserving
+/// the (unsorted) entry order of [`EXAMPLE3_ENTRIES`].
+pub fn example3_tensor() -> SparseTriples {
+    SparseTriples::from_entries(
+        crate::Shape::new(EXAMPLE3_DIMS.to_vec()),
+        EXAMPLE3_ENTRIES
+            .iter()
+            .map(|&(i, j, k, v)| (vec![i as i64, j as i64, k as i64], v)),
+    )
+    .expect("example entries are in bounds")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -76,6 +106,18 @@ mod tests {
             per_row[t.coord[0] as usize] += 1;
         }
         assert_eq!(per_row, [2, 2, 2, 3]);
+    }
+
+    #[test]
+    fn example_tensor_shape_and_values() {
+        let t = example3_tensor();
+        assert_eq!(t.order(), 3);
+        assert_eq!(t.shape().dims(), &[3, 4, 5]);
+        assert_eq!(t.nnz(), 8);
+        assert!(!t.is_sorted());
+        assert_eq!(t.get(&[2, 3, 0]), 7.0);
+        assert_eq!(t.get(&[1, 1, 2]), 4.0);
+        assert_eq!(t.get(&[1, 0, 0]), 0.0);
     }
 
     #[test]

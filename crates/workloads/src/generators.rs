@@ -224,6 +224,108 @@ pub fn irregular(
     Ok(t)
 }
 
+/// Generates an order-3 tensor with `target_nnz` distinct components drawn
+/// uniformly at random — the unstructured end of the tensor spectrum
+/// (hypergraph-/NLP-style data), which maximises the fiber counts a COO→CSF
+/// conversion has to discover.
+///
+/// # Errors
+///
+/// Returns an error when more components are requested than the tensor has
+/// cells.
+pub fn tensor3_uniform(
+    dims: [usize; 3],
+    target_nnz: usize,
+    seed: u64,
+) -> Result<SparseTriples, GeneratorError> {
+    let [d0, d1, d2] = dims;
+    let cells = d0
+        .checked_mul(d1)
+        .and_then(|x| x.checked_mul(d2))
+        .unwrap_or(usize::MAX);
+    if target_nnz > cells {
+        return Err(GeneratorError::InvalidParameters(format!(
+            "cannot place {target_nnz} components in a {d0}x{d1}x{d2} tensor"
+        )));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let shape = sparse_tensor::Shape::new(dims.to_vec());
+    let mut t = SparseTriples::with_capacity(shape.clone(), target_nnz);
+    let mut seen = std::collections::HashSet::with_capacity(target_nnz);
+    while t.nnz() < target_nnz {
+        let coord = [
+            rng.gen_range(0..d0),
+            rng.gen_range(0..d1),
+            rng.gen_range(0..d2),
+        ];
+        if seen.insert(coord) {
+            t.push(
+                coord.iter().map(|&c| c as i64).collect(),
+                value_for(&mut rng),
+            )
+            .expect("in bounds");
+        }
+    }
+    Ok(t)
+}
+
+/// Generates an order-3 tensor with mode-1 fiber structure: every root slice
+/// owns `fibers_per_slice` random `(j)` fibers holding `nnz_per_fiber`
+/// distinct `k` entries each — the skewed, fiber-dense structure of
+/// factorisation workloads, which is what root-fiber-partitioned CSF
+/// assembly is balanced against.
+///
+/// # Errors
+///
+/// Returns an error when a slice cannot hold the requested fibers or a fiber
+/// the requested entries.
+pub fn tensor3_fibered(
+    dims: [usize; 3],
+    fibers_per_slice: usize,
+    nnz_per_fiber: usize,
+    seed: u64,
+) -> Result<SparseTriples, GeneratorError> {
+    let [d0, d1, d2] = dims;
+    if fibers_per_slice == 0 || fibers_per_slice > d1 {
+        return Err(GeneratorError::InvalidParameters(format!(
+            "{fibers_per_slice} fibers per slice do not fit {d1} mode-1 coordinates"
+        )));
+    }
+    if nnz_per_fiber == 0 || nnz_per_fiber > d2 {
+        return Err(GeneratorError::InvalidParameters(format!(
+            "{nnz_per_fiber} entries per fiber do not fit {d2} mode-2 coordinates"
+        )));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let shape = sparse_tensor::Shape::new(dims.to_vec());
+    let mut t = SparseTriples::with_capacity(shape, d0 * fibers_per_slice * nnz_per_fiber);
+    let mut fibers: Vec<usize> = Vec::with_capacity(fibers_per_slice);
+    let mut entries: Vec<usize> = Vec::with_capacity(nnz_per_fiber);
+    for i in 0..d0 {
+        fibers.clear();
+        while fibers.len() < fibers_per_slice {
+            let j = rng.gen_range(0..d1);
+            if !fibers.contains(&j) {
+                fibers.push(j);
+            }
+        }
+        for &j in &fibers {
+            entries.clear();
+            while entries.len() < nnz_per_fiber {
+                let k = rng.gen_range(0..d2);
+                if !entries.contains(&k) {
+                    entries.push(k);
+                }
+            }
+            for &k in &entries {
+                t.push(vec![i as i64, j as i64, k as i64], value_for(&mut rng))
+                    .expect("in bounds");
+            }
+        }
+    }
+    Ok(t)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -275,6 +377,36 @@ mod tests {
         assert!(stats.nonzero_diagonals > 500);
         assert!(irregular(10, 10, 200, 5, 0).is_err());
         assert!(irregular(10, 10, 5, 0, 0).is_err());
+    }
+
+    #[test]
+    fn tensor3_uniform_hits_the_nnz_target() {
+        let t = tensor3_uniform([20, 30, 40], 2_000, 11).unwrap();
+        assert_eq!(t.order(), 3);
+        assert_eq!(t.nnz(), 2_000);
+        assert_eq!(t.shape().dims(), &[20, 30, 40]);
+        // Components are distinct.
+        assert_eq!(t.to_map().len(), 2_000);
+        assert!(tensor3_uniform([2, 2, 2], 9, 0).is_err());
+        assert_eq!(
+            tensor3_uniform([10, 10, 10], 100, 5).unwrap(),
+            tensor3_uniform([10, 10, 10], 100, 5).unwrap()
+        );
+    }
+
+    #[test]
+    fn tensor3_fibered_builds_dense_fibers() {
+        let t = tensor3_fibered([16, 32, 64], 4, 8, 7).unwrap();
+        assert_eq!(t.nnz(), 16 * 4 * 8);
+        // Every root slice holds exactly fibers_per_slice distinct (i, j)
+        // fibers.
+        let mut fibers = std::collections::HashSet::new();
+        for tr in t.iter() {
+            fibers.insert((tr.coord[0], tr.coord[1]));
+        }
+        assert_eq!(fibers.len(), 16 * 4);
+        assert!(tensor3_fibered([4, 4, 4], 5, 1, 0).is_err());
+        assert!(tensor3_fibered([4, 4, 4], 1, 9, 0).is_err());
     }
 
     #[test]

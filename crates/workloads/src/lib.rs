@@ -9,9 +9,16 @@
 //! reduced `scale` so the full benchmark suite runs in minutes rather than
 //! hours; scaling divides the dimensions and nonzero count while preserving
 //! the matrix *class* (banded, multi-diagonal, blocked, irregular).
+//!
+//! The crate also synthesises order-3 tensors ([`tensor3_uniform`],
+//! [`tensor3_fibered`]) standing in for the third-order inputs of the
+//! paper's tensor-conversion evaluation (COO→CSF); the `table4` binary in
+//! `conv-bench` benchmarks them.
 
 pub mod generators;
 pub mod suite;
 
-pub use generators::{banded, blocked, irregular, GeneratorError};
+pub use generators::{
+    banded, blocked, irregular, tensor3_fibered, tensor3_uniform, GeneratorError,
+};
 pub use suite::{table2, MatrixClass, MatrixSpec};

@@ -27,7 +27,7 @@ fn main() {
     let csr = engine::to_csr(&coo);
     let csr_conv = start.elapsed();
     let start = Instant::now();
-    let dia = engine::to_dia(&coo);
+    let dia = engine::to_dia(&coo).expect("DIA conversion");
     let dia_conv = start.elapsed();
 
     // Run SpMV in each format.

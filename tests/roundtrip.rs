@@ -91,7 +91,7 @@ proptest! {
         let noext = baselines::taco_noext::coo_to_csr(&coo);
         prop_assert!(noext.to_triples().same_values(&t));
 
-        let ours = engine::to_dia(&csr);
+        let ours = engine::to_dia(&csr).expect("DIA conversion");
         let skit = baselines::sparskit::csr_to_dia(&csr);
         prop_assert_eq!(ours.offsets(), skit.offsets());
         prop_assert_eq!(ours.values(), skit.values());
@@ -123,6 +123,9 @@ proptest! {
                 AnyMatrix::Skyline(m) => engine::spmv_fingerprint(m),
                 AnyMatrix::Jad(m) => engine::spmv_fingerprint(m),
                 AnyMatrix::Dok(m) => engine::spmv_fingerprint(m),
+                AnyMatrix::Coo3(_) | AnyMatrix::Csf(_) => {
+                    unreachable!("all_sources builds order-2 containers only")
+                }
             };
             for (a, b) in reference.iter().zip(&fingerprint) {
                 prop_assert!((a - b).abs() < 1e-9, "{}: {} vs {}", format, a, b);
