@@ -4,11 +4,15 @@
 //! tracks.
 //!
 //! Usage: `table2 [FORMAT ...]` — the optional arguments are conversion
-//! *target* formats parsed by `FormatId::from_str` (e.g. `CSR CSC BCSR4x4`);
-//! the default is the paper's evaluated set (CSR, CSC, DIA, ELL). Each
+//! *target* formats parsed by `Format::from_str`: stock names (e.g. `CSR
+//! CSC BCSR4x4`), registered custom format names, or full spec strings
+//! (`NAME:REMAP:DIMS:LEVELS`, e.g.
+//! `DCSR:(i,j)->(i,j):i,j:compressed,compressed`) for user-defined formats.
+//! The default is the paper's evaluated set (CSR, CSC, DIA, ELL). Each
 //! target is converted to from COO and CSR sources through
 //! `conv_runtime::ConversionService` at one thread and at `BENCH_THREADS`
-//! threads.
+//! threads; every emitted row records the spec fingerprint next to the
+//! format name.
 //!
 //! Environment variables:
 //!
@@ -21,25 +25,30 @@
 use conv_bench::{env_f64, env_usize, render_bench_json, suite, BenchInputs, BenchRecord};
 use conv_runtime::{ConversionService, ServiceConfig, WorkerPool};
 use sparse_conv::convert::{evaluated_formats, AnyMatrix, FormatId};
+use sparse_conv::Format;
 use sparse_tensor::MatrixStats;
 
 /// The rows benchmarked by default: one banded stencil, one FEM-like blocked
 /// matrix, one irregular matrix (same picks as the criterion benches).
 const BENCH_MATRICES: [&str; 3] = ["jnlbrng1", "cant", "scircuit"];
 
-fn target_formats_from_cli() -> Vec<FormatId> {
+fn target_formats_from_cli() -> Vec<Format> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         return evaluated_formats()
             .into_iter()
             .filter(|f| *f != FormatId::Coo)
+            .map(Format::stock)
             .collect();
     }
     let mut formats = Vec::new();
     for arg in args {
-        match arg.parse::<FormatId>() {
-            Ok(FormatId::Dok) => {
-                eprintln!("skipping DOK: it is supported only as a conversion source")
+        match arg.parse::<Format>() {
+            Ok(f) if f.spec().is_none() => {
+                eprintln!("skipping {f}: it is supported only as a conversion source")
+            }
+            Ok(f) if f.order() != 2 => {
+                eprintln!("skipping {f}: table2 benchmarks order-2 (matrix) targets only")
             }
             Ok(f) => formats.push(f),
             Err(e) => {
@@ -55,10 +64,10 @@ fn target_formats_from_cli() -> Vec<FormatId> {
     formats
 }
 
-fn admissible(target: FormatId, stats: &MatrixStats) -> bool {
-    match target {
-        FormatId::Dia => stats.dia_admissible(),
-        FormatId::Ell => stats.ell_admissible(),
+fn admissible(target: &Format, stats: &MatrixStats) -> bool {
+    match target.id() {
+        Some(FormatId::Dia) => stats.dia_admissible(),
+        Some(FormatId::Ell) => stats.ell_admissible(),
         _ => true,
     }
 }
@@ -134,8 +143,8 @@ fn main() {
                 parallel_nnz_threshold: 0,
             });
             for src in &sources {
-                for &target in &targets {
-                    if target == src.format() || !admissible(target, stats) {
+                for target in &targets {
+                    if *target == src.format() || !admissible(target, stats) {
                         continue;
                     }
                     // Warm the plan cache so the measurement sees the steady
@@ -157,14 +166,14 @@ fn main() {
                         threads,
                         median.as_nanos()
                     );
-                    records.push(BenchRecord {
-                        matrix: inputs.spec.name.to_string(),
-                        source: src.format().to_string(),
-                        target: target.to_string(),
+                    records.push(BenchRecord::for_pair(
+                        inputs.spec.name,
+                        &src.format(),
+                        target,
                         threads,
                         scale,
-                        median_ns: median.as_nanos(),
-                    });
+                        median.as_nanos(),
+                    ));
                 }
             }
         }

@@ -5,10 +5,12 @@
 //! exists).
 //!
 //! Usage: `table4 [FORMAT ...]` — the optional arguments are conversion
-//! *target* formats parsed by `FormatId::from_str`; only the tensor formats
-//! (`COO3`, `CSF`) are accepted. The default benchmarks both directions:
-//! COO3→CSF and CSF→COO3, each from synthetic order-3 tensors at one thread
-//! and at `BENCH_THREADS` threads.
+//! *target* formats parsed by `Format::from_str`: the stock tensor formats
+//! (`COO3`, `CSF`), a registered custom format name, or a full spec string
+//! (`NAME:REMAP:DIMS:LEVELS`) describing an order-3 format. The default
+//! benchmarks both stock directions: COO3→CSF and CSF→COO3, each from
+//! synthetic order-3 tensors at one thread and at `BENCH_THREADS` threads;
+//! every emitted row records the spec fingerprint next to the format name.
 //!
 //! Environment variables:
 //!
@@ -23,6 +25,7 @@ use conv_bench::{env_f64, env_usize, merge_bench_json, render_bench_json, BenchR
 use conv_runtime::{ConversionService, ServiceConfig, WorkerPool};
 use conv_workloads::{tensor3_fibered, tensor3_uniform};
 use sparse_conv::convert::{AnyMatrix, FormatId};
+use sparse_conv::Format;
 use sparse_formats::CooTensor;
 use sparse_tensor::SparseTriples;
 
@@ -54,15 +57,15 @@ fn tensors(scale: f64) -> Vec<(&'static str, SparseTriples)> {
     ]
 }
 
-fn target_formats_from_cli() -> Vec<FormatId> {
+fn target_formats_from_cli() -> Vec<Format> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        return vec![FormatId::Csf, FormatId::Coo3];
+        return vec![Format::csf(), Format::coo3()];
     }
     let mut formats = Vec::new();
     for arg in args {
-        match arg.parse::<FormatId>() {
-            Ok(f @ (FormatId::Csf | FormatId::Coo3)) => formats.push(f),
+        match arg.parse::<Format>() {
+            Ok(f) if f.spec().is_some() && f.order() == 3 => formats.push(f),
             Ok(f) => eprintln!("skipping {f}: table4 benchmarks order-3 tensor targets only"),
             Err(e) => {
                 eprintln!("error: {e}");
@@ -115,10 +118,13 @@ fn main() {
             let csf = service
                 .convert(&coo3, FormatId::Csf)
                 .expect("COO3 converts to CSF");
-            for &target in &targets {
-                let sources: Vec<&AnyMatrix> = match target {
-                    FormatId::Csf => vec![&coo3],
-                    _ => vec![&csf],
+            for target in &targets {
+                // CSF targets are fed from COO3; COO3 (and custom) targets
+                // from the packed CSF (resp. COO3) source.
+                let sources: Vec<&AnyMatrix> = match target.id() {
+                    Some(FormatId::Csf) => vec![&coo3],
+                    Some(_) => vec![&csf],
+                    None => vec![&coo3],
                 };
                 for src in sources {
                     if service.convert(src, target).is_err() {
@@ -138,14 +144,14 @@ fn main() {
                         threads,
                         median.as_nanos()
                     );
-                    records.push(BenchRecord {
-                        matrix: name.to_string(),
-                        source: src.format().to_string(),
-                        target: target.to_string(),
+                    records.push(BenchRecord::for_pair(
+                        name,
+                        &src.format(),
+                        target,
                         threads,
                         scale,
-                        median_ns: median.as_nanos(),
-                    });
+                        median.as_nanos(),
+                    ));
                 }
             }
         }

@@ -583,7 +583,13 @@ fn gen_to_coo3(source: FormatId) -> Result<Vec<Stmt>, ConvertError> {
 /// Returns an error when the pair is unsupported, the source container does
 /// not match `source`, or the generated code fails to execute.
 pub fn execute(src: &AnyMatrix, target: FormatId) -> Result<AnyMatrix, ConvertError> {
-    let source = src.format();
+    let source = src.format().id().ok_or_else(|| {
+        ConvertError::Unsupported(format!(
+            "code generation covers stock format pairs; {} is a registry \
+             format (use the dynamic driver)",
+            src.format()
+        ))
+    })?;
     let function = generate(source, target)?;
     let mut interp = Interpreter::new();
     let shape = src.shape();

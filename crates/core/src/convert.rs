@@ -10,11 +10,20 @@ use sparse_tensor::{Shape, SparseTriples};
 
 use crate::engine;
 use crate::error::ConvertError;
+use crate::format::Format;
+use crate::generic::{self, CustomTensor};
 use crate::plan::ConversionPlan;
 use crate::source::{MatrixAsTensor, SourceMatrix};
 use crate::spec::FormatSpec;
 
-/// Identifies a supported storage format.
+/// Identifies a *stock* storage format.
+///
+/// Transitional: `FormatId` predates the spec-first API and survives as a
+/// thin set of identifiers over the stock [`FormatRegistry`](crate::format::FormatRegistry)
+/// presets — every variant resolves to one registry entry
+/// ([`Format::stock`]), and everywhere a [`Format`] is accepted a `FormatId`
+/// still works (`impl From<FormatId> for Format`). New code should hold
+/// [`Format`] handles, which also cover user-defined formats.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FormatId {
     /// Coordinate format.
@@ -154,12 +163,16 @@ impl std::str::FromStr for FormatId {
     }
 }
 
-/// A tensor in any supported format. Matrix formats hold order-2 containers;
-/// the `Coo3` and `Csf` variants hold the rank-`N` tensor containers (the
-/// name `AnyMatrix` predates the rank-N generalisation and is kept for
-/// source compatibility — [`AnyTensor`] aliases it).
+/// A tensor in any supported format — the unified value type of the public
+/// API. Matrix formats hold order-2 containers; the `Coo3` and `Csf`
+/// variants hold the rank-`N` tensor containers; the `Custom` variant holds
+/// a tensor assembled for a user-defined (registry) format, which is a valid
+/// conversion *source* like every other variant.
+///
+/// The name `AnyMatrix` predates the rank-N generalisation and is kept as an
+/// alias for source compatibility.
 #[derive(Debug, Clone, PartialEq)]
-pub enum AnyMatrix {
+pub enum AnyTensor {
     /// COO storage.
     Coo(CooMatrix),
     /// CSR storage.
@@ -182,14 +195,17 @@ pub enum AnyMatrix {
     Coo3(CooTensor),
     /// Rank-`N` CSF storage.
     Csf(CsfTensor),
+    /// A tensor assembled for a user-defined (registry) format by the
+    /// spec-driven driver.
+    Custom(Box<CustomTensor>),
 }
 
-/// The rank-neutral name for [`AnyMatrix`].
-pub type AnyTensor = AnyMatrix;
+/// The historical (matrix-era) name for [`AnyTensor`].
+pub type AnyMatrix = AnyTensor;
 
 /// Applies a closure to the contained matrix as a [`SourceMatrix`]. The
-/// rank-`N` tensor variants must be dispatched by the caller *before*
-/// reaching this macro; they have no [`SourceMatrix`] view.
+/// rank-`N` tensor and custom variants must be dispatched by the caller
+/// *before* reaching this macro; they have no [`SourceMatrix`] view.
 macro_rules! with_source {
     ($matrix:expr, $binding:ident => $body:expr) => {
         match $matrix {
@@ -202,34 +218,34 @@ macro_rules! with_source {
             AnyMatrix::Skyline($binding) => $body,
             AnyMatrix::Jad($binding) => $body,
             AnyMatrix::Dok($binding) => $body,
-            AnyMatrix::Coo3(_) | AnyMatrix::Csf(_) => {
-                unreachable!("rank-N tensor variants are dispatched before with_source!")
+            AnyMatrix::Coo3(_) | AnyMatrix::Csf(_) | AnyMatrix::Custom(_) => {
+                unreachable!("tensor and custom variants are dispatched before with_source!")
             }
         }
     };
 }
 
 impl AnyMatrix {
-    /// The format this matrix is stored in.
-    pub fn format(&self) -> FormatId {
+    /// The format this tensor is stored in, as a registry [`Format`] handle
+    /// (compare with a [`FormatId`] directly — `Format` implements
+    /// `PartialEq<FormatId>`).
+    pub fn format(&self) -> Format {
         match self {
-            AnyMatrix::Coo(_) => FormatId::Coo,
-            AnyMatrix::Csr(_) => FormatId::Csr,
-            AnyMatrix::Csc(_) => FormatId::Csc,
-            AnyMatrix::Dia(_) => FormatId::Dia,
-            AnyMatrix::Ell(_) => FormatId::Ell,
+            AnyMatrix::Coo(_) => Format::coo(),
+            AnyMatrix::Csr(_) => Format::csr(),
+            AnyMatrix::Csc(_) => Format::csc(),
+            AnyMatrix::Dia(_) => Format::dia(),
+            AnyMatrix::Ell(_) => Format::ell(),
             AnyMatrix::Bcsr(m) => {
                 let (block_rows, block_cols) = m.block_shape();
-                FormatId::Bcsr {
-                    block_rows,
-                    block_cols,
-                }
+                Format::bcsr(block_rows, block_cols)
             }
-            AnyMatrix::Skyline(_) => FormatId::Skyline,
-            AnyMatrix::Jad(_) => FormatId::Jad,
-            AnyMatrix::Dok(_) => FormatId::Dok,
-            AnyMatrix::Coo3(_) => FormatId::Coo3,
-            AnyMatrix::Csf(_) => FormatId::Csf,
+            AnyMatrix::Skyline(_) => Format::skyline(),
+            AnyMatrix::Jad(_) => Format::jad(),
+            AnyMatrix::Dok(_) => Format::dok(),
+            AnyMatrix::Coo3(_) => Format::coo3(),
+            AnyMatrix::Csf(_) => Format::csf(),
+            AnyMatrix::Custom(t) => Format::intern_spec(&t.spec),
         }
     }
 
@@ -238,6 +254,7 @@ impl AnyMatrix {
         match self {
             AnyMatrix::Coo3(t) => t.shape().clone(),
             AnyMatrix::Csf(t) => t.shape().clone(),
+            AnyMatrix::Custom(t) => t.shape().clone(),
             m => Shape::matrix(
                 with_source!(m, s => SourceMatrix::rows(s)),
                 with_source!(m, s => SourceMatrix::cols(s)),
@@ -250,6 +267,7 @@ impl AnyMatrix {
         match self {
             AnyMatrix::Coo3(t) => t.order(),
             AnyMatrix::Csf(t) => t.order(),
+            AnyMatrix::Custom(t) => t.order(),
             _ => 2,
         }
     }
@@ -259,6 +277,7 @@ impl AnyMatrix {
         match self {
             AnyMatrix::Coo3(t) => t.shape().dim(0),
             AnyMatrix::Csf(t) => t.shape().dim(0),
+            AnyMatrix::Custom(t) => t.shape().dim(0),
             m => with_source!(m, s => SourceMatrix::rows(s)),
         }
     }
@@ -276,6 +295,7 @@ impl AnyMatrix {
         match self {
             AnyMatrix::Coo3(t) => tensor_cols(t.shape()),
             AnyMatrix::Csf(t) => tensor_cols(t.shape()),
+            AnyMatrix::Custom(t) => tensor_cols(t.shape()),
             m => with_source!(m, s => SourceMatrix::cols(s)),
         }
     }
@@ -285,23 +305,42 @@ impl AnyMatrix {
         match self {
             AnyMatrix::Coo3(t) => t.nnz(),
             AnyMatrix::Csf(t) => t.nnz(),
+            AnyMatrix::Custom(t) => t.nnz(),
             m => with_source!(m, s => SourceMatrix::nnz(s)),
         }
     }
 
     /// Converts to canonical triples (padding skipped).
-    pub fn to_triples(&self) -> SparseTriples {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConvertError::UnsupportedSpec`] for a custom tensor whose
+    /// remapping is not invertible (such formats are conversion targets
+    /// only); every other variant is infallible.
+    pub fn try_to_triples(&self) -> Result<SparseTriples, ConvertError> {
         match self {
-            AnyMatrix::Coo3(t) => t.to_triples(),
-            AnyMatrix::Csf(t) => t.to_triples(),
+            AnyMatrix::Coo3(t) => Ok(t.to_triples()),
+            AnyMatrix::Csf(t) => Ok(t.to_triples()),
+            AnyMatrix::Custom(t) => t.to_triples(),
             m => {
                 let mut t = SparseTriples::with_capacity(self.shape(), self.nnz());
                 with_source!(m, s => s.for_each(|i, j, v| {
                     t.push(vec![i as i64, j as i64], v).expect("source coordinates are in bounds");
                 }));
-                t
+                Ok(t)
             }
         }
+    }
+
+    /// Converts to canonical triples (padding skipped).
+    ///
+    /// # Panics
+    ///
+    /// Panics for a custom tensor whose remapping is not invertible; use
+    /// [`AnyTensor::try_to_triples`] to handle that case as an error.
+    pub fn to_triples(&self) -> SparseTriples {
+        self.try_to_triples()
+            .expect("this tensor's format cannot be read back; use try_to_triples")
     }
 
     /// Builds a tensor in the given format from canonical triples (via the
@@ -312,7 +351,10 @@ impl AnyMatrix {
     /// # Errors
     ///
     /// Returns an error when the format cannot represent the input.
-    pub fn from_triples(t: &SparseTriples, format: FormatId) -> Result<Self, ConvertError> {
+    pub fn from_triples<F: Into<Format>>(
+        t: &SparseTriples,
+        format: F,
+    ) -> Result<Self, ConvertError> {
         let source = if t.order() == 2 {
             AnyMatrix::Coo(CooMatrix::from_triples(t))
         } else {
@@ -322,45 +364,86 @@ impl AnyMatrix {
     }
 }
 
-/// Converts a tensor to the requested target format using the generated
-/// (engine) conversion path.
+/// Converts a tensor to the requested target format — the single public
+/// entry point of the conversion stack. The target is anything that resolves
+/// to a [`Format`]: a stock [`FormatId`], a `&Format` handle (stock preset
+/// or builder-made), or an owned `Format`.
+///
+/// Stock-to-stock pairs run on the monomorphised engine kernels; registry
+/// (custom) targets run on the spec-driven dynamic driver; custom *sources*
+/// are lowered through their level read-back and re-dispatched, so
+/// custom↔stock and custom↔custom conversions round-trip like any other
+/// pair.
 ///
 /// # Errors
 ///
 /// Returns an error when the target cannot represent the input (e.g. skyline
 /// targets require square matrices, matrix targets require order-2 sources),
-/// or [`ConvertError::UnsupportedTarget`] for formats without a
+/// [`ConvertError::UnsupportedTarget`] for formats without a
 /// coordinate-hierarchy specification (DOK is supported only as a conversion
-/// source).
-pub fn convert(src: &AnyMatrix, target: FormatId) -> Result<AnyMatrix, ConvertError> {
-    if matches!(target, FormatId::Dok) {
-        return Err(ConvertError::UnsupportedTarget(target));
+/// source), or [`ConvertError::UnsupportedSpec`] when a custom source's
+/// remapping cannot be inverted.
+pub fn convert<F: Into<Format>>(src: &AnyMatrix, target: F) -> Result<AnyMatrix, ConvertError> {
+    convert_to(src, &target.into())
+}
+
+fn convert_to(src: &AnyMatrix, target: &Format) -> Result<AnyMatrix, ConvertError> {
+    // Custom sources lower to a canonical container through their level
+    // read-back, then re-dispatch; this is what makes a builder-made format
+    // a valid conversion *source*.
+    if let AnyMatrix::Custom(t) = src {
+        let triples = t.to_triples()?;
+        let lowered = if triples.order() == 2 {
+            AnyMatrix::Coo(CooMatrix::from_triples(&triples))
+        } else {
+            AnyMatrix::Coo3(CooTensor::from_triples(&triples))
+        };
+        return convert_to(&lowered, target);
+    }
+    let Some(id) = target.id() else {
+        // A registry (custom) target: assemble through the dynamic
+        // spec-driven driver.
+        let spec = target
+            .spec()
+            .expect("non-stock formats always carry a spec");
+        return Ok(AnyMatrix::Custom(Box::new(generic::convert_with_spec(
+            src, spec,
+        )?)));
+    };
+    if matches!(id, FormatId::Dok) {
+        return Err(ConvertError::UnsupportedTarget(id));
     }
     // Rank-N tensor sources convert among the tensor formats through the
-    // rank-generic kernels; matrix targets cannot represent them. COO3
-    // targets are strictly order-3 (an order-2 CSF unpacks through the
-    // matrix COO path instead), matching the matrix-source rule below.
+    // rank-generic kernels; matrix targets cannot represent order-3
+    // sources, but an *order-2* tensor container (e.g. the DCSR an order-2
+    // matrix packs into CSF as) lowers through canonical triples, so
+    // matrix -> CSF -> matrix round-trips. COO3 targets are strictly
+    // order-3, matching the matrix-source rule below.
     if let AnyMatrix::Coo3(_) | AnyMatrix::Csf(_) = src {
-        if target == FormatId::Coo3 && src.order() != 3 {
+        if src.order() == 2 && !matches!(id, FormatId::Coo3 | FormatId::Csf) {
+            let lowered = AnyMatrix::Coo(CooMatrix::from_triples(&src.to_triples()));
+            return convert_to(&lowered, target);
+        }
+        if id == FormatId::Coo3 && src.order() != 3 {
             return Err(ConvertError::Unsupported(format!(
                 "COO3 targets require an order-3 source, got order-{} {}",
                 src.order(),
                 src.format()
             )));
         }
-        return match (src, target) {
+        return match (src, id) {
             (AnyMatrix::Coo3(t), FormatId::Coo3) => Ok(AnyMatrix::Coo3(engine::tensor_to_coo(t))),
             (AnyMatrix::Coo3(t), FormatId::Csf) => Ok(AnyMatrix::Csf(engine::to_csf(t))),
             (AnyMatrix::Csf(t), FormatId::Coo3) => Ok(AnyMatrix::Coo3(engine::tensor_to_coo(t))),
             (AnyMatrix::Csf(t), FormatId::Csf) => Ok(AnyMatrix::Csf(engine::to_csf(t))),
             _ => Err(ConvertError::Unsupported(format!(
-                "{target} targets cannot represent an order-{} {} source",
+                "{id} targets cannot represent an order-{} {} source",
                 src.order(),
                 src.format()
             ))),
         };
     }
-    Ok(match target {
+    Ok(match id {
         FormatId::Coo => AnyMatrix::Coo(with_source!(src, m => engine::to_coo(m))),
         FormatId::Csr => AnyMatrix::Csr(with_source!(src, m => engine::to_csr(m))),
         FormatId::Csc => AnyMatrix::Csc(with_source!(src, m => engine::to_csc(m))),
@@ -387,55 +470,87 @@ pub fn convert(src: &AnyMatrix, target: FormatId) -> Result<AnyMatrix, ConvertEr
 }
 
 /// Builds the conversion plan that [`convert`] follows for the given source
-/// matrix and target format (for inspection, documentation, and ablation).
+/// tensor and target format (for inspection, documentation, and ablation).
 ///
 /// # Errors
 ///
 /// Returns an error for targets without a coordinate-hierarchy specification
 /// (DOK).
-pub fn plan_for(src: &AnyMatrix, target: FormatId) -> Result<ConversionPlan, ConvertError> {
+pub fn plan_for<F: Into<Format>>(
+    src: &AnyMatrix,
+    target: F,
+) -> Result<ConversionPlan, ConvertError> {
     let rows_in_order = match src {
         // CSF's fiber-tree walk visits roots in ascending order; COO makes no
         // ordering promise.
         AnyMatrix::Coo3(_) => false,
         AnyMatrix::Csf(_) => true,
+        AnyMatrix::Custom(t) => t.spec.iterates_rows_in_order(),
         m => with_source!(m, s => s.rows_in_order()),
     };
-    plan_for_pair_with_order(src.format(), target, rows_in_order)
+    let counts_from_structure = match src {
+        AnyMatrix::Custom(t) => t.spec.counts_from_structure(),
+        _ => src
+            .format()
+            .spec()
+            .is_some_and(FormatSpec::counts_from_structure),
+    };
+    plan_with_props(
+        &src.format(),
+        &target.into(),
+        rows_in_order,
+        counts_from_structure,
+    )
 }
 
-/// Builds the conversion plan for a format *pair*, without a matrix instance:
-/// the per-instance properties are taken from the format's storage invariants
-/// (the same values every stock container reports). This is the planner
-/// entry point conversion services cache on — the plan for a pair never
-/// changes between calls, so it only needs to be built once.
+/// Builds the conversion plan for a format *pair*, without a tensor
+/// instance: the per-instance properties are derived from the formats'
+/// specifications (the same values every stock container reports). This is
+/// the planner entry point conversion services cache on — the plan for a
+/// pair never changes between calls, so it only needs to be built once.
+/// Registry (custom) formats plan exactly like stock ones.
+///
+/// # Errors
+///
+/// Returns an error for targets without a coordinate-hierarchy specification
+/// (DOK).
+pub fn plan_for_formats(source: &Format, target: &Format) -> Result<ConversionPlan, ConvertError> {
+    let (rows_in_order, counts_from_structure) = source.spec().map_or((false, false), |s| {
+        (s.iterates_rows_in_order(), s.counts_from_structure())
+    });
+    plan_with_props(source, target, rows_in_order, counts_from_structure)
+}
+
+/// [`plan_for_formats`] over stock identifiers (transitional convenience).
 ///
 /// # Errors
 ///
 /// Returns an error for targets without a coordinate-hierarchy specification
 /// (DOK).
 pub fn plan_for_pair(source: FormatId, target: FormatId) -> Result<ConversionPlan, ConvertError> {
-    plan_for_pair_with_order(source, target, source.iterates_rows_in_order())
+    plan_for_formats(&source.into(), &target.into())
 }
 
-fn plan_for_pair_with_order(
-    source: FormatId,
-    target: FormatId,
+fn plan_with_props(
+    source: &Format,
+    target: &Format,
     rows_in_order: bool,
+    counts_from_structure: bool,
 ) -> Result<ConversionPlan, ConvertError> {
-    if matches!(target, FormatId::Dok) {
-        return Err(ConvertError::UnsupportedTarget(target));
-    }
-    let source_spec = match source {
-        FormatId::Dok => FormatSpec::stock(FormatId::Coo)?,
-        other => FormatSpec::stock(other)?,
+    let Some(target_spec) = target.spec() else {
+        return Err(ConvertError::UnsupportedTarget(FormatId::Dok));
     };
-    let target_spec = FormatSpec::stock(target)?;
+    // DOK sources are planned through the COO spec (they have no coordinate
+    // hierarchy of their own).
+    let source_spec = match source.spec() {
+        Some(spec) => spec.clone(),
+        None => FormatSpec::stock(FormatId::Coo)?,
+    };
     Ok(ConversionPlan::new(
         &source_spec,
-        &target_spec,
+        target_spec,
         rows_in_order,
-        source.counts_from_structure(),
+        counts_from_structure,
     ))
 }
 
@@ -597,6 +712,16 @@ mod tests {
         assert_eq!(dcsr.format(), FormatId::Csf);
         assert_eq!(dcsr.order(), 2);
         assert!(dcsr.to_triples().same_values(&figure1_matrix()));
+        // An order-2 CSF is a valid *source* for matrix targets too: the
+        // matrix -> CSF -> matrix round-trip closes through triples.
+        let back = convert(&dcsr, FormatId::Csr).unwrap();
+        assert_eq!(back.format(), FormatId::Csr);
+        assert!(back.to_triples().same_values(&figure1_matrix()));
+        assert!(convert(&dcsr, FormatId::Ell).is_ok());
+        assert!(matches!(
+            convert(&dcsr, FormatId::Dok),
+            Err(ConvertError::UnsupportedTarget(FormatId::Dok))
+        ));
         // An order-2 CSF cannot masquerade as COO3 either — the COO3 target
         // is strictly order-3 regardless of the source container.
         assert!(matches!(

@@ -15,6 +15,14 @@ pub enum ConvertError {
     /// not described by a coordinate hierarchy; it is supported only as a
     /// conversion *source*).
     UnsupportedTarget(FormatId),
+    /// The format specification itself is rejected: its level composition or
+    /// remapping cannot be assembled by the dynamic driver (e.g. a banded
+    /// level at the root, or edge insertion under a non-chainable ancestor).
+    /// Builder-made specs surface this instead of panicking mid-assembly.
+    UnsupportedSpec {
+        /// Why the specification was rejected.
+        reason: String,
+    },
     /// The produced data structures failed validation.
     Structure(sparse_tensor::TensorError),
     /// A remapping failed to evaluate.
@@ -35,6 +43,9 @@ impl fmt::Display for ConvertError {
                     "{id} has no coordinate-hierarchy specification and cannot \
                      be a conversion target (it is supported only as a source)"
                 )
+            }
+            ConvertError::UnsupportedSpec { reason } => {
+                write!(f, "unsupported format specification: {reason}")
             }
             ConvertError::Structure(e) => write!(f, "invalid output structure: {e}"),
             ConvertError::Remap(e) => write!(f, "remapping error: {e}"),
@@ -90,5 +101,10 @@ mod tests {
         assert!(ConvertError::UnsupportedTarget(FormatId::Dok)
             .to_string()
             .contains("DOK"));
+        assert!(ConvertError::UnsupportedSpec {
+            reason: "banded level at the root".into()
+        }
+        .to_string()
+        .contains("banded level at the root"));
     }
 }

@@ -1,0 +1,830 @@
+//! Spec-first format handles and the format registry.
+//!
+//! The paper's central abstraction is that a sparse format *is* its
+//! specification: a coordinate remapping plus a per-dimension level
+//! composition (Section 3). [`Format`] makes that the unit of identity for
+//! the whole public API: a cheap, cloneable handle to an interned
+//! [`FormatSpec`] whose equality is the spec *fingerprint* — not membership
+//! in a closed enum. Stock formats are presets in the global
+//! [`FormatRegistry`] (`Format::csr()`, `Format::csf()`, ...); user formats
+//! are built with [`Format::builder`] and become first-class citizens of the
+//! same registry: they convert in both directions, parse back from their
+//! registered name or spec string ([`std::str::FromStr`]), and key plan
+//! caches exactly like the stock set.
+//!
+//! [`FormatId`] remains as a transitional identifier for the stock presets
+//! (every `FormatId` resolves to one registry entry); new code should hold
+//! `Format` handles instead.
+//!
+//! # Spec strings
+//!
+//! [`FromStr`](std::str::FromStr) accepts, in order: a stock name
+//! (`"CSR"`, `"BCSR2x2"`), a registered custom format's name, or a full
+//! four-field spec string `NAME:REMAP:DIMS:LEVELS`:
+//!
+//! ```text
+//! DCSR:(i,j)->(i,j):i,j:compressed,compressed
+//! ```
+//!
+//! which names the format, gives its coordinate remapping (Section 4
+//! notation), the remapped dimension names, and one level kind per remapped
+//! dimension. Parsing a spec string interns the format, so bench binaries
+//! can select *user-defined* formats from the command line.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use coord_remap::Remapping;
+use level_formats::LevelKind;
+
+use crate::convert::FormatId;
+use crate::error::ConvertError;
+use crate::spec::FormatSpec;
+
+/// Fingerprint of the DOK pseudo-entry. DOK has no coordinate-hierarchy
+/// specification (it is a conversion source only), but it still needs a
+/// stable registry identity so `AnyTensor::format()` is total.
+fn dok_fingerprint() -> u64 {
+    // FNV-1a over a tag no rendered spec can produce (spec fingerprints
+    // separate fields with 0xff, and this tag is hashed as a single run).
+    let mut h = 0xcbf29ce484222325u64;
+    for b in "__dok_source_only__".bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[derive(Debug)]
+struct FormatInner {
+    /// Registry name (unique; `Display` form).
+    name: String,
+    /// The stock identifier, when this entry is a stock preset. A
+    /// `OnceLock` so a custom-interned entry can be *upgraded* in place when
+    /// the same spec later arrives through a stock constructor (the upgrade
+    /// is visible through every outstanding handle of the entry).
+    id: OnceLock<FormatId>,
+    /// The interned specification; `None` only for DOK.
+    spec: Option<FormatSpec>,
+    /// The spec fingerprint (identity).
+    fingerprint: u64,
+}
+
+/// A cheap, cloneable handle to an interned format specification.
+///
+/// Equality, ordering into hash maps, and plan-cache keys all use the spec
+/// [fingerprint](FormatSpec::fingerprint): two independently built handles
+/// over equal specs are the *same* format (and in fact the same registry
+/// entry — interning deduplicates). `Display` prints the registered name and
+/// [`FromStr`](std::str::FromStr) parses it back, for stock and custom
+/// formats alike.
+#[derive(Clone)]
+pub struct Format {
+    inner: Arc<FormatInner>,
+}
+
+impl Format {
+    /// The handle for a stock format identifier.
+    ///
+    /// The non-parametric presets are memoised process-wide, so this is an
+    /// `Arc` clone on the hot path (`AnyTensor::format()` calls it per
+    /// conversion); only parametric BCSR shapes go through the registry
+    /// lock.
+    pub fn stock(id: FormatId) -> Format {
+        let index = match id {
+            FormatId::Coo => 0,
+            FormatId::Csr => 1,
+            FormatId::Csc => 2,
+            FormatId::Dia => 3,
+            FormatId::Ell => 4,
+            FormatId::Skyline => 5,
+            FormatId::Jad => 6,
+            FormatId::Dok => 7,
+            FormatId::Coo3 => 8,
+            FormatId::Csf => 9,
+            FormatId::Bcsr { .. } => return FormatRegistry::global().stock(id),
+        };
+        static PRESETS: OnceLock<Vec<Format>> = OnceLock::new();
+        PRESETS.get_or_init(|| {
+            [
+                FormatId::Coo,
+                FormatId::Csr,
+                FormatId::Csc,
+                FormatId::Dia,
+                FormatId::Ell,
+                FormatId::Skyline,
+                FormatId::Jad,
+                FormatId::Dok,
+                FormatId::Coo3,
+                FormatId::Csf,
+            ]
+            .into_iter()
+            .map(|id| FormatRegistry::global().stock(id))
+            .collect()
+        })[index]
+            .clone()
+    }
+
+    /// Coordinate format.
+    pub fn coo() -> Format {
+        Format::stock(FormatId::Coo)
+    }
+
+    /// Compressed sparse row.
+    pub fn csr() -> Format {
+        Format::stock(FormatId::Csr)
+    }
+
+    /// Compressed sparse column.
+    pub fn csc() -> Format {
+        Format::stock(FormatId::Csc)
+    }
+
+    /// Diagonal format.
+    pub fn dia() -> Format {
+        Format::stock(FormatId::Dia)
+    }
+
+    /// ELLPACK format.
+    pub fn ell() -> Format {
+        Format::stock(FormatId::Ell)
+    }
+
+    /// Blocked CSR with the given block shape.
+    pub fn bcsr(block_rows: usize, block_cols: usize) -> Format {
+        Format::stock(FormatId::Bcsr {
+            block_rows,
+            block_cols,
+        })
+    }
+
+    /// Skyline (lower-triangle profile) format.
+    pub fn skyline() -> Format {
+        Format::stock(FormatId::Skyline)
+    }
+
+    /// Jagged diagonal format.
+    pub fn jad() -> Format {
+        Format::stock(FormatId::Jad)
+    }
+
+    /// Dictionary of keys (conversion source only; has no spec).
+    pub fn dok() -> Format {
+        Format::stock(FormatId::Dok)
+    }
+
+    /// Order-3 coordinate format.
+    pub fn coo3() -> Format {
+        Format::stock(FormatId::Coo3)
+    }
+
+    /// Compressed sparse fiber.
+    pub fn csf() -> Format {
+        Format::stock(FormatId::Csf)
+    }
+
+    /// Starts building a user-defined format named `name`; see
+    /// [`FormatBuilder`].
+    pub fn builder(name: &str) -> FormatBuilder {
+        FormatBuilder::new(name)
+    }
+
+    /// Interns an explicit specification and returns its handle (the
+    /// existing handle when an equal spec was interned before).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConvertError::UnsupportedSpec`] when the spec fails
+    /// [`FormatSpec::validate`].
+    pub fn from_spec(spec: FormatSpec) -> Result<Format, ConvertError> {
+        spec.validate()?;
+        Ok(FormatRegistry::global().intern(spec, None))
+    }
+
+    /// Interns a specification that is already known to assemble (e.g. the
+    /// spec carried by an assembled `CustomTensor`), skipping re-validation.
+    /// The spec is only cloned when its fingerprint is not registered yet.
+    pub(crate) fn intern_spec(spec: &FormatSpec) -> Format {
+        let registry = FormatRegistry::global();
+        if let Some(existing) = registry.get_by_fingerprint(spec.fingerprint()) {
+            return existing;
+        }
+        registry.intern(spec.clone(), None)
+    }
+
+    /// The registered (display) name.
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// The stock identifier, when this format is a stock preset.
+    pub fn id(&self) -> Option<FormatId> {
+        self.inner.id.get().copied()
+    }
+
+    /// The format's specification; `None` only for DOK, which has no
+    /// coordinate hierarchy and is supported only as a conversion source.
+    pub fn spec(&self) -> Option<&FormatSpec> {
+        self.inner.spec.as_ref()
+    }
+
+    /// The spec fingerprint this handle's identity rests on.
+    pub fn fingerprint(&self) -> u64 {
+        self.inner.fingerprint
+    }
+
+    /// Order of the canonical tensors the format stores (2 for matrix
+    /// formats, 3 for the stock tensor formats; DOK stores matrices).
+    pub fn order(&self) -> usize {
+        self.spec().map_or(2, FormatSpec::source_order)
+    }
+
+    /// True when both handles point at the same registry entry (interning
+    /// makes this equivalent to fingerprint equality for handles obtained
+    /// from the registry).
+    pub fn same_entry(&self, other: &Format) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+impl fmt::Debug for Format {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Format")
+            .field("name", &self.inner.name)
+            .field("id", &self.id())
+            .field("fingerprint", &self.inner.fingerprint)
+            .finish()
+    }
+}
+
+impl fmt::Display for Format {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.inner.name)
+    }
+}
+
+impl PartialEq for Format {
+    fn eq(&self, other: &Self) -> bool {
+        self.inner.fingerprint == other.inner.fingerprint
+    }
+}
+
+impl Eq for Format {}
+
+impl Hash for Format {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.inner.fingerprint.hash(state);
+    }
+}
+
+impl PartialEq<FormatId> for Format {
+    fn eq(&self, other: &FormatId) -> bool {
+        self.inner.fingerprint == Format::stock(*other).fingerprint()
+    }
+}
+
+impl PartialEq<Format> for FormatId {
+    fn eq(&self, other: &Format) -> bool {
+        other == self
+    }
+}
+
+impl From<FormatId> for Format {
+    fn from(id: FormatId) -> Format {
+        Format::stock(id)
+    }
+}
+
+impl From<&Format> for Format {
+    fn from(f: &Format) -> Format {
+        f.clone()
+    }
+}
+
+/// Error returned when a string resolves to no [`Format`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseFormatError(String);
+
+impl fmt::Display for ParseFormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown format `{}`: not a stock name (COO, CSR, ..., \
+             BCSR<rows>x<cols>), not a registered custom format, and not a \
+             spec string `NAME:REMAP:DIMS:LEVELS` (e.g. \
+             `DCSR:(i,j)->(i,j):i,j:compressed,compressed`)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseFormatError {}
+
+impl std::str::FromStr for Format {
+    type Err = ParseFormatError;
+
+    /// Resolves a stock name, a registered custom format name, or a full
+    /// spec string (which interns the format); see the module docs.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        if let Ok(id) = s.parse::<FormatId>() {
+            return Ok(Format::stock(id));
+        }
+        if let Some(found) = FormatRegistry::global().get(s) {
+            return Ok(found);
+        }
+        if s.contains(':') {
+            return parse_spec_string(s).map_err(|detail| {
+                ParseFormatError(format!("{s} (spec string rejected: {detail})"))
+            });
+        }
+        Err(ParseFormatError(s.to_string()))
+    }
+}
+
+fn parse_spec_string(s: &str) -> Result<Format, String> {
+    let fields: Vec<&str> = s.split(':').collect();
+    let [name, remap, dims, levels] = fields.as_slice() else {
+        return Err(format!(
+            "expected 4 `:`-separated fields (NAME:REMAP:DIMS:LEVELS), got {}",
+            fields.len()
+        ));
+    };
+    if name.trim().is_empty() {
+        return Err("empty format name".to_string());
+    }
+    let mut builder = Format::builder(name.trim())
+        .remap_str(remap)
+        .map_err(|e| e.to_string())?;
+    for dim in dims.split(',') {
+        builder = builder.dim(dim.trim());
+    }
+    for level in levels.split(',') {
+        let kind: LevelKind = level.parse().map_err(|e| format!("{e}"))?;
+        builder = builder.level(kind);
+    }
+    builder.build().map_err(|e| e.to_string())
+}
+
+/// Composes a user-defined [`Format`]: a coordinate remapping, the remapped
+/// dimension names, and one level kind per remapped dimension (Section 3's
+/// complete format specification). `build` validates the composition and
+/// interns it in the global [`FormatRegistry`].
+///
+/// ```
+/// use sparse_conv::prelude::*;
+///
+/// let dcsr = Format::builder("DCSR-doc")
+///     .remap_str("(i,j) -> (i,j)")?
+///     .dims(["i", "j"])
+///     .levels([LevelKind::Compressed, LevelKind::Compressed])
+///     .build()?;
+/// assert_eq!(dcsr.name(), "DCSR-doc");
+/// assert!(dcsr.id().is_none(), "not a stock preset");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FormatBuilder {
+    name: String,
+    remapping: Option<Remapping>,
+    dims: Vec<String>,
+    levels: Vec<LevelKind>,
+}
+
+impl FormatBuilder {
+    fn new(name: &str) -> Self {
+        FormatBuilder {
+            name: name.to_string(),
+            remapping: None,
+            dims: Vec::new(),
+            levels: Vec::new(),
+        }
+    }
+
+    /// Sets the coordinate remapping.
+    pub fn remapping(mut self, remapping: Remapping) -> Self {
+        self.remapping = Some(remapping);
+        self
+    }
+
+    /// Parses and sets the coordinate remapping from Section 4 notation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the remapping parser's error.
+    pub fn remap_str(self, s: &str) -> Result<Self, coord_remap::RemapError> {
+        Ok(self.remapping(coord_remap::parse_remapping(s)?))
+    }
+
+    /// Appends one remapped dimension name (outer to inner).
+    pub fn dim(mut self, name: &str) -> Self {
+        self.dims.push(name.to_string());
+        self
+    }
+
+    /// Sets all remapped dimension names at once (outer to inner).
+    pub fn dims<'a>(mut self, names: impl IntoIterator<Item = &'a str>) -> Self {
+        self.dims = names.into_iter().map(str::to_string).collect();
+        self
+    }
+
+    /// Appends one level kind (outer to inner).
+    pub fn level(mut self, kind: LevelKind) -> Self {
+        self.levels.push(kind);
+        self
+    }
+
+    /// Sets all level kinds at once (outer to inner).
+    pub fn levels(mut self, kinds: impl IntoIterator<Item = LevelKind>) -> Self {
+        self.levels = kinds.into_iter().collect();
+        self
+    }
+
+    /// Validates the composition and interns the format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConvertError::UnsupportedSpec`] when the remapping is
+    /// missing, the dimension or level counts do not match the remapping's
+    /// destination order, or the level composition fails
+    /// [`FormatSpec::validate`].
+    pub fn build(self) -> Result<Format, ConvertError> {
+        let reject = |reason: String| Err(ConvertError::UnsupportedSpec { reason });
+        let Some(remapping) = self.remapping else {
+            return reject(format!(
+                "format {}: no coordinate remapping given",
+                self.name
+            ));
+        };
+        if self.dims.len() != remapping.dest_order() {
+            return reject(format!(
+                "format {}: {} dimension name(s) for a remapping of \
+                 destination order {}",
+                self.name,
+                self.dims.len(),
+                remapping.dest_order()
+            ));
+        }
+        if self.levels.len() != remapping.dest_order() {
+            return reject(format!(
+                "format {}: {} level kind(s) for a remapping of destination \
+                 order {}",
+                self.name,
+                self.levels.len(),
+                remapping.dest_order()
+            ));
+        }
+        let spec = FormatSpec::new(
+            &self.name,
+            remapping,
+            self.dims.iter().map(String::as_str).collect(),
+            self.levels,
+        );
+        Format::from_spec(spec)
+    }
+}
+
+struct RegistryInner {
+    by_fingerprint: HashMap<u64, Format>,
+    by_name: HashMap<String, u64>,
+}
+
+/// The process-wide intern table of format specifications.
+///
+/// Every [`Format`] handle points into this registry: interning deduplicates
+/// by spec fingerprint, and each entry gets a stable unique name (the spec's
+/// own name, suffixed with a fingerprint prefix on collision) so
+/// `Display`/`FromStr` round-trip for custom formats exactly like stock
+/// ones. The stock presets are registered eagerly under their `FormatId`
+/// display names.
+pub struct FormatRegistry {
+    inner: Mutex<RegistryInner>,
+}
+
+impl FormatRegistry {
+    /// The global registry.
+    pub fn global() -> &'static FormatRegistry {
+        static REGISTRY: OnceLock<FormatRegistry> = OnceLock::new();
+        REGISTRY.get_or_init(|| {
+            let registry = FormatRegistry {
+                inner: Mutex::new(RegistryInner {
+                    by_fingerprint: HashMap::new(),
+                    by_name: HashMap::new(),
+                }),
+            };
+            // Register the non-parametric stock presets eagerly so builder
+            // specs that happen to equal one resolve to the stock entry (and
+            // its engine fast path) from the start. BCSR's block shapes are
+            // unbounded and intern lazily.
+            for id in [
+                FormatId::Coo,
+                FormatId::Csr,
+                FormatId::Csc,
+                FormatId::Dia,
+                FormatId::Ell,
+                FormatId::Skyline,
+                FormatId::Jad,
+                FormatId::Dok,
+                FormatId::Coo3,
+                FormatId::Csf,
+            ] {
+                registry.stock(id);
+            }
+            registry
+        })
+    }
+
+    /// The handle of a stock preset, registering it on first use.
+    pub fn stock(&self, id: FormatId) -> Format {
+        if matches!(id, FormatId::Dok) {
+            let mut inner = self.inner.lock().unwrap();
+            return Self::entry(&mut inner, dok_fingerprint(), None, Some(id), "DOK");
+        }
+        let spec = FormatSpec::stock(id).expect("every non-DOK stock id has a spec");
+        let mut inner = self.inner.lock().unwrap();
+        Self::entry(
+            &mut inner,
+            spec.fingerprint(),
+            Some(spec),
+            Some(id),
+            &id.to_string(),
+        )
+    }
+
+    /// Interns a specification, returning the existing handle when an equal
+    /// spec (same fingerprint) is already registered. `id` tags stock
+    /// presets; an already-registered custom entry is upgraded in place when
+    /// the same spec later arrives through a stock constructor.
+    fn intern(&self, spec: FormatSpec, id: Option<FormatId>) -> Format {
+        let fingerprint = spec.fingerprint();
+        let name = spec.name.clone();
+        let mut inner = self.inner.lock().unwrap();
+        Self::entry(&mut inner, fingerprint, Some(spec), id, &name)
+    }
+
+    fn entry(
+        inner: &mut RegistryInner,
+        fingerprint: u64,
+        spec: Option<FormatSpec>,
+        id: Option<FormatId>,
+        preferred_name: &str,
+    ) -> Format {
+        if let Some(existing) = inner.by_fingerprint.get(&fingerprint) {
+            // Upgrade: when the same spec arrives through a stock
+            // constructor after being interned as a custom format, attach
+            // the id in place — every outstanding handle of the entry sees
+            // it (the name stays as first published).
+            if let Some(id) = id {
+                let _ = existing.inner.id.set(id);
+            }
+            return existing.clone();
+        }
+        // Pick a stable unique name: the preferred name, or — when another
+        // fingerprint already claimed it — the name suffixed with this
+        // fingerprint's leading hex digits.
+        let name = match inner.by_name.get(preferred_name) {
+            None => preferred_name.to_string(),
+            Some(&fp) if fp == fingerprint => preferred_name.to_string(),
+            Some(_) => format!("{preferred_name}#{:08x}", (fingerprint >> 32) as u32),
+        };
+        let stock_id = OnceLock::new();
+        if let Some(id) = id {
+            let _ = stock_id.set(id);
+        }
+        let format = Format {
+            inner: Arc::new(FormatInner {
+                name: name.clone(),
+                id: stock_id,
+                spec,
+                fingerprint,
+            }),
+        };
+        inner.by_fingerprint.insert(fingerprint, format.clone());
+        inner.by_name.insert(name, fingerprint);
+        format
+    }
+
+    /// Looks a format up by its registered name.
+    pub fn get(&self, name: &str) -> Option<Format> {
+        let inner = self.inner.lock().unwrap();
+        let fp = inner.by_name.get(name)?;
+        inner.by_fingerprint.get(fp).cloned()
+    }
+
+    /// Looks a format up by its spec fingerprint.
+    pub fn get_by_fingerprint(&self, fingerprint: u64) -> Option<Format> {
+        self.inner
+            .lock()
+            .unwrap()
+            .by_fingerprint
+            .get(&fingerprint)
+            .cloned()
+    }
+
+    /// Number of registered formats.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().by_fingerprint.len()
+    }
+
+    /// True when nothing is registered (never the case for the global
+    /// registry, which pre-registers the stock presets).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The registered names, sorted (stock presets included).
+    pub fn names(&self) -> Vec<String> {
+        let inner = self.inner.lock().unwrap();
+        let mut names: Vec<String> = inner.by_name.keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+impl fmt::Debug for FormatRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FormatRegistry")
+            .field("formats", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stock_handles_compare_to_their_ids() {
+        assert_eq!(Format::csr(), FormatId::Csr);
+        assert_eq!(FormatId::Csr, Format::csr());
+        assert_ne!(Format::csr(), FormatId::Csc);
+        assert_eq!(
+            Format::bcsr(2, 3),
+            FormatId::Bcsr {
+                block_rows: 2,
+                block_cols: 3
+            }
+        );
+        assert_eq!(Format::csr().to_string(), "CSR");
+        assert_eq!(Format::bcsr(2, 3).to_string(), "BCSR2x3");
+        assert_eq!(Format::csr().id(), Some(FormatId::Csr));
+        assert_eq!(Format::csr().order(), 2);
+        assert_eq!(Format::csf().order(), 3);
+        assert!(Format::csr().spec().is_some());
+    }
+
+    #[test]
+    fn dok_has_a_handle_but_no_spec() {
+        let dok = Format::dok();
+        assert_eq!(dok.id(), Some(FormatId::Dok));
+        assert!(dok.spec().is_none());
+        assert_eq!(dok.to_string(), "DOK");
+        assert_eq!("DOK".parse::<Format>().unwrap(), dok);
+        assert_ne!(dok, Format::coo());
+    }
+
+    #[test]
+    fn stock_names_parse_back_to_the_same_handle() {
+        for (name, format) in [
+            ("COO", Format::coo()),
+            ("csr", Format::csr()),
+            ("CSC", Format::csc()),
+            ("DIA", Format::dia()),
+            ("ELL", Format::ell()),
+            ("BCSR4x2", Format::bcsr(4, 2)),
+            ("SKY", Format::skyline()),
+            ("JAD", Format::jad()),
+            ("COO3", Format::coo3()),
+            ("CSF", Format::csf()),
+        ] {
+            let parsed: Format = name.parse().unwrap();
+            assert_eq!(parsed, format, "{name}");
+            assert!(parsed.same_entry(&format), "{name}");
+        }
+    }
+
+    #[test]
+    fn equal_builder_specs_intern_to_the_same_entry() {
+        let build = || {
+            Format::builder("REG-TEST-DCSR")
+                .remap_str("(i,j) -> (i,j)")
+                .unwrap()
+                .dims(["i", "j"])
+                .levels([LevelKind::Compressed, LevelKind::Compressed])
+                .build()
+                .unwrap()
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(a, b);
+        assert!(a.same_entry(&b), "interning deduplicates");
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert!(a.id().is_none());
+        // Display/FromStr round-trips through the registry.
+        let parsed: Format = a.to_string().parse().unwrap();
+        assert!(parsed.same_entry(&a));
+    }
+
+    #[test]
+    fn builder_spec_equal_to_a_stock_preset_is_the_stock_entry() {
+        // CSR's stock spec, rebuilt by hand: same fingerprint, so the
+        // registry hands back the stock entry with its id and fast path.
+        let rebuilt = Format::builder("CSR")
+            .remapping(coord_remap::stock::row_major_matrix())
+            .dims(["i", "j"])
+            .levels([LevelKind::Dense, LevelKind::Compressed])
+            .build()
+            .unwrap();
+        assert!(rebuilt.same_entry(&Format::csr()));
+        assert_eq!(rebuilt.id(), Some(FormatId::Csr));
+    }
+
+    #[test]
+    fn name_collisions_get_fingerprint_suffixes() {
+        let first = Format::builder("REG-TEST-COLLIDE")
+            .remap_str("(i,j) -> (i,j)")
+            .unwrap()
+            .dims(["i", "j"])
+            .levels([LevelKind::Dense, LevelKind::Hashed])
+            .build()
+            .unwrap();
+        let second = Format::builder("REG-TEST-COLLIDE")
+            .remap_str("(i,j) -> (j,i)")
+            .unwrap()
+            .dims(["j", "i"])
+            .levels([LevelKind::Dense, LevelKind::Hashed])
+            .build()
+            .unwrap();
+        assert_ne!(first, second);
+        assert_eq!(first.to_string(), "REG-TEST-COLLIDE");
+        assert!(second.to_string().starts_with("REG-TEST-COLLIDE#"));
+        // Both names resolve back to their own entries.
+        let p1: Format = first.to_string().parse().unwrap();
+        let p2: Format = second.to_string().parse().unwrap();
+        assert!(p1.same_entry(&first));
+        assert!(p2.same_entry(&second));
+    }
+
+    #[test]
+    fn spec_strings_parse_and_intern() {
+        let parsed: Format = "REG-TEST-SPECSTR:(i,j)->(j,i):jj,ii:dense,compressed"
+            .parse()
+            .unwrap();
+        assert_eq!(parsed.name(), "REG-TEST-SPECSTR");
+        let spec = parsed.spec().unwrap();
+        assert_eq!(spec.dim_names, vec!["jj", "ii"]);
+        assert_eq!(spec.levels, vec![LevelKind::Dense, LevelKind::Compressed]);
+        // Parsing the registered name afterwards resolves the same entry.
+        let by_name: Format = "REG-TEST-SPECSTR".parse().unwrap();
+        assert!(by_name.same_entry(&parsed));
+        // Malformed spec strings report what went wrong.
+        let err = "X:(i,j)->(i,j):i,j:dense".parse::<Format>().unwrap_err();
+        assert!(err.to_string().contains("level"), "{err}");
+        let err = "X:(i,j)->(i,j):i:j:dense,dense"
+            .parse::<Format>()
+            .unwrap_err();
+        assert!(err.to_string().contains("4"), "{err}");
+        assert!("NOSUCHFMT".parse::<Format>().is_err());
+    }
+
+    #[test]
+    fn builder_rejects_incomplete_and_invalid_compositions() {
+        let no_remap = Format::builder("REG-TEST-EMPTY").build();
+        assert!(matches!(
+            no_remap,
+            Err(ConvertError::UnsupportedSpec { .. })
+        ));
+        let wrong_dims = Format::builder("REG-TEST-DIMS")
+            .remap_str("(i,j) -> (i,j)")
+            .unwrap()
+            .dim("i")
+            .levels([LevelKind::Dense, LevelKind::Compressed])
+            .build();
+        assert!(matches!(
+            wrong_dims,
+            Err(ConvertError::UnsupportedSpec { .. })
+        ));
+        let banded_root = Format::builder("REG-TEST-BANDROOT")
+            .remap_str("(i,j) -> (i,j)")
+            .unwrap()
+            .dims(["i", "j"])
+            .levels([LevelKind::Banded, LevelKind::Dense])
+            .build();
+        assert!(matches!(
+            banded_root,
+            Err(ConvertError::UnsupportedSpec { .. })
+        ));
+    }
+
+    #[test]
+    fn registry_lists_names() {
+        let names = FormatRegistry::global().names();
+        assert!(names.iter().any(|n| n == "CSR"));
+        assert!(names.iter().any(|n| n == "DOK"));
+        assert!(!FormatRegistry::global().is_empty());
+        assert!(FormatRegistry::global().len() >= 10);
+        let dbg = format!("{:?}", FormatRegistry::global());
+        assert!(dbg.contains("FormatRegistry"));
+    }
+}

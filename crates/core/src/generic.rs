@@ -68,6 +68,11 @@ pub enum LevelOutput {
 }
 
 /// A tensor assembled from a [`FormatSpec`] by the dynamic converter.
+///
+/// A `CustomTensor` is a full citizen of the conversion stack: it can be
+/// read *back* ([`CustomTensor::to_triples`] walks the assembled levels and
+/// inverts the remapping), which is what makes user-defined formats valid
+/// conversion **sources** as well as targets.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CustomTensor {
     /// The format specification the tensor was assembled for.
@@ -78,7 +83,152 @@ pub struct CustomTensor {
     pub vals: Vec<Value>,
     /// The canonical (source) tensor shape.
     pub source_shape: Shape,
+    /// Static bounds of each remapped dimension (the bounds assembly used;
+    /// needed to read dense levels back, whose lower bound — e.g. DIA's
+    /// negative offsets — is not recoverable from the extent alone).
+    pub bounds: Vec<DimBounds>,
+    /// Number of canonical nonzeros stored (padding excluded).
+    pub nnz: usize,
 }
+
+impl CustomTensor {
+    /// The canonical (source) tensor shape.
+    pub fn shape(&self) -> &Shape {
+        &self.source_shape
+    }
+
+    /// The tensor's canonical order.
+    pub fn order(&self) -> usize {
+        self.source_shape.order()
+    }
+
+    /// Number of canonical nonzeros stored (padding excluded).
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// Reads the tensor back into canonical triples by walking the
+    /// assembled levels (enumerating every storage coordinate tuple) and
+    /// inverting the spec's coordinate remapping. Positions holding padding
+    /// zeros are skipped for compositions with padded levels (dense, sliced,
+    /// banded), mirroring the stock structured sources.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConvertError::UnsupportedSpec`] when the remapping is not
+    /// invertible (see [`coord_remap::Remapping::inverter`]); such formats
+    /// are conversion targets only.
+    pub fn to_triples(&self) -> Result<sparse_tensor::SparseTriples, ConvertError> {
+        let inverter =
+            self.spec
+                .remapping
+                .inverter()
+                .ok_or_else(|| ConvertError::UnsupportedSpec {
+                    reason: format!(
+                        "format {}: the remapping {} is not invertible, so the \
+                     assembled tensor cannot be read back as a conversion \
+                     source",
+                        self.spec.name, self.spec.remapping
+                    ),
+                })?;
+        // Padded level kinds store explicit zeros; every other composition
+        // stores nonzeros only, so a stored zero is a genuine value.
+        let skip_zeros = self.levels.iter().any(|l| {
+            matches!(
+                l,
+                LevelOutput::Dense { .. } | LevelOutput::Sliced { .. } | LevelOutput::Banded { .. }
+            )
+        });
+        // Group each hashed level's interned pairs by parent once, so the
+        // walk is linear instead of rescanning the whole pair list per
+        // parent position.
+        let hashed_groups: HashedGroups = self
+            .levels
+            .iter()
+            .map(|l| match l {
+                LevelOutput::Hashed { coords } => {
+                    let mut groups: HashMap<usize, Vec<(usize, i64)>> = HashMap::new();
+                    for (idx, &(parent, coord)) in coords.iter().enumerate() {
+                        groups.entry(parent).or_default().push((idx, coord));
+                    }
+                    Some(groups)
+                }
+                _ => None,
+            })
+            .collect();
+        let mut out =
+            sparse_tensor::SparseTriples::with_capacity(self.source_shape.clone(), self.nnz);
+        let mut prefix: Vec<i64> = Vec::with_capacity(self.levels.len());
+        self.walk_level(0, 0, &hashed_groups, &mut prefix, &mut |pos, coords| {
+            let value = self.vals.get(pos).copied().unwrap_or(0.0);
+            if skip_zeros && value == 0.0 {
+                return Ok(());
+            }
+            out.push(inverter.apply(coords), value)?;
+            Ok(())
+        })?;
+        Ok(out)
+    }
+
+    /// Visits every storage coordinate tuple under `parent_pos` at level
+    /// `k`, depth first. `hashed_groups[k]` holds level `k`'s interned pairs
+    /// grouped by parent when the level is hashed.
+    fn walk_level(
+        &self,
+        k: usize,
+        parent_pos: usize,
+        hashed_groups: &HashedGroups,
+        prefix: &mut Vec<i64>,
+        visit: &mut LevelVisitor<'_>,
+    ) -> Result<(), ConvertError> {
+        let children: Vec<(usize, i64)> = match &self.levels[k] {
+            LevelOutput::Dense { extent } => (0..*extent)
+                .map(|off| (parent_pos * extent + off, self.bounds[k].lower + off as i64))
+                .collect(),
+            LevelOutput::Sliced { slices } => (0..*slices)
+                .map(|off| (parent_pos * slices + off, off as i64))
+                .collect(),
+            LevelOutput::Compressed { pos, crd } => (pos[parent_pos]..pos[parent_pos + 1])
+                .map(|p| (p, crd[p]))
+                .collect(),
+            LevelOutput::Singleton { crd } => vec![(parent_pos, crd[parent_pos])],
+            LevelOutput::Squeezed { perm } => perm
+                .iter()
+                .enumerate()
+                .map(|(idx, &c)| (parent_pos * perm.len() + idx, c))
+                .collect(),
+            LevelOutput::Banded { pos, first } => (0..pos[parent_pos + 1] - pos[parent_pos])
+                .map(|off| (pos[parent_pos] + off, (first[parent_pos] + off) as i64))
+                .collect(),
+            LevelOutput::Hashed { .. } => hashed_groups[k]
+                .as_ref()
+                .expect("hashed levels are grouped before the walk")
+                .get(&parent_pos)
+                .cloned()
+                .unwrap_or_default(),
+        };
+        let last = k + 1 == self.levels.len();
+        for (pos, coord) in children {
+            prefix.push(coord);
+            if last {
+                visit(pos, prefix)?;
+            } else {
+                self.walk_level(k + 1, pos, hashed_groups, prefix, visit)?;
+            }
+            prefix.pop();
+        }
+        Ok(())
+    }
+}
+
+/// Callback of [`CustomTensor::walk_level`]: receives each leaf position and
+/// the full storage coordinate tuple leading to it.
+type LevelVisitor<'a> = dyn FnMut(usize, &[i64]) -> Result<(), ConvertError> + 'a;
+
+/// Per-level hashed-entry grouping used by [`CustomTensor::walk_level`]:
+/// `Some` for hashed levels, mapping each parent position to its interned
+/// `(position, coordinate)` pairs.
+type HashedGroups = Vec<Option<HashMap<usize, Vec<(usize, i64)>>>>;
 
 /// A level assembler of any kind, dispatched by enumeration (so that the
 /// assembled data can be recovered without downcasting).
@@ -236,7 +386,8 @@ pub fn make_assembler(kind: LevelKind, bounds: DimBounds) -> AnyLevel {
 /// is not an ordered chain of dense/compressed levels (the one grouping the
 /// dynamic driver can reconstruct by sorting, as in CSF).
 pub fn convert_with_spec(src: &AnyMatrix, spec: &FormatSpec) -> Result<CustomTensor, ConvertError> {
-    let triples = src.to_triples();
+    spec.validate()?;
+    let triples = src.try_to_triples()?;
     let shape = src.shape();
     if shape.order() != spec.remapping.source_order() {
         return Err(ConvertError::Unsupported(format!(
@@ -324,11 +475,15 @@ pub fn convert_with_spec(src: &AnyMatrix, spec: &FormatSpec) -> Result<CustomTen
                 )
             });
             if k > 0 && !ancestors_full && !ancestors_chainable {
-                return Err(ConvertError::Unsupported(format!(
-                    "level {k} ({}) needs edge insertion under a non-full, \
-                     non-unique ancestor",
-                    spec.levels[k]
-                )));
+                // Unreachable after `spec.validate()`; kept as
+                // defense-in-depth for specs constructed around it.
+                return Err(ConvertError::UnsupportedSpec {
+                    reason: format!(
+                        "level {k} ({}) needs edge insertion under a \
+                         non-full, non-unique ancestor",
+                        spec.levels[k]
+                    ),
+                });
             }
             let parents = if ancestors_full {
                 enumerate_full_positions(&bounds[..k])
@@ -405,6 +560,8 @@ pub fn convert_with_spec(src: &AnyMatrix, spec: &FormatSpec) -> Result<CustomTen
         levels,
         vals,
         source_shape: shape,
+        bounds,
+        nnz: remapped.triples.len(),
     })
 }
 

@@ -18,21 +18,38 @@
 //!   routines and C-like listings structurally comparable to Figure 6.
 //! * [`generic`] — a fully dynamic converter driven by [`FormatSpec`]s and
 //!   trait objects, used for user-defined custom formats.
+//! * [`format`](mod@format) — the spec-first public surface: [`Format`]
+//!   handles interned in the [`FormatRegistry`], with [`Format::builder`]
+//!   for user-defined formats.
 //! * [`convert`](mod@convert) — the public entry points ([`convert`](convert::convert),
-//!   [`AnyMatrix`], [`FormatId`]).
+//!   [`AnyTensor`]).
 //!
 //! # Quickstart
 //!
 //! ```
-//! use sparse_conv::{convert::{convert, AnyMatrix, FormatId}};
+//! use sparse_conv::prelude::*;
 //! use sparse_formats::CooMatrix;
 //! use sparse_tensor::example::figure1_matrix;
 //!
-//! let coo = AnyMatrix::Coo(CooMatrix::from_triples(&figure1_matrix()));
-//! let dia = convert(&coo, FormatId::Dia)?;
-//! assert_eq!(dia.format(), FormatId::Dia);
+//! let coo = AnyTensor::Coo(CooMatrix::from_triples(&figure1_matrix()));
+//!
+//! // Stock formats are registry presets with `Format` constructors...
+//! let dia = convert(&coo, Format::dia())?;
+//! assert_eq!(dia.format(), Format::dia());
 //! assert!(dia.to_triples().same_values(&figure1_matrix()));
-//! # Ok::<(), sparse_conv::ConvertError>(())
+//!
+//! // ...and user-defined formats, built from a spec alone, convert in both
+//! // directions through exactly the same entry point.
+//! let dcsr = Format::builder("DCSR-quickstart")
+//!     .remap_str("(i,j) -> (i,j)")?
+//!     .dims(["i", "j"])
+//!     .levels([LevelKind::Compressed, LevelKind::Compressed])
+//!     .build()?;
+//! let packed = convert(&coo, &dcsr)?;
+//! assert_eq!(packed.format(), dcsr);
+//! let back = convert(&packed, Format::csr())?;
+//! assert!(back.to_triples().same_values(&figure1_matrix()));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
 #![warn(missing_docs)]
@@ -41,13 +58,30 @@ pub mod codegen;
 pub mod convert;
 pub mod engine;
 pub mod error;
+pub mod format;
 pub mod generic;
 pub mod plan;
 pub mod source;
 pub mod spec;
 
-pub use convert::{convert, AnyMatrix, AnyTensor, FormatId};
+pub use convert::{convert, plan_for_formats, AnyMatrix, AnyTensor, FormatId};
 pub use error::ConvertError;
+pub use format::{Format, FormatBuilder, FormatRegistry, ParseFormatError};
 pub use plan::ConversionPlan;
 pub use source::{MatrixAsTensor, SourceMatrix, SourceTensor};
 pub use spec::FormatSpec;
+
+/// One-stop import of the spec-first public surface.
+///
+/// ```
+/// use sparse_conv::prelude::*;
+/// ```
+pub mod prelude {
+    pub use crate::convert::{convert, plan_for, plan_for_formats, AnyMatrix, AnyTensor, FormatId};
+    pub use crate::error::ConvertError;
+    pub use crate::format::{Format, FormatBuilder, FormatRegistry};
+    pub use crate::spec::FormatSpec;
+    // The vocabulary user-defined specs are composed from.
+    pub use coord_remap::{parse_remapping, Remapping};
+    pub use level_formats::LevelKind;
+}

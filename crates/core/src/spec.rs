@@ -93,6 +93,98 @@ impl FormatSpec {
         self.remapping.has_counter()
     }
 
+    /// Checks that the dynamic driver can assemble this level composition,
+    /// rejecting the shapes that would otherwise panic or silently lose data
+    /// mid-assembly. Stock specs always validate; builder-made specs surface
+    /// [`ConvertError::UnsupportedSpec`] here instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConvertError::UnsupportedSpec`] when:
+    ///
+    /// * a banded level sits at the root (its position arithmetic needs the
+    ///   parent dimension's coordinate),
+    /// * a singleton level sits at the root (one coordinate per parent
+    ///   position means a single-position root collapses every nonzero),
+    /// * an edge-insertion level (compressed, compressed-nonunique, banded)
+    ///   sits under an ancestor chain that is neither all-full (dense,
+    ///   sliced) nor an ordered unique chain (dense, sliced, compressed) —
+    ///   the only two parent enumerations the driver implements.
+    pub fn validate(&self) -> Result<(), ConvertError> {
+        let reject = |reason: String| Err(ConvertError::UnsupportedSpec { reason });
+        for (k, kind) in self.levels.iter().enumerate() {
+            match kind {
+                LevelKind::Banded if k == 0 => {
+                    return reject(format!(
+                        "format {}: a banded level cannot be the root level \
+                         (it addresses positions relative to its parent \
+                         dimension's coordinate)",
+                        self.name
+                    ));
+                }
+                LevelKind::Singleton if k == 0 => {
+                    return reject(format!(
+                        "format {}: a singleton level cannot be the root \
+                         level (it stores one coordinate per parent position, \
+                         and the root has a single position)",
+                        self.name
+                    ));
+                }
+                LevelKind::Compressed | LevelKind::CompressedNonUnique | LevelKind::Banded
+                    if k > 0 =>
+                {
+                    let ancestors_full = self.levels[..k]
+                        .iter()
+                        .all(|a| matches!(a, LevelKind::Dense | LevelKind::Sliced));
+                    let ancestors_chainable = self.levels[..k].iter().all(|a| {
+                        matches!(
+                            a,
+                            LevelKind::Dense | LevelKind::Sliced | LevelKind::Compressed
+                        )
+                    });
+                    if !ancestors_full && !ancestors_chainable {
+                        return reject(format!(
+                            "format {}: level {k} ({kind}) needs edge \
+                             insertion, but its ancestors are not all full \
+                             (dense/sliced) nor an ordered unique chain \
+                             (dense/sliced/compressed)",
+                            self.name
+                        ));
+                    }
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// True when the format's storage groups nonzeros by the outermost
+    /// canonical dimension and iterates it in ascending order — derived from
+    /// the specification alone: the remapping must be the identity and every
+    /// level an ordered, unique chain kind (dense, compressed, banded). This
+    /// is the spec-level counterpart of
+    /// [`FormatId::iterates_rows_in_order`](crate::convert::FormatId::iterates_rows_in_order)
+    /// and agrees with it on every stock format; the planner consults it for
+    /// registry (custom) formats.
+    pub fn iterates_rows_in_order(&self) -> bool {
+        self.remapping.is_identity()
+            && self.levels.iter().all(|k| {
+                matches!(
+                    k,
+                    LevelKind::Dense | LevelKind::Compressed | LevelKind::Banded
+                )
+            })
+    }
+
+    /// True when per-row nonzero counts can be read off the format's
+    /// structure without touching nonzeros (the optimised `count` query of
+    /// Section 5.2). Exactly the formats of
+    /// [`FormatSpec::iterates_rows_in_order`]: an identity-remapped ordered
+    /// chain has a root-level `pos` array to difference.
+    pub fn counts_from_structure(&self) -> bool {
+        self.iterates_rows_in_order()
+    }
+
     /// A structural fingerprint of the specification: two specs that render
     /// the same remapping, dimension names, and level composition hash
     /// equally. Plan caches key on this so a *re-specified* format (e.g. a
@@ -161,7 +253,10 @@ impl FormatSpec {
                 block_rows,
                 block_cols,
             } => FormatSpec::new(
-                "BCSR",
+                // The block shape is part of the name (and so of the
+                // fingerprint and registry name): BCSR2x2 and BCSR4x4 are
+                // different formats.
+                &format!("BCSR{block_rows}x{block_cols}"),
                 stock::bcsr_with_blocks(block_rows, block_cols),
                 vec!["bi", "bj", "li", "lj"],
                 vec![
@@ -306,6 +401,93 @@ mod tests {
             FormatSpec::stock(FormatId::Dok),
             Err(ConvertError::UnsupportedTarget(FormatId::Dok))
         );
+    }
+
+    #[test]
+    fn spec_derived_planner_properties_agree_with_format_ids() {
+        for id in [
+            FormatId::Coo,
+            FormatId::Csr,
+            FormatId::Csc,
+            FormatId::Dia,
+            FormatId::Ell,
+            FormatId::Bcsr {
+                block_rows: 2,
+                block_cols: 2,
+            },
+            FormatId::Skyline,
+            FormatId::Jad,
+            FormatId::Coo3,
+            FormatId::Csf,
+        ] {
+            let spec = FormatSpec::stock(id).unwrap();
+            assert_eq!(
+                spec.iterates_rows_in_order(),
+                id.iterates_rows_in_order(),
+                "{id}"
+            );
+            assert_eq!(
+                spec.counts_from_structure(),
+                id.counts_from_structure(),
+                "{id}"
+            );
+            assert!(spec.validate().is_ok(), "{id}");
+        }
+    }
+
+    #[test]
+    fn banded_root_is_rejected() {
+        let spec = FormatSpec::new(
+            "BAD-BANDED",
+            Remapping::identity(2),
+            vec!["i", "j"],
+            vec![LevelKind::Banded, LevelKind::Dense],
+        );
+        assert!(matches!(
+            spec.validate(),
+            Err(ConvertError::UnsupportedSpec { .. })
+        ));
+    }
+
+    #[test]
+    fn singleton_root_is_rejected() {
+        let spec = FormatSpec::new(
+            "BAD-SINGLETON",
+            Remapping::identity(2),
+            vec!["i", "j"],
+            vec![LevelKind::Singleton, LevelKind::Singleton],
+        );
+        assert!(matches!(
+            spec.validate(),
+            Err(ConvertError::UnsupportedSpec { .. })
+        ));
+    }
+
+    #[test]
+    fn edge_insertion_under_non_chainable_ancestor_is_rejected() {
+        // A compressed level under a hashed ancestor: the driver can neither
+        // enumerate full positions nor sorted coordinate prefixes.
+        let spec = FormatSpec::new(
+            "BAD-CHAIN",
+            Remapping::identity(2),
+            vec!["i", "j"],
+            vec![LevelKind::Hashed, LevelKind::Compressed],
+        );
+        let err = spec.validate().unwrap_err();
+        assert!(matches!(err, ConvertError::UnsupportedSpec { .. }));
+        assert!(err.to_string().contains("edge insertion"), "{err}");
+        // A banded level under a compressed-nonunique ancestor is equally
+        // unassemblable (the ancestor is not unique).
+        let spec = FormatSpec::new(
+            "BAD-BAND-CHAIN",
+            Remapping::identity(2),
+            vec!["i", "j"],
+            vec![LevelKind::CompressedNonUnique, LevelKind::Banded],
+        );
+        assert!(matches!(
+            spec.validate(),
+            Err(ConvertError::UnsupportedSpec { .. })
+        ));
     }
 
     #[test]

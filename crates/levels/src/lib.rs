@@ -39,7 +39,7 @@ pub use banded::BandedLevel;
 pub use compressed::CompressedLevel;
 pub use dense::DenseLevel;
 pub use hashed::HashedLevel;
-pub use properties::{LevelKind, LevelProperties};
+pub use properties::{LevelKind, LevelProperties, ParseLevelKindError};
 pub use singleton::SingletonLevel;
 pub use sliced::SlicedLevel;
 pub use squeezed::SqueezedLevel;

@@ -46,6 +46,45 @@ impl fmt::Display for LevelKind {
     }
 }
 
+/// Error returned when a level name does not parse as a [`LevelKind`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseLevelKindError(pub String);
+
+impl fmt::Display for ParseLevelKindError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown level kind `{}` (expected dense, compressed, \
+             compressed-nonunique, singleton, sliced, squeezed, banded, or \
+             hashed)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseLevelKindError {}
+
+impl std::str::FromStr for LevelKind {
+    type Err = ParseLevelKindError;
+
+    /// Parses the names the `Display` impl emits (case-insensitive), so every
+    /// kind round-trips through its `Display` form. Used by the format
+    /// registry's spec-string notation (`dense,compressed,...`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "dense" => Ok(LevelKind::Dense),
+            "compressed" => Ok(LevelKind::Compressed),
+            "compressed-nonunique" | "compressed_nonunique" => Ok(LevelKind::CompressedNonUnique),
+            "singleton" => Ok(LevelKind::Singleton),
+            "sliced" => Ok(LevelKind::Sliced),
+            "squeezed" => Ok(LevelKind::Squeezed),
+            "banded" => Ok(LevelKind::Banded),
+            "hashed" => Ok(LevelKind::Hashed),
+            _ => Err(ParseLevelKindError(s.to_string())),
+        }
+    }
+}
+
 /// Properties of a level format, following Chou et al. (2018) plus the
 /// explicit-zeros property this paper adds for the `simplify-width-count`
 /// transformation (Table 1).
@@ -100,6 +139,26 @@ mod tests {
         assert_eq!(LevelKind::Dense.to_string(), "dense");
         assert_eq!(LevelKind::Squeezed.to_string(), "squeezed");
         assert_eq!(LevelKind::Hashed.to_string(), "hashed");
+    }
+
+    #[test]
+    fn level_kinds_round_trip_through_display_and_from_str() {
+        for kind in [
+            LevelKind::Dense,
+            LevelKind::Compressed,
+            LevelKind::CompressedNonUnique,
+            LevelKind::Singleton,
+            LevelKind::Sliced,
+            LevelKind::Squeezed,
+            LevelKind::Banded,
+            LevelKind::Hashed,
+        ] {
+            let rendered = kind.to_string();
+            assert_eq!(rendered.parse::<LevelKind>().unwrap(), kind, "{rendered}");
+            assert_eq!(rendered.to_uppercase().parse::<LevelKind>().unwrap(), kind);
+        }
+        let err = "diagonal".parse::<LevelKind>().unwrap_err();
+        assert!(err.to_string().contains("diagonal"));
     }
 
     #[test]

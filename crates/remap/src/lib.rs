@@ -32,6 +32,7 @@ pub mod ast;
 pub mod bounds;
 pub mod error;
 pub mod eval;
+pub mod invert;
 pub mod parser;
 pub mod stock;
 pub mod token;
@@ -40,4 +41,5 @@ pub use ast::{BinOp, DstIndex, IndexExpr, Remapping};
 pub use bounds::{infer_bounds, BoundsEnv};
 pub use error::RemapError;
 pub use eval::{CounterState, EvalContext, RemappedTriples};
+pub use invert::Inverter;
 pub use parser::parse_remapping;

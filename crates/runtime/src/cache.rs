@@ -2,43 +2,41 @@
 //!
 //! The paper's generator pays its specialisation cost once per format pair
 //! and amortises it over every subsequent conversion; [`PlanCache`] gives the
-//! runtime the same property. Plans are keyed by `(source, target, spec
-//! fingerprint)` — the fingerprint (see
-//! [`FormatSpec::fingerprint`](sparse_conv::FormatSpec::fingerprint)) records
-//! the rendered specification text the plan was built from. Today every
-//! `FormatId` maps to one stock spec, so the fingerprint is determined by the
-//! pair; it is part of the key so that persisted or cross-version keys stop
-//! matching the moment a stock specification's text changes, and so
-//! user-supplied specs can join the same keyspace later without conflating
-//! entries.
+//! runtime the same property. Plans are keyed by the *format handles* of the
+//! pair — i.e. by spec fingerprint (see
+//! [`FormatSpec::fingerprint`](sparse_conv::FormatSpec::fingerprint)), the
+//! identity of the spec-first API. Registry (user-defined) formats therefore
+//! share the cache with the stock presets: the second conversion to a
+//! builder-made format is a plan hit, exactly like CSR. Keying on the
+//! fingerprint also means persisted or cross-version keys stop matching the
+//! moment a specification's text changes.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use sparse_conv::convert::{plan_for_pair, FormatId};
-use sparse_conv::{ConversionPlan, ConvertError, FormatSpec};
+use sparse_conv::convert::plan_for_formats;
+use sparse_conv::{ConversionPlan, ConvertError, Format};
 
 /// The planning function a [`PlanCache`] memoises. Injectable so tests (and
 /// alternative planners) can count or replace planning work.
-pub type Planner = dyn Fn(FormatId, FormatId) -> Result<ConversionPlan, ConvertError> + Send + Sync;
+pub type Planner = dyn Fn(&Format, &Format) -> Result<ConversionPlan, ConvertError> + Send + Sync;
 
-/// Cache key: one plan per (source format, target format, spec fingerprint).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// Cache key: one plan per (source format, target format) pair of handles.
+/// [`Format`] equality and hashing are fingerprint-based, so the key space
+/// is the space of spec pairs — stock and registry formats alike.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct PlanKey {
-    /// Source format.
-    pub source: FormatId,
-    /// Target format.
-    pub target: FormatId,
-    /// Combined fingerprint of the source and target [`FormatSpec`]s.
-    pub spec_fingerprint: u64,
+    /// Source format handle.
+    pub source: Format,
+    /// Target format handle.
+    pub target: Format,
 }
 
 /// A thread-safe, memoising front end to the conversion planner.
 pub struct PlanCache {
     planner: Box<Planner>,
     plans: Mutex<HashMap<PlanKey, Arc<ConversionPlan>>>,
-    fingerprints: Mutex<HashMap<FormatId, u64>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -51,9 +49,9 @@ impl Default for PlanCache {
 
 impl PlanCache {
     /// A cache over the stock planner
-    /// ([`plan_for_pair`]).
+    /// ([`plan_for_formats`]).
     pub fn new() -> Self {
-        Self::with_planner(Box::new(plan_for_pair))
+        Self::with_planner(Box::new(|s: &Format, t: &Format| plan_for_formats(s, t)))
     }
 
     /// A cache over a custom planning function; `planner` runs at most once
@@ -62,45 +60,22 @@ impl PlanCache {
         PlanCache {
             planner,
             plans: Mutex::new(HashMap::new()),
-            fingerprints: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
     }
 
-    /// The cache key for a pair: DOK sources are planned through the COO
-    /// spec (they have no coordinate hierarchy of their own), matching
-    /// [`plan_for_pair`].
-    ///
-    /// # Errors
-    ///
-    /// Returns [`ConvertError::UnsupportedTarget`] for DOK targets.
-    pub fn key_for(&self, source: FormatId, target: FormatId) -> Result<PlanKey, ConvertError> {
-        let spec_source = match source {
-            FormatId::Dok => FormatId::Coo,
-            other => other,
-        };
-        // One lock acquisition covers both lookups on the hot path.
-        let mut memo = self.fingerprints.lock().unwrap();
-        let fp_source = Self::fingerprint_of(&mut memo, spec_source)?;
-        let fp_target = Self::fingerprint_of(&mut memo, target)?;
-        Ok(PlanKey {
-            source,
-            target,
-            spec_fingerprint: fp_source.rotate_left(17) ^ fp_target,
-        })
-    }
-
-    fn fingerprint_of(
-        memo: &mut HashMap<FormatId, u64>,
-        id: FormatId,
-    ) -> Result<u64, ConvertError> {
-        if let Some(&fp) = memo.get(&id) {
-            return Ok(fp);
+    /// The cache key for a pair of formats (any combination of stock
+    /// identifiers and registry handles).
+    pub fn key_for<S, T>(&self, source: S, target: T) -> PlanKey
+    where
+        S: Into<Format>,
+        T: Into<Format>,
+    {
+        PlanKey {
+            source: source.into(),
+            target: target.into(),
         }
-        let fp = FormatSpec::stock(id)?.fingerprint();
-        memo.insert(id, fp);
-        Ok(fp)
     }
 
     /// The plan for a pair, building it through the planner only on the
@@ -109,19 +84,19 @@ impl PlanCache {
     /// # Errors
     ///
     /// Propagates planner errors (e.g. DOK targets); errors are not cached.
-    pub fn plan(
-        &self,
-        source: FormatId,
-        target: FormatId,
-    ) -> Result<Arc<ConversionPlan>, ConvertError> {
-        let key = self.key_for(source, target)?;
+    pub fn plan<S, T>(&self, source: S, target: T) -> Result<Arc<ConversionPlan>, ConvertError>
+    where
+        S: Into<Format>,
+        T: Into<Format>,
+    {
+        let key = self.key_for(source, target);
         if let Some(plan) = self.plans.lock().unwrap().get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(Arc::clone(plan));
         }
         // Plan outside the lock: planning is pure and an occasional duplicate
         // build on a race is cheaper than holding the map across it.
-        let plan = Arc::new((self.planner)(source, target)?);
+        let plan = Arc::new((self.planner)(&key.source, &key.target)?);
         self.misses.fetch_add(1, Ordering::Relaxed);
         self.plans
             .lock()
@@ -171,15 +146,17 @@ impl std::fmt::Debug for PlanCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sparse_conv::convert::FormatId;
+    use sparse_conv::prelude::LevelKind;
     use std::sync::atomic::AtomicUsize;
 
     #[test]
     fn second_request_for_a_pair_plans_nothing() {
         let built = Arc::new(AtomicUsize::new(0));
         let counter = Arc::clone(&built);
-        let cache = PlanCache::with_planner(Box::new(move |s, t| {
+        let cache = PlanCache::with_planner(Box::new(move |s: &Format, t: &Format| {
             counter.fetch_add(1, Ordering::SeqCst);
-            plan_for_pair(s, t)
+            plan_for_formats(s, t)
         }));
         let first = cache.plan(FormatId::Coo, FormatId::Csr).unwrap();
         assert_eq!(built.load(Ordering::SeqCst), 1);
@@ -189,6 +166,11 @@ mod tests {
         assert_eq!(built.load(Ordering::SeqCst), 1, "no re-planning");
         assert_eq!((cache.hits(), cache.misses()), (1, 1));
         assert_eq!(*first, *second);
+        // Handle-keyed requests share entries with id-keyed ones: the key is
+        // the fingerprint, not the spelling.
+        let third = cache.plan(Format::coo(), Format::csr()).unwrap();
+        assert_eq!(built.load(Ordering::SeqCst), 1);
+        assert_eq!(*third, *second);
     }
 
     #[test]
@@ -219,6 +201,28 @@ mod tests {
         cache.clear();
         assert!(cache.is_empty());
         assert_eq!(cache.misses(), 4, "counters survive clear");
+    }
+
+    #[test]
+    fn registry_formats_share_the_cache_with_stock_presets() {
+        let cache = PlanCache::new();
+        let custom = Format::builder("CACHE-TEST-DCSR")
+            .remap_str("(i,j) -> (i,j)")
+            .unwrap()
+            .dims(["i", "j"])
+            .levels([LevelKind::Compressed, LevelKind::Compressed])
+            .build()
+            .unwrap();
+        let plan = cache.plan(FormatId::Coo, &custom).unwrap();
+        assert_eq!(plan.target, "CACHE-TEST-DCSR");
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        // Second request for the same custom target: a hit.
+        cache.plan(FormatId::Coo, &custom).unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        // Custom sources plan too.
+        let back = cache.plan(&custom, FormatId::Csr).unwrap();
+        assert_eq!(back.source, "CACHE-TEST-DCSR");
+        assert_eq!(cache.len(), 2);
     }
 
     #[test]

@@ -6,8 +6,10 @@
 //! reproduction at execution time:
 //!
 //! * [`cache::PlanCache`] memoises [`ConversionPlan`](sparse_conv::ConversionPlan)s
-//!   per `(source, target, spec fingerprint)` so planning happens once per
-//!   pair, not once per call;
+//!   per pair of [`Format`](sparse_conv::Format) handles (i.e. per pair of
+//!   spec fingerprints) so planning happens once per pair, not once per
+//!   call — for registry (user-defined) formats exactly like the stock
+//!   presets;
 //! * [`kernels`] are outer-range–partitioned parallel versions of the hot
 //!   conversion paths (COO→CSR via per-chunk histograms merged by prefix
 //!   sum, CSR→CSC transpose, CSR→BCSR, and the root-fiber-partitioned

@@ -23,7 +23,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use sparse_conv::convert::{AnyMatrix, FormatId};
-use sparse_conv::{engine, ConversionPlan, ConvertError};
+use sparse_conv::{engine, ConversionPlan, ConvertError, Format};
 
 use crate::cache::PlanCache;
 use crate::kernels;
@@ -139,27 +139,37 @@ impl ConversionService {
     }
 
     /// Builds (and caches) the plans for every pair in `pairs`, so a later
-    /// traffic burst pays no planning cost.
+    /// traffic burst pays no planning cost. Pairs are anything resolving to
+    /// [`Format`] handles — stock identifiers or registry (custom) formats.
     ///
     /// # Errors
     ///
     /// Returns the first planning error (e.g. a DOK target).
-    pub fn warm_up(&self, pairs: &[(FormatId, FormatId)]) -> Result<(), ConvertError> {
-        for &(source, target) in pairs {
-            self.cache.plan(source, target)?;
+    pub fn warm_up<F>(&self, pairs: &[(F, F)]) -> Result<(), ConvertError>
+    where
+        F: Clone + Into<Format>,
+    {
+        for (source, target) in pairs {
+            self.cache.plan(source.clone(), target.clone())?;
         }
         Ok(())
     }
 
-    /// Converts one matrix, with cached planning, cost-model routing, and
-    /// parallel kernels for the hot pairs.
+    /// Converts one tensor, with cached planning, cost-model routing, and
+    /// parallel kernels for the hot pairs. The target is anything resolving
+    /// to a [`Format`] — registry (custom) formats get plan caching and
+    /// routing exactly like the stock presets.
     ///
     /// # Errors
     ///
     /// Returns an error when the target cannot represent the input or has no
     /// coordinate-hierarchy specification (DOK).
-    pub fn convert(&self, src: &AnyMatrix, target: FormatId) -> Result<AnyMatrix, ConvertError> {
-        self.convert_inner(src, target, true)
+    pub fn convert<F: Into<Format>>(
+        &self,
+        src: &AnyMatrix,
+        target: F,
+    ) -> Result<AnyMatrix, ConvertError> {
+        self.convert_inner(src, &target.into(), true)
     }
 
     /// The route [`ConversionService::convert`] would take for this source
@@ -168,29 +178,34 @@ impl ConversionService {
     /// # Errors
     ///
     /// Propagates planning errors.
-    pub fn route_for(&self, src: &AnyMatrix, target: FormatId) -> Result<Route, ConvertError> {
-        let plan = self.cache.plan(src.format(), target)?;
-        self.choose_route(src, target, &plan)
+    pub fn route_for<F: Into<Format>>(
+        &self,
+        src: &AnyMatrix,
+        target: F,
+    ) -> Result<Route, ConvertError> {
+        let target = target.into();
+        let plan = self.cache.plan(src.format(), &target)?;
+        self.choose_route(src, &target, &plan)
     }
 
     /// Converts a batch of independent jobs across the worker pool,
     /// returning one result per job in submission order. Planning is shared
     /// through the cache; each job executes sequentially inside its worker
     /// (the batch is the parallel axis).
-    pub fn convert_batch(
-        &self,
-        jobs: &[(AnyMatrix, FormatId)],
-    ) -> Vec<Result<AnyMatrix, ConvertError>> {
+    pub fn convert_batch<F>(&self, jobs: &[(AnyMatrix, F)]) -> Vec<Result<AnyMatrix, ConvertError>>
+    where
+        F: Clone + Into<Format> + Sync,
+    {
         self.counters
             .batch_jobs
             .fetch_add(jobs.len() as u64, Ordering::Relaxed);
         // Warm the cache up front so workers race on conversions, not plans.
         for (src, target) in jobs {
-            let _ = self.cache.plan(src.format(), *target);
+            let _ = self.cache.plan(src.format(), target.clone());
         }
         self.pool.run(jobs.len(), |i| {
             let (src, target) = &jobs[i];
-            self.convert_inner(src, *target, false)
+            self.convert_inner(src, &target.clone().into(), false)
         })
     }
 
@@ -211,7 +226,7 @@ impl ConversionService {
     fn convert_inner(
         &self,
         src: &AnyMatrix,
-        target: FormatId,
+        target: &Format,
         allow_parallel: bool,
     ) -> Result<AnyMatrix, ConvertError> {
         let plan = self.cache.plan(src.format(), target)?;
@@ -242,6 +257,7 @@ impl ConversionService {
             AnyMatrix::Ell(m) => m.values().len(),
             AnyMatrix::Bcsr(m) => m.values().len(),
             AnyMatrix::Skyline(m) => m.values().len(),
+            AnyMatrix::Custom(t) => t.vals.len(),
             other => other.nnz(),
         }
     }
@@ -249,12 +265,12 @@ impl ConversionService {
     fn choose_route(
         &self,
         src: &AnyMatrix,
-        target: FormatId,
+        target: &Format,
         plan: &ConversionPlan,
     ) -> Result<Route, ConvertError> {
         let stored = Self::stored_entries(src);
         let nnz = src.nnz();
-        if stored <= nnz || matches!(target, FormatId::Coo) || nnz == 0 {
+        if stored <= nnz || target.id() == Some(FormatId::Coo) || nnz == 0 {
             return Ok(Route::Direct);
         }
         // Every pass of the direct plan re-scans the padded storage; the
@@ -277,19 +293,19 @@ impl ConversionService {
     fn execute(
         &self,
         src: &AnyMatrix,
-        target: FormatId,
+        target: &Format,
         allow_parallel: bool,
     ) -> Result<AnyMatrix, ConvertError> {
         let threads = self.config.threads;
         if self.parallel_worthwhile(src.nnz(), allow_parallel) {
-            match (src, target) {
-                (AnyMatrix::Coo(m), FormatId::Csr) => {
+            match (src, target.id()) {
+                (AnyMatrix::Coo(m), Some(FormatId::Csr)) => {
                     self.counters
                         .parallel_kernels
                         .fetch_add(1, Ordering::Relaxed);
                     return Ok(AnyMatrix::Csr(kernels::coo_to_csr(m, threads)));
                 }
-                (AnyMatrix::Csr(m), FormatId::Csc) => {
+                (AnyMatrix::Csr(m), Some(FormatId::Csc)) => {
                     self.counters
                         .parallel_kernels
                         .fetch_add(1, Ordering::Relaxed);
@@ -297,10 +313,10 @@ impl ConversionService {
                 }
                 (
                     AnyMatrix::Csr(m),
-                    FormatId::Bcsr {
+                    Some(FormatId::Bcsr {
                         block_rows,
                         block_cols,
-                    },
+                    }),
                 ) => {
                     self.counters
                         .parallel_kernels
@@ -309,7 +325,7 @@ impl ConversionService {
                         m, block_rows, block_cols, threads,
                     )));
                 }
-                (AnyMatrix::Coo3(t), FormatId::Csf) => {
+                (AnyMatrix::Coo3(t), Some(FormatId::Csf)) => {
                     self.counters
                         .parallel_kernels
                         .fetch_add(1, Ordering::Relaxed);

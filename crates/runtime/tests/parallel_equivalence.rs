@@ -190,7 +190,7 @@ fn plan_cache_never_replans_a_warm_pair() {
     let counter = std::sync::Arc::clone(&planned);
     let cache = PlanCache::with_planner(Box::new(move |s, t| {
         counter.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
-        sparse_conv::convert::plan_for_pair(s, t)
+        sparse_conv::convert::plan_for_formats(s, t)
     }));
     let pairs = [
         (FormatId::Coo, FormatId::Csr),

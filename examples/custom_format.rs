@@ -1,81 +1,111 @@
-//! Defining a *custom* target format from scratch — the extensibility story
-//! of Section 3: a user supplies only (1) a coordinate remapping, (2) the
-//! level format of each remapped dimension, and the system assembles the new
-//! format without any per-pair conversion code.
+//! Defining a *custom* format from scratch — the extensibility story of
+//! Section 3: a user supplies only (1) a coordinate remapping and (2) the
+//! level format of each remapped dimension, and the system derives the
+//! attribute queries and assembles conversions without any per-pair code.
 //!
-//! Here we define a 2x2-blocked format whose blocks are interned in a hash
-//! level (a DOK-of-dense-blocks layout), plus a banded skyline format, and
-//! convert the same matrix into both.
+//! With the spec-first API the custom format is a first-class [`Format`]:
+//! built once with `Format::builder()`, it converts in **both** directions
+//! through the same `convert` entry point as the stock presets, parses back
+//! from its registered name, and gets plan caching in the conversion
+//! service.
 //!
 //! Run with `cargo run --example custom_format`.
 
-use taco_conversion_repro::conv::convert::{AnyMatrix, FormatId};
-use taco_conversion_repro::conv::generic::{convert_with_spec, LevelOutput};
-use taco_conversion_repro::conv::spec::FormatSpec;
-use taco_conversion_repro::formats::CsrMatrix;
-use taco_conversion_repro::levels::LevelKind;
-use taco_conversion_repro::remap::parse_remapping;
-use taco_conversion_repro::tensor::SparseTriples;
+use taco_conversion_repro::conv::prelude::*;
+use taco_conversion_repro::formats::CooMatrix;
+use taco_conversion_repro::runtime::{ConversionService, ServiceConfig};
+use taco_conversion_repro::tensor::example::figure1_matrix;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let triples = SparseTriples::from_matrix_entries(
-        8,
-        8,
-        vec![
-            (0, 0, 1.0),
-            (0, 1, 2.0),
-            (1, 0, 3.0),
-            (2, 2, 4.0),
-            (3, 3, 5.0),
-            (4, 0, 6.0),
-            (5, 5, 7.0),
-            (6, 6, 8.0),
-            (7, 6, 9.0),
-            (7, 7, 10.0),
-        ],
-    )?;
-    let src = AnyMatrix::Csr(CsrMatrix::from_triples(&triples));
+    let triples = figure1_matrix();
+    let coo = AnyTensor::Coo(CooMatrix::from_triples(&triples));
 
-    // A custom blocked format: 2x2 tiles, tiles interned in a hash level,
-    // tile contents dense. The remapping is written in coordinate remapping
-    // notation exactly as a user of the paper's system would write it.
-    let remapping = parse_remapping("(i,j) -> (i/2,j/2,i%2,j%2)")?;
-    let blocked = FormatSpec::new(
-        "DOK-of-blocks",
-        remapping,
-        vec!["bi", "bj", "li", "lj"],
-        vec![
-            LevelKind::Dense,
-            LevelKind::Hashed,
-            LevelKind::Dense,
-            LevelKind::Dense,
-        ],
-    );
-    let tensor = convert_with_spec(&src, &blocked)?;
-    println!("custom format `{}`:", tensor.spec.name);
+    // A DCSR-like format (doubly compressed sparse rows): both dimensions
+    // compressed, so empty rows cost nothing. It is NOT in the stock set —
+    // it exists only as this specification.
+    let dcsr = Format::builder("DCSR")
+        .remap_str("(i,j) -> (i,j)")?
+        .dims(["i", "j"])
+        .levels([LevelKind::Compressed, LevelKind::Compressed])
+        .build()?;
     println!(
-        "  required queries: {:?}",
-        blocked
-            .required_queries()
+        "registered custom format `{dcsr}` (fingerprint {:016x})",
+        dcsr.fingerprint()
+    );
+    let spec = dcsr.spec().expect("builder formats carry their spec");
+    println!(
+        "  derived attribute queries: {:?}",
+        spec.required_queries()
             .iter()
             .map(|q| q.to_string())
             .collect::<Vec<_>>()
     );
-    if let LevelOutput::Hashed { coords } = &tensor.levels[1] {
-        println!("  {} nonzero 2x2 blocks interned", coords.len());
+
+    // Convert the Figure 1 matrix INTO the custom format...
+    let packed = convert(&coo, &dcsr)?;
+    println!("\nFigure 1 matrix packed into {}:", packed.format());
+    if let AnyTensor::Custom(t) = &packed {
+        for (k, level) in t.levels.iter().enumerate() {
+            println!("  level {k}: {level:?}");
+        }
+        println!("  vals: {:?}", t.vals);
     }
+
+    // ...and back OUT: a builder format is a valid conversion *source*.
+    let back = convert(&packed, Format::csr())?;
+    assert!(back.to_triples().same_values(&triples));
     println!(
-        "  {} stored values ({} nonzero)",
-        tensor.vals.len(),
-        tensor.vals.iter().filter(|&&v| v != 0.0).count()
+        "\nround-trip through CSR preserves all {} nonzeros",
+        back.nnz()
     );
 
-    // The stock skyline spec works through exactly the same machinery.
-    let sky = FormatSpec::stock(FormatId::Skyline)?;
-    let tensor = convert_with_spec(&src, &sky)?;
-    if let LevelOutput::Banded { pos, first } = &tensor.levels[1] {
-        println!("\nskyline format: row runs {pos:?}");
-        println!("  first stored column per row: {first:?}");
+    // The registered name parses back to the same format, so CLI tools (the
+    // table2/table4 bench binaries) can select it like any stock name.
+    let reparsed: Format = "DCSR".parse()?;
+    assert_eq!(reparsed, dcsr);
+
+    // The conversion service caches plans for custom formats exactly like
+    // stock ones: the second conversion is a plan hit.
+    let service = ConversionService::new(ServiceConfig::with_threads(2));
+    service.convert(&coo, &dcsr)?;
+    service.convert(&coo, &dcsr)?;
+    let stats = service.stats();
+    assert_eq!(stats.plan_misses, 1);
+    assert_eq!(stats.plan_hits, 1);
+    println!(
+        "service: {} conversions, {} plan miss, {} plan hit (plans are cached per spec fingerprint)",
+        stats.conversions, stats.plan_misses, stats.plan_hits
+    );
+
+    // A second custom format, from the same machinery: a banded profile
+    // format (dense rows, banded columns) defined via a spec string — the
+    // form the bench binaries accept on the command line.
+    let banded: Format = "BANDED:(i,j)->(i,j):i,j:dense,banded".parse()?;
+    let lower = taco_conversion_repro::tensor::SparseTriples::from_matrix_entries(
+        4,
+        4,
+        vec![
+            (0, 0, 1.0),
+            (1, 1, 2.0),
+            (2, 0, 3.0),
+            (2, 2, 4.0),
+            (3, 2, 5.0),
+            (3, 3, 6.0),
+        ],
+    )?;
+    let src = AnyTensor::Coo(CooMatrix::from_triples(&lower));
+    let profile = convert(&src, &banded)?;
+    println!("\nlower-triangular matrix in custom `{banded}`:");
+    if let AnyTensor::Custom(t) = &profile {
+        for (k, level) in t.levels.iter().enumerate() {
+            println!("  level {k}: {level:?}");
+        }
     }
+    let back = convert(&profile, Format::coo())?;
+    assert!(back.to_triples().same_values(&lower));
+    println!(
+        "round-trip through COO preserves all {} nonzeros",
+        back.nnz()
+    );
     Ok(())
 }

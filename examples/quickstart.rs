@@ -3,7 +3,7 @@
 //!
 //! Run with `cargo run --example quickstart`.
 
-use taco_conversion_repro::conv::convert::{convert, plan_for, AnyMatrix, FormatId};
+use taco_conversion_repro::conv::prelude::*;
 use taco_conversion_repro::formats::CooMatrix;
 use taco_conversion_repro::tensor::SparseTriples;
 
@@ -27,11 +27,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             (5, 0, 0.5),
         ],
     )?;
-    let coo = AnyMatrix::Coo(CooMatrix::from_triples(&triples));
+    let coo = AnyTensor::Coo(CooMatrix::from_triples(&triples));
 
-    // Convert to the formats evaluated in the paper.
-    for target in [FormatId::Csr, FormatId::Csc, FormatId::Dia, FormatId::Ell] {
-        let converted = convert(&coo, target)?;
+    // Convert to the formats evaluated in the paper. Stock formats are
+    // registry presets with `Format` constructors.
+    for target in [Format::csr(), Format::csc(), Format::dia(), Format::ell()] {
+        let converted = convert(&coo, &target)?;
         println!(
             "converted {} -> {}: {} stored nonzeros",
             coo.format(),
@@ -42,7 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Inspect the decisions the planner makes for COO -> ELL.
-    let plan = plan_for(&coo, FormatId::Ell)?;
+    let plan = plan_for(&coo, Format::ell())?;
     println!("\n{plan}");
     Ok(())
 }

@@ -6,6 +6,7 @@ use proptest::prelude::*;
 
 use taco_conversion_repro::conv::convert::{convert, AnyMatrix, FormatId};
 use taco_conversion_repro::conv::engine;
+use taco_conversion_repro::conv::prelude::{Format, LevelKind};
 use taco_conversion_repro::formats::{baselines, CooMatrix, CsrMatrix, DokMatrix};
 use taco_conversion_repro::tensor::{MatrixStats, SparseTriples};
 
@@ -123,14 +124,90 @@ proptest! {
                 AnyMatrix::Skyline(m) => engine::spmv_fingerprint(m),
                 AnyMatrix::Jad(m) => engine::spmv_fingerprint(m),
                 AnyMatrix::Dok(m) => engine::spmv_fingerprint(m),
-                AnyMatrix::Coo3(_) | AnyMatrix::Csf(_) => {
-                    unreachable!("all_sources builds order-2 containers only")
+                AnyMatrix::Coo3(_) | AnyMatrix::Csf(_) | AnyMatrix::Custom(_) => {
+                    unreachable!("all_sources builds order-2 stock containers only")
                 }
             };
             for (a, b) in reference.iter().zip(&fingerprint) {
                 prop_assert!((a - b).abs() < 1e-9, "{}: {} vs {}", format, a, b);
             }
         }
+    }
+
+    /// Spec identity: two independently built specs with equal fingerprints
+    /// are the *same* `Format` in the registry — the same handle, the same
+    /// entry — regardless of which block shape parametrises them.
+    #[test]
+    fn equal_fingerprints_are_the_same_registry_format((br, bc) in (1usize..6, 1usize..6)) {
+        let build = || {
+            Format::builder(&format!("BCSR{br}x{bc}"))
+                .remapping(taco_conversion_repro::remap::stock::bcsr_with_blocks(br, bc))
+                .dims(["bi", "bj", "li", "lj"])
+                .levels([
+                    LevelKind::Dense,
+                    LevelKind::Compressed,
+                    LevelKind::Dense,
+                    LevelKind::Dense,
+                ])
+                .build()
+                .expect("the stock BCSR composition validates")
+        };
+        let a = build();
+        let b = build();
+        prop_assert_eq!(a.fingerprint(), b.fingerprint());
+        prop_assert_eq!(&a, &b);
+        prop_assert!(a.same_entry(&b), "interning deduplicates equal specs");
+        // The rebuilt spec *is* the stock preset: same fingerprint, so the
+        // registry resolves it to the BCSR entry with its stock identity.
+        let stock = Format::bcsr(br, bc);
+        prop_assert_eq!(&a, &stock);
+        prop_assert!(a.same_entry(&stock));
+        prop_assert_eq!(a.id(), Some(FormatId::Bcsr { block_rows: br, block_cols: bc }));
+    }
+
+    /// Custom-format round-trip: stock → custom → stock preserves the
+    /// triples, for a DCSR-like builder format that exists in no enum.
+    #[test]
+    fn stock_to_custom_to_stock_preserves_triples(t in arb_matrix()) {
+        let dcsr = Format::builder("ROUNDTRIP-DCSR")
+            .remap_str("(i,j) -> (i,j)").expect("remapping parses")
+            .dims(["i", "j"])
+            .levels([LevelKind::Compressed, LevelKind::Compressed])
+            .build()
+            .expect("DCSR composition validates");
+        for src in all_sources(&t) {
+            let packed = convert(&src, &dcsr).expect("stock -> custom");
+            prop_assert_eq!(packed.format(), dcsr.clone());
+            prop_assert_eq!(packed.nnz(), t.nnz());
+            prop_assert!(
+                packed.to_triples().same_values(&t),
+                "{} -> custom lost values",
+                src.format()
+            );
+            let back = convert(&packed, FormatId::Csr).expect("custom -> stock");
+            prop_assert!(back.to_triples().same_values(&t), "round-trip lost values");
+            // Bit-identical to converting the lex-sorted input directly (the
+            // custom read-back walks its compressed levels in sorted order).
+            let sorted = AnyMatrix::Coo(CooMatrix::from_triples(&t.sorted()));
+            let direct = convert(&sorted, FormatId::Csr).expect("direct conversion");
+            prop_assert_eq!(back, direct);
+        }
+        // Custom -> custom round-trips too (through the read-back lowering).
+        let blocked = Format::builder("ROUNDTRIP-BLOCKHASH")
+            .remap_str("(i,j) -> (i/2,j/2,i%2,j%2)").expect("remapping parses")
+            .dims(["bi", "bj", "li", "lj"])
+            .levels([
+                LevelKind::Dense,
+                LevelKind::Hashed,
+                LevelKind::Dense,
+                LevelKind::Dense,
+            ])
+            .build()
+            .expect("blocked composition validates");
+        let packed = convert(&AnyMatrix::Coo(CooMatrix::from_triples(&t)), &dcsr)
+            .expect("stock -> custom");
+        let reblocked = convert(&packed, &blocked).expect("custom -> custom");
+        prop_assert!(reblocked.to_triples().same_values(&t));
     }
 
     /// Matrix statistics (Table 2 columns) are invariant under conversion.

@@ -93,3 +93,59 @@ fn service_rejects_dok_targets_like_the_engine() {
     assert!(service.convert(&src, FormatId::Dok).is_err());
     assert!(convert(&src, FormatId::Dok).is_err());
 }
+
+#[test]
+fn custom_formats_get_plan_caching_and_round_trip_through_the_service() {
+    use taco_conversion_repro::conv::prelude::{Format, LevelKind};
+
+    // A user-defined format never named in any enum: doubly compressed rows.
+    let dcsr = Format::builder("SERVICE-TEST-DCSR")
+        .remap_str("(i,j) -> (i,j)")
+        .unwrap()
+        .dims(["i", "j"])
+        .levels([LevelKind::Compressed, LevelKind::Compressed])
+        .build()
+        .unwrap();
+
+    let service = ConversionService::new(ServiceConfig::with_threads(2));
+    let sources = workload_inputs();
+    let coo = &sources[0];
+    let reference = coo.to_triples();
+
+    // Custom format as *target*: second convert call for the same pair is a
+    // plan-cache hit (plans key on the spec fingerprint).
+    let packed = service.convert(coo, &dcsr).expect("stock -> custom");
+    let stats = service.stats();
+    assert_eq!(stats.plan_misses, 1);
+    assert_eq!(stats.plan_hits, 0);
+    let packed_again = service.convert(coo, &dcsr).expect("stock -> custom again");
+    let stats = service.stats();
+    assert_eq!(
+        stats.plan_misses, 1,
+        "second custom conversion replans nothing"
+    );
+    assert_eq!(stats.plan_hits, 1);
+    assert_eq!(packed, packed_again);
+    assert_eq!(packed.format(), dcsr);
+
+    // Custom format as *source*: the service converts back out, and the
+    // round-trip preserves the matrix.
+    let back = service
+        .convert(&packed, FormatId::Csr)
+        .expect("custom -> stock");
+    assert!(back.to_triples().same_values(&reference));
+    let stats = service.stats();
+    assert_eq!(stats.plan_misses, 2, "custom-source pair planned once");
+
+    // Batches mix stock and custom targets through the same generic API.
+    let jobs: Vec<_> = sources.iter().map(|s| (s.clone(), dcsr.clone())).collect();
+    let results = service.convert_batch(&jobs);
+    for (job, result) in jobs.iter().zip(&results) {
+        let got = result.as_ref().expect("batched custom conversion");
+        assert!(got.to_triples().same_values(&job.0.to_triples()));
+    }
+    // Warm-up accepts handles too.
+    service
+        .warm_up(&[(Format::coo(), dcsr.clone()), (dcsr.clone(), Format::csr())])
+        .expect("warm-up with custom handles");
+}

@@ -101,6 +101,36 @@ proptest! {
         prop_assert_eq!(&custom.vals, reference.values());
     }
 
+    /// A builder-made order-3 format (mode-reversed CSF, named in no enum)
+    /// is a valid conversion source and target: COO3 → custom → CSF
+    /// round-trips, and the read-back recovers the canonical coordinates
+    /// through the inverted remapping.
+    #[test]
+    fn custom_order3_format_roundtrips((t, seed) in arb_tensor3()) {
+        use taco_conversion_repro::conv::prelude::{Format, LevelKind};
+        let reversed = Format::builder("TENSOR-RT-KJI")
+            .remap_str("(i,j,k) -> (k,j,i)").expect("remapping parses")
+            .dims(["k", "j", "i"])
+            .levels([
+                LevelKind::Compressed,
+                LevelKind::Compressed,
+                LevelKind::Compressed,
+            ])
+            .build()
+            .expect("mode-reversed CSF validates");
+        let coo3 = AnyMatrix::Coo3(shuffled_coo3(&t, seed));
+        let packed = convert(&coo3, &reversed).expect("COO3 -> custom");
+        prop_assert_eq!(packed.format(), reversed);
+        prop_assert_eq!(packed.order(), 3);
+        prop_assert!(packed.to_triples().same_values(&t), "custom pack lost values");
+        let csf = convert(&packed, FormatId::Csf).expect("custom -> CSF");
+        prop_assert_eq!(
+            &csf,
+            &convert(&coo3, FormatId::Csf).expect("direct COO3 -> CSF"),
+            "custom round-trip must rebuild the exact fiber tree"
+        );
+    }
+
     /// The generated COO3→CSF routine (three counting sorts + pack executed
     /// by the IR interpreter) matches the engine bit for bit, as does the
     /// generated CSF→COO3 unpacking loop.
