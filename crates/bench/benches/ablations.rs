@@ -12,10 +12,13 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Duration;
 
 use conv_bench::{env_f64, BenchInputs};
-use sparse_conv::convert::{AnyMatrix, FormatId};
+use conv_workloads::tensor3_fibered;
+use sparse_conv::convert::{AnyMatrix, AnyTensor, FormatId};
+use sparse_conv::select::{auto_select, ORDER3_MODE_ORDERS};
 use sparse_conv::source::SourceMatrix;
 use sparse_conv::spec::FormatSpec;
 use sparse_conv::{codegen, engine, generic};
+use sparse_formats::CooTensor;
 
 fn inputs() -> BenchInputs {
     let scale = env_f64("BENCH_SCALE", 0.02);
@@ -85,10 +88,43 @@ fn bench_query_fast_path(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_mode_orders(c: &mut Criterion) {
+    // A fibered tensor is exactly the workload where the mode order matters:
+    // rooting the fiber tree along the skewed mode collapses the interior
+    // fiber count, so the six sort-then-pack times diverge.
+    let scale = env_f64("BENCH_SCALE", 0.02);
+    let dims = [
+        (64.0 * (scale * 50.0).max(0.2)) as usize + 2,
+        64,
+        (128.0 * (scale * 50.0).max(0.2)) as usize + 2,
+    ];
+    let triples =
+        tensor3_fibered(dims, 16, 24, 42).expect("fibered generator parameters are valid");
+    let coo3 = CooTensor::from_triples(&triples);
+    let src = AnyTensor::Coo3(coo3.clone());
+
+    let mut group = c.benchmark_group("mode_orders/coo3_to_csf");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    for order in ORDER3_MODE_ORDERS {
+        let label = format!("CSF@{},{},{}", order[0], order[1], order[2]);
+        group.bench_function(&label, |b| {
+            b.iter(|| engine::to_csf_ordered(&coo3, &order).nnz())
+        });
+    }
+    group.bench_function("auto_select (stats only)", |b| {
+        b.iter(|| auto_select(&src).name().len())
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_execution_paths,
     bench_counter_strategies,
-    bench_query_fast_path
+    bench_query_fast_path,
+    bench_mode_orders
 );
 criterion_main!(benches);

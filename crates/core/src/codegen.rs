@@ -29,6 +29,7 @@ use sparse_formats::{CooMatrix, CooTensor, CscMatrix, CsfTensor, CsrMatrix, DiaM
 
 use crate::convert::{AnyMatrix, FormatId};
 use crate::error::ConvertError;
+use crate::format::Format;
 use crate::spec::FormatSpec;
 
 /// Lowers a coordinate-remapping index expression to an IR expression, given
@@ -223,6 +224,59 @@ pub fn generate(source: FormatId, target: FormatId) -> Result<Function, ConvertE
 /// Propagates [`generate`] errors.
 pub fn listing(source: FormatId, target: FormatId) -> Result<String, ConvertError> {
     Ok(print_function(&generate(source, target)?))
+}
+
+/// Generates the COO3 → mode-ordered CSF conversion routine (the identity
+/// order is [`generate`]'s stock COO3 → CSF listing, under a different
+/// function name).
+///
+/// # Errors
+///
+/// Returns [`ConvertError::Unsupported`] when `mode_order` is not a
+/// permutation of `0..3` or the source is not COO3.
+pub fn generate_csf_ordered(
+    source: FormatId,
+    mode_order: &[usize; 3],
+) -> Result<Function, ConvertError> {
+    let mut seen = [false; 3];
+    for &m in mode_order {
+        if m >= 3 || seen[m] {
+            return Err(ConvertError::Unsupported(format!(
+                "mode order {mode_order:?} is not a permutation of 0..3"
+            )));
+        }
+        seen[m] = true;
+    }
+    if source != FormatId::Coo3 {
+        return Err(ConvertError::Unsupported(format!(
+            "code generation does not support {source} sources for CSF targets yet"
+        )));
+    }
+    let name = format!(
+        "convert_{}_to_csf_{}{}{}",
+        source.to_string().to_lowercase(),
+        mode_order[0],
+        mode_order[1],
+        mode_order[2]
+    );
+    let params: Vec<String> = ["A1_crd", "A2_crd", "A3_crd", "A_vals", "N", "M", "L", "nnz"]
+        .into_iter()
+        .map(str::to_string)
+        .collect();
+    let body = gen_to_csf_ordered(source, mode_order)?;
+    Ok(simplify_function(&Function::new(&name, params, body)))
+}
+
+/// Pretty prints the mode-ordered COO3 → CSF routine as a C-like listing.
+///
+/// # Errors
+///
+/// Propagates [`generate_csf_ordered`] errors.
+pub fn listing_csf_ordered(
+    source: FormatId,
+    mode_order: &[usize; 3],
+) -> Result<String, ConvertError> {
+    Ok(print_function(&generate_csf_ordered(source, mode_order)?))
 }
 
 /// CSR/CSC-style target: count children per outer coordinate, prefix-sum into
@@ -476,32 +530,46 @@ fn counting_sort_pass(
 /// engine's stable comparison sort; the pack pass then opens a fresh fiber
 /// at the first level whose coordinate changes.
 fn gen_to_csf(source: FormatId) -> Result<Vec<Stmt>, ConvertError> {
+    gen_to_csf_ordered(source, &[0, 1, 2])
+}
+
+/// COO3 → CSF along an arbitrary mode order: the same three-pass stable LSD
+/// counting sort, keyed innermost-storage-dimension first on the *canonical*
+/// buffers holding each storage dimension's mode, then the unchanged pack
+/// pass over the storage-ordered arrays. The identity order reproduces
+/// [`gen_to_csf`]'s canonical listing.
+fn gen_to_csf_ordered(source: FormatId, order: &[usize; 3]) -> Result<Vec<Stmt>, ConvertError> {
     if source != FormatId::Coo3 {
         return Err(ConvertError::Unsupported(format!(
             "code generation does not support {source} sources for CSF targets yet"
         )));
     }
-    let mut body = vec![comment(
-        "sort: LSD radix over (k, j, i) = stable lexicographic order",
-    )];
+    // Canonical mode `m` lives in source buffer `A{m+1}_crd` (and the
+    // working arrays suffixed with its index variable) with extent N/M/L.
+    const SYM: [&str; 3] = ["i", "j", "k"];
+    const EXTENT: [&str; 3] = ["N", "M", "L"];
+    let mut body = vec![comment(&format!(
+        "sort: LSD radix over ({}, {}, {}) = stable lexicographic order",
+        SYM[order[2]], SYM[order[1]], SYM[order[0]],
+    ))];
     body.extend(counting_sort_pass(
         1,
-        "A3_crd",
-        "L",
+        &format!("A{}_crd", order[2] + 1),
+        EXTENT[order[2]],
         ["A1_crd", "A2_crd", "A3_crd", "A_vals"],
         ["t1_i", "t1_j", "t1_k", "t1_v"],
     ));
     body.extend(counting_sort_pass(
         2,
-        "t1_j",
-        "M",
+        &format!("t1_{}", SYM[order[1]]),
+        EXTENT[order[1]],
         ["t1_i", "t1_j", "t1_k", "t1_v"],
         ["t2_i", "t2_j", "t2_k", "t2_v"],
     ));
     body.extend(counting_sort_pass(
         3,
-        "t2_i",
-        "N",
+        &format!("t2_{}", SYM[order[0]]),
+        EXTENT[order[0]],
         ["t2_i", "t2_j", "t2_k", "t2_v"],
         ["s_i", "s_j", "s_k", "s_v"],
     ));
@@ -523,8 +591,8 @@ fn gen_to_csf(source: FormatId) -> Result<Vec<Stmt>, ConvertError> {
         int(0),
         var("nnz"),
         vec![
-            decl("i", load("s_i", var("p"))),
-            decl("j", load("s_j", var("p"))),
+            decl("i", load(&format!("s_{}", SYM[order[0]]), var("p"))),
+            decl("j", load(&format!("s_{}", SYM[order[1]]), var("p"))),
             if_(
                 ne(var("i"), var("prev_i")),
                 vec![
@@ -543,7 +611,11 @@ fn gen_to_csf(source: FormatId) -> Result<Vec<Stmt>, ConvertError> {
                     assign("prev_j", var("j")),
                 ],
             ),
-            store("B3_crd", var("p"), load("s_k", var("p"))),
+            store(
+                "B3_crd",
+                var("p"),
+                load(&format!("s_{}", SYM[order[2]]), var("p")),
+            ),
             store("B_vals", var("p"), load("s_v", var("p"))),
             store("B3_pos", var("q2"), add(var("p"), int(1))),
         ],
@@ -775,6 +847,96 @@ pub fn execute(src: &AnyMatrix, target: FormatId) -> Result<AnyMatrix, ConvertEr
             )))
         }
     })
+}
+
+/// Executes a generated routine for any [`Format`] target: stock targets
+/// dispatch through [`execute`]; mode-ordered CSF registry targets run the
+/// counting-sort lowering and wrap the packed fiber tree exactly as the
+/// dynamic driver assembles it, so all three execution paths stay
+/// byte-comparable.
+///
+/// # Errors
+///
+/// Returns [`ConvertError::Unsupported`] for registry targets that are not
+/// mode-ordered CSF, for non-COO3 sources of mode-ordered targets, and for
+/// duplicate coordinates (which the dynamic driver also rejects).
+pub fn execute_format(src: &AnyMatrix, target: &Format) -> Result<AnyMatrix, ConvertError> {
+    if let Some(id) = target.id() {
+        return execute(src, id);
+    }
+    let spec = target
+        .spec()
+        .expect("non-stock formats always carry a spec");
+    let Some(order) = crate::mode::mode_order_of(spec) else {
+        return Err(ConvertError::Unsupported(format!(
+            "code generation covers stock formats and mode-ordered CSF; {target} \
+             is a general registry format (use the dynamic driver)"
+        )));
+    };
+    let AnyMatrix::Coo3(t) = src else {
+        return Err(ConvertError::Unsupported(format!(
+            "code generation supports COO3 sources for mode-ordered CSF targets, got {}",
+            src.format()
+        )));
+    };
+    if t.order() != 3 || order.len() != 3 {
+        return Err(ConvertError::Unsupported(format!(
+            "mode-ordered code generation is order-3 only (source order {}, \
+             {} storage levels)",
+            t.order(),
+            order.len()
+        )));
+    }
+    let mode_order = [order[0], order[1], order[2]];
+    let function = generate_csf_ordered(FormatId::Coo3, &mode_order)?;
+    let mut interp = Interpreter::new();
+    let shape = t.shape();
+    interp.insert_int("N", shape.dim(0) as i64);
+    interp.insert_int("M", shape.dim(1) as i64);
+    interp.insert_int("L", shape.dim(2) as i64);
+    interp.insert_int("nnz", t.nnz() as i64);
+    for (d, name) in ["A1_crd", "A2_crd", "A3_crd"].into_iter().enumerate() {
+        interp.insert_buffer(
+            name,
+            Buffer::Ints(t.crd(d).iter().map(|&x| x as i64).collect()),
+        );
+    }
+    interp.insert_buffer("A_vals", Buffer::Floats(t.values().to_vec()));
+    interp.run(&function)?;
+    let ints = |name: &str| -> Vec<usize> {
+        interp
+            .buffer(name)
+            .expect("generated buffer")
+            .as_ints()
+            .iter()
+            .map(|&x| x as usize)
+            .collect()
+    };
+    let q1 = interp.int("q1").expect("generated scalar q1") as usize;
+    let q2 = interp.int("q2").expect("generated scalar q2") as usize;
+    let nnz = t.nnz();
+    let packed_shape =
+        sparse_tensor::Shape::new(mode_order.iter().map(|&m| shape.dim(m)).collect());
+    let csf = CsfTensor::from_parts(
+        packed_shape,
+        vec![
+            ints("B1_crd")[..q1].to_vec(),
+            ints("B2_crd")[..q2].to_vec(),
+            ints("B3_crd")[..nnz].to_vec(),
+        ],
+        vec![
+            ints("B2_pos")[..q1 + 1].to_vec(),
+            ints("B3_pos")[..q2 + 1].to_vec(),
+        ],
+        interp
+            .buffer("B_vals")
+            .expect("generated buffer")
+            .as_floats()[..nnz]
+            .to_vec(),
+    )?;
+    Ok(AnyMatrix::Custom(Box::new(crate::mode::custom_from_csf(
+        spec, &order, &csf,
+    )?)))
 }
 
 /// The (source, target) pairs the code generator covers, including the seven

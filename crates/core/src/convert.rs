@@ -402,10 +402,30 @@ fn convert_to(src: &AnyMatrix, target: &Format) -> Result<AnyMatrix, ConvertErro
     }
     let Some(id) = target.id() else {
         // A registry (custom) target: assemble through the dynamic
-        // spec-driven driver.
+        // spec-driven driver — except mode-ordered CSF targets, where the
+        // engine's sort-then-pack kernel reproduces the driver's output
+        // byte for byte (the driver's stable sort of remapped tuples and
+        // the engine's stable lexicographic sort of permuted columns order
+        // the nonzeros identically).
         let spec = target
             .spec()
             .expect("non-stock formats always carry a spec");
+        if let Some(order) = crate::mode::mode_order_of(spec) {
+            if order.len() == src.order() {
+                let csf = match src {
+                    AnyMatrix::Coo3(t) => Some(engine::to_csf_ordered(t, &order)),
+                    AnyMatrix::Csf(t) => Some(engine::to_csf_ordered(t, &order)),
+                    m if order.len() == 2 => Some(
+                        with_source!(m, s => engine::to_csf_ordered(&MatrixAsTensor::new(s), &order)),
+                    ),
+                    _ => None,
+                };
+                if let Some(csf) = csf {
+                    let custom = crate::mode::custom_from_csf(spec, &order, &csf)?;
+                    return Ok(AnyMatrix::Custom(Box::new(custom)));
+                }
+            }
+        }
         return Ok(AnyMatrix::Custom(Box::new(generic::convert_with_spec(
             src, spec,
         )?)));

@@ -130,6 +130,51 @@ pub fn to_csf<S: SourceTensor>(src: &S) -> CsfTensor {
     pack_sorted(shape, |d, p| columns[d][perm[p]], |p| vals[perm[p]], nnz)
 }
 
+/// Converts any tensor source to CSF along a *mode order*: storage level `d`
+/// of the fiber tree holds canonical mode `mode_order[d]`, so `&[2, 0, 1]`
+/// packs an `(i,j,k)` tensor with mode `k` outermost. This is [`to_csf`]
+/// with the coordinate columns (and the shape) permuted before the
+/// sort-then-pack recipe; the identity order reproduces [`to_csf`] exactly.
+///
+/// The comparator is the shared [`lex_sort_perm`] over the *permuted*
+/// columns, and the sort is stable, so the resulting permutation equals the
+/// stable full-tuple sort the dynamic driver performs on remapped
+/// coordinates — the root of the three paths' bit-identical outputs.
+///
+/// # Panics
+///
+/// Panics if `mode_order` is not a permutation of `0..src.shape().order()`.
+pub fn to_csf_ordered<S: SourceTensor>(src: &S, mode_order: &[usize]) -> CsfTensor {
+    let canonical = src.shape().clone();
+    let order = canonical.order();
+    assert_eq!(mode_order.len(), order, "one mode per dimension");
+    let mut seen = vec![false; order];
+    for &m in mode_order {
+        assert!(
+            m < order && !seen[m],
+            "mode order {mode_order:?} is not a permutation of 0..{order}"
+        );
+        seen[m] = true;
+    }
+    let shape = sparse_tensor::Shape::new(mode_order.iter().map(|&m| canonical.dim(m)).collect());
+    let nnz = src.nnz();
+    let mut columns: Vec<Vec<usize>> = vec![Vec::with_capacity(nnz); order];
+    let mut vals: Vec<Value> = Vec::with_capacity(nnz);
+    src.for_each_coord(|coord, v| {
+        for (d, &m) in mode_order.iter().enumerate() {
+            columns[d].push(coord[m] as usize);
+        }
+        vals.push(v);
+    });
+    let identity = mode_order.iter().enumerate().all(|(d, &m)| d == m);
+    let perm: Vec<usize> = if identity && src.coords_in_order() {
+        (0..nnz).collect()
+    } else {
+        lex_sort_perm(&columns)
+    };
+    pack_sorted(shape, |d, p| columns[d][perm[p]], |p| vals[perm[p]], nnz)
+}
+
 /// Converts any source to DIA (generalises Figure 6a to any source and to
 /// rectangular matrices). The remapping `k = j - i` is fused into both the
 /// analysis pass (building the nonzero-diagonal bit set) and the assembly

@@ -184,6 +184,49 @@ impl Format {
         Format::stock(FormatId::Csf)
     }
 
+    /// Compressed sparse fiber along an explicit mode order: storage level
+    /// `d` holds canonical mode `mode_order[d]`, so `&[2, 0, 1]` stores mode
+    /// `k` outermost. The format registers under the `CSF@2,0,1` naming
+    /// scheme (which [`FromStr`](std::str::FromStr) parses back); the
+    /// canonical order-3 identity resolves to the stock [`Format::csf`]
+    /// entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConvertError::UnsupportedSpec`] when `mode_order` is not a
+    /// permutation of `0..mode_order.len()`.
+    pub fn csf_ordered(mode_order: &[usize]) -> Result<Format, ConvertError> {
+        let n = mode_order.len();
+        let mut seen = vec![false; n];
+        for &m in mode_order {
+            if m >= n || seen[m] {
+                return Err(ConvertError::UnsupportedSpec {
+                    reason: format!("CSF mode order {mode_order:?} is not a permutation of 0..{n}"),
+                });
+            }
+            seen[m] = true;
+        }
+        if n == 3 && mode_order == [0, 1, 2] {
+            return Ok(Format::csf());
+        }
+        let names = coord_remap::ast::canonical_names(n);
+        let spec = FormatSpec::new(
+            &crate::mode::csf_ordered_name(mode_order),
+            coord_remap::stock::mode_permutation(mode_order),
+            mode_order.iter().map(|&m| names[m].as_str()).collect(),
+            vec![LevelKind::Compressed; n],
+        );
+        Format::from_spec(spec)
+    }
+
+    /// The CSF mode order when this format stores a tensor as a fiber tree
+    /// along a pure mode permutation (every level compressed); `None` for
+    /// every other format. The stock [`Format::csf`] reports the identity
+    /// order.
+    pub fn mode_order(&self) -> Option<Vec<usize>> {
+        self.spec().and_then(crate::mode::mode_order_of)
+    }
+
     /// Starts building a user-defined format named `name`; see
     /// [`FormatBuilder`].
     pub fn builder(name: &str) -> FormatBuilder {
@@ -330,6 +373,15 @@ impl std::str::FromStr for Format {
         let s = s.trim();
         if let Ok(id) = s.parse::<FormatId>() {
             return Ok(Format::stock(id));
+        }
+        // The `CSF@...` spelling is reserved: it resolves through
+        // `csf_ordered` (collapsing the identity order to stock CSF) even
+        // when a format with that literal name was interned, so parsing is
+        // deterministic regardless of registry state.
+        if let Some(order) = crate::mode::parse_csf_ordered_name(s) {
+            return Format::csf_ordered(&order).map_err(|detail| {
+                ParseFormatError(format!("{s} (mode-ordered CSF rejected: {detail})"))
+            });
         }
         if let Some(found) = FormatRegistry::global().get(s) {
             return Ok(found);

@@ -403,6 +403,17 @@ pub fn convert_with_spec(src: &AnyMatrix, spec: &FormatSpec) -> Result<CustomTen
     let mut ctx = EvalContext::new(remapping);
     let mut remapped = ctx.apply_all(&triples)?;
 
+    // A banded level stores one contiguous run per parent fiber, bounded
+    // above by the parent dimension's coordinate (the skyline profile).
+    // Nonzeros above that bound fall outside every run, so they are dropped
+    // here — exactly what the engine's skyline kernel does when it converts
+    // the lower triangle of its source.
+    for (k, kind) in spec.levels.iter().enumerate() {
+        if matches!(kind, LevelKind::Banded) && k > 0 {
+            remapped.triples.retain(|(c, _)| c[k] <= c[k - 1]);
+        }
+    }
+
     // Compressed levels nested under non-full ancestors (CSF's fiber chains)
     // need the input grouped by coordinate prefix; a stable lexicographic
     // sort of the remapped nonzeros establishes exactly the grouping the
@@ -454,39 +465,63 @@ pub fn convert_with_spec(src: &AnyMatrix, spec: &FormatSpec) -> Result<CustomTen
     // Phase 3: assembly (Section 6, Figure 12), level by level from the top.
     let mut parent_sizes = Vec::with_capacity(spec.levels.len());
     let mut parent_size = 1usize;
-    for (k, assembler) in assemblers.iter_mut().enumerate() {
+    for k in 0..assemblers.len() {
         parent_sizes.push(parent_size);
         let q = queries[k].as_ref();
+        let (ancestors, rest) = assemblers.split_at_mut(k);
+        let assembler = &mut rest[0];
         if assembler.edge_insertion() == EdgeInsertion::SequencedOrUnsequenced {
             // Enumerate parent positions with their coordinate tuples. When
             // every ancestor level is full (dense-like), positions are the
             // cartesian product of ancestor coordinates. Otherwise the
-            // ancestors form a fiber chain: provided they are ordered and
-            // unique (dense or compressed) and the input has been sorted,
-            // parent position `p` is exactly the `p`-th distinct coordinate
-            // prefix in lexicographic order.
+            // ancestors must be full levels followed by compressed levels:
+            // compressed positions are contiguous ranks of stored prefixes
+            // in sorted order, so parent position `p` is exactly the `p`-th
+            // distinct coordinate prefix in lexicographic order. (A full
+            // level *below* a compressed one breaks that correspondence —
+            // its positions are gappy arithmetic, not ranks — so validate
+            // rejects such chains.)
             let ancestors_full = spec.levels[..k]
                 .iter()
                 .all(|a| matches!(a, LevelKind::Dense | LevelKind::Sliced));
-            let ancestors_chainable = spec.levels[..k].iter().all(|a| {
-                matches!(
-                    a,
-                    LevelKind::Dense | LevelKind::Sliced | LevelKind::Compressed
-                )
-            });
+            let ancestors_chainable = {
+                let mut seen_compressed = false;
+                spec.levels[..k].iter().all(|a| match a {
+                    LevelKind::Compressed => {
+                        seen_compressed = true;
+                        true
+                    }
+                    LevelKind::Dense | LevelKind::Sliced => !seen_compressed,
+                    _ => false,
+                })
+            };
             if k > 0 && !ancestors_full && !ancestors_chainable {
                 // Unreachable after `spec.validate()`; kept as
                 // defense-in-depth for specs constructed around it.
                 return Err(ConvertError::UnsupportedSpec {
                     reason: format!(
-                        "level {k} ({}) needs edge insertion under a \
-                         non-full, non-unique ancestor",
+                        "level {k} ({}) needs edge insertion under an \
+                         ancestor chain that is not full levels followed \
+                         by compressed levels",
                         spec.levels[k]
                     ),
                 });
             }
             let parents = if ancestors_full {
-                enumerate_full_positions(&bounds[..k])
+                // Enumerate over each ancestor's *assembled* fanout, not the
+                // static bounds: a sliced level is dense over its
+                // data-dependent slice count `K` (0 for an empty input, and
+                // generally at most the dimension extent), and its positions
+                // are `parent * K + coord` with raw 0-based coordinates.
+                let eff_bounds: Vec<DimBounds> = ancestors
+                    .iter()
+                    .zip(&bounds[..k])
+                    .map(|(a, b)| match a {
+                        AnyLevel::Sliced(l) => DimBounds::new(0, l.slice_count() as i64),
+                        _ => *b,
+                    })
+                    .collect();
+                enumerate_full_positions(&eff_bounds)
             } else {
                 enumerate_prefix_positions(&remapped.triples, k)
             };

@@ -60,7 +60,9 @@ pub mod engine;
 pub mod error;
 pub mod format;
 pub mod generic;
+pub mod mode;
 pub mod plan;
+pub mod select;
 pub mod source;
 pub mod spec;
 
@@ -68,6 +70,7 @@ pub use convert::{convert, plan_for_formats, AnyMatrix, AnyTensor, FormatId};
 pub use error::ConvertError;
 pub use format::{Format, FormatBuilder, FormatRegistry, ParseFormatError};
 pub use plan::ConversionPlan;
+pub use select::auto_select;
 pub use source::{MatrixAsTensor, SourceMatrix, SourceTensor};
 pub use spec::FormatSpec;
 
@@ -80,6 +83,7 @@ pub mod prelude {
     pub use crate::convert::{convert, plan_for, plan_for_formats, AnyMatrix, AnyTensor, FormatId};
     pub use crate::error::ConvertError;
     pub use crate::format::{Format, FormatBuilder, FormatRegistry};
+    pub use crate::select::auto_select;
     pub use crate::spec::FormatSpec;
     // The vocabulary user-defined specs are composed from.
     pub use coord_remap::{parse_remapping, Remapping};

@@ -1,0 +1,201 @@
+//! Mode-ordered CSF: the paper's "mode ordering" degree of freedom.
+//!
+//! A mode-ordered CSF format stores an order-N tensor as a CSF fiber tree
+//! whose level `d` holds canonical mode `order[d]` — `CSF@2,0,1` puts mode
+//! `k` outermost. Such formats are plain registry formats (an all-compressed
+//! spec over a pure mode-permutation remapping), so the generic driver
+//! already handles them; this module adds the detection and wrapping glue
+//! that lets the monomorphised engine, the code generator, and the parallel
+//! runtime serve the same targets bit-identically:
+//!
+//! * [`mode_order_of`] recognises a spec as a pure mode permutation,
+//! * [`custom_from_csf`] wraps an engine-built [`CsfTensor`] into the exact
+//!   [`CustomTensor`] the generic driver would assemble, and
+//! * [`csf_ordered_name`] / [`parse_csf_ordered_name`] implement the
+//!   `CSF@2,0,1` naming round-trip used by `Format::from_str`.
+
+use coord_remap::{BoundsEnv, IndexExpr};
+use sparse_formats::CsfTensor;
+
+use crate::error::ConvertError;
+use crate::generic::{CustomTensor, LevelOutput};
+use crate::spec::FormatSpec;
+use level_formats::LevelKind;
+
+/// Recognises a spec describing mode-ordered CSF: every level compressed and
+/// the remapping a pure permutation of the source variables (each destination
+/// index a bare source variable, each variable used exactly once). Returns
+/// the mode order — storage level `d` holds canonical mode `order[d]` — or
+/// `None` for any other spec.
+pub fn mode_order_of(spec: &FormatSpec) -> Option<Vec<usize>> {
+    if spec.levels.is_empty() || spec.levels.iter().any(|k| *k != LevelKind::Compressed) {
+        return None;
+    }
+    let remapping = &spec.remapping;
+    if remapping.dst.len() != remapping.src.len() {
+        return None;
+    }
+    let mut order = Vec::with_capacity(remapping.dst.len());
+    let mut seen = vec![false; remapping.src.len()];
+    for dst in &remapping.dst {
+        if !dst.lets.is_empty() {
+            return None;
+        }
+        let IndexExpr::Var(v) = &dst.expr else {
+            return None;
+        };
+        let m = remapping.src.iter().position(|s| s == v)?;
+        if seen[m] {
+            return None;
+        }
+        seen[m] = true;
+        order.push(m);
+    }
+    Some(order)
+}
+
+/// The registry name of the CSF format with the given mode order, e.g.
+/// `CSF@2,0,1`.
+pub fn csf_ordered_name(order: &[usize]) -> String {
+    let modes: Vec<String> = order.iter().map(usize::to_string).collect();
+    format!("CSF@{}", modes.join(","))
+}
+
+/// Parses a `CSF@2,0,1`-style name (case-insensitive prefix) into its mode
+/// order. Returns `None` when the string is not of that shape or the listed
+/// modes are not a permutation of `0..n`.
+pub fn parse_csf_ordered_name(s: &str) -> Option<Vec<usize>> {
+    if s.len() < 4 || !s[..4].eq_ignore_ascii_case("CSF@") {
+        return None;
+    }
+    let rest = &s[4..];
+    let order: Vec<usize> = rest
+        .split(',')
+        .map(|part| part.trim().parse().ok())
+        .collect::<Option<_>>()?;
+    let mut seen = vec![false; order.len()];
+    for &m in &order {
+        if m >= order.len() || seen[m] {
+            return None;
+        }
+        seen[m] = true;
+    }
+    Some(order)
+}
+
+/// Wraps an engine-built CSF fiber tree (whose storage dimensions follow
+/// `mode_order`) into the [`CustomTensor`] the dynamic driver would assemble
+/// for the same spec, byte for byte: level 0 is rooted with `pos = [0, F0]`,
+/// each deeper level reuses the fiber tree's `pos` arrays, and bounds come
+/// from the same static inference the driver runs.
+///
+/// Duplicate canonical coordinates (which the fiber tree stores as adjacent
+/// innermost entries) are rejected with the same error the dynamic driver
+/// produces, so both paths agree on every input.
+///
+/// # Errors
+///
+/// Returns [`ConvertError::Unsupported`] for duplicate coordinates and
+/// propagates bounds-inference failures.
+pub fn custom_from_csf(
+    spec: &FormatSpec,
+    mode_order: &[usize],
+    csf: &CsfTensor,
+) -> Result<CustomTensor, ConvertError> {
+    let order = csf.order();
+    assert_eq!(mode_order.len(), order, "one mode per storage dimension");
+    if order >= 2 {
+        let pos = csf.pos(order - 2);
+        let crd = csf.crd(order - 1);
+        for fiber in pos.windows(2) {
+            if (fiber[0] + 1..fiber[1]).any(|p| crd[p] == crd[p - 1]) {
+                return Err(ConvertError::Unsupported(format!(
+                    "the dynamic converter requires duplicate-free coordinates for {} \
+                     targets; sum duplicates first (the engine path stores them verbatim)",
+                    spec.name
+                )));
+            }
+        }
+    }
+    // Recover the canonical (source) shape: storage dimension `d` has the
+    // extent of canonical mode `mode_order[d]`.
+    let mut dims = vec![0usize; order];
+    for (d, &m) in mode_order.iter().enumerate() {
+        dims[m] = csf.shape().dim(d);
+    }
+    let shape = sparse_tensor::Shape::new(dims);
+    let env = BoundsEnv::for_remapping(&spec.remapping, shape.dims()).with_nnz(csf.nnz());
+    let bounds = coord_remap::infer_bounds(&spec.remapping, &env)?;
+    let mut levels = Vec::with_capacity(order);
+    for l in 0..order {
+        let pos = if l == 0 {
+            vec![0, csf.num_fibers(0)]
+        } else {
+            csf.pos(l - 1).to_vec()
+        };
+        let crd = csf.crd(l).iter().map(|&c| c as i64).collect();
+        levels.push(LevelOutput::Compressed { pos, crd });
+    }
+    Ok(CustomTensor {
+        spec: spec.clone(),
+        levels,
+        vals: csf.values().to_vec(),
+        source_shape: shape,
+        bounds,
+        nnz: csf.nnz(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convert::FormatId;
+
+    #[test]
+    fn stock_csf_spec_is_the_identity_order() {
+        let spec = FormatSpec::stock(FormatId::Csf).unwrap();
+        assert_eq!(mode_order_of(&spec), Some(vec![0, 1, 2]));
+    }
+
+    #[test]
+    fn permuted_spec_reports_its_order() {
+        let spec = FormatSpec::new(
+            "CSF@2,0,1",
+            coord_remap::stock::mode_permutation(&[2, 0, 1]),
+            vec!["k", "i", "j"],
+            vec![LevelKind::Compressed; 3],
+        );
+        assert_eq!(mode_order_of(&spec), Some(vec![2, 0, 1]));
+    }
+
+    #[test]
+    fn non_permutation_specs_are_not_mode_ordered() {
+        // CSR: dense root, and only two of the stock specs' levels compressed.
+        let csr = FormatSpec::stock(FormatId::Csr).unwrap();
+        assert_eq!(mode_order_of(&csr), None);
+        // DIA's remapping computes j-i: not a bare variable.
+        let dia = FormatSpec::stock(FormatId::Dia).unwrap();
+        assert_eq!(mode_order_of(&dia), None);
+    }
+
+    #[test]
+    fn name_round_trips_for_every_order3_permutation() {
+        for order in [
+            [0, 1, 2],
+            [0, 2, 1],
+            [1, 0, 2],
+            [1, 2, 0],
+            [2, 0, 1],
+            [2, 1, 0],
+        ] {
+            let name = csf_ordered_name(&order);
+            assert_eq!(parse_csf_ordered_name(&name), Some(order.to_vec()));
+        }
+        assert_eq!(parse_csf_ordered_name("CSF@2,0,1"), Some(vec![2, 0, 1]));
+        assert_eq!(parse_csf_ordered_name("csf@1,0"), Some(vec![1, 0]));
+        assert_eq!(parse_csf_ordered_name("CSF@0,0,1"), None);
+        assert_eq!(parse_csf_ordered_name("CSF@3,0,1"), None);
+        assert_eq!(parse_csf_ordered_name("CSF@"), None);
+        assert_eq!(parse_csf_ordered_name("CSR"), None);
+    }
+}

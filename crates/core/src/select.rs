@@ -1,0 +1,209 @@
+//! Stats-driven automatic format selection.
+//!
+//! The paper's conversion machinery makes "which format?" a runtime decision
+//! rather than a compile-time commitment; this module closes that loop with
+//! a small attribute-driven selector in the spirit of Chou et al.'s format
+//! abstraction: compute the tensor's structural statistics
+//! ([`MatrixStats`]/[`TensorStats`]) and pick the storage format those
+//! statistics pay for.
+//!
+//! The decision table (mirrored in `docs/ARCHITECTURE.md`):
+//!
+//! | order | condition (first match wins)            | format      |
+//! |-------|-----------------------------------------|-------------|
+//! | 2     | empty                                   | CSR         |
+//! | 2     | DIA fill ≥ 25% (banded)                 | DIA         |
+//! | 2     | 2×2 block fill ≥ 50%                    | BCSR2x2     |
+//! | 2     | fewer nonempty columns than rows        | CSC         |
+//! | 2     | otherwise                               | CSR         |
+//! | 3     | min fiber overhead > 25% (no structure) | COO3        |
+//! | 3     | otherwise                               | CSF@best    |
+//!
+//! where `CSF@best` is the mode ordering minimising the CSF tree's interior
+//! fiber count ([`TensorStats::csf_fibers`]), canonical order winning ties.
+
+use std::collections::HashSet;
+
+use sparse_tensor::{MatrixStats, SparseTriples, TensorStats};
+
+use crate::convert::AnyTensor;
+use crate::format::Format;
+
+/// All six order-3 mode orderings, canonical first (the selector's tie-break
+/// order, and the sweep order the round-trip tests iterate).
+pub const ORDER3_MODE_ORDERS: [[usize; 3]; 6] = [
+    [0, 1, 2],
+    [0, 2, 1],
+    [1, 0, 2],
+    [1, 2, 0],
+    [2, 0, 1],
+    [2, 1, 0],
+];
+
+/// Picks a storage format for the tensor from its structural statistics; see
+/// the module docs for the decision table. Always returns a format the
+/// conversion stack accepts as a target for this tensor's order; inputs the
+/// statistics cannot judge (unreadable custom sources, orders above 3) fall
+/// back to the canonical format of their order.
+pub fn auto_select(t: &AnyTensor) -> Format {
+    let Ok(triples) = t.try_to_triples() else {
+        return fallback(t.order());
+    };
+    match triples.order() {
+        2 => select_matrix(&triples),
+        3 => select_tensor3(&triples),
+        _ => fallback(triples.order()),
+    }
+}
+
+fn fallback(order: usize) -> Format {
+    if order == 2 {
+        Format::csr()
+    } else {
+        Format::csf()
+    }
+}
+
+fn select_matrix(m: &SparseTriples) -> Format {
+    let stats = MatrixStats::compute(m);
+    if stats.nnz == 0 {
+        return Format::csr();
+    }
+    // Bandwidth: few nonzero diagonals that are mostly full store densely
+    // per diagonal (the paper's DIA admissibility rule).
+    if stats.dia_admissible() {
+        return Format::dia();
+    }
+    let mut coords: HashSet<(i64, i64)> = HashSet::with_capacity(m.nnz());
+    let mut blocks: HashSet<(i64, i64)> = HashSet::new();
+    for tr in m.iter() {
+        coords.insert((tr.coord[0], tr.coord[1]));
+        blocks.insert((tr.coord[0] / 2, tr.coord[1] / 2));
+    }
+    // Density in blocks: nonzeros clustered into mostly-full 2x2 tiles
+    // amortise the block machinery.
+    let block_fill = coords.len() as f64 / (4.0 * blocks.len() as f64);
+    if block_fill >= 0.5 {
+        return Format::bcsr(2, 2);
+    }
+    // Fiber skew: root the compressed chain on the mode with fewer (hence
+    // longer) fibers.
+    let nonempty_rows = coords.iter().map(|&(i, _)| i).collect::<HashSet<_>>().len();
+    let nonempty_cols = coords.iter().map(|&(_, j)| j).collect::<HashSet<_>>().len();
+    if nonempty_cols < nonempty_rows {
+        return Format::csc();
+    }
+    Format::csr()
+}
+
+fn select_tensor3(t: &SparseTriples) -> Format {
+    let stats = TensorStats::compute(t);
+    if stats.nnz == 0 {
+        return Format::csf();
+    }
+    let best = *ORDER3_MODE_ORDERS
+        .iter()
+        .min_by_key(|order| stats.csf_fibers(&order[..]))
+        .expect("six candidate orders");
+    // When even the best ordering opens a fresh innermost fiber for most
+    // nonzeros, the pos arrays are pure overhead: keep plain coordinates.
+    if stats.fiber_overhead(&best) > 0.25 {
+        return Format::coo3();
+    }
+    Format::csf_ordered(&best).expect("candidate orders are permutations")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparse_tensor::Shape;
+
+    fn tensor3(coords: &[[i64; 3]]) -> AnyTensor {
+        let dims = (0..3)
+            .map(|d| coords.iter().map(|c| c[d] as usize + 1).max().unwrap_or(1))
+            .collect();
+        let mut t = SparseTriples::new(Shape::new(dims));
+        for c in coords {
+            t.push(c.to_vec(), 1.0).unwrap();
+        }
+        AnyTensor::Coo3(sparse_formats::CooTensor::from_triples(&t))
+    }
+
+    #[test]
+    fn empty_matrix_defaults_to_csr() {
+        let m = SparseTriples::new(Shape::matrix(4, 4));
+        let src = AnyTensor::Coo(sparse_formats::CooMatrix::from_triples(&m));
+        assert_eq!(auto_select(&src), Format::csr());
+    }
+
+    #[test]
+    fn tridiagonal_matrix_selects_dia() {
+        let mut m = SparseTriples::new(Shape::matrix(16, 16));
+        for i in 0..16i64 {
+            for j in [i - 1, i, i + 1] {
+                if (0..16).contains(&j) {
+                    m.push(vec![i, j], 1.0).unwrap();
+                }
+            }
+        }
+        let src = AnyTensor::Coo(sparse_formats::CooMatrix::from_triples(&m));
+        assert_eq!(auto_select(&src), Format::dia());
+    }
+
+    #[test]
+    fn scattered_dense_blocks_select_bcsr() {
+        // Full 2x2 tiles at scattered block coordinates: block fill 1.0 but
+        // only two sparse diagonals' worth of DIA fill.
+        let mut m = SparseTriples::new(Shape::matrix(64, 64));
+        for &(bi, bj) in &[(0i64, 7i64), (5, 1), (9, 30), (20, 2), (31, 31)] {
+            for di in 0..2 {
+                for dj in 0..2 {
+                    m.push(vec![2 * bi + di, 2 * bj + dj], 1.0).unwrap();
+                }
+            }
+        }
+        let src = AnyTensor::Coo(sparse_formats::CooMatrix::from_triples(&m));
+        assert_eq!(auto_select(&src), Format::bcsr(2, 2));
+    }
+
+    #[test]
+    fn column_skew_selects_csc() {
+        // 24 nonempty rows but only 2 nonempty columns: column-rooted fibers
+        // are 12x longer.
+        let mut m = SparseTriples::new(Shape::matrix(32, 32));
+        for i in 0..24i64 {
+            m.push(vec![i, 3 + 11 * (i % 2)], 1.0).unwrap();
+        }
+        let src = AnyTensor::Coo(sparse_formats::CooMatrix::from_triples(&m));
+        assert_eq!(auto_select(&src), Format::csc());
+    }
+
+    #[test]
+    fn long_canonical_fibers_select_stock_csf() {
+        let coords: Vec<[i64; 3]> = (0..12).map(|k| [0, 0, k]).collect();
+        assert_eq!(auto_select(&tensor3(&coords)), Format::csf());
+    }
+
+    #[test]
+    fn mode_skew_selects_a_permuted_csf() {
+        // Mode 1 is constant and mode 2 binary: rooting at mode 1 then 2
+        // yields 3 interior fibers vs 20 for any canonical-rooted order.
+        let mut coords = Vec::new();
+        for i in 0..10i64 {
+            for k in 0..2i64 {
+                coords.push([i, 0, k]);
+            }
+        }
+        let selected = auto_select(&tensor3(&coords));
+        assert_eq!(selected.mode_order(), Some(vec![1, 2, 0]));
+        assert_eq!(selected.name(), "CSF@1,2,0");
+    }
+
+    #[test]
+    fn structureless_tensor_keeps_coordinates() {
+        // A space diagonal: every ordering gives one singleton fiber per
+        // nonzero.
+        let coords: Vec<[i64; 3]> = (0..10).map(|i| [i, i, i]).collect();
+        assert_eq!(auto_select(&tensor3(&coords)), Format::coo3());
+    }
+}

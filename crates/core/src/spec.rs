@@ -107,9 +107,9 @@ impl FormatSpec {
     /// * a singleton level sits at the root (one coordinate per parent
     ///   position means a single-position root collapses every nonzero),
     /// * an edge-insertion level (compressed, compressed-nonunique, banded)
-    ///   sits under an ancestor chain that is neither all-full (dense,
-    ///   sliced) nor an ordered unique chain (dense, sliced, compressed) —
-    ///   the only two parent enumerations the driver implements.
+    ///   sits under an ancestor chain that is not full levels (dense,
+    ///   sliced) followed by compressed levels — the only two parent
+    ///   enumerations the driver implements.
     pub fn validate(&self) -> Result<(), ConvertError> {
         let reject = |reason: String| Err(ConvertError::UnsupportedSpec { reason });
         for (k, kind) in self.levels.iter().enumerate() {
@@ -130,24 +130,56 @@ impl FormatSpec {
                         self.name
                     ));
                 }
+                // A singleton stores exactly one coordinate per parent
+                // position, so two nonzeros reaching the same parent position
+                // would silently overwrite each other. That cannot happen
+                // when some ancestor appends one position per nonzero
+                // (compressed-nonunique, as in COO) or when the remapping is
+                // structured (DIA/ELL/JAD introduce derived dimensions that
+                // determine the singleton coordinate from its ancestors).
+                LevelKind::Singleton => {
+                    let per_nonzero_ancestor = self.levels[..k]
+                        .iter()
+                        .any(|a| matches!(a, LevelKind::CompressedNonUnique));
+                    if !per_nonzero_ancestor && !self.is_structured() {
+                        return reject(format!(
+                            "format {}: level {k} (singleton) stores one \
+                             coordinate per parent position, but no ancestor \
+                             yields a position per nonzero (compressed \
+                             non-unique) and the remapping adds no derived \
+                             dimensions; colliding nonzeros would overwrite \
+                             each other",
+                            self.name
+                        ));
+                    }
+                }
                 LevelKind::Compressed | LevelKind::CompressedNonUnique | LevelKind::Banded
                     if k > 0 =>
                 {
-                    let ancestors_full = self.levels[..k]
-                        .iter()
-                        .all(|a| matches!(a, LevelKind::Dense | LevelKind::Sliced));
-                    let ancestors_chainable = self.levels[..k].iter().all(|a| {
-                        matches!(
-                            a,
-                            LevelKind::Dense | LevelKind::Sliced | LevelKind::Compressed
-                        )
-                    });
-                    if !ancestors_full && !ancestors_chainable {
+                    // The driver enumerates parents either as the cartesian
+                    // product of full levels, or as ranks of distinct sorted
+                    // prefixes — the latter only matches assembled positions
+                    // when compressed levels follow the full ones (a full
+                    // level *below* a compressed one yields gappy arithmetic
+                    // positions, not ranks).
+                    let ancestors_chainable = {
+                        let mut seen_compressed = false;
+                        self.levels[..k].iter().all(|a| match a {
+                            LevelKind::Compressed => {
+                                seen_compressed = true;
+                                true
+                            }
+                            LevelKind::Dense | LevelKind::Sliced => !seen_compressed,
+                            _ => false,
+                        })
+                    };
+                    if !ancestors_chainable {
                         return reject(format!(
                             "format {}: level {k} ({kind}) needs edge \
-                             insertion, but its ancestors are not all full \
-                             (dense/sliced) nor an ordered unique chain \
-                             (dense/sliced/compressed)",
+                             insertion, but its ancestors are not full \
+                             levels (dense/sliced) followed by compressed \
+                             levels — the only two parent enumerations the \
+                             driver implements",
                             self.name
                         ));
                     }

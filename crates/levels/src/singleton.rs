@@ -70,6 +70,12 @@ impl LevelAssembler for SingletonLevel {
     }
 
     fn insert_coord(&mut self, _parent_pos: usize, pos: usize, coords: &[i64]) {
+        // A hashed ancestor interns its positions on demand, so the parent
+        // size seen by `init_coords` can undercount; grow to match (the
+        // driver grows its value array the same way).
+        if pos >= self.crd.len() {
+            self.crd.resize(pos + 1, 0);
+        }
         self.crd[pos] = *coords.last().expect("singleton level needs a coordinate");
     }
 }

@@ -1,7 +1,38 @@
 //! Stock coordinate remappings for the formats discussed in the paper.
 
-use crate::ast::{BinOp, DstIndex, IndexExpr, Remapping};
+use crate::ast::{canonical_names, BinOp, DstIndex, IndexExpr, Remapping};
 use crate::parser::parse_remapping;
+
+/// A pure mode-permutation remapping over the canonical variable names:
+/// storage dimension `d` holds canonical mode `order[d]`, so `&[2, 0, 1]`
+/// yields `(i,j,k) -> (k,i,j)` (mode `k` outermost). The identity order
+/// reproduces [`Remapping::identity`].
+///
+/// These remappings are the paper's "mode ordering" degree of freedom: they
+/// are trivially invertible (every destination index is a bare source
+/// variable), so formats built on them are both conversion targets and
+/// readable conversion sources.
+///
+/// # Panics
+///
+/// Panics if `order` is not a permutation of `0..order.len()`.
+pub fn mode_permutation(order: &[usize]) -> Remapping {
+    let n = order.len();
+    let mut seen = vec![false; n];
+    for &m in order {
+        assert!(
+            m < n && !seen[m],
+            "mode order {order:?} is not a permutation of 0..{n}"
+        );
+        seen[m] = true;
+    }
+    let names = canonical_names(n);
+    let dst = order
+        .iter()
+        .map(|&m| DstIndex::simple(IndexExpr::Var(names[m].clone())))
+        .collect();
+    Remapping::new(names, dst)
+}
 
 /// Identity remapping for row-major formats (COO, CSR, dense): `(i,j) -> (i,j)`.
 pub fn row_major_matrix() -> Remapping {
@@ -154,6 +185,24 @@ pub fn hicoo_matrix(block: usize, bits: u32) -> Remapping {
 mod tests {
     use super::*;
     use crate::eval::EvalContext;
+
+    #[test]
+    fn mode_permutation_permutes_coordinates() {
+        assert!(mode_permutation(&[0, 1, 2]).is_identity());
+        let remap = mode_permutation(&[2, 0, 1]);
+        assert_eq!(remap.to_string(), "(i,j,k) -> (k,i,j)");
+        let mut ctx = EvalContext::new(&remap);
+        assert_eq!(ctx.apply(&[5, 7, 9]).unwrap(), vec![9, 5, 7]);
+        // Pure permutations are invertible.
+        let inv = remap.inverter().expect("permutation inverts");
+        assert_eq!(inv.apply(&[9, 5, 7]), vec![5, 7, 9]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_permutation_mode_order_panics() {
+        mode_permutation(&[0, 0, 1]);
+    }
 
     #[test]
     fn stock_remappings_have_expected_shape() {

@@ -441,6 +441,136 @@ pub fn coo_to_csf(coo: &CooTensor, threads: usize) -> CsfTensor {
     CsfTensor::from_parts(shape.clone(), crd, pos, vals).expect("assembled CSF structure is valid")
 }
 
+/// Parallel COO→CSF along an arbitrary mode order: [`coo_to_csf`] with the
+/// root-fiber partitioner keyed on canonical mode `mode_order[0]` (the
+/// storage-outermost dimension) and the span sort comparing the *permuted*
+/// coordinate tuples. Bit-identical to
+/// [`engine::to_csf_ordered`] at any thread count, for the same reason the
+/// canonical kernel matches [`engine::to_csf`]: a stable bucket sort by the
+/// storage root followed by stable span sorts is one global stable
+/// lexicographic sort of the permuted tuples.
+///
+/// # Panics
+///
+/// Panics if `mode_order` is not a permutation of `0..coo.order()`.
+pub fn coo_to_csf_ordered(coo: &CooTensor, mode_order: &[usize], threads: usize) -> CsfTensor {
+    let nnz = coo.nnz();
+    let order = coo.order();
+    assert_eq!(mode_order.len(), order, "one mode per dimension");
+    let mut seen = vec![false; order];
+    for &m in mode_order {
+        assert!(
+            m < order && !seen[m],
+            "mode order {mode_order:?} is not a permutation of 0..{order}"
+        );
+        seen[m] = true;
+    }
+    if threads <= 1 || nnz == 0 || order < 2 {
+        return engine::to_csf_ordered(coo, mode_order);
+    }
+    let shape = coo.shape();
+    // Storage dimension d holds canonical mode mode_order[d]; the root
+    // partitioner keys on the storage-outermost mode.
+    let packed_shape =
+        sparse_tensor::Shape::new(mode_order.iter().map(|&m| shape.dim(m)).collect());
+    let roots = packed_shape.dim(0);
+    let root_crd = coo.crd(mode_order[0]);
+
+    // Analysis: per-chunk root histograms over even nonzero chunks.
+    let chunks = even_chunks(nnz, threads);
+    let hists: Vec<Vec<usize>> = std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .map(|r| {
+                let r = r.clone();
+                s.spawn(move || {
+                    let mut hist = vec![0usize; roots];
+                    for &i in &root_crd[r] {
+                        hist[i] += 1;
+                    }
+                    hist
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let (root_pos, cursors) = merge_histograms(&hists, roots);
+
+    // Stable bucket sort by storage root: scatter the source permutation.
+    let mut perm = vec![0usize; nnz];
+    {
+        let perm_out = SharedSlice::new(&mut perm);
+        std::thread::scope(|s| {
+            for (r, mut cursor) in chunks.iter().cloned().zip(cursors) {
+                let perm_out = &perm_out;
+                s.spawn(move || {
+                    for p in r {
+                        let dst = cursor[root_crd[p]];
+                        cursor[root_crd[p]] += 1;
+                        // SAFETY: cursor ranges partition the output.
+                        unsafe { perm_out.write(dst, p) };
+                    }
+                });
+            }
+        });
+    }
+
+    // Root-fiber chunks over the merged root pos array, spans split at
+    // whole-root boundaries (as in the canonical kernel).
+    let root_chunks = balanced_chunks_by_pos(&root_pos, threads);
+    let mut spans: Vec<&mut [usize]> = Vec::with_capacity(root_chunks.len());
+    {
+        let mut rest: &mut [usize] = &mut perm;
+        let mut consumed = 0usize;
+        for rc in &root_chunks {
+            let hi = root_pos[rc.end];
+            let (span, tail) = rest.split_at_mut(hi - consumed);
+            spans.push(span);
+            rest = tail;
+            consumed = hi;
+        }
+    }
+
+    // Sort each span stably by the *permuted* coordinate tuple, then pack.
+    let columns: Vec<&[usize]> = mode_order.iter().map(|&m| coo.crd(m)).collect();
+    let partials: Vec<CsfTensor> = std::thread::scope(|s| {
+        let handles: Vec<_> = spans
+            .into_iter()
+            .map(|span| {
+                let columns = &columns;
+                let vals = coo.values();
+                let packed_shape = packed_shape.clone();
+                s.spawn(move || {
+                    span.sort_by(|&a, &b| sparse_formats::csf::lex_cmp_at(columns, a, b));
+                    pack_sorted(
+                        packed_shape,
+                        |d, p| columns[d][span[p]],
+                        |p| vals[span[p]],
+                        span.len(),
+                    )
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // Stitch the per-chunk level arrays, as in the canonical kernel.
+    let mut crd: Vec<Vec<usize>> = vec![Vec::new(); order];
+    let mut pos: Vec<Vec<usize>> = vec![vec![0usize]; order - 1];
+    let mut vals: Vec<Value> = Vec::with_capacity(nnz);
+    for part in &partials {
+        for (l, level_crd) in crd.iter_mut().enumerate() {
+            level_crd.extend_from_slice(part.crd(l));
+        }
+        for (l, level_pos) in pos.iter_mut().enumerate() {
+            let offset = *level_pos.last().expect("pos arrays start with 0");
+            level_pos.extend(part.pos(l)[1..].iter().map(|&p| p + offset));
+        }
+        vals.extend_from_slice(part.values());
+    }
+    CsfTensor::from_parts(packed_shape, crd, pos, vals).expect("assembled CSF structure is valid")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -512,6 +642,36 @@ mod tests {
             assert_eq!(coo_to_csf(&coo, threads), reference, "{threads} threads");
         }
         assert!(reference.to_triples().same_values(&t));
+    }
+
+    #[test]
+    fn parallel_ordered_csf_kernel_is_bit_identical() {
+        let t = sparse_tensor::example::example3_tensor();
+        let mut coo = CooTensor::from_triples(&t);
+        let mut state = 17usize;
+        coo.shuffle_with(|bound| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state % bound
+        });
+        for order in [
+            [0, 1, 2],
+            [0, 2, 1],
+            [1, 0, 2],
+            [1, 2, 0],
+            [2, 0, 1],
+            [2, 1, 0],
+        ] {
+            let reference = engine::to_csf_ordered(&coo, &order);
+            for threads in [1, 2, 3, 4, 9] {
+                assert_eq!(
+                    coo_to_csf_ordered(&coo, &order, threads),
+                    reference,
+                    "{order:?} at {threads} threads"
+                );
+            }
+        }
     }
 
     #[test]

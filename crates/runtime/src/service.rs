@@ -331,6 +331,22 @@ impl ConversionService {
                         .fetch_add(1, Ordering::Relaxed);
                     return Ok(AnyMatrix::Csf(kernels::coo_to_csf(t, threads)));
                 }
+                // Mode-ordered CSF targets (registry formats named `CSF@...`)
+                // run the same root-partitioned kernel, sorted along the
+                // target's mode order.
+                (AnyMatrix::Coo3(t), None) => {
+                    if let Some(order) = target.mode_order() {
+                        if order.len() == 3 {
+                            let spec = target.spec().expect("mode order implies a spec");
+                            let csf = kernels::coo_to_csf_ordered(t, &order, threads);
+                            let custom = sparse_conv::mode::custom_from_csf(spec, &order, &csf)?;
+                            self.counters
+                                .parallel_kernels
+                                .fetch_add(1, Ordering::Relaxed);
+                            return Ok(AnyMatrix::Custom(Box::new(custom)));
+                        }
+                    }
+                }
                 _ => {}
             }
         }
@@ -452,6 +468,22 @@ mod tests {
         assert_eq!(svc.stats().sequential, 1);
         // Rank mismatches surface as errors, not panics.
         assert!(svc.convert(&coo3, FormatId::Csr).is_err());
+    }
+
+    #[test]
+    fn mode_ordered_targets_run_on_the_parallel_kernel() {
+        let t = sparse_tensor::example::example3_tensor();
+        let coo3 = AnyMatrix::Coo3(sparse_formats::CooTensor::from_triples(&t));
+        let svc = service(4);
+        for order in sparse_conv::select::ORDER3_MODE_ORDERS {
+            let target: Format = sparse_conv::mode::csf_ordered_name(&order).parse().unwrap();
+            let got = svc.convert(&coo3, target.clone()).unwrap();
+            let want = sparse_conv::convert(&coo3, &target).unwrap();
+            assert_eq!(got, want, "CSF@{order:?}");
+        }
+        // Five permuted targets hit the kernel; the canonical order resolves
+        // to the stock CSF handle and hits the stock kernel.
+        assert_eq!(svc.stats().parallel_kernels, 6);
     }
 
     #[test]

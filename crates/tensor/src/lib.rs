@@ -34,7 +34,7 @@ pub mod triples;
 pub use coord::{Coord, DimBounds, Shape};
 pub use dense::DenseMatrix;
 pub use error::TensorError;
-pub use stats::MatrixStats;
+pub use stats::{MatrixStats, TensorStats};
 pub use triples::{SparseTriples, Triple};
 
 /// The scalar value type used throughout the workspace.

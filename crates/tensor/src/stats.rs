@@ -98,6 +98,101 @@ impl MatrixStats {
     }
 }
 
+/// Structural statistics of an order-N tensor: the mode-level attribute
+/// queries a format selector needs to pick a CSF mode ordering (fiber counts
+/// along each candidate order) or to judge whether fiber compression pays
+/// off at all.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TensorStats {
+    /// Tensor order (number of dimensions).
+    pub order: usize,
+    /// Number of distinct nonzero coordinates.
+    pub nnz: usize,
+    /// Distinct coordinate values per mode (`distinct[d]` is the number of
+    /// root fibers of a CSF tree with mode `d` outermost).
+    pub distinct: Vec<usize>,
+    /// Distinct coordinate *pairs* over modes `(d, e)`, indexed `[d][e]`
+    /// (the number of depth-1 fibers of a CSF tree ordered `d` then `e`).
+    /// The diagonal repeats `distinct`.
+    pub pair_distinct: Vec<Vec<usize>>,
+}
+
+impl TensorStats {
+    /// Computes statistics for a [`SparseTriples`] tensor of any order.
+    /// Duplicate coordinates are counted once, like [`MatrixStats::compute`].
+    pub fn compute(t: &SparseTriples) -> Self {
+        let order = t.order();
+        let mut coords: HashSet<&[i64]> = HashSet::with_capacity(t.nnz());
+        for triple in t.iter() {
+            coords.insert(&triple.coord[..]);
+        }
+        let mut distinct = vec![0usize; order];
+        let mut pair_distinct = vec![vec![0usize; order]; order];
+        let mut singles: HashSet<i64> = HashSet::new();
+        let mut pairs: HashSet<(i64, i64)> = HashSet::new();
+        for d in 0..order {
+            singles.clear();
+            for c in &coords {
+                singles.insert(c[d]);
+            }
+            distinct[d] = singles.len();
+            for e in 0..order {
+                if e == d {
+                    pair_distinct[d][d] = distinct[d];
+                    continue;
+                }
+                pairs.clear();
+                for c in &coords {
+                    pairs.insert((c[d], c[e]));
+                }
+                pair_distinct[d][e] = pairs.len();
+            }
+        }
+        TensorStats {
+            order,
+            nnz: coords.len(),
+            distinct,
+            pair_distinct,
+        }
+    }
+
+    /// Number of interior fibers (all tree nodes above the leaf coordinates)
+    /// of a CSF tree packed along `mode_order` — the quantity a mode-order
+    /// selector minimises. Supported for orders up to 3, where the singles
+    /// and pairs tracked here cover every prefix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mode_order` does not have one entry per mode or the order
+    /// exceeds 3.
+    pub fn csf_fibers(&self, mode_order: &[usize]) -> usize {
+        assert_eq!(mode_order.len(), self.order, "one mode per dimension");
+        assert!(self.order <= 3, "prefix statistics cover orders up to 3");
+        match mode_order {
+            [] | [_] => 0,
+            [o0, _] => self.distinct[*o0],
+            [o0, o1, _] => self.distinct[*o0] + self.pair_distinct[*o0][*o1],
+            _ => unreachable!("order checked above"),
+        }
+    }
+
+    /// Fraction of leaf coordinates that start a fresh innermost fiber when
+    /// packed along `mode_order`: 1.0 means every nonzero sits in its own
+    /// fiber (CSF's `pos` arrays are pure overhead), small values mean long
+    /// fibers (compression pays off).
+    pub fn fiber_overhead(&self, mode_order: &[usize]) -> f64 {
+        if self.nnz == 0 {
+            return 0.0;
+        }
+        match mode_order {
+            [] | [_] => 0.0,
+            [o0, _] => self.distinct[*o0] as f64 / self.nnz as f64,
+            [o0, o1, _] => self.pair_distinct[*o0][*o1] as f64 / self.nnz as f64,
+            _ => panic!("prefix statistics cover orders up to 3"),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -18,8 +18,14 @@ impl ProptestConfig {
 }
 
 impl Default for ProptestConfig {
+    /// 256 cases, overridable through the `PROPTEST_CASES` environment
+    /// variable (long-run CI jobs boost it without touching test code).
     fn default() -> Self {
-        ProptestConfig { cases: 256 }
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(256);
+        ProptestConfig { cases }
     }
 }
 
