@@ -1,0 +1,119 @@
+//! Compares two `BENCH_conversions.json` documents and fails (exit 1) when
+//! any shared row regressed beyond a threshold.
+//!
+//! Usage: `bench_check BASELINE.json CURRENT.json`
+//!
+//! Raw nanoseconds are not comparable across machines (the committed
+//! baseline snapshot and a CI runner differ in clock speed), so both
+//! documents are first *normalised by their own geomean* over the rows they
+//! share: machine speed cancels and what remains is each row's time
+//! relative to its siblings. A row "regresses" when its normalised time
+//! grows by more than the threshold.
+//!
+//! Environment variables:
+//!
+//! * `BENCH_REGRESSION_PCT` — allowed relative growth, percent (default 20),
+//! * `BENCH_MIN_NS` — minimum absolute slowdown (normalised, in baseline
+//!   nanoseconds) for a row to count as regressed (default 50000). Sub-floor
+//!   rows are timer noise: a 100 µs row doubling is a 100 µs delta, not a
+//!   regression worth failing CI over.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use conv_bench::{env_f64, geomean, parse_bench_json, BenchRecord};
+
+/// Identity of a measured row (scale included: the same pair measured at a
+/// different input size is a different measurement).
+fn key(r: &BenchRecord) -> String {
+    format!(
+        "{} {}->{} t{} s{}",
+        r.matrix, r.source, r.target, r.threads, r.scale
+    )
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [baseline_path, current_path] = &args[..] else {
+        eprintln!("usage: bench_check BASELINE.json CURRENT.json");
+        return ExitCode::from(2);
+    };
+    let read = |path: &str| -> Vec<BenchRecord> {
+        let text =
+            std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+        parse_bench_json(&text)
+    };
+    let baseline: HashMap<String, u128> = read(baseline_path)
+        .iter()
+        .map(|r| (key(r), r.median_ns))
+        .collect();
+    let current: HashMap<String, u128> = read(current_path)
+        .iter()
+        .map(|r| (key(r), r.median_ns))
+        .collect();
+
+    let threshold = env_f64("BENCH_REGRESSION_PCT", 20.0) / 100.0;
+    let floor_ns = env_f64("BENCH_MIN_NS", 50_000.0);
+
+    let mut shared: Vec<&String> = baseline
+        .keys()
+        .filter(|k| current.contains_key(*k))
+        .collect();
+    shared.sort();
+    if shared.is_empty() {
+        // First run after a row rename: nothing comparable, nothing to gate.
+        println!(
+            "bench_check: no shared rows between {baseline_path} ({}) and {current_path} ({})",
+            baseline.len(),
+            current.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+    let old_gm = geomean(
+        &shared
+            .iter()
+            .map(|k| baseline[*k] as f64)
+            .collect::<Vec<_>>(),
+    );
+    let new_gm = geomean(
+        &shared
+            .iter()
+            .map(|k| current[*k] as f64)
+            .collect::<Vec<_>>(),
+    );
+    println!(
+        "bench_check: {} shared rows, geomeans {:.0} ns -> {:.0} ns (machine factor {:.2}x)",
+        shared.len(),
+        old_gm,
+        new_gm,
+        new_gm / old_gm
+    );
+
+    let mut regressions = 0usize;
+    for k in &shared {
+        let (old_ns, new_ns) = (baseline[*k] as f64, current[*k] as f64);
+        let ratio = (new_ns / new_gm) / (old_ns / old_gm);
+        // The regression magnitude in baseline-machine nanoseconds: relative
+        // growth alone flags micro-rows whose medians jitter by 2x.
+        let delta_ns = (ratio - 1.0) * old_ns;
+        let marker = if ratio > 1.0 + threshold && delta_ns > floor_ns {
+            regressions += 1;
+            " REGRESSED"
+        } else {
+            ""
+        };
+        println!(
+            "  {k}: {old_ns:.0} ns -> {new_ns:.0} ns (normalised {:+.1}%){marker}",
+            (ratio - 1.0) * 100.0
+        );
+    }
+    if regressions > 0 {
+        eprintln!(
+            "bench_check: {regressions} row(s) regressed more than {:.0}% (normalised)",
+            threshold * 100.0
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("bench_check: ok");
+    ExitCode::SUCCESS
+}

@@ -23,6 +23,17 @@ pub enum ConvertError {
         /// Why the specification was rejected.
         reason: String,
     },
+    /// An I/O operation failed while streaming tensor data (reading a
+    /// dataset file, spilling or re-reading external-sort runs). Carries the
+    /// rendered `std::io::Error`, which keeps this enum `Clone + PartialEq`.
+    Io(String),
+    /// A streamed dataset file (Matrix Market, FROSTT) failed to parse.
+    Parse {
+        /// 1-based line number the parser stopped at (0 when unknown).
+        line: u64,
+        /// What was wrong with the line.
+        message: String,
+    },
     /// The produced data structures failed validation.
     Structure(sparse_tensor::TensorError),
     /// A remapping failed to evaluate.
@@ -47,6 +58,10 @@ impl fmt::Display for ConvertError {
             ConvertError::UnsupportedSpec { reason } => {
                 write!(f, "unsupported format specification: {reason}")
             }
+            ConvertError::Io(msg) => write!(f, "I/O error: {msg}"),
+            ConvertError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
             ConvertError::Structure(e) => write!(f, "invalid output structure: {e}"),
             ConvertError::Remap(e) => write!(f, "remapping error: {e}"),
             ConvertError::Query(e) => write!(f, "attribute query error: {e}"),
@@ -56,6 +71,12 @@ impl fmt::Display for ConvertError {
 }
 
 impl Error for ConvertError {}
+
+impl From<std::io::Error> for ConvertError {
+    fn from(e: std::io::Error) -> Self {
+        ConvertError::Io(e.to_string())
+    }
+}
 
 impl From<sparse_tensor::TensorError> for ConvertError {
     fn from(e: sparse_tensor::TensorError) -> Self {
@@ -106,5 +127,13 @@ mod tests {
         }
         .to_string()
         .contains("banded level at the root"));
+        let e: ConvertError = std::io::Error::new(std::io::ErrorKind::NotFound, "no.mtx").into();
+        assert!(e.to_string().contains("no.mtx"));
+        assert!(ConvertError::Parse {
+            line: 7,
+            message: "bad coordinate".into()
+        }
+        .to_string()
+        .contains("line 7"));
     }
 }

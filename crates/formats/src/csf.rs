@@ -256,10 +256,95 @@ impl CsfTensor {
     }
 }
 
+/// An incremental CSF packer: push nonzeros in lexicographic (fiber-tree)
+/// order, one at a time, and [`CsfBuilder::finish`] assembles the level
+/// arrays. This is the packing loop of the paper's sort-then-pack recipe
+/// factored out of [`pack_sorted`] so that *streaming* consumers (an
+/// external merge sort draining runs from disk) and the in-memory paths
+/// share the exact same code — bit-identical outputs by construction.
+///
+/// The caller is responsible for feeding coordinates in non-decreasing
+/// lexicographic order with in-bounds components (the contract [`pack_sorted`]
+/// has always had); duplicates of the full coordinate tuple are stored as
+/// adjacent innermost entries.
+#[derive(Debug)]
+pub struct CsfBuilder {
+    shape: Shape,
+    crd: Vec<Vec<usize>>,
+    pos: Vec<Vec<usize>>,
+    vals: Vec<Value>,
+    prev: Vec<usize>,
+}
+
+impl CsfBuilder {
+    /// An empty builder for tensors of the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics on order-0 shapes (a tensor needs at least one level).
+    pub fn new(shape: Shape) -> Self {
+        let order = shape.order();
+        assert!(order >= 1, "CSF needs at least one level");
+        CsfBuilder {
+            shape,
+            crd: vec![Vec::new(); order],
+            pos: vec![vec![0]; order - 1],
+            vals: Vec::new(),
+            prev: Vec::new(),
+        }
+    }
+
+    /// Appends the next nonzero in sorted order.
+    pub fn push(&mut self, coord: &[usize], value: Value) {
+        let order = self.shape.order();
+        debug_assert_eq!(coord.len(), order, "coordinate arity mismatch");
+        // The first level whose coordinate differs from the previous nonzero
+        // opens a fresh fiber there and at every deeper level.
+        let split = (0..order)
+            .find(|&d| self.prev.get(d) != Some(&coord[d]))
+            .unwrap_or(order - 1);
+        for (d, &c) in coord.iter().enumerate().skip(split) {
+            self.crd[d].push(c);
+            if d + 1 < order {
+                // Placeholder for the new fiber's end offset.
+                self.pos[d].push(0);
+            }
+        }
+        // Every open fiber's end offset is the running child length.
+        for d in 0..order - 1 {
+            self.pos[d][self.crd[d].len()] = self.crd[d + 1].len();
+        }
+        self.prev.clear();
+        self.prev.extend_from_slice(coord);
+        self.vals.push(value);
+    }
+
+    /// Number of nonzeros pushed so far.
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Assembles the packed tensor.
+    pub fn finish(self) -> CsfTensor {
+        let order = self.shape.order();
+        for d in 0..order.saturating_sub(1) {
+            debug_assert_eq!(self.pos[d].len(), self.crd[d].len() + 1);
+            debug_assert_eq!(self.pos[d].last().copied(), Some(self.crd[d + 1].len()));
+        }
+        CsfTensor {
+            shape: self.shape,
+            crd: self.crd,
+            pos: self.pos,
+            vals: self.vals,
+        }
+    }
+}
+
 /// Packs already-sorted nonzeros into CSF level arrays. `coord_at(d, p)` and
 /// `value_at(p)` read the `p`-th nonzero in sorted order. Exposed so the
 /// conversion engine and the parallel runtime kernels can share the exact
-/// packing loop (bit-identical outputs by construction).
+/// packing loop (bit-identical outputs by construction); implemented on
+/// [`CsfBuilder`], which streaming consumers drive directly.
 pub fn pack_sorted(
     shape: Shape,
     coord_at: impl Fn(usize, usize) -> usize,
@@ -267,40 +352,15 @@ pub fn pack_sorted(
     nnz: usize,
 ) -> CsfTensor {
     let order = shape.order();
-    let mut crd: Vec<Vec<usize>> = vec![Vec::new(); order];
-    let mut pos: Vec<Vec<usize>> = vec![vec![0]; order.saturating_sub(1)];
-    let mut vals: Vec<Value> = Vec::with_capacity(nnz);
-    let mut prev: Vec<usize> = Vec::new();
+    let mut builder = CsfBuilder::new(shape);
+    let mut coord = vec![0usize; order];
     for p in 0..nnz {
-        // The first level whose coordinate differs from the previous nonzero
-        // opens a fresh fiber there and at every deeper level.
-        let split = (0..order)
-            .find(|&d| prev.get(d) != Some(&coord_at(d, p)))
-            .unwrap_or(order - 1);
-        for d in split..order {
-            crd[d].push(coord_at(d, p));
-            if d + 1 < order {
-                // Placeholder for the new fiber's end offset.
-                pos[d].push(0);
-            }
+        for (d, c) in coord.iter_mut().enumerate() {
+            *c = coord_at(d, p);
         }
-        // Every open fiber's end offset is the running child length.
-        for d in 0..order - 1 {
-            pos[d][crd[d].len()] = crd[d + 1].len();
-        }
-        prev = (0..order).map(|d| coord_at(d, p)).collect();
-        vals.push(value_at(p));
+        builder.push(&coord, value_at(p));
     }
-    for d in 0..order.saturating_sub(1) {
-        debug_assert_eq!(pos[d].len(), crd[d].len() + 1);
-        debug_assert_eq!(pos[d].last().copied(), Some(crd[d + 1].len()));
-    }
-    CsfTensor {
-        shape,
-        crd,
-        pos,
-        vals,
-    }
+    builder.finish()
 }
 
 #[cfg(test)]

@@ -40,7 +40,7 @@ pub use bcsr::BcsrMatrix;
 pub use coo::CooMatrix;
 pub use coo_tensor::CooTensor;
 pub use csc::CscMatrix;
-pub use csf::CsfTensor;
+pub use csf::{CsfBuilder, CsfTensor};
 pub use csr::CsrMatrix;
 pub use dia::DiaMatrix;
 pub use dok::DokMatrix;

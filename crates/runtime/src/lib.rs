@@ -19,7 +19,13 @@
 //!   request (direct vs. via-COO, decided by a cost model over the plan and
 //!   the source's storage statistics), picks parallel or sequential
 //!   execution, and schedules independent conversions across a
-//!   [`pool::WorkerPool`].
+//!   [`pool::WorkerPool`];
+//! * [`streaming`] is the out-of-core path:
+//!   [`ConversionService::convert_stream`](service::ConversionService::convert_stream)
+//!   pipelines `conv-stream` coordinate blocks through the pool into an
+//!   external merge sort, so a tensor larger than memory converts to
+//!   CSR/CSF under a fixed [`MemoryBudget`](conv_stream::MemoryBudget),
+//!   byte-identical to the in-memory engine.
 //!
 //! # Quickstart
 //!
@@ -55,7 +61,9 @@ pub mod kernels;
 pub mod partition;
 pub mod pool;
 pub mod service;
+pub mod streaming;
 
 pub use cache::{PlanCache, PlanKey};
 pub use pool::WorkerPool;
 pub use service::{ConversionService, Route, ServiceConfig, ServiceStats};
+pub use streaming::{StreamConversion, StreamOptions};

@@ -105,15 +105,21 @@ pub fn balanced_chunks_by_pos(pos: &[usize], parts: usize) -> Vec<Range<usize>> 
         if start == parents {
             break;
         }
-        // The last chunk takes everything left; earlier chunks stop at the
-        // first parent whose cumulative child count crosses the next target.
+        // The last chunk takes everything left; earlier chunks cut at the
+        // parent boundary whose cumulative child count is *nearest* the next
+        // target. (Always rounding down — the old `binary_search` behaviour —
+        // starves early chunks whenever a heavy parent straddles the target,
+        // and is not even deterministic when empty parents duplicate `pos`
+        // values; `partition_point` plus a two-candidate comparison is both.)
         let mut end = if c + 1 == parts {
             parents
         } else {
             let target = (total * (c + 1)) / parts;
-            match pos.binary_search(&target) {
-                Ok(i) => i,
-                Err(i) => i.saturating_sub(1),
+            let hi = pos.partition_point(|&x| x < target);
+            if hi == 0 || pos[hi] - target <= target - pos[hi - 1] {
+                hi
+            } else {
+                hi - 1
             }
         };
         end = end.clamp(start + 1, parents);
@@ -164,6 +170,22 @@ mod tests {
         let chunks = balanced_chunks_by_pos(&uniform, 2);
         covers(&chunks, 4);
         assert_eq!(chunks, vec![0..2, 2..4]);
+    }
+
+    #[test]
+    fn balanced_chunks_round_to_the_nearest_boundary() {
+        // Parents with 6, 6, 1, 7 children: the halfway target (10) is
+        // nearer the 12-boundary than the 6-boundary, so the first chunk
+        // takes two parents (12 vs 8) instead of rounding down to one
+        // (6 vs 14).
+        let pos = [0usize, 6, 12, 13, 20];
+        assert_eq!(balanced_chunks_by_pos(&pos, 2), vec![0..2, 2..4]);
+        // Duplicate pos values (empty parents) stay deterministic and cover
+        // the space.
+        let pos = [0usize, 0, 0, 5, 5, 5, 10];
+        let chunks = balanced_chunks_by_pos(&pos, 3);
+        covers(&chunks, 6);
+        assert_eq!(chunks, vec![0..3, 3..5, 5..6]);
     }
 
     #[test]

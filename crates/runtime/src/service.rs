@@ -20,14 +20,16 @@
 //! inside each worker (the batch itself is the parallel axis), so a batch
 //! never oversubscribes the machine.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
+use conv_stream::{ExternalSorter, MemTracker, SorterConfig, StreamStats, TensorStream};
 use sparse_conv::convert::{AnyMatrix, FormatId};
 use sparse_conv::{engine, ConversionPlan, ConvertError, Format};
 
 use crate::cache::PlanCache;
 use crate::kernels;
 use crate::pool::WorkerPool;
+use crate::streaming::{self, StreamConversion, StreamOptions, StreamTarget};
 
 /// Tuning knobs of a [`ConversionService`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -78,6 +80,11 @@ struct ServiceCounters {
     sequential: AtomicU64,
     via_coo: AtomicU64,
     batch_jobs: AtomicU64,
+    streams: AtomicU64,
+    stream_spilled_runs: AtomicU64,
+    stream_spilled_bytes: AtomicU64,
+    stream_peak_bytes: AtomicUsize,
+    materialized: AtomicU64,
 }
 
 /// A point-in-time copy of a service's counters (plus its plan-cache
@@ -94,6 +101,19 @@ pub struct ServiceStats {
     pub via_coo: u64,
     /// Jobs submitted through [`ConversionService::convert_batch`].
     pub batch_jobs: u64,
+    /// Streaming conversions requested through
+    /// [`ConversionService::convert_stream`].
+    pub streams: u64,
+    /// Sorted runs the streaming conversions spilled to disk.
+    pub stream_spilled_runs: u64,
+    /// Bytes the streaming conversions wrote to spill files.
+    pub stream_spilled_bytes: u64,
+    /// High-water mark (bytes) of any streaming conversion's tracked
+    /// working set.
+    pub stream_peak_bytes: usize,
+    /// Streaming requests that had no streamed packer for their target and
+    /// fell back to materialising the input in memory.
+    pub materialized: u64,
     /// Plan-cache hits.
     pub plan_hits: u64,
     /// Plan-cache misses (plans built).
@@ -209,6 +229,95 @@ impl ConversionService {
         })
     }
 
+    /// Converts a [`TensorStream`] without ever materialising the input,
+    /// bounded by the working-set budget in `opts`. Blocks are pre-sorted in
+    /// parallel on the worker pool, buffered by an external merge sort that
+    /// spills sorted runs to disk when the budget fills, and k-way-merged
+    /// straight into the target's packing loop. Inputs that fit the budget
+    /// never touch disk (the in-memory fast case, `stats.in_memory`).
+    ///
+    /// CSR (order-2), CSF, and mode-ordered `CSF@...` registry targets are
+    /// streamed end to end and produce output **byte-identical** to
+    /// [`ConversionService::convert`] on the materialised input. Any other
+    /// target falls back to materialising the stream into COO and converting
+    /// in memory (counted in [`ServiceStats::materialized`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates source I/O and parse errors, spill-file I/O errors, and
+    /// conversion errors from the fallback path.
+    pub fn convert_stream<S, F>(
+        &self,
+        mut stream: S,
+        target: F,
+        opts: &StreamOptions,
+    ) -> Result<StreamConversion, ConvertError>
+    where
+        S: TensorStream + Send,
+        F: Into<Format>,
+    {
+        let target = target.into();
+        self.counters.streams.fetch_add(1, Ordering::Relaxed);
+        let shape = stream.shape().clone();
+        let plan = streaming::classify(&target, shape.order());
+        if plan == StreamTarget::Materialize {
+            self.counters.materialized.fetch_add(1, Ordering::Relaxed);
+            let mut stats = StreamStats {
+                in_memory: true,
+                ..StreamStats::default()
+            };
+            let src = streaming::materialize(&mut stream, &mut stats)?;
+            // `convert` counts the conversion and applies routing/kernels.
+            let tensor = self.convert_inner(&src, &target, true)?;
+            return Ok(StreamConversion { tensor, stats });
+        }
+        self.counters.conversions.fetch_add(1, Ordering::Relaxed);
+        let key = match &plan {
+            StreamTarget::Csr => vec![0],
+            StreamTarget::Csf { mode_order, .. } => mode_order.clone(),
+            StreamTarget::Materialize => unreachable!("handled above"),
+        };
+        let cfg = SorterConfig {
+            budget: opts.budget,
+            spill_dir: opts.spill_dir.clone(),
+        };
+        let mut sorter = ExternalSorter::new(shape.clone(), key, cfg, MemTracker::new())?;
+        streaming::pump(
+            &mut stream,
+            &mut sorter,
+            &self.pool,
+            self.config.threads,
+            opts.channel_blocks,
+        )?;
+        let (tensor, stats) = match plan {
+            StreamTarget::Csr => {
+                let (csr, stats) = streaming::assemble_csr(&shape, sorter)?;
+                (AnyMatrix::Csr(csr), stats)
+            }
+            StreamTarget::Csf { mode_order, custom } => {
+                let (csf, stats) = streaming::assemble_csf(&shape, &mode_order, sorter)?;
+                if custom {
+                    let spec = target.spec().expect("mode order implies a spec");
+                    let wrapped = sparse_conv::mode::custom_from_csf(spec, &mode_order, &csf)?;
+                    (AnyMatrix::Custom(Box::new(wrapped)), stats)
+                } else {
+                    (AnyMatrix::Csf(csf), stats)
+                }
+            }
+            StreamTarget::Materialize => unreachable!("handled above"),
+        };
+        self.counters
+            .stream_spilled_runs
+            .fetch_add(stats.spilled_runs, Ordering::Relaxed);
+        self.counters
+            .stream_spilled_bytes
+            .fetch_add(stats.spilled_bytes, Ordering::Relaxed);
+        self.counters
+            .stream_peak_bytes
+            .fetch_max(stats.peak_tracked_bytes, Ordering::Relaxed);
+        Ok(StreamConversion { tensor, stats })
+    }
+
     /// A snapshot of the service's execution and plan-cache statistics.
     pub fn stats(&self) -> ServiceStats {
         ServiceStats {
@@ -217,6 +326,11 @@ impl ConversionService {
             sequential: self.counters.sequential.load(Ordering::Relaxed),
             via_coo: self.counters.via_coo.load(Ordering::Relaxed),
             batch_jobs: self.counters.batch_jobs.load(Ordering::Relaxed),
+            streams: self.counters.streams.load(Ordering::Relaxed),
+            stream_spilled_runs: self.counters.stream_spilled_runs.load(Ordering::Relaxed),
+            stream_spilled_bytes: self.counters.stream_spilled_bytes.load(Ordering::Relaxed),
+            stream_peak_bytes: self.counters.stream_peak_bytes.load(Ordering::Relaxed),
+            materialized: self.counters.materialized.load(Ordering::Relaxed),
             plan_hits: self.cache.hits(),
             plan_misses: self.cache.misses(),
             cached_plans: self.cache.len(),

@@ -1,0 +1,272 @@
+//! The streaming side of the service: pipeline plumbing and streamed packers.
+//!
+//! [`ConversionService::convert_stream`](crate::ConversionService::convert_stream)
+//! orchestrates three pieces that live here:
+//!
+//! * [`classify`](self) — decides whether a target has a streamed packer
+//!   (CSR, CSF, and mode-ordered `CSF@...` registry formats) or must fall
+//!   back to materialising the input;
+//! * [`pump`](self) — the producer/consumer pipeline: a producer thread pulls
+//!   [`CoordBlock`]s from the source and sends them through a *bounded*
+//!   channel (the bound is the backpressure: a slow sorter stalls the
+//!   producer instead of letting blocks pile up), while the consumer groups
+//!   blocks and pre-sorts each group in parallel on the service's
+//!   [`WorkerPool`] before feeding the [`ExternalSorter`];
+//! * the `assemble_*` packers — they drain the sorter straight into the same
+//!   packing loops the in-memory engine uses (`CsfBuilder`, the CSR
+//!   count/prefix/fill), which is what makes streamed output byte-identical.
+
+use std::path::PathBuf;
+use std::sync::mpsc;
+
+use conv_stream::sorter::MemRun;
+use conv_stream::{
+    CooSink, CoordBlock, ExternalSorter, MemoryBudget, StreamStats, TensorSink, TensorStream,
+};
+use sparse_conv::convert::{AnyMatrix, FormatId};
+use sparse_conv::{ConvertError, Format};
+use sparse_formats::{CooMatrix, CsfBuilder, CsfTensor, CsrMatrix};
+use sparse_tensor::Shape;
+
+use crate::pool::WorkerPool;
+
+/// Tuning knobs of a streaming conversion.
+#[derive(Debug, Clone, Default)]
+pub struct StreamOptions {
+    /// Working-set budget for the external sort (sort buffers, in-flight
+    /// blocks, merge read buffers). Inputs that fit stay entirely in memory.
+    pub budget: MemoryBudget,
+    /// Capacity of the bounded block channel between the producer and the
+    /// sorter — the backpressure depth. `0` means "one block per worker".
+    pub channel_blocks: usize,
+    /// Directory for spill runs (the system temp directory when `None`).
+    pub spill_dir: Option<PathBuf>,
+}
+
+impl StreamOptions {
+    /// Options converting under `budget` with default pipeline depth.
+    pub fn with_budget(budget: MemoryBudget) -> Self {
+        StreamOptions {
+            budget,
+            ..StreamOptions::default()
+        }
+    }
+}
+
+/// A streamed conversion's result: the packed tensor plus the streaming
+/// statistics (spill counts, working-set high-water mark).
+#[derive(Debug)]
+pub struct StreamConversion {
+    /// The conversion result, byte-identical to the in-memory path.
+    pub tensor: AnyMatrix,
+    /// What the pipeline did to produce it.
+    pub stats: StreamStats,
+}
+
+/// How a target is reached from a stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum StreamTarget {
+    /// Streamed CSR: sort by row, count/prefix/fill.
+    Csr,
+    /// Streamed CSF along a mode order (the identity for stock CSF);
+    /// `custom` marks registry `CSF@...` targets that wrap into a
+    /// [`CustomTensor`](sparse_conv::generic::CustomTensor).
+    Csf {
+        mode_order: Vec<usize>,
+        custom: bool,
+    },
+    /// No streamed packer: materialise to COO, then convert in memory.
+    Materialize,
+}
+
+/// Classifies a target for an order-`order` stream.
+pub(crate) fn classify(target: &Format, order: usize) -> StreamTarget {
+    match target.id() {
+        Some(FormatId::Csr) if order == 2 => StreamTarget::Csr,
+        Some(FormatId::Csf) => StreamTarget::Csf {
+            mode_order: (0..order).collect(),
+            custom: false,
+        },
+        None => match target.mode_order() {
+            Some(mode_order) if mode_order.len() == order => StreamTarget::Csf {
+                mode_order,
+                custom: true,
+            },
+            _ => StreamTarget::Materialize,
+        },
+        _ => StreamTarget::Materialize,
+    }
+}
+
+/// Runs the producer/consumer pipeline: a producer thread feeds blocks into
+/// a bounded channel; the calling thread drains it in groups of up to
+/// `threads` blocks, pre-sorts each group on the pool, and pushes the runs
+/// into the sorter in arrival order (which later merges use to break ties).
+pub(crate) fn pump<S: TensorStream + Send>(
+    stream: &mut S,
+    sorter: &mut ExternalSorter,
+    pool: &WorkerPool,
+    threads: usize,
+    channel_blocks: usize,
+) -> Result<(), ConvertError> {
+    let tracker = sorter.tracker().clone();
+    let key = sorter.key().to_vec();
+    let group_size = threads.max(1);
+    let depth = if channel_blocks == 0 {
+        group_size
+    } else {
+        channel_blocks
+    };
+    std::thread::scope(|s| {
+        let (tx, rx) = mpsc::sync_channel::<CoordBlock>(depth);
+        let producer_tracker = tracker.clone();
+        let producer = s.spawn(move || -> Result<(), ConvertError> {
+            while let Some(block) = stream.next_block()? {
+                producer_tracker.add(block.approx_bytes());
+                if tx.send(block).is_err() {
+                    // The consumer hung up after an error; it reports it.
+                    return Ok(());
+                }
+            }
+            Ok(())
+        });
+        let consumed = (move || -> Result<(), ConvertError> {
+            // `rx` is moved in, so an early error return drops it and
+            // unblocks the producer.
+            loop {
+                let mut group: Vec<CoordBlock> = match rx.recv() {
+                    Ok(b) => vec![b],
+                    Err(_) => return Ok(()),
+                };
+                while group.len() < group_size {
+                    match rx.try_recv() {
+                        Ok(b) => group.push(b),
+                        Err(_) => break,
+                    }
+                }
+                let runs: Vec<MemRun> = if threads > 1 && group.len() > 1 {
+                    pool.run(group.len(), |i| MemRun::from_block(&group[i], &key))
+                } else {
+                    group.iter().map(|b| MemRun::from_block(b, &key)).collect()
+                };
+                for (block, run) in group.iter().zip(runs) {
+                    tracker.sub(block.approx_bytes());
+                    sorter.push_run(run)?;
+                }
+            }
+        })();
+        let produced = producer.join().expect("stream producer panicked");
+        produced?;
+        consumed
+    })
+}
+
+/// Drains the sorter into a CSR matrix: rows arrive in nondecreasing order
+/// (and within a row in arrival order, because the sort key is the row
+/// alone), so one counting pass plus a prefix sum reproduces
+/// `engine::to_csr`'s output exactly.
+pub(crate) fn assemble_csr(
+    shape: &Shape,
+    sorter: ExternalSorter,
+) -> Result<(CsrMatrix, StreamStats), ConvertError> {
+    let (rows, cols) = (shape.dim(0), shape.dim(1));
+    let entries = sorter.stats().entries as usize;
+    let mut counts = vec![0usize; rows];
+    let mut crd = Vec::with_capacity(entries);
+    let mut vals = Vec::with_capacity(entries);
+    let stats = sorter.drain(|coord, v| {
+        counts[coord[0]] += 1;
+        crd.push(coord[1]);
+        vals.push(v);
+        Ok(())
+    })?;
+    let mut pos = vec![0usize; rows + 1];
+    for i in 0..rows {
+        pos[i + 1] = pos[i] + counts[i];
+    }
+    let csr = CsrMatrix::from_parts(rows, cols, pos, crd, vals)
+        .expect("assembled CSR structure is valid");
+    Ok((csr, stats))
+}
+
+/// Drains the sorter into CSF along `mode_order` (storage level `d` holds
+/// canonical mode `mode_order[d]`). The sorter's key is `mode_order` itself,
+/// so entries arrive exactly as the engine's stable lexicographic sort of
+/// the permuted tuples would emit them, and the shared [`CsfBuilder`] packs
+/// them identically.
+pub(crate) fn assemble_csf(
+    shape: &Shape,
+    mode_order: &[usize],
+    sorter: ExternalSorter,
+) -> Result<(CsfTensor, StreamStats), ConvertError> {
+    let packed = Shape::new(mode_order.iter().map(|&m| shape.dim(m)).collect());
+    let mut builder = CsfBuilder::new(packed);
+    let mut buf = vec![0usize; mode_order.len()];
+    let stats = sorter.drain(|coord, v| {
+        for (d, &m) in mode_order.iter().enumerate() {
+            buf[d] = coord[m];
+        }
+        builder.push(&buf, v);
+        Ok(())
+    })?;
+    Ok((builder.finish(), stats))
+}
+
+/// Consumes the whole stream into an in-memory COO source (the fallback for
+/// targets without a streamed packer), counting blocks and entries.
+pub(crate) fn materialize<S: TensorStream>(
+    stream: &mut S,
+    stats: &mut StreamStats,
+) -> Result<AnyMatrix, ConvertError> {
+    let mut sink = CooSink::new(stream.shape().clone());
+    while let Some(block) = stream.next_block()? {
+        stats.blocks += 1;
+        stats.entries += block.nnz() as u64;
+        sink.push_block(block)?;
+    }
+    let tensor = sink.into_tensor();
+    Ok(if tensor.order() == 2 {
+        let mut m = CooMatrix::new(tensor.shape().dim(0), tensor.shape().dim(1));
+        for p in 0..tensor.nnz() {
+            m.push(tensor.crd(0)[p], tensor.crd(1)[p], tensor.values()[p]);
+        }
+        AnyMatrix::Coo(m)
+    } else {
+        AnyMatrix::Coo3(tensor)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_covers_the_streamed_targets() {
+        assert_eq!(classify(&Format::from(FormatId::Csr), 2), StreamTarget::Csr);
+        // CSR needs an order-2 stream; an order-3 stream materialises.
+        assert_eq!(
+            classify(&Format::from(FormatId::Csr), 3),
+            StreamTarget::Materialize
+        );
+        assert_eq!(
+            classify(&Format::from(FormatId::Csf), 3),
+            StreamTarget::Csf {
+                mode_order: vec![0, 1, 2],
+                custom: false
+            }
+        );
+        let permuted: Format = "CSF@2,0,1".parse().unwrap();
+        assert_eq!(
+            classify(&permuted, 3),
+            StreamTarget::Csf {
+                mode_order: vec![2, 0, 1],
+                custom: true
+            }
+        );
+        assert_eq!(classify(&permuted, 2), StreamTarget::Materialize);
+        assert_eq!(
+            classify(&Format::from(FormatId::Ell), 2),
+            StreamTarget::Materialize
+        );
+    }
+}

@@ -1,0 +1,160 @@
+//! Bounded coordinate blocks — the unit a [`crate::TensorStream`] yields.
+
+use sparse_conv::ConvertError;
+use sparse_tensor::{Shape, Value};
+
+/// A bounded chunk of COO nonzeros: one coordinate column per dimension plus
+/// values, tagged with the tensor's full rank-`N` [`Shape`] and optional
+/// sorted-run metadata (`sorted_by`), which lets downstream sorters skip
+/// re-sorting blocks a loader already produced in key order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoordBlock {
+    shape: Shape,
+    crd: Vec<Vec<usize>>,
+    vals: Vec<Value>,
+    /// The key (a sequence of dimension indices) this block's entries are
+    /// known to be sorted by, if any.
+    sorted_by: Option<Vec<usize>>,
+}
+
+impl CoordBlock {
+    /// An empty block for tensors of the given shape.
+    pub fn new(shape: Shape) -> Self {
+        Self::with_capacity(shape, 0)
+    }
+
+    /// An empty block with room for `cap` nonzeros.
+    pub fn with_capacity(shape: Shape, cap: usize) -> Self {
+        let order = shape.order();
+        CoordBlock {
+            shape,
+            crd: vec![Vec::with_capacity(cap); order],
+            vals: Vec::with_capacity(cap),
+            sorted_by: None,
+        }
+    }
+
+    /// Appends a nonzero, clearing any sorted-run metadata.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConvertError::Structure`] when the coordinate's arity or a
+    /// component is out of bounds.
+    pub fn push(&mut self, coord: &[usize], value: Value) -> Result<(), ConvertError> {
+        if coord.len() != self.order() {
+            return Err(ConvertError::Structure(
+                sparse_tensor::TensorError::InvalidStructure(format!(
+                    "coordinate arity {} for an order-{} block",
+                    coord.len(),
+                    self.order()
+                )),
+            ));
+        }
+        for (d, &c) in coord.iter().enumerate() {
+            if c >= self.shape.dim(d) {
+                return Err(ConvertError::Structure(
+                    sparse_tensor::TensorError::InvalidStructure(format!(
+                        "coordinate {c} out of bounds for dimension {d} of {}",
+                        self.shape
+                    )),
+                ));
+            }
+        }
+        for (d, &c) in coord.iter().enumerate() {
+            self.crd[d].push(c);
+        }
+        self.vals.push(value);
+        self.sorted_by = None;
+        Ok(())
+    }
+
+    /// The tensor's shape (shared by every block of one stream).
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// The tensor's order.
+    pub fn order(&self) -> usize {
+        self.shape.order()
+    }
+
+    /// Number of nonzeros in this block.
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// The coordinate column of dimension `d`.
+    pub fn crd(&self, d: usize) -> &[usize] {
+        &self.crd[d]
+    }
+
+    /// Value column.
+    pub fn values(&self) -> &[Value] {
+        &self.vals
+    }
+
+    /// Approximate heap bytes this block holds, the unit the
+    /// [`crate::MemTracker`] accounts in.
+    pub fn approx_bytes(&self) -> usize {
+        crate::entry_bytes(self.order()) * self.nnz()
+    }
+
+    /// Declares that this block's entries are sorted by the given key (a
+    /// sequence of dimension indices compared lexicographically). The claim
+    /// is verified in debug builds; sorters re-verify cheaply before relying
+    /// on it.
+    pub fn mark_sorted_by(&mut self, key: Vec<usize>) {
+        debug_assert!(self.is_sorted_by(&key), "sorted-run metadata is wrong");
+        self.sorted_by = Some(key);
+    }
+
+    /// The key this block declares itself sorted by, if any.
+    pub fn sorted_by(&self) -> Option<&[usize]> {
+        self.sorted_by.as_deref()
+    }
+
+    /// True when the block's entries are in non-decreasing order of the given
+    /// key dimensions (one linear scan).
+    pub fn is_sorted_by(&self, key: &[usize]) -> bool {
+        (1..self.nnz()).all(|p| {
+            key.iter()
+                .map(|&d| (self.crd[d][p - 1], self.crd[d][p]))
+                .find(|(a, b)| a != b)
+                .is_none_or(|(a, b)| a < b)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_validates_and_tracks_bytes() {
+        let mut b = CoordBlock::with_capacity(Shape::tensor3(2, 3, 4), 4);
+        b.push(&[1, 2, 3], 5.0).unwrap();
+        b.push(&[0, 0, 0], 1.0).unwrap();
+        assert_eq!(b.nnz(), 2);
+        assert_eq!(b.crd(1), &[2, 0]);
+        assert_eq!(b.values(), &[5.0, 1.0]);
+        assert_eq!(b.approx_bytes(), 2 * 4 * 8);
+        assert!(b.push(&[0, 0], 1.0).is_err());
+        assert!(b.push(&[0, 3, 0], 1.0).is_err());
+    }
+
+    #[test]
+    fn sortedness_checks_follow_the_key() {
+        let mut b = CoordBlock::new(Shape::matrix(4, 4));
+        for (i, j) in [(0, 3), (1, 0), (1, 2), (3, 1)] {
+            b.push(&[i, j], 1.0).unwrap();
+        }
+        assert!(b.is_sorted_by(&[0]));
+        assert!(b.is_sorted_by(&[0, 1]));
+        assert!(!b.is_sorted_by(&[1]));
+        b.mark_sorted_by(vec![0, 1]);
+        assert_eq!(b.sorted_by(), Some(&[0usize, 1][..]));
+        // Pushing clears the metadata.
+        b.push(&[0, 0], 2.0).unwrap();
+        assert_eq!(b.sorted_by(), None);
+    }
+}

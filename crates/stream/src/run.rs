@@ -1,0 +1,212 @@
+//! Spill runs: sorted runs of nonzeros written to (and re-read from) disk by
+//! the external merge sort.
+//!
+//! The on-disk encoding is deliberately trivial: a `u64` entry count followed
+//! by `order + 1` little-endian 8-byte words per entry (`order` coordinates
+//! plus the value's IEEE-754 bits). Values round-trip through
+//! [`f64::to_bits`], so spilling never perturbs them — a prerequisite for the
+//! byte-identical guarantee.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use sparse_conv::ConvertError;
+use sparse_tensor::Value;
+
+/// Process-wide counter making spill-file names unique.
+static RUN_ID: AtomicU64 = AtomicU64::new(0);
+
+/// A sorted run spilled to disk. The file is deleted when the run is dropped.
+#[derive(Debug)]
+pub struct SpilledRun {
+    path: PathBuf,
+    order: usize,
+    entries: u64,
+    bytes: u64,
+}
+
+impl SpilledRun {
+    /// Entries in this run.
+    pub fn entries(&self) -> u64 {
+        self.entries
+    }
+
+    /// Bytes this run occupies on disk.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Opens the run for sequential re-reading with a read buffer of
+    /// `read_buf` bytes.
+    pub fn open(&self, read_buf: usize) -> Result<RunCursor, ConvertError> {
+        let file = File::open(&self.path)?;
+        let mut reader = BufReader::with_capacity(read_buf.max(64), file);
+        let mut header = [0u8; 8];
+        reader.read_exact(&mut header)?;
+        let entries = u64::from_le_bytes(header);
+        debug_assert_eq!(entries, self.entries);
+        Ok(RunCursor {
+            reader,
+            order: self.order,
+            remaining: entries,
+            coord: vec![0usize; self.order],
+            value: 0.0,
+        })
+    }
+}
+
+impl Drop for SpilledRun {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// Writes one sorted run to disk; [`RunWriter::finish`] seals it into a
+/// [`SpilledRun`].
+#[derive(Debug)]
+pub struct RunWriter {
+    path: PathBuf,
+    writer: BufWriter<File>,
+    order: usize,
+    entries: u64,
+}
+
+impl RunWriter {
+    /// Creates a run file in `dir` (the system temp directory when `None`).
+    pub fn create(dir: Option<&std::path::Path>, order: usize) -> Result<Self, ConvertError> {
+        let dir = dir.map_or_else(std::env::temp_dir, |d| d.to_path_buf());
+        let path = dir.join(format!(
+            "conv-stream-{}-{}.run",
+            std::process::id(),
+            RUN_ID.fetch_add(1, Ordering::Relaxed)
+        ));
+        let file = File::create(&path)?;
+        let mut writer = BufWriter::with_capacity(8 * 1024, file);
+        // Header placeholder; rewritten by `finish`.
+        writer.write_all(&0u64.to_le_bytes())?;
+        Ok(RunWriter {
+            path,
+            writer,
+            order,
+            entries: 0,
+        })
+    }
+
+    /// Appends one nonzero (coordinates must already be in run order).
+    pub fn push(&mut self, coord: &[usize], value: Value) -> Result<(), ConvertError> {
+        debug_assert_eq!(coord.len(), self.order);
+        for &c in coord {
+            self.writer.write_all(&(c as u64).to_le_bytes())?;
+        }
+        self.writer.write_all(&value.to_bits().to_le_bytes())?;
+        self.entries += 1;
+        Ok(())
+    }
+
+    /// Flushes, rewrites the entry-count header, and seals the run.
+    pub fn finish(self) -> Result<SpilledRun, ConvertError> {
+        let RunWriter {
+            path,
+            writer,
+            order,
+            entries,
+        } = self;
+        let mut file = writer
+            .into_inner()
+            .map_err(|e| ConvertError::Io(e.to_string()))?;
+        use std::io::Seek;
+        file.seek(std::io::SeekFrom::Start(0))?;
+        file.write_all(&entries.to_le_bytes())?;
+        file.sync_data().ok();
+        let bytes = 8 + entries * (order as u64 + 1) * 8;
+        Ok(SpilledRun {
+            path,
+            order,
+            entries,
+            bytes,
+        })
+    }
+}
+
+/// Sequential reader over a [`SpilledRun`], holding the current (head) entry.
+#[derive(Debug)]
+pub struct RunCursor {
+    reader: BufReader<File>,
+    order: usize,
+    remaining: u64,
+    coord: Vec<usize>,
+    value: Value,
+}
+
+impl RunCursor {
+    /// Advances to the next entry; returns `false` at the end of the run.
+    pub fn advance(&mut self) -> Result<bool, ConvertError> {
+        if self.remaining == 0 {
+            return Ok(false);
+        }
+        let mut word = [0u8; 8];
+        for d in 0..self.order {
+            self.reader.read_exact(&mut word)?;
+            self.coord[d] = u64::from_le_bytes(word) as usize;
+        }
+        self.reader.read_exact(&mut word)?;
+        self.value = Value::from_bits(u64::from_le_bytes(word));
+        self.remaining -= 1;
+        Ok(true)
+    }
+
+    /// The current entry's coordinates (valid after a successful advance).
+    pub fn coord(&self) -> &[usize] {
+        &self.coord
+    }
+
+    /// The current entry's value.
+    pub fn value(&self) -> Value {
+        self.value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_roundtrip_and_clean_up() {
+        let mut w = RunWriter::create(None, 3).unwrap();
+        w.push(&[0, 1, 2], 1.5).unwrap();
+        w.push(&[4, 5, 6], -2.25).unwrap();
+        let run = w.finish().unwrap();
+        assert_eq!(run.entries(), 2);
+        assert_eq!(run.bytes(), 8 + 2 * 4 * 8);
+        let path = run.path.clone();
+        assert!(path.exists());
+        let mut c = run.open(128).unwrap();
+        assert!(c.advance().unwrap());
+        assert_eq!(c.coord(), &[0, 1, 2]);
+        assert_eq!(c.value(), 1.5);
+        assert!(c.advance().unwrap());
+        assert_eq!(c.coord(), &[4, 5, 6]);
+        assert_eq!(c.value(), -2.25);
+        assert!(!c.advance().unwrap());
+        drop(c);
+        drop(run);
+        assert!(!path.exists(), "dropping a run removes its file");
+    }
+
+    #[test]
+    fn values_round_trip_bit_exactly() {
+        let tricky = [0.0, -0.0, f64::MIN_POSITIVE, 1.0 / 3.0, f64::INFINITY];
+        let mut w = RunWriter::create(None, 1).unwrap();
+        for (i, &v) in tricky.iter().enumerate() {
+            w.push(&[i], v).unwrap();
+        }
+        let run = w.finish().unwrap();
+        let mut c = run.open(64).unwrap();
+        for &v in &tricky {
+            assert!(c.advance().unwrap());
+            assert_eq!(c.value().to_bits(), v.to_bits());
+        }
+    }
+}

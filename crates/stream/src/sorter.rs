@@ -1,0 +1,476 @@
+//! The external merge sort over sorted runs.
+//!
+//! [`ExternalSorter`] accepts pre-sorted [`MemRun`]s (usually built from
+//! [`CoordBlock`]s, possibly in parallel by the caller) and buffers them until
+//! the [`MemoryBudget`]'s threshold fills; the buffer is then k-way-merged
+//! into a single [`SpilledRun`] on disk.
+//! [`ExternalSorter::drain`] merges all runs — purely in memory when nothing
+//! spilled (the fast case), otherwise across the spill files with small,
+//! budget-capped read buffers — and emits nonzeros in globally sorted order.
+//!
+//! **Stability.** The sort key is a list of coordinate dimensions compared
+//! lexicographically; entries with equal keys must come out in arrival order
+//! for the result to match the in-memory engine's stable sorts. Three facts
+//! guarantee it: every run is stably sorted, runs enter the buffer in arrival
+//! order and each spill drains the *whole* buffer (so spill files are
+//! totally ordered by arrival too), and every merge breaks key ties by run
+//! index.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::path::PathBuf;
+
+use sparse_conv::ConvertError;
+use sparse_tensor::{Shape, Value};
+
+use crate::block::CoordBlock;
+use crate::budget::{MemTracker, MemoryBudget};
+use crate::run::{RunCursor, RunWriter, SpilledRun};
+use crate::stats::StreamStats;
+
+/// Tuning knobs of an [`ExternalSorter`].
+#[derive(Debug, Clone, Default)]
+pub struct SorterConfig {
+    /// Working-set budget; the sort buffer spills at
+    /// [`MemoryBudget::buffer_threshold`].
+    pub budget: MemoryBudget,
+    /// Directory for spill runs (the system temp directory when `None`).
+    pub spill_dir: Option<PathBuf>,
+}
+
+/// One stably sorted run of nonzeros held in memory, entry-major.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemRun {
+    order: usize,
+    /// Entry `p` occupies `coords[p * order .. (p + 1) * order]`.
+    coords: Vec<usize>,
+    vals: Vec<Value>,
+}
+
+impl MemRun {
+    /// Builds a run from a block: a stable sort by the key dimensions, unless
+    /// the block is already in key order (declared via sorted-run metadata or
+    /// detected by one linear scan), in which case the sort is skipped.
+    pub fn from_block(block: &CoordBlock, key: &[usize]) -> MemRun {
+        let n = block.nnz();
+        let order = block.order();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let presorted = block.sorted_by() == Some(key) || block.is_sorted_by(key);
+        if !presorted {
+            perm.sort_by(|&a, &b| {
+                key.iter()
+                    .map(|&d| (block.crd(d)[a], block.crd(d)[b]))
+                    .find(|(x, y)| x != y)
+                    .map_or(std::cmp::Ordering::Equal, |(x, y)| x.cmp(&y))
+            });
+        }
+        let mut coords = Vec::with_capacity(n * order);
+        let mut vals = Vec::with_capacity(n);
+        for &p in &perm {
+            for d in 0..order {
+                coords.push(block.crd(d)[p]);
+            }
+            vals.push(block.values()[p]);
+        }
+        MemRun {
+            order,
+            coords,
+            vals,
+        }
+    }
+
+    /// Entries in this run.
+    pub fn len(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// True when the run holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.vals.is_empty()
+    }
+
+    /// The full coordinate tuple of entry `p`.
+    pub fn coord(&self, p: usize) -> &[usize] {
+        &self.coords[p * self.order..(p + 1) * self.order]
+    }
+
+    /// The value of entry `p`.
+    pub fn value(&self, p: usize) -> Value {
+        self.vals[p]
+    }
+
+    /// Tracked bytes this run occupies.
+    pub fn bytes(&self) -> usize {
+        crate::entry_bytes(self.order) * self.len()
+    }
+}
+
+/// Min-heap head: the current entry's extracted key, with ties broken by run
+/// index (`Vec<usize>` already compares lexicographically).
+type Head = (Vec<usize>, usize);
+
+fn extract_key(key: &[usize], coord: &[usize]) -> Vec<usize> {
+    key.iter().map(|&d| coord[d]).collect()
+}
+
+/// K-way-merges in-memory runs, emitting `(coord, value)` in key order with
+/// arrival-order ties.
+fn merge_mem_runs<F>(runs: &[MemRun], key: &[usize], mut emit: F) -> Result<(), ConvertError>
+where
+    F: FnMut(&[usize], Value) -> Result<(), ConvertError>,
+{
+    let mut pos = vec![0usize; runs.len()];
+    let mut heap: BinaryHeap<Reverse<Head>> = runs
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| !r.is_empty())
+        .map(|(i, r)| Reverse((extract_key(key, r.coord(0)), i)))
+        .collect();
+    while let Some(Reverse((_, i))) = heap.pop() {
+        let p = pos[i];
+        emit(runs[i].coord(p), runs[i].value(p))?;
+        pos[i] += 1;
+        if pos[i] < runs[i].len() {
+            heap.push(Reverse((extract_key(key, runs[i].coord(pos[i])), i)));
+        }
+    }
+    Ok(())
+}
+
+/// The external merge sort: buffers sorted runs under a memory budget,
+/// spills to disk when the buffer fills, and drains everything back in
+/// globally sorted order.
+#[derive(Debug)]
+pub struct ExternalSorter {
+    shape: Shape,
+    key: Vec<usize>,
+    cfg: SorterConfig,
+    tracker: MemTracker,
+    buffer: Vec<MemRun>,
+    buffered_bytes: usize,
+    spills: Vec<SpilledRun>,
+    stats: StreamStats,
+}
+
+impl ExternalSorter {
+    /// A sorter for tensors of `shape`, ordering entries by the `key`
+    /// dimensions (compared lexicographically, arrival order breaking ties).
+    /// `[0]` reproduces the engine's stable row sort for CSR; the full mode
+    /// order reproduces its stable lexicographic sort for CSF.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConvertError::UnsupportedSpec`] when `key` is empty, repeats
+    /// a dimension, or names one beyond the shape's order.
+    pub fn new(
+        shape: Shape,
+        key: Vec<usize>,
+        cfg: SorterConfig,
+        tracker: MemTracker,
+    ) -> Result<Self, ConvertError> {
+        let order = shape.order();
+        let mut seen = vec![false; order];
+        if key.is_empty() {
+            return Err(ConvertError::UnsupportedSpec {
+                reason: "streaming sort key must name at least one dimension".to_string(),
+            });
+        }
+        for &d in &key {
+            if d >= order || seen[d] {
+                return Err(ConvertError::UnsupportedSpec {
+                    reason: format!(
+                        "streaming sort key {key:?} is not a set of dimensions < {order}"
+                    ),
+                });
+            }
+            seen[d] = true;
+        }
+        Ok(ExternalSorter {
+            shape,
+            key,
+            cfg,
+            tracker,
+            buffer: Vec::new(),
+            buffered_bytes: 0,
+            spills: Vec::new(),
+            stats: StreamStats::default(),
+        })
+    }
+
+    /// The sort key dimensions.
+    pub fn key(&self) -> &[usize] {
+        &self.key
+    }
+
+    /// The shared working-set gauge.
+    pub fn tracker(&self) -> &MemTracker {
+        &self.tracker
+    }
+
+    /// Statistics so far (final numbers come from [`ExternalSorter::drain`]).
+    pub fn stats(&self) -> &StreamStats {
+        &self.stats
+    }
+
+    /// Buffers one pre-sorted run, spilling the buffer first when adding it
+    /// would cross the budget threshold.
+    pub fn push_run(&mut self, run: MemRun) -> Result<(), ConvertError> {
+        self.stats.blocks += 1;
+        self.stats.entries += run.len() as u64;
+        if run.is_empty() {
+            return Ok(());
+        }
+        let bytes = run.bytes();
+        if self.buffered_bytes > 0
+            && self.buffered_bytes + bytes > self.cfg.budget.buffer_threshold()
+        {
+            self.spill()?;
+        }
+        self.tracker.add(bytes);
+        self.buffered_bytes += bytes;
+        self.buffer.push(run);
+        Ok(())
+    }
+
+    /// Sorts a block by the sorter's key and buffers it — the sequential
+    /// convenience over [`MemRun::from_block`] + [`ExternalSorter::push_run`]
+    /// (parallel pipelines pre-sort blocks on worker threads instead).
+    pub fn push_block(&mut self, block: &CoordBlock) -> Result<(), ConvertError> {
+        let run = MemRun::from_block(block, &self.key);
+        self.push_run(run)
+    }
+
+    /// Merges the buffered runs into one spill run on disk and empties the
+    /// buffer.
+    fn spill(&mut self) -> Result<(), ConvertError> {
+        let mut writer = RunWriter::create(self.cfg.spill_dir.as_deref(), self.shape.order())?;
+        merge_mem_runs(&self.buffer, &self.key, |coord, value| {
+            writer.push(coord, value)
+        })?;
+        let run = writer.finish()?;
+        self.stats.spilled_runs += 1;
+        self.stats.spilled_bytes += run.bytes();
+        self.spills.push(run);
+        self.tracker.sub(self.buffered_bytes);
+        self.buffered_bytes = 0;
+        self.buffer.clear();
+        Ok(())
+    }
+
+    /// Emits every buffered and spilled nonzero in globally sorted order and
+    /// returns the final statistics. When nothing spilled, the merge runs
+    /// purely over the in-memory buffer (the fast case); otherwise the
+    /// remaining buffer is spilled too and the merge streams across the run
+    /// files through budget-capped read buffers.
+    pub fn drain<F>(mut self, mut emit: F) -> Result<StreamStats, ConvertError>
+    where
+        F: FnMut(&[usize], Value) -> Result<(), ConvertError>,
+    {
+        if self.spills.is_empty() {
+            self.stats.in_memory = true;
+            merge_mem_runs(&self.buffer, &self.key, &mut emit)?;
+            self.tracker.sub(self.buffered_bytes);
+            self.buffered_bytes = 0;
+            self.buffer.clear();
+        } else {
+            if self.buffered_bytes > 0 {
+                self.spill()?;
+            }
+            let k = self.spills.len();
+            let read_buf = self.cfg.budget.merge_read_buffer(k);
+            self.tracker.add(k * read_buf);
+            let result = self.merge_spills(read_buf, &mut emit);
+            self.tracker.sub(k * read_buf);
+            result?;
+        }
+        self.stats.peak_tracked_bytes = self.tracker.peak();
+        Ok(self.stats)
+    }
+
+    fn merge_spills<F>(&mut self, read_buf: usize, emit: &mut F) -> Result<(), ConvertError>
+    where
+        F: FnMut(&[usize], Value) -> Result<(), ConvertError>,
+    {
+        let mut cursors: Vec<RunCursor> = Vec::with_capacity(self.spills.len());
+        for run in &self.spills {
+            cursors.push(run.open(read_buf)?);
+        }
+        let mut heap: BinaryHeap<Reverse<Head>> = BinaryHeap::with_capacity(cursors.len());
+        for (i, c) in cursors.iter_mut().enumerate() {
+            if c.advance()? {
+                heap.push(Reverse((extract_key(&self.key, c.coord()), i)));
+            }
+        }
+        while let Some(Reverse((_, i))) = heap.pop() {
+            emit(cursors[i].coord(), cursors[i].value())?;
+            self.stats.merged_entries += 1;
+            if cursors[i].advance()? {
+                heap.push(Reverse((extract_key(&self.key, cursors[i].coord()), i)));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block_of(shape: &Shape, entries: &[(&[usize], Value)]) -> CoordBlock {
+        let mut b = CoordBlock::with_capacity(shape.clone(), entries.len());
+        for (c, v) in entries {
+            b.push(c, *v).unwrap();
+        }
+        b
+    }
+
+    fn collect(sorter: ExternalSorter) -> (Vec<(Vec<usize>, Value)>, StreamStats) {
+        let mut out = Vec::new();
+        let stats = sorter
+            .drain(|c, v| {
+                out.push((c.to_vec(), v));
+                Ok(())
+            })
+            .unwrap();
+        (out, stats)
+    }
+
+    #[test]
+    fn in_memory_merge_is_a_stable_key_sort() {
+        let shape = Shape::matrix(4, 4);
+        let mut s = ExternalSorter::new(
+            shape.clone(),
+            vec![0],
+            SorterConfig::default(),
+            MemTracker::new(),
+        )
+        .unwrap();
+        // Two blocks; key is the row only, so same-row entries must keep
+        // arrival order across blocks.
+        s.push_block(&block_of(&shape, &[(&[2, 9 % 4], 1.0), (&[0, 3], 2.0)]))
+            .unwrap();
+        s.push_block(&block_of(&shape, &[(&[0, 1], 3.0), (&[2, 0], 4.0)]))
+            .unwrap();
+        let (out, stats) = collect(s);
+        assert_eq!(
+            out,
+            vec![
+                (vec![0, 3], 2.0),
+                (vec![0, 1], 3.0),
+                (vec![2, 1], 1.0),
+                (vec![2, 0], 4.0),
+            ]
+        );
+        assert!(stats.in_memory);
+        assert_eq!(stats.spilled_runs, 0);
+        assert_eq!(stats.entries, 4);
+        assert_eq!(stats.blocks, 2);
+    }
+
+    #[test]
+    fn tiny_budgets_spill_and_still_sort_stably() {
+        let shape = Shape::matrix(8, 8);
+        let dir = std::env::temp_dir();
+        let mut s = ExternalSorter::new(
+            shape.clone(),
+            vec![0, 1],
+            SorterConfig {
+                budget: MemoryBudget::bytes(96),
+                spill_dir: Some(dir),
+            },
+            MemTracker::new(),
+        )
+        .unwrap();
+        // 96-byte budget -> 72-byte threshold -> each 24-byte-per-entry block
+        // pair overflows, forcing several spills.
+        let mut expected = Vec::new();
+        for round in 0..6usize {
+            let i = (7 - round) % 8;
+            let b = block_of(
+                &shape,
+                &[
+                    (&[i, 0][..], round as f64),
+                    (&[i, 0][..], 10.0 + round as f64),
+                ],
+            );
+            expected.push((vec![i, 0], round as f64));
+            expected.push((vec![i, 0], 10.0 + round as f64));
+            s.push_block(&b).unwrap();
+        }
+        expected.sort_by_key(|(c, _)| c.clone());
+        let (out, stats) = collect(s);
+        // Duplicate keys keep arrival order (values increase within a key
+        // because rounds with the same row pushed in ascending value order).
+        assert_eq!(out, expected);
+        assert!(!stats.in_memory);
+        assert!(stats.spilled_runs > 0, "budget forced spills");
+        assert_eq!(stats.merged_entries, 12);
+        assert!(stats.spilled_bytes > 0);
+        assert!(stats.peak_tracked_bytes > 0);
+    }
+
+    #[test]
+    fn presorted_blocks_skip_the_sort_and_match() {
+        let shape = Shape::tensor3(3, 3, 3);
+        let mut sorted = block_of(
+            &shape,
+            &[
+                (&[0, 1, 2][..], 1.0),
+                (&[1, 0, 0][..], 2.0),
+                (&[1, 2, 0][..], 3.0),
+            ],
+        );
+        sorted.mark_sorted_by(vec![0, 1, 2]);
+        let run_fast = MemRun::from_block(&sorted, &[0, 1, 2]);
+        let mut unsorted = block_of(
+            &shape,
+            &[
+                (&[0, 1, 2][..], 1.0),
+                (&[1, 2, 0][..], 3.0),
+                (&[1, 0, 0][..], 2.0),
+            ],
+        );
+        unsorted.mark_sorted_by(vec![0]); // true but not the key we need
+        assert!(!unsorted.is_sorted_by(&[0, 1, 2]));
+        let run_slow = MemRun::from_block(&unsorted, &[0, 1, 2]);
+        assert_eq!(run_fast, run_slow);
+        assert_eq!(run_fast.coord(1), &[1, 0, 0]);
+        assert_eq!(run_fast.value(2), 3.0);
+        assert_eq!(run_fast.bytes(), 3 * 4 * 8);
+    }
+
+    #[test]
+    fn bad_keys_are_rejected() {
+        let shape = Shape::matrix(2, 2);
+        let t = MemTracker::new();
+        for key in [vec![], vec![2], vec![0, 0]] {
+            assert!(matches!(
+                ExternalSorter::new(shape.clone(), key, SorterConfig::default(), t.clone()),
+                Err(ConvertError::UnsupportedSpec { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn tracker_returns_to_zero_after_drain() {
+        let shape = Shape::matrix(4, 4);
+        let tracker = MemTracker::new();
+        let mut s = ExternalSorter::new(
+            shape.clone(),
+            vec![0, 1],
+            SorterConfig {
+                budget: MemoryBudget::bytes(128),
+                spill_dir: None,
+            },
+            tracker.clone(),
+        )
+        .unwrap();
+        for i in 0..4 {
+            s.push_block(&block_of(&shape, &[(&[i, i][..], i as f64); 3]))
+                .unwrap();
+        }
+        let (_, stats) = collect(s);
+        assert_eq!(tracker.current(), 0, "all tracked memory released");
+        assert_eq!(tracker.peak(), stats.peak_tracked_bytes);
+    }
+}

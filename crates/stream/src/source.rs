@@ -1,0 +1,196 @@
+//! Stream sources and sinks: where coordinate blocks come from and go.
+//!
+//! A [`TensorStream`] yields [`CoordBlock`]s one at a time, so a conversion
+//! never needs the whole input resident; loaders (file readers, in-memory
+//! adapters) implement the producing side and sinks the consuming side.
+
+use sparse_conv::ConvertError;
+use sparse_formats::{CooMatrix, CooTensor};
+use sparse_tensor::{Shape, SparseTriples};
+
+use crate::block::CoordBlock;
+
+/// A pull-based source of coordinate blocks. Every block carries the same
+/// rank-`N` [`Shape`]; blocks arrive in a stable source order (ties in later
+/// sorts are broken by this arrival order).
+pub trait TensorStream {
+    /// The shape of the tensor being streamed.
+    fn shape(&self) -> &Shape;
+
+    /// The next block, or `None` when the stream is exhausted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O or parse failures from the underlying source.
+    fn next_block(&mut self) -> Result<Option<CoordBlock>, ConvertError>;
+
+    /// Total nonzeros if the source knows it up front (file loaders usually
+    /// do, from the header).
+    fn size_hint(&self) -> Option<u64> {
+        None
+    }
+}
+
+/// A push-based consumer of coordinate blocks.
+pub trait TensorSink {
+    /// The shape this sink accepts.
+    fn shape(&self) -> &Shape;
+
+    /// Consumes one block.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation or I/O failures from the underlying consumer.
+    fn push_block(&mut self, block: CoordBlock) -> Result<(), ConvertError>;
+}
+
+/// A sink that accumulates every block into an in-memory [`CooTensor`] in
+/// arrival order — the materialising endpoint (and the fallback the runtime
+/// uses for targets without a streaming kernel).
+#[derive(Debug, Clone)]
+pub struct CooSink {
+    tensor: CooTensor,
+}
+
+impl CooSink {
+    /// An empty sink for tensors of `shape`.
+    pub fn new(shape: Shape) -> Self {
+        CooSink {
+            tensor: CooTensor::new(shape),
+        }
+    }
+
+    /// The accumulated tensor.
+    pub fn into_tensor(self) -> CooTensor {
+        self.tensor
+    }
+}
+
+impl TensorSink for CooSink {
+    fn shape(&self) -> &Shape {
+        self.tensor.shape()
+    }
+
+    fn push_block(&mut self, block: CoordBlock) -> Result<(), ConvertError> {
+        let mut coord = vec![0usize; block.order()];
+        for p in 0..block.nnz() {
+            for (d, c) in coord.iter_mut().enumerate() {
+                *c = block.crd(d)[p];
+            }
+            self.tensor.push(&coord, block.values()[p]);
+        }
+        Ok(())
+    }
+}
+
+/// Streams an in-memory COO tensor as fixed-size blocks — the adapter that
+/// lets resident data flow through the same pipeline as file loaders (and the
+/// workhorse of the equivalence tests, which sweep its block size).
+#[derive(Debug, Clone)]
+pub struct CooBlockStream {
+    tensor: CooTensor,
+    block_nnz: usize,
+    pos: usize,
+}
+
+impl CooBlockStream {
+    /// Streams `tensor` in blocks of at most `block_nnz` nonzeros (at least
+    /// one), preserving stored order.
+    pub fn new(tensor: CooTensor, block_nnz: usize) -> Self {
+        CooBlockStream {
+            tensor,
+            block_nnz: block_nnz.max(1),
+            pos: 0,
+        }
+    }
+
+    /// Streams a COO matrix (an order-2 tensor) in blocks.
+    pub fn from_matrix(m: &CooMatrix, block_nnz: usize) -> Self {
+        let shape = Shape::matrix(m.rows(), m.cols());
+        let tensor = CooTensor::from_parts(
+            shape,
+            vec![m.row_indices().to_vec(), m.col_indices().to_vec()],
+            m.values().to_vec(),
+        )
+        .expect("a valid CooMatrix is a valid order-2 CooTensor");
+        Self::new(tensor, block_nnz)
+    }
+
+    /// Streams canonical triples in blocks, preserving their order.
+    pub fn from_triples(t: &SparseTriples, block_nnz: usize) -> Self {
+        Self::new(CooTensor::from_triples(t), block_nnz)
+    }
+}
+
+impl TensorStream for CooBlockStream {
+    fn shape(&self) -> &Shape {
+        self.tensor.shape()
+    }
+
+    fn next_block(&mut self) -> Result<Option<CoordBlock>, ConvertError> {
+        if self.pos >= self.tensor.nnz() {
+            return Ok(None);
+        }
+        let end = (self.pos + self.block_nnz).min(self.tensor.nnz());
+        let mut block = CoordBlock::with_capacity(self.tensor.shape().clone(), end - self.pos);
+        let mut coord = vec![0usize; self.tensor.order()];
+        for p in self.pos..end {
+            for (d, c) in coord.iter_mut().enumerate() {
+                *c = self.tensor.crd(d)[p];
+            }
+            block.push(&coord, self.tensor.values()[p])?;
+        }
+        self.pos = end;
+        Ok(Some(block))
+    }
+
+    fn size_hint(&self) -> Option<u64> {
+        Some(self.tensor.nnz() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CooTensor {
+        let mut t = CooTensor::new(Shape::tensor3(3, 3, 3));
+        for p in 0..7usize {
+            t.push(&[p % 3, (p * 2) % 3, p % 2], p as f64);
+        }
+        t
+    }
+
+    #[test]
+    fn blocks_partition_the_tensor_in_order() {
+        let t = sample();
+        for block_nnz in [1, 3, 100] {
+            let mut stream = CooBlockStream::new(t.clone(), block_nnz);
+            assert_eq!(stream.size_hint(), Some(7));
+            let mut sink = CooSink::new(stream.shape().clone());
+            let mut blocks = 0usize;
+            while let Some(b) = stream.next_block().unwrap() {
+                assert!(b.nnz() <= block_nnz);
+                blocks += 1;
+                sink.push_block(b).unwrap();
+            }
+            assert_eq!(blocks, 7usize.div_ceil(block_nnz));
+            assert_eq!(sink.into_tensor(), t, "round-trip preserves order");
+        }
+    }
+
+    #[test]
+    fn matrix_and_triples_adapters_agree() {
+        let mut m = CooMatrix::new(4, 5);
+        m.push(3, 1, 1.0);
+        m.push(0, 2, 2.0);
+        let mut from_matrix = CooBlockStream::from_matrix(&m, 10);
+        let mut from_triples = CooBlockStream::from_triples(&m.to_triples(), 10);
+        assert_eq!(from_matrix.shape().dims(), &[4, 5]);
+        assert_eq!(
+            from_matrix.next_block().unwrap(),
+            from_triples.next_block().unwrap()
+        );
+        assert!(from_matrix.next_block().unwrap().is_none());
+    }
+}

@@ -1,0 +1,537 @@
+//! Streaming loaders for the real-dataset file formats of the paper's
+//! evaluation: Matrix Market (`.mtx`, SuiteSparse) and FROSTT (`.tns`).
+//!
+//! Both loaders implement [`TensorStream`]: they read line by line and yield
+//! bounded [`CoordBlock`]s, so a file larger than memory can flow straight
+//! into `ConversionService::convert_stream` without ever being resident.
+//! Failures surface as the typed [`ConvertError::Io`] and
+//! [`ConvertError::Parse`] variants, the latter carrying the 1-based line
+//! number.
+//!
+//! The writers ([`write_mtx`], [`write_tns`]) exist so tests and examples can
+//! round-trip files without external data.
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use conv_stream::{CoordBlock, TensorStream};
+use sparse_conv::ConvertError;
+use sparse_formats::{CooMatrix, CooTensor};
+use sparse_tensor::Shape;
+
+/// Default nonzeros per block for the file loaders.
+pub const DEFAULT_BLOCK_NNZ: usize = 1 << 16;
+
+fn parse_err(line: u64, message: impl Into<String>) -> ConvertError {
+    ConvertError::Parse {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Reads the next non-comment, non-blank line into `buf`; returns `false` at
+/// end of file. `comment` is the leading comment character (`%` for Matrix
+/// Market, `#` for FROSTT).
+fn next_data_line<R: BufRead>(
+    reader: &mut R,
+    buf: &mut String,
+    line: &mut u64,
+    comment: char,
+) -> Result<bool, ConvertError> {
+    loop {
+        buf.clear();
+        if reader.read_line(buf)? == 0 {
+            return Ok(false);
+        }
+        *line += 1;
+        let trimmed = buf.trim();
+        if !trimmed.is_empty() && !trimmed.starts_with(comment) {
+            return Ok(true);
+        }
+    }
+}
+
+fn parse_coord_1based(tok: &str, dim: usize, d: usize, line: u64) -> Result<usize, ConvertError> {
+    let c: usize = tok
+        .parse()
+        .map_err(|_| parse_err(line, format!("expected a coordinate, got {tok:?}")))?;
+    if c == 0 || c > dim {
+        return Err(parse_err(
+            line,
+            format!("coordinate {c} out of bounds 1..={dim} in dimension {d}"),
+        ));
+    }
+    Ok(c - 1)
+}
+
+fn parse_value(tok: &str, line: u64) -> Result<f64, ConvertError> {
+    tok.parse()
+        .map_err(|_| parse_err(line, format!("expected a value, got {tok:?}")))
+}
+
+/// A streaming Matrix Market (`coordinate`) loader.
+///
+/// Supports `real`, `integer`, and `pattern` fields (pattern entries get
+/// value 1.0) and the `general` / `symmetric` symmetries; a symmetric
+/// off-diagonal entry yields its mirror in the same block. Entries keep file
+/// order, which downstream sorts treat as the arrival order.
+#[derive(Debug)]
+pub struct MtxStream<R: BufRead> {
+    reader: R,
+    shape: Shape,
+    block_nnz: usize,
+    symmetric: bool,
+    pattern: bool,
+    /// Entry *lines* still to read (symmetric mirrors not counted).
+    remaining: u64,
+    declared: u64,
+    line: u64,
+    buf: String,
+}
+
+impl MtxStream<BufReader<File>> {
+    /// Opens an `.mtx` file, reading blocks of at most `block_nnz` entry
+    /// lines.
+    ///
+    /// # Errors
+    ///
+    /// [`ConvertError::Io`] on open/read failure, [`ConvertError::Parse`] on
+    /// a malformed banner or size line.
+    pub fn open(path: impl AsRef<Path>, block_nnz: usize) -> Result<Self, ConvertError> {
+        Self::from_reader(BufReader::new(File::open(path)?), block_nnz)
+    }
+}
+
+impl<R: BufRead> MtxStream<R> {
+    /// Wraps an already-open reader positioned at the `%%MatrixMarket`
+    /// banner.
+    ///
+    /// # Errors
+    ///
+    /// [`ConvertError::Parse`] when the banner or size line is malformed or
+    /// the file is not a coordinate matrix.
+    pub fn from_reader(mut reader: R, block_nnz: usize) -> Result<Self, ConvertError> {
+        let mut line = 0u64;
+        let mut buf = String::new();
+        if reader.read_line(&mut buf)? == 0 {
+            return Err(parse_err(1, "empty file, expected a %%MatrixMarket banner"));
+        }
+        line += 1;
+        let banner: Vec<String> = buf.split_whitespace().map(str::to_lowercase).collect();
+        if banner.len() < 5 || banner[0] != "%%matrixmarket" || banner[1] != "matrix" {
+            return Err(parse_err(
+                line,
+                format!("not a Matrix Market banner: {}", buf.trim()),
+            ));
+        }
+        if banner[2] != "coordinate" {
+            return Err(parse_err(
+                line,
+                format!(
+                    "only coordinate matrices are supported, got {:?}",
+                    banner[2]
+                ),
+            ));
+        }
+        let pattern = match banner[3].as_str() {
+            "real" | "integer" => false,
+            "pattern" => true,
+            other => return Err(parse_err(line, format!("unsupported field type {other:?}"))),
+        };
+        let symmetric = match banner[4].as_str() {
+            "general" => false,
+            "symmetric" => true,
+            other => return Err(parse_err(line, format!("unsupported symmetry {other:?}"))),
+        };
+        if !next_data_line(&mut reader, &mut buf, &mut line, '%')? {
+            return Err(parse_err(line, "missing size line"));
+        }
+        let toks: Vec<&str> = buf.split_whitespace().collect();
+        if toks.len() != 3 {
+            return Err(parse_err(
+                line,
+                format!("size line needs `rows cols nnz`, got {}", buf.trim()),
+            ));
+        }
+        let dims: Vec<u64> = toks
+            .iter()
+            .map(|t| {
+                t.parse::<u64>()
+                    .map_err(|_| parse_err(line, format!("bad size entry {t:?}")))
+            })
+            .collect::<Result<_, _>>()?;
+        Ok(MtxStream {
+            reader,
+            shape: Shape::matrix(dims[0] as usize, dims[1] as usize),
+            block_nnz: block_nnz.max(1),
+            symmetric,
+            pattern,
+            remaining: dims[2],
+            declared: dims[2],
+            line,
+            buf,
+        })
+    }
+
+    /// Whether the file declared itself symmetric.
+    pub fn is_symmetric(&self) -> bool {
+        self.symmetric
+    }
+
+    /// Entry lines the header declared.
+    pub fn declared_entries(&self) -> u64 {
+        self.declared
+    }
+}
+
+impl<R: BufRead> TensorStream for MtxStream<R> {
+    fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    fn next_block(&mut self) -> Result<Option<CoordBlock>, ConvertError> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        let want = (self.block_nnz as u64).min(self.remaining) as usize;
+        // A symmetric block can hold up to twice the entry lines.
+        let cap = if self.symmetric { want * 2 } else { want };
+        let mut block = CoordBlock::with_capacity(self.shape.clone(), cap);
+        for _ in 0..want {
+            if !next_data_line(&mut self.reader, &mut self.buf, &mut self.line, '%')? {
+                return Err(parse_err(
+                    self.line,
+                    format!("file ended with {} declared entries unread", self.remaining),
+                ));
+            }
+            let toks: Vec<&str> = self.buf.split_whitespace().collect();
+            let expected = if self.pattern { 2 } else { 3 };
+            if toks.len() != expected {
+                return Err(parse_err(
+                    self.line,
+                    format!("entry needs {expected} fields, got {}", self.buf.trim()),
+                ));
+            }
+            let i = parse_coord_1based(toks[0], self.shape.dim(0), 0, self.line)?;
+            let j = parse_coord_1based(toks[1], self.shape.dim(1), 1, self.line)?;
+            let v = if self.pattern {
+                1.0
+            } else {
+                parse_value(toks[2], self.line)?
+            };
+            block
+                .push(&[i, j], v)
+                .expect("coordinates were bounds-checked");
+            if self.symmetric && i != j {
+                block
+                    .push(&[j, i], v)
+                    .expect("mirrored coordinates are in bounds");
+            }
+            self.remaining -= 1;
+        }
+        Ok(Some(block))
+    }
+
+    fn size_hint(&self) -> Option<u64> {
+        // Entry lines; symmetric files expand off-diagonal lines to two
+        // nonzeros, which a header cannot predict.
+        Some(self.declared)
+    }
+}
+
+/// A streaming FROSTT (`.tns`) loader: whitespace-separated lines of `N`
+/// 1-based coordinates followed by a value, `#` comments allowed. FROSTT
+/// files do not carry dimensions, so the shape is supplied (see
+/// [`tns_dims`] for a one-pass scan that discovers it).
+#[derive(Debug)]
+pub struct TnsStream<R: BufRead> {
+    reader: R,
+    shape: Shape,
+    block_nnz: usize,
+    line: u64,
+    buf: String,
+    done: bool,
+}
+
+impl TnsStream<BufReader<File>> {
+    /// Opens a `.tns` file with a known shape, reading blocks of at most
+    /// `block_nnz` entries.
+    ///
+    /// # Errors
+    ///
+    /// [`ConvertError::Io`] on open failure.
+    pub fn open(
+        path: impl AsRef<Path>,
+        shape: Shape,
+        block_nnz: usize,
+    ) -> Result<Self, ConvertError> {
+        Ok(Self::from_reader(
+            BufReader::new(File::open(path)?),
+            shape,
+            block_nnz,
+        ))
+    }
+}
+
+impl<R: BufRead> TnsStream<R> {
+    /// Wraps an already-open reader.
+    pub fn from_reader(reader: R, shape: Shape, block_nnz: usize) -> Self {
+        TnsStream {
+            reader,
+            shape,
+            block_nnz: block_nnz.max(1),
+            line: 0,
+            buf: String::new(),
+            done: false,
+        }
+    }
+}
+
+impl<R: BufRead> TensorStream for TnsStream<R> {
+    fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    fn next_block(&mut self) -> Result<Option<CoordBlock>, ConvertError> {
+        if self.done {
+            return Ok(None);
+        }
+        let order = self.shape.order();
+        let mut block = CoordBlock::with_capacity(self.shape.clone(), self.block_nnz);
+        let mut coord = vec![0usize; order];
+        while block.nnz() < self.block_nnz {
+            if !next_data_line(&mut self.reader, &mut self.buf, &mut self.line, '#')? {
+                self.done = true;
+                break;
+            }
+            let toks: Vec<&str> = self.buf.split_whitespace().collect();
+            if toks.len() != order + 1 {
+                return Err(parse_err(
+                    self.line,
+                    format!(
+                        "entry needs {} coordinates and a value, got {}",
+                        order,
+                        self.buf.trim()
+                    ),
+                ));
+            }
+            for d in 0..order {
+                coord[d] = parse_coord_1based(toks[d], self.shape.dim(d), d, self.line)?;
+            }
+            let v = parse_value(toks[order], self.line)?;
+            block
+                .push(&coord, v)
+                .expect("coordinates were bounds-checked");
+        }
+        if block.nnz() == 0 {
+            Ok(None)
+        } else {
+            Ok(Some(block))
+        }
+    }
+}
+
+/// Scans a `.tns` file once, line by line, and returns the tensor's shape
+/// (the per-dimension coordinate maxima) and nonzero count. The order is
+/// taken from the first entry line.
+///
+/// # Errors
+///
+/// [`ConvertError::Io`] on open/read failure, [`ConvertError::Parse`] on a
+/// malformed line or an empty file.
+pub fn tns_dims(path: impl AsRef<Path>) -> Result<(Shape, u64), ConvertError> {
+    let mut reader = BufReader::new(File::open(path)?);
+    let mut line = 0u64;
+    let mut buf = String::new();
+    let mut dims: Vec<usize> = Vec::new();
+    let mut nnz = 0u64;
+    while next_data_line(&mut reader, &mut buf, &mut line, '#')? {
+        let toks: Vec<&str> = buf.split_whitespace().collect();
+        if dims.is_empty() {
+            if toks.len() < 2 {
+                return Err(parse_err(
+                    line,
+                    "an entry needs at least one coordinate and a value",
+                ));
+            }
+            dims = vec![0; toks.len() - 1];
+        }
+        if toks.len() != dims.len() + 1 {
+            return Err(parse_err(
+                line,
+                format!(
+                    "entry needs {} coordinates and a value, got {}",
+                    dims.len(),
+                    buf.trim()
+                ),
+            ));
+        }
+        for (d, tok) in toks[..dims.len()].iter().enumerate() {
+            let c: usize = tok
+                .parse()
+                .map_err(|_| parse_err(line, format!("expected a coordinate, got {tok:?}")))?;
+            if c == 0 {
+                return Err(parse_err(line, "FROSTT coordinates are 1-based"));
+            }
+            dims[d] = dims[d].max(c);
+        }
+        parse_value(toks[dims.len()], line)?;
+        nnz += 1;
+    }
+    if dims.is_empty() {
+        return Err(parse_err(line, "no entries in .tns file"));
+    }
+    Ok((Shape::new(dims), nnz))
+}
+
+/// Writes a COO matrix as a `general real` coordinate Matrix Market file.
+///
+/// # Errors
+///
+/// [`ConvertError::Io`] on any write failure.
+pub fn write_mtx(path: impl AsRef<Path>, m: &CooMatrix) -> Result<(), ConvertError> {
+    let mut w = BufWriter::new(File::create(path)?);
+    writeln!(w, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(w, "{} {} {}", m.rows(), m.cols(), m.nnz())?;
+    for (i, j, v) in m.iter() {
+        writeln!(w, "{} {} {}", i + 1, j + 1, v)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes a COO tensor as a FROSTT `.tns` file (1-based coordinates).
+///
+/// # Errors
+///
+/// [`ConvertError::Io`] on any write failure.
+pub fn write_tns(path: impl AsRef<Path>, t: &CooTensor) -> Result<(), ConvertError> {
+    let mut w = BufWriter::new(File::create(path)?);
+    for p in 0..t.nnz() {
+        for d in 0..t.order() {
+            write!(w, "{} ", t.crd(d)[p] + 1)?;
+        }
+        writeln!(w, "{}", t.values()[p])?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn drain<S: TensorStream>(s: &mut S) -> Vec<(Vec<usize>, f64)> {
+        let mut out = Vec::new();
+        while let Some(b) = s.next_block().unwrap() {
+            for p in 0..b.nnz() {
+                let coord: Vec<usize> = (0..b.order()).map(|d| b.crd(d)[p]).collect();
+                out.push((coord, b.values()[p]));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn mtx_general_real_streams_in_file_order() {
+        let text = "%%MatrixMarket matrix coordinate real general\n\
+                    % a comment\n\
+                    3 4 3\n\
+                    1 1 2.5\n\
+                    3 4 -1\n\
+                    2 2 7\n";
+        let mut s = MtxStream::from_reader(Cursor::new(text), 2).unwrap();
+        assert_eq!(s.shape().dims(), &[3, 4]);
+        assert_eq!(s.size_hint(), Some(3));
+        assert!(!s.is_symmetric());
+        assert_eq!(
+            drain(&mut s),
+            vec![(vec![0, 0], 2.5), (vec![2, 3], -1.0), (vec![1, 1], 7.0),]
+        );
+    }
+
+    #[test]
+    fn mtx_symmetric_pattern_mirrors_off_diagonals() {
+        let text = "%%MatrixMarket matrix coordinate pattern symmetric\n\
+                    3 3 2\n\
+                    2 1\n\
+                    3 3\n";
+        let mut s = MtxStream::from_reader(Cursor::new(text), 64).unwrap();
+        assert!(s.is_symmetric());
+        assert_eq!(
+            drain(&mut s),
+            vec![(vec![1, 0], 1.0), (vec![0, 1], 1.0), (vec![2, 2], 1.0),]
+        );
+    }
+
+    #[test]
+    fn mtx_errors_carry_line_numbers() {
+        let truncated = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n";
+        let mut s = MtxStream::from_reader(Cursor::new(truncated), 8).unwrap();
+        assert!(matches!(
+            s.next_block(),
+            Err(ConvertError::Parse { line: 3, .. })
+        ));
+        let bad_coord = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
+        let mut s = MtxStream::from_reader(Cursor::new(bad_coord), 8).unwrap();
+        assert!(matches!(
+            s.next_block(),
+            Err(ConvertError::Parse { line: 3, .. })
+        ));
+        assert!(matches!(
+            MtxStream::from_reader(Cursor::new("%%MatrixMarket matrix array real general\n"), 8),
+            Err(ConvertError::Parse { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn tns_streams_with_comments_and_reports_dims() {
+        let dir = std::env::temp_dir().join(format!("io-tns-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.tns");
+        std::fs::write(&path, "# frostt-style\n1 2 3 1.5\n2 1 1 -2\n2 2 4 0.5\n").unwrap();
+        let (shape, nnz) = tns_dims(&path).unwrap();
+        assert_eq!(shape.dims(), &[2, 2, 4]);
+        assert_eq!(nnz, 3);
+        let mut s = TnsStream::open(&path, shape, 2).unwrap();
+        assert_eq!(
+            drain(&mut s),
+            vec![
+                (vec![0, 1, 2], 1.5),
+                (vec![1, 0, 0], -2.0),
+                (vec![1, 1, 3], 0.5),
+            ]
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn writers_round_trip_through_the_loaders() {
+        let dir = std::env::temp_dir().join(format!("io-rt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mtx = dir.join("m.mtx");
+        let mut m = CooMatrix::new(5, 4);
+        m.push(4, 3, 0.125);
+        m.push(0, 0, -3.0);
+        write_mtx(&mtx, &m).unwrap();
+        let mut s = MtxStream::open(&mtx, 1).unwrap();
+        assert_eq!(drain(&mut s), vec![(vec![4, 3], 0.125), (vec![0, 0], -3.0)]);
+
+        let tns = dir.join("t.tns");
+        let mut t = CooTensor::new(Shape::tensor3(2, 3, 4));
+        t.push(&[1, 2, 3], 9.0);
+        t.push(&[0, 0, 0], 0.25);
+        write_tns(&tns, &t).unwrap();
+        let (shape, nnz) = tns_dims(&tns).unwrap();
+        assert_eq!(nnz, 2);
+        assert_eq!(shape.dims(), &[2, 3, 4]);
+        let mut s = TnsStream::open(&tns, shape, 10).unwrap();
+        assert_eq!(
+            drain(&mut s),
+            vec![(vec![1, 2, 3], 9.0), (vec![0, 0, 0], 0.25)]
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -14,11 +14,20 @@
 //! [`tensor3_fibered`]) standing in for the third-order inputs of the
 //! paper's tensor-conversion evaluation (COO→CSF); the `table4` binary in
 //! `conv-bench` benchmarks them.
+//!
+//! For real-dataset-shaped inputs, [`io`] streams Matrix Market `.mtx`
+//! matrices ([`MtxStream`]) and FROSTT `.tns` tensors ([`TnsStream`]) from
+//! disk block by block as `conv-stream` [`TensorStream`](conv_stream::TensorStream)s
+//! — they never slurp the file, so arbitrarily large datasets feed the
+//! out-of-core conversion path — and writes both formats back out
+//! ([`write_mtx`], [`write_tns`]).
 
 pub mod generators;
+pub mod io;
 pub mod suite;
 
 pub use generators::{
     banded, blocked, irregular, tensor3_fibered, tensor3_uniform, GeneratorError,
 };
+pub use io::{tns_dims, write_mtx, write_tns, MtxStream, TnsStream};
 pub use suite::{table2, MatrixClass, MatrixSpec};

@@ -5,6 +5,7 @@
 pub use attr_query as query;
 pub use conv_ir as ir;
 pub use conv_runtime as runtime;
+pub use conv_stream as stream;
 pub use conv_workloads as workloads;
 pub use coord_remap as remap;
 pub use level_formats as levels;
