@@ -8,7 +8,9 @@
 //! documents are first *normalised by their own geomean* over the rows they
 //! share: machine speed cancels and what remains is each row's time
 //! relative to its siblings. A row "regresses" when its normalised time
-//! grows by more than the threshold.
+//! grows by more than the threshold. On failure the three rows with the
+//! worst normalised slowdown are repeated with their absolute times in
+//! microseconds, so the log points straight at the suspects.
 //!
 //! Environment variables:
 //!
@@ -90,6 +92,7 @@ fn main() -> ExitCode {
     );
 
     let mut regressions = 0usize;
+    let mut rows: Vec<(&String, f64, f64, f64)> = Vec::with_capacity(shared.len());
     for k in &shared {
         let (old_ns, new_ns) = (baseline[*k] as f64, current[*k] as f64);
         let ratio = (new_ns / new_gm) / (old_ns / old_gm);
@@ -102,12 +105,27 @@ fn main() -> ExitCode {
         } else {
             ""
         };
+        rows.push((k, old_ns, new_ns, ratio));
         println!(
             "  {k}: {old_ns:.0} ns -> {new_ns:.0} ns (normalised {:+.1}%){marker}",
             (ratio - 1.0) * 100.0
         );
     }
     if regressions > 0 {
+        // Spotlight the worst offenders with absolute times: the normalised
+        // percentages above say *that* something slowed down, these say by
+        // how many microseconds against the snapshot.
+        rows.sort_by(|a, b| b.3.total_cmp(&a.3));
+        eprintln!("bench_check: top slowdowns vs. snapshot:");
+        for (k, old_ns, new_ns, ratio) in rows.iter().take(3) {
+            eprintln!(
+                "  {k}: {:.1} µs -> {:.1} µs ({:+.1} µs, normalised {:+.1}%)",
+                old_ns / 1e3,
+                new_ns / 1e3,
+                (new_ns - old_ns) / 1e3,
+                (ratio - 1.0) * 100.0
+            );
+        }
         eprintln!(
             "bench_check: {regressions} row(s) regressed more than {:.0}% (normalised)",
             threshold * 100.0

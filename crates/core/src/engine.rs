@@ -14,6 +14,7 @@
 //! 3. *assembly* sizes the output in one shot from the query results and
 //!    scatters nonzeros directly into place — never through a CSR temporary.
 
+use obs::Span;
 use sparse_formats::csf::{lex_sort_perm, pack_sorted};
 use sparse_formats::{
     BcsrMatrix, CooMatrix, CooTensor, CscMatrix, CsfTensor, CsrMatrix, DiaMatrix, EllMatrix,
@@ -46,14 +47,22 @@ pub fn to_csr<S: SourceMatrix>(src: &S) -> CsrMatrix {
     let rows = src.rows();
     let nnz = src.nnz();
     // Analysis: select [i] -> count(j) as nir.
-    let counts = src.row_counts();
-    // Sequenced edge insertion over the dense row level.
-    let mut pos = vec![0usize; rows + 1];
-    for i in 0..rows {
-        pos[i + 1] = pos[i] + counts[i];
-    }
+    let pos = {
+        let span = Span::enter("engine.analysis");
+        span.add_items(rows as u64);
+        let counts = src.row_counts();
+        // Sequenced edge insertion over the dense row level.
+        let mut pos = vec![0usize; rows + 1];
+        for i in 0..rows {
+            pos[i + 1] = pos[i] + counts[i];
+        }
+        pos
+    };
     // Coordinate insertion (yield_pos + insert_coord), using pos as cursors
     // and restoring it afterwards, exactly like lines 12-25 of Figure 6c.
+    let span = Span::enter("engine.scatter");
+    span.add_items(nnz as u64);
+    span.add_bytes((nnz * (size_of::<usize>() + size_of::<Value>())) as u64);
     let mut cursor = pos.clone();
     let mut crd = vec![0usize; nnz];
     let mut vals = vec![0.0; nnz];
@@ -63,6 +72,7 @@ pub fn to_csr<S: SourceMatrix>(src: &S) -> CsrMatrix {
         crd[p] = j;
         vals[p] = v;
     });
+    drop(span);
     CsrMatrix::from_parts(rows, src.cols(), pos, crd, vals)
         .expect("assembled CSR structure is valid")
 }
@@ -71,11 +81,19 @@ pub fn to_csr<S: SourceMatrix>(src: &S) -> CsrMatrix {
 pub fn to_csc<S: SourceMatrix>(src: &S) -> CscMatrix {
     let cols = src.cols();
     let nnz = src.nnz();
-    let counts = src.col_counts();
-    let mut pos = vec![0usize; cols + 1];
-    for j in 0..cols {
-        pos[j + 1] = pos[j] + counts[j];
-    }
+    let pos = {
+        let span = Span::enter("engine.analysis");
+        span.add_items(cols as u64);
+        let counts = src.col_counts();
+        let mut pos = vec![0usize; cols + 1];
+        for j in 0..cols {
+            pos[j + 1] = pos[j] + counts[j];
+        }
+        pos
+    };
+    let span = Span::enter("engine.scatter");
+    span.add_items(nnz as u64);
+    span.add_bytes((nnz * (size_of::<usize>() + size_of::<Value>())) as u64);
     let mut cursor = pos.clone();
     let mut crd = vec![0usize; nnz];
     let mut vals = vec![0.0; nnz];
@@ -85,6 +103,7 @@ pub fn to_csc<S: SourceMatrix>(src: &S) -> CscMatrix {
         crd[p] = i;
         vals[p] = v;
     });
+    drop(span);
     CscMatrix::from_parts(src.rows(), cols, pos, crd, vals)
         .expect("assembled CSC structure is valid")
 }
@@ -116,17 +135,26 @@ pub fn to_csf<S: SourceTensor>(src: &S) -> CsfTensor {
     let nnz = src.nnz();
     let mut columns: Vec<Vec<usize>> = vec![Vec::with_capacity(nnz); order];
     let mut vals: Vec<Value> = Vec::with_capacity(nnz);
-    src.for_each_coord(|coord, v| {
-        for (d, &c) in coord.iter().enumerate() {
-            columns[d].push(c as usize);
-        }
-        vals.push(v);
-    });
+    {
+        let span = Span::enter("engine.gather");
+        span.add_items(nnz as u64);
+        src.for_each_coord(|coord, v| {
+            for (d, &c) in coord.iter().enumerate() {
+                columns[d].push(c as usize);
+            }
+            vals.push(v);
+        });
+    }
     let perm: Vec<usize> = if src.coords_in_order() {
         (0..nnz).collect()
     } else {
+        let span = Span::enter("engine.sort");
+        span.add_items(nnz as u64);
         lex_sort_perm(&columns)
     };
+    let span = Span::enter("engine.pack");
+    span.add_items(nnz as u64);
+    span.add_bytes((nnz * (order * size_of::<usize>() + size_of::<Value>())) as u64);
     pack_sorted(shape, |d, p| columns[d][perm[p]], |p| vals[perm[p]], nnz)
 }
 
@@ -160,18 +188,27 @@ pub fn to_csf_ordered<S: SourceTensor>(src: &S, mode_order: &[usize]) -> CsfTens
     let nnz = src.nnz();
     let mut columns: Vec<Vec<usize>> = vec![Vec::with_capacity(nnz); order];
     let mut vals: Vec<Value> = Vec::with_capacity(nnz);
-    src.for_each_coord(|coord, v| {
-        for (d, &m) in mode_order.iter().enumerate() {
-            columns[d].push(coord[m] as usize);
-        }
-        vals.push(v);
-    });
+    {
+        let span = Span::enter("engine.gather");
+        span.add_items(nnz as u64);
+        src.for_each_coord(|coord, v| {
+            for (d, &m) in mode_order.iter().enumerate() {
+                columns[d].push(coord[m] as usize);
+            }
+            vals.push(v);
+        });
+    }
     let identity = mode_order.iter().enumerate().all(|(d, &m)| d == m);
     let perm: Vec<usize> = if identity && src.coords_in_order() {
         (0..nnz).collect()
     } else {
+        let span = Span::enter("engine.sort");
+        span.add_items(nnz as u64);
         lex_sort_perm(&columns)
     };
+    let span = Span::enter("engine.pack");
+    span.add_items(nnz as u64);
+    span.add_bytes((nnz * (order * size_of::<usize>() + size_of::<Value>())) as u64);
     pack_sorted(shape, |d, p| columns[d][perm[p]], |p| vals[perm[p]], nnz)
 }
 

@@ -1,0 +1,673 @@
+//! Named counters, gauges, and log2 histograms behind a global registry.
+//!
+//! Metrics complement spans: a span measures one phase of one conversion,
+//! while a metric accumulates across the whole process lifetime (total
+//! conversions, total spilled bytes, a distribution of sort durations).
+//! All metrics are atomics — incrementing from many threads concurrently is
+//! lock-free and loses nothing (verified by a proptest in `tests/`).
+//!
+//! Handles are interned: `Registry::global().counter("conv.total")` returns
+//! the same `&'static Counter` every time, so hot paths can look a metric up
+//! once and hold the reference. [`Registry::snapshot`] reads everything out
+//! for export; [`Registry::reset`] zeroes values (names stay interned).
+//!
+//! With the `collector` feature disabled every type here is an inline
+//! zero-sized no-op.
+
+#[cfg(feature = "collector")]
+mod enabled {
+    use std::collections::BTreeMap;
+    use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+    use std::sync::{Mutex, OnceLock};
+
+    /// Number of log2 histogram buckets: bucket `i` holds values whose
+    /// bit-length is `i` (value 0 goes to bucket 0), so 65 buckets cover the
+    /// whole `u64` range.
+    pub const HISTOGRAM_BUCKETS: usize = 65;
+
+    /// A monotonically increasing counter (wrapping `u64` atomic).
+    #[derive(Debug, Default)]
+    pub struct Counter(AtomicU64);
+
+    impl Counter {
+        /// Creates a counter at zero.
+        pub const fn new() -> Counter {
+            Counter(AtomicU64::new(0))
+        }
+
+        /// Adds 1.
+        pub fn inc(&self) {
+            self.add(1);
+        }
+
+        /// Adds `n`.
+        pub fn add(&self, n: u64) {
+            self.0.fetch_add(n, Ordering::Relaxed);
+        }
+
+        /// Current value.
+        pub fn get(&self) -> u64 {
+            self.0.load(Ordering::Relaxed)
+        }
+
+        /// Resets to zero.
+        pub fn reset(&self) {
+            self.0.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// A value that can go up and down (an `i64` atomic).
+    #[derive(Debug, Default)]
+    pub struct Gauge(AtomicI64);
+
+    impl Gauge {
+        /// Creates a gauge at zero.
+        pub const fn new() -> Gauge {
+            Gauge(AtomicI64::new(0))
+        }
+
+        /// Adds `n` (may be negative).
+        pub fn add(&self, n: i64) {
+            self.0.fetch_add(n, Ordering::Relaxed);
+        }
+
+        /// Stores `n`.
+        pub fn set(&self, n: i64) {
+            self.0.store(n, Ordering::Relaxed);
+        }
+
+        /// Current value.
+        pub fn get(&self) -> i64 {
+            self.0.load(Ordering::Relaxed)
+        }
+
+        /// Resets to zero.
+        pub fn reset(&self) {
+            self.0.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// A fixed-bucket log2 histogram for durations (ns) and byte sizes.
+    ///
+    /// `observe(v)` increments the bucket for `v`'s bit-length, plus a total
+    /// count and sum — every field an independent relaxed atomic, so
+    /// concurrent observers never lose an observation (a snapshot taken
+    /// mid-observation may transiently see the bucket without the sum; see
+    /// the crate docs on relaxed snapshot semantics).
+    #[derive(Debug)]
+    pub struct Histogram {
+        buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+        count: AtomicU64,
+        sum: AtomicU64,
+    }
+
+    impl Default for Histogram {
+        fn default() -> Histogram {
+            Histogram::new()
+        }
+    }
+
+    impl Histogram {
+        /// Creates an empty histogram.
+        pub const fn new() -> Histogram {
+            Histogram {
+                buckets: [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS],
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+            }
+        }
+
+        /// Bucket index for a value: its bit-length (0 → 0, 1 → 1, 2..3 → 2,
+        /// 4..7 → 3, …).
+        pub fn bucket_index(value: u64) -> usize {
+            (u64::BITS - value.leading_zeros()) as usize
+        }
+
+        /// Lower bound of bucket `i` (inclusive).
+        pub fn bucket_lower(i: usize) -> u64 {
+            match i {
+                0 => 0,
+                _ => 1u64 << (i - 1),
+            }
+        }
+
+        /// Records one value.
+        pub fn observe(&self, value: u64) {
+            self.buckets[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+            self.count.fetch_add(1, Ordering::Relaxed);
+            self.sum.fetch_add(value, Ordering::Relaxed);
+        }
+
+        /// Total number of observations.
+        pub fn count(&self) -> u64 {
+            self.count.load(Ordering::Relaxed)
+        }
+
+        /// Sum of all observed values (wrapping).
+        pub fn sum(&self) -> u64 {
+            self.sum.load(Ordering::Relaxed)
+        }
+
+        /// Per-bucket counts.
+        pub fn buckets(&self) -> [u64; HISTOGRAM_BUCKETS] {
+            let mut out = [0u64; HISTOGRAM_BUCKETS];
+            for (o, b) in out.iter_mut().zip(&self.buckets) {
+                *o = b.load(Ordering::Relaxed);
+            }
+            out
+        }
+
+        /// Resets every bucket, the count, and the sum to zero.
+        pub fn reset(&self) {
+            for b in &self.buckets {
+                b.store(0, Ordering::Relaxed);
+            }
+            self.count.store(0, Ordering::Relaxed);
+            self.sum.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// A point-in-time copy of one histogram, taken by [`Registry::snapshot`].
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct HistogramSnapshot {
+        /// Per-bucket counts (log2 buckets; see [`Histogram::bucket_lower`]).
+        pub buckets: [u64; HISTOGRAM_BUCKETS],
+        /// Total observations.
+        pub count: u64,
+        /// Sum of observed values.
+        pub sum: u64,
+    }
+
+    /// A point-in-time copy of every registered metric.
+    #[derive(Debug, Clone, Default, PartialEq, Eq)]
+    pub struct MetricsSnapshot {
+        /// Counter values by name.
+        pub counters: BTreeMap<&'static str, u64>,
+        /// Gauge values by name.
+        pub gauges: BTreeMap<&'static str, i64>,
+        /// Histogram contents by name.
+        pub histograms: BTreeMap<&'static str, HistogramSnapshot>,
+    }
+
+    #[derive(Debug, Default)]
+    struct Tables {
+        counters: BTreeMap<&'static str, &'static Counter>,
+        gauges: BTreeMap<&'static str, &'static Gauge>,
+        histograms: BTreeMap<&'static str, &'static Histogram>,
+    }
+
+    /// Interns metric handles by name and snapshots them for export.
+    ///
+    /// Registration takes a short mutex; the returned `&'static` handles are
+    /// lock-free to update, so hot paths register once (or at setup) and
+    /// only touch atomics afterwards. Metric storage is leaked on first
+    /// registration — the set of metric *names* in this codebase is small
+    /// and fixed, so the leak is bounded and intentional.
+    #[derive(Debug, Default)]
+    pub struct Registry {
+        tables: Mutex<Tables>,
+    }
+
+    impl Registry {
+        /// The process-wide registry.
+        pub fn global() -> &'static Registry {
+            static GLOBAL: OnceLock<Registry> = OnceLock::new();
+            GLOBAL.get_or_init(Registry::default)
+        }
+
+        /// Returns the counter named `name`, creating it on first use.
+        pub fn counter(&self, name: &'static str) -> &'static Counter {
+            let mut tables = self.tables.lock().unwrap();
+            tables
+                .counters
+                .entry(name)
+                .or_insert_with(|| Box::leak(Box::new(Counter::new())))
+        }
+
+        /// Returns the gauge named `name`, creating it on first use.
+        pub fn gauge(&self, name: &'static str) -> &'static Gauge {
+            let mut tables = self.tables.lock().unwrap();
+            tables
+                .gauges
+                .entry(name)
+                .or_insert_with(|| Box::leak(Box::new(Gauge::new())))
+        }
+
+        /// Returns the histogram named `name`, creating it on first use.
+        pub fn histogram(&self, name: &'static str) -> &'static Histogram {
+            let mut tables = self.tables.lock().unwrap();
+            tables
+                .histograms
+                .entry(name)
+                .or_insert_with(|| Box::leak(Box::new(Histogram::new())))
+        }
+
+        /// Copies every metric's current value. Each atomic is read
+        /// independently (relaxed), so a snapshot racing concurrent updates
+        /// is a consistent *per-metric* view, not a cross-metric one.
+        pub fn snapshot(&self) -> MetricsSnapshot {
+            let tables = self.tables.lock().unwrap();
+            MetricsSnapshot {
+                counters: tables.counters.iter().map(|(n, c)| (*n, c.get())).collect(),
+                gauges: tables.gauges.iter().map(|(n, g)| (*n, g.get())).collect(),
+                histograms: tables
+                    .histograms
+                    .iter()
+                    .map(|(n, h)| {
+                        (
+                            *n,
+                            HistogramSnapshot {
+                                buckets: h.buckets(),
+                                count: h.count(),
+                                sum: h.sum(),
+                            },
+                        )
+                    })
+                    .collect(),
+            }
+        }
+
+        /// Resets every registered metric to zero. Names stay interned, so
+        /// held `&'static` handles remain valid.
+        pub fn reset(&self) {
+            let tables = self.tables.lock().unwrap();
+            for c in tables.counters.values() {
+                c.reset();
+            }
+            for g in tables.gauges.values() {
+                g.reset();
+            }
+            for h in tables.histograms.values() {
+                h.reset();
+            }
+        }
+    }
+
+    impl MetricsSnapshot {
+        /// Renders the snapshot in Prometheus text exposition format
+        /// (counters as `counter`, gauges as `gauge`, histograms as
+        /// cumulative `histogram` with `le` buckets). Metric names have `.`
+        /// replaced by `_` to satisfy the exposition grammar.
+        pub fn to_prometheus(&self) -> String {
+            fn sanitize(name: &str) -> String {
+                name.replace(['.', '-'], "_")
+            }
+            let mut out = String::new();
+            for (name, value) in &self.counters {
+                let name = sanitize(name);
+                out.push_str(&format!("# TYPE {name} counter\n{name} {value}\n"));
+            }
+            for (name, value) in &self.gauges {
+                let name = sanitize(name);
+                out.push_str(&format!("# TYPE {name} gauge\n{name} {value}\n"));
+            }
+            for (name, h) in &self.histograms {
+                let name = sanitize(name);
+                out.push_str(&format!("# TYPE {name} histogram\n"));
+                let mut cumulative = 0u64;
+                for (i, bucket) in h.buckets.iter().enumerate() {
+                    if *bucket == 0 {
+                        continue;
+                    }
+                    cumulative += bucket;
+                    let le = match Histogram::bucket_lower(i + 1).checked_sub(1) {
+                        Some(upper) => upper.to_string(),
+                        None => "+Inf".to_string(),
+                    };
+                    out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+                }
+                out.push_str(&format!(
+                    "{name}_bucket{{le=\"+Inf\"}} {count}\n{name}_sum {sum}\n{name}_count {count}\n",
+                    count = h.count,
+                    sum = h.sum,
+                ));
+            }
+            out
+        }
+
+        /// Renders the snapshot as JSON lines: one object per metric, with
+        /// `kind`, `name`, and kind-specific value fields.
+        pub fn to_json_lines(&self) -> String {
+            let mut out = String::new();
+            for (name, value) in &self.counters {
+                out.push_str(&format!(
+                    "{{\"kind\":\"counter\",\"name\":\"{name}\",\"value\":{value}}}\n"
+                ));
+            }
+            for (name, value) in &self.gauges {
+                out.push_str(&format!(
+                    "{{\"kind\":\"gauge\",\"name\":\"{name}\",\"value\":{value}}}\n"
+                ));
+            }
+            for (name, h) in &self.histograms {
+                let buckets: Vec<String> = h
+                    .buckets
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| **c > 0)
+                    .map(|(i, c)| format!("[{},{}]", Histogram::bucket_lower(i), c))
+                    .collect();
+                out.push_str(&format!(
+                    "{{\"kind\":\"histogram\",\"name\":\"{name}\",\"count\":{},\"sum\":{},\"buckets\":[{}]}}\n",
+                    h.count,
+                    h.sum,
+                    buckets.join(","),
+                ));
+            }
+            out
+        }
+    }
+}
+
+#[cfg(not(feature = "collector"))]
+mod disabled {
+    /// Number of log2 histogram buckets (unused without the collector).
+    pub const HISTOGRAM_BUCKETS: usize = 65;
+
+    /// No-op counter (zero-sized; the `collector` feature is disabled).
+    #[derive(Debug, Default)]
+    pub struct Counter;
+
+    impl Counter {
+        /// No-op.
+        #[inline(always)]
+        pub const fn new() -> Counter {
+            Counter
+        }
+
+        /// No-op.
+        #[inline(always)]
+        pub fn inc(&self) {}
+
+        /// No-op.
+        #[inline(always)]
+        pub fn add(&self, _n: u64) {}
+
+        /// Always 0.
+        #[inline(always)]
+        pub fn get(&self) -> u64 {
+            0
+        }
+
+        /// No-op.
+        #[inline(always)]
+        pub fn reset(&self) {}
+    }
+
+    /// No-op gauge (zero-sized; the `collector` feature is disabled).
+    #[derive(Debug, Default)]
+    pub struct Gauge;
+
+    impl Gauge {
+        /// No-op.
+        #[inline(always)]
+        pub const fn new() -> Gauge {
+            Gauge
+        }
+
+        /// No-op.
+        #[inline(always)]
+        pub fn add(&self, _n: i64) {}
+
+        /// No-op.
+        #[inline(always)]
+        pub fn set(&self, _n: i64) {}
+
+        /// Always 0.
+        #[inline(always)]
+        pub fn get(&self) -> i64 {
+            0
+        }
+
+        /// No-op.
+        #[inline(always)]
+        pub fn reset(&self) {}
+    }
+
+    /// No-op histogram (zero-sized; the `collector` feature is disabled).
+    #[derive(Debug, Default)]
+    pub struct Histogram;
+
+    impl Histogram {
+        /// No-op.
+        #[inline(always)]
+        pub const fn new() -> Histogram {
+            Histogram
+        }
+
+        /// Bucket index for a value (still computed; pure function).
+        #[inline(always)]
+        pub fn bucket_index(value: u64) -> usize {
+            (u64::BITS - value.leading_zeros()) as usize
+        }
+
+        /// Lower bound of bucket `i` (inclusive).
+        #[inline(always)]
+        pub fn bucket_lower(i: usize) -> u64 {
+            match i {
+                0 => 0,
+                _ => 1u64 << (i - 1),
+            }
+        }
+
+        /// No-op.
+        #[inline(always)]
+        pub fn observe(&self, _value: u64) {}
+
+        /// Always 0.
+        #[inline(always)]
+        pub fn count(&self) -> u64 {
+            0
+        }
+
+        /// Always 0.
+        #[inline(always)]
+        pub fn sum(&self) -> u64 {
+            0
+        }
+
+        /// Always all-zero.
+        #[inline(always)]
+        pub fn buckets(&self) -> [u64; HISTOGRAM_BUCKETS] {
+            [0; HISTOGRAM_BUCKETS]
+        }
+
+        /// No-op.
+        #[inline(always)]
+        pub fn reset(&self) {}
+    }
+
+    /// No-op histogram snapshot (the `collector` feature is disabled).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct HistogramSnapshot {
+        /// Always all-zero.
+        pub buckets: [u64; HISTOGRAM_BUCKETS],
+        /// Always 0.
+        pub count: u64,
+        /// Always 0.
+        pub sum: u64,
+    }
+
+    impl Default for HistogramSnapshot {
+        fn default() -> HistogramSnapshot {
+            HistogramSnapshot {
+                buckets: [0; HISTOGRAM_BUCKETS],
+                count: 0,
+                sum: 0,
+            }
+        }
+    }
+
+    /// No-op metrics snapshot (the `collector` feature is disabled).
+    #[derive(Debug, Clone, Default, PartialEq, Eq)]
+    pub struct MetricsSnapshot;
+
+    impl MetricsSnapshot {
+        /// Always empty.
+        #[inline(always)]
+        pub fn to_prometheus(&self) -> String {
+            String::new()
+        }
+
+        /// Always empty.
+        #[inline(always)]
+        pub fn to_json_lines(&self) -> String {
+            String::new()
+        }
+    }
+
+    /// No-op registry (zero-sized; the `collector` feature is disabled).
+    #[derive(Debug, Default)]
+    pub struct Registry;
+
+    impl Registry {
+        /// The process-wide (no-op) registry.
+        #[inline(always)]
+        pub fn global() -> &'static Registry {
+            static GLOBAL: Registry = Registry;
+            &GLOBAL
+        }
+
+        /// Returns a shared no-op counter.
+        #[inline(always)]
+        pub fn counter(&self, _name: &'static str) -> &'static Counter {
+            static C: Counter = Counter::new();
+            &C
+        }
+
+        /// Returns a shared no-op gauge.
+        #[inline(always)]
+        pub fn gauge(&self, _name: &'static str) -> &'static Gauge {
+            static G: Gauge = Gauge::new();
+            &G
+        }
+
+        /// Returns a shared no-op histogram.
+        #[inline(always)]
+        pub fn histogram(&self, _name: &'static str) -> &'static Histogram {
+            static H: Histogram = Histogram::new();
+            &H
+        }
+
+        /// Always empty.
+        #[inline(always)]
+        pub fn snapshot(&self) -> MetricsSnapshot {
+            MetricsSnapshot
+        }
+
+        /// No-op.
+        #[inline(always)]
+        pub fn reset(&self) {}
+    }
+}
+
+#[cfg(feature = "collector")]
+pub use enabled::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry, HISTOGRAM_BUCKETS,
+};
+
+#[cfg(not(feature = "collector"))]
+pub use disabled::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry, HISTOGRAM_BUCKETS,
+};
+
+#[cfg(all(test, feature = "collector"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_accumulate() {
+        let c = Registry::global().counter("test.metrics.counter");
+        c.reset();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        // Interning: same name, same handle.
+        assert!(std::ptr::eq(
+            c,
+            Registry::global().counter("test.metrics.counter")
+        ));
+        let g = Registry::global().gauge("test.metrics.gauge");
+        g.reset();
+        g.add(5);
+        g.add(-2);
+        assert_eq!(g.get(), 3);
+        g.set(-7);
+        assert_eq!(g.get(), -7);
+    }
+
+    #[test]
+    fn histogram_buckets_by_bit_length() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 4, 7, 8, 1023, 1024, u64::MAX] {
+            h.observe(v);
+        }
+        let buckets = h.buckets();
+        assert_eq!(buckets[0], 1); // 0
+        assert_eq!(buckets[1], 1); // 1
+        assert_eq!(buckets[2], 2); // 2,3
+        assert_eq!(buckets[3], 2); // 4..7 → 4 and 7; 8 goes to bucket 4
+        assert_eq!(buckets[4], 1); // 8
+        assert_eq!(buckets[10], 1); // 512..1023
+        assert_eq!(buckets[11], 1); // 1024..2047
+        assert_eq!(buckets[64], 1); // top bucket
+        assert_eq!(h.count(), 10);
+        assert_eq!(Histogram::bucket_lower(0), 0);
+        assert_eq!(Histogram::bucket_lower(1), 1);
+        assert_eq!(Histogram::bucket_lower(11), 1024);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.buckets(), [0; HISTOGRAM_BUCKETS]);
+    }
+
+    #[test]
+    fn snapshot_and_exports_cover_all_kinds() {
+        let c = Registry::global().counter("test.export.counter");
+        let g = Registry::global().gauge("test.export.gauge");
+        let h = Registry::global().histogram("test.export.hist");
+        c.reset();
+        g.reset();
+        h.reset();
+        c.add(3);
+        g.set(-1);
+        h.observe(100);
+        h.observe(5);
+        let snap = Registry::global().snapshot();
+        assert_eq!(snap.counters["test.export.counter"], 3);
+        assert_eq!(snap.gauges["test.export.gauge"], -1);
+        let hs = &snap.histograms["test.export.hist"];
+        assert_eq!(hs.count, 2);
+        assert_eq!(hs.sum, 105);
+        let prom = snap.to_prometheus();
+        assert!(prom.contains("# TYPE test_export_counter counter"));
+        assert!(prom.contains("test_export_counter 3"));
+        assert!(prom.contains("test_export_gauge -1"));
+        assert!(prom.contains("test_export_hist_count 2"));
+        assert!(prom.contains("test_export_hist_sum 105"));
+        assert!(prom.contains("le=\"+Inf\"} 2"));
+        let json = snap.to_json_lines();
+        assert!(
+            json.contains("{\"kind\":\"counter\",\"name\":\"test.export.counter\",\"value\":3}")
+        );
+        assert!(json.contains("\"kind\":\"histogram\",\"name\":\"test.export.hist\""));
+    }
+}
+
+#[cfg(all(test, not(feature = "collector")))]
+mod noop_tests {
+    use super::*;
+
+    #[test]
+    fn disabled_metrics_are_zero_sized_noops() {
+        assert_eq!(std::mem::size_of::<Counter>(), 0);
+        assert_eq!(std::mem::size_of::<Gauge>(), 0);
+        assert_eq!(std::mem::size_of::<Histogram>(), 0);
+        let c = Registry::global().counter("anything");
+        c.add(100);
+        assert_eq!(c.get(), 0);
+        let h = Registry::global().histogram("anything");
+        h.observe(5);
+        assert_eq!(h.count(), 0);
+        assert!(Registry::global().snapshot().to_prometheus().is_empty());
+    }
+}

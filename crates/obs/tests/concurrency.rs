@@ -1,0 +1,121 @@
+//! Concurrency properties of the metrics registry and span collector:
+//! N threads hammering one `Counter`/`Histogram` lose no increments, and
+//! per-thread spans nested under a parent stay inside the parent's
+//! wall-clock window (so per-phase breakdowns never exceed the total).
+
+#![cfg(feature = "collector")]
+
+use conv_obs::{Collector, Histogram, Registry, Span};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Relaxed atomic increments from many threads are never lost: the
+    /// counter ends at exactly `threads * per_thread`, and the histogram's
+    /// count, sum, and per-bucket totals all match the inputs.
+    #[test]
+    fn concurrent_counter_and_histogram_lose_nothing(
+        (threads, per_thread, values) in (1usize..8, 1usize..64)
+            .prop_flat_map(|(threads, per_thread)| {
+                (
+                    Just(threads),
+                    Just(per_thread),
+                    proptest::collection::vec(
+                        0u64..1_000_000,
+                        threads * per_thread..threads * per_thread + 1,
+                    ),
+                )
+            })
+    ) {
+        let counter = Registry::global().counter("test.concurrency.counter");
+        let histogram = Registry::global().histogram("test.concurrency.hist");
+        counter.reset();
+        histogram.reset();
+        std::thread::scope(|s| {
+            for chunk in values.chunks(per_thread) {
+                s.spawn(move || {
+                    for &v in chunk {
+                        counter.inc();
+                        histogram.observe(v);
+                    }
+                });
+            }
+        });
+        let n = (threads * per_thread) as u64;
+        prop_assert_eq!(counter.get(), n);
+        prop_assert_eq!(histogram.count(), n);
+        prop_assert_eq!(histogram.sum(), values.iter().sum::<u64>());
+        let mut expected = [0u64; conv_obs::HISTOGRAM_BUCKETS];
+        for &v in &values {
+            expected[Histogram::bucket_index(v)] += 1;
+        }
+        prop_assert_eq!(histogram.buckets(), expected);
+    }
+
+    /// Per-thread worker spans parented under a kernel span stay within the
+    /// parent's wall-clock window (the dispatching scope joins every worker
+    /// before the parent drops), so each worker duration — and the combined
+    /// busy window — is bounded by the parent duration.
+    #[test]
+    fn worker_spans_stay_inside_the_parent_window(
+        (workers, spins) in (1usize..6, 1u64..2000)
+    ) {
+        let parent = Span::enter_traced("kernel");
+        let trace = parent.handle().trace_id();
+        let handle = parent.handle();
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(move || {
+                    let span = Span::enter_under("chunk", handle);
+                    let mut acc = 0u64;
+                    for i in 0..spins {
+                        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+                    }
+                    span.add_items(acc | 1);
+                });
+            }
+        });
+        drop(parent);
+        let records = Collector::global().take_trace(trace);
+        let parent_rec = records
+            .iter()
+            .find(|r| r.name == "kernel")
+            .expect("parent span recorded");
+        let chunks: Vec<_> = records.iter().filter(|r| r.name == "chunk").collect();
+        prop_assert_eq!(chunks.len(), workers);
+        for c in &chunks {
+            prop_assert!(c.start_ns >= parent_rec.start_ns);
+            prop_assert!(c.end_ns() <= parent_rec.end_ns());
+            prop_assert!(c.duration_ns <= parent_rec.duration_ns);
+        }
+        // The workers' combined busy window is bounded by the parent span.
+        let first = chunks.iter().map(|c| c.start_ns).min().unwrap();
+        let last = chunks.iter().map(|c| c.end_ns()).max().unwrap();
+        prop_assert!(last - first <= parent_rec.duration_ns);
+    }
+
+    /// Sequential child spans partition the parent: their durations sum to
+    /// at most the parent's duration — the invariant that makes top-level
+    /// phase breakdowns sum to ≤ the conversion total.
+    #[test]
+    fn sequential_phase_durations_sum_to_at_most_the_parent(
+        phases in 1usize..8
+    ) {
+        let parent = Span::enter_traced("convert");
+        let trace = parent.handle().trace_id();
+        for _ in 0..phases {
+            let span = Span::enter("phase");
+            span.add_items(1);
+        }
+        drop(parent);
+        let records = Collector::global().take_trace(trace);
+        let parent_rec = records.iter().find(|r| r.name == "convert").unwrap();
+        let child_sum: u64 = records
+            .iter()
+            .filter(|r| r.name == "phase")
+            .map(|r| r.duration_ns)
+            .sum();
+        prop_assert!(child_sum <= parent_rec.duration_ns);
+    }
+}

@@ -89,10 +89,30 @@ impl PlanCache {
         S: Into<Format>,
         T: Into<Format>,
     {
+        self.plan_entry(source, target).map(|(plan, _)| plan)
+    }
+
+    /// Like [`PlanCache::plan`], additionally reporting whether the plan was
+    /// answered from the cache (`true` on a hit) — the per-call signal a
+    /// `ConversionReport` needs, which the aggregate counters can't provide
+    /// under concurrency.
+    ///
+    /// # Errors
+    ///
+    /// Propagates planner errors (e.g. DOK targets); errors are not cached.
+    pub fn plan_entry<S, T>(
+        &self,
+        source: S,
+        target: T,
+    ) -> Result<(Arc<ConversionPlan>, bool), ConvertError>
+    where
+        S: Into<Format>,
+        T: Into<Format>,
+    {
         let key = self.key_for(source, target);
         if let Some(plan) = self.plans.lock().unwrap().get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(Arc::clone(plan));
+            return Ok((Arc::clone(plan), true));
         }
         // Plan outside the lock: planning is pure and an occasional duplicate
         // build on a race is cheaper than holding the map across it.
@@ -103,7 +123,7 @@ impl PlanCache {
             .unwrap()
             .entry(key)
             .or_insert_with(|| Arc::clone(&plan));
-        Ok(plan)
+        Ok((plan, false))
     }
 
     /// Number of requests answered from the cache.
@@ -130,6 +150,13 @@ impl PlanCache {
     /// Drops every cached plan (counters are preserved).
     pub fn clear(&self) {
         self.plans.lock().unwrap().clear();
+    }
+
+    /// Zeroes the hit/miss counters (cached plans are preserved) — for
+    /// isolating benchmark measurement phases from their warm-up.
+    pub fn reset_counters(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
     }
 }
 
@@ -171,6 +198,19 @@ mod tests {
         let third = cache.plan(Format::coo(), Format::csr()).unwrap();
         assert_eq!(built.load(Ordering::SeqCst), 1);
         assert_eq!(*third, *second);
+    }
+
+    #[test]
+    fn plan_entry_reports_per_call_hits_and_counters_reset() {
+        let cache = PlanCache::new();
+        let (_, hit) = cache.plan_entry(FormatId::Coo, FormatId::Csr).unwrap();
+        assert!(!hit, "first request builds the plan");
+        let (_, hit) = cache.plan_entry(FormatId::Coo, FormatId::Csr).unwrap();
+        assert!(hit, "second request is a cache hit");
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        cache.reset_counters();
+        assert_eq!((cache.hits(), cache.misses()), (0, 0));
+        assert_eq!(cache.len(), 1, "reset keeps the cached plans");
     }
 
     #[test]

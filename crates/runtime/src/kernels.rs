@@ -26,6 +26,7 @@
 
 use std::marker::PhantomData;
 
+use obs::Span;
 use sparse_conv::engine;
 use sparse_formats::csf::pack_sorted;
 use sparse_formats::{BcsrMatrix, CooMatrix, CooTensor, CscMatrix, CsfTensor, CsrMatrix};
@@ -87,12 +88,16 @@ pub fn coo_to_csr(coo: &CooMatrix, threads: usize) -> CsrMatrix {
     let chunks = even_chunks(nnz, threads);
 
     // Analysis: select [i] -> count(j) as nir, one histogram per chunk.
+    let analysis = Span::enter("kernel.analysis");
+    let parent = analysis.handle();
     let hists: Vec<Vec<usize>> = std::thread::scope(|s| {
         let handles: Vec<_> = chunks
             .iter()
             .map(|r| {
                 let r = r.clone();
                 s.spawn(move || {
+                    let span = Span::enter_under("chunk_histogram", parent);
+                    span.add_items(r.len() as u64);
                     let mut hist = vec![0usize; rows];
                     for &i in &row_idx[r] {
                         hist[i] += 1;
@@ -103,10 +108,17 @@ pub fn coo_to_csr(coo: &CooMatrix, threads: usize) -> CsrMatrix {
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     });
+    drop(analysis);
+    let merge = Span::enter("kernel.merge");
     let (pos, cursors) = merge_histograms(&hists, rows);
+    drop(merge);
 
     // Assembly: each worker scatters its chunk through its own cursors; the
     // cursor construction partitions the output index space.
+    let scatter = Span::enter("kernel.scatter");
+    scatter.add_items(nnz as u64);
+    scatter.add_bytes((nnz * (size_of::<usize>() + size_of::<Value>())) as u64);
+    let parent = scatter.handle();
     let mut crd = vec![0usize; nnz];
     let mut vals = vec![0.0 as Value; nnz];
     {
@@ -117,6 +129,8 @@ pub fn coo_to_csr(coo: &CooMatrix, threads: usize) -> CsrMatrix {
                 let crd_out = &crd_out;
                 let vals_out = &vals_out;
                 s.spawn(move || {
+                    let span = Span::enter_under("chunk_scatter", parent);
+                    span.add_items(r.len() as u64);
                     for p in r {
                         let i = row_idx[p];
                         let dst = cursor[i];
@@ -132,6 +146,7 @@ pub fn coo_to_csr(coo: &CooMatrix, threads: usize) -> CsrMatrix {
             }
         });
     }
+    drop(scatter);
     CsrMatrix::from_parts(rows, coo.cols(), pos, crd, vals)
         .expect("assembled CSR structure is valid")
 }
@@ -150,12 +165,16 @@ pub fn csr_to_csc(csr: &CsrMatrix, threads: usize) -> CscMatrix {
     let src_vals = csr.values();
     let chunks = balanced_chunks_by_pos(src_pos, threads);
 
+    let analysis = Span::enter("kernel.analysis");
+    let parent = analysis.handle();
     let hists: Vec<Vec<usize>> = std::thread::scope(|s| {
         let handles: Vec<_> = chunks
             .iter()
             .map(|r| {
                 let r = r.clone();
                 s.spawn(move || {
+                    let span = Span::enter_under("chunk_histogram", parent);
+                    span.add_items((src_pos[r.end] - src_pos[r.start]) as u64);
                     let mut hist = vec![0usize; cols];
                     for &j in &src_crd[src_pos[r.start]..src_pos[r.end]] {
                         hist[j] += 1;
@@ -166,8 +185,15 @@ pub fn csr_to_csc(csr: &CsrMatrix, threads: usize) -> CscMatrix {
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     });
+    drop(analysis);
+    let merge = Span::enter("kernel.merge");
     let (pos, cursors) = merge_histograms(&hists, cols);
+    drop(merge);
 
+    let scatter = Span::enter("kernel.scatter");
+    scatter.add_items(nnz as u64);
+    scatter.add_bytes((nnz * (size_of::<usize>() + size_of::<Value>())) as u64);
+    let parent = scatter.handle();
     let mut crd = vec![0usize; nnz];
     let mut vals = vec![0.0 as Value; nnz];
     {
@@ -178,6 +204,8 @@ pub fn csr_to_csc(csr: &CsrMatrix, threads: usize) -> CscMatrix {
                 let crd_out = &crd_out;
                 let vals_out = &vals_out;
                 s.spawn(move || {
+                    let span = Span::enter_under("chunk_scatter", parent);
+                    span.add_items((src_pos[r.end] - src_pos[r.start]) as u64);
                     for i in r {
                         for p in src_pos[i]..src_pos[i + 1] {
                             let j = src_crd[p];
@@ -194,6 +222,7 @@ pub fn csr_to_csc(csr: &CsrMatrix, threads: usize) -> CscMatrix {
             }
         });
     }
+    drop(scatter);
     CscMatrix::from_parts(csr.rows(), cols, pos, crd, vals)
         .expect("assembled CSC structure is valid")
 }
@@ -234,6 +263,8 @@ pub fn csr_to_bcsr(
 
     // Analysis: the sorted, deduplicated block-column set of every owned
     // block row (select [bi] -> count(bj), plus the coordinates themselves).
+    let analysis = Span::enter("kernel.analysis");
+    let parent = analysis.handle();
     let mut blocks: Vec<Vec<usize>> = vec![Vec::new(); brows];
     {
         let blocks_out = SharedSlice::new(&mut blocks);
@@ -242,6 +273,8 @@ pub fn csr_to_bcsr(
                 let r = r.clone();
                 let blocks_out = &blocks_out;
                 s.spawn(move || {
+                    let span = Span::enter_under("chunk_blocks", parent);
+                    span.add_items(r.len() as u64);
                     for bi in r {
                         let mut set: Vec<usize> = Vec::new();
                         let row_lo = bi * block_rows;
@@ -259,16 +292,23 @@ pub fn csr_to_bcsr(
         });
     }
 
+    drop(analysis);
     // Sequenced edge insertion over block rows (cheap, sequential).
+    let merge = Span::enter("kernel.merge");
     let mut pos = vec![0usize; brows + 1];
     for bi in 0..brows {
         pos[bi + 1] = pos[bi] + blocks[bi].len();
     }
+    drop(merge);
     let nblocks = pos[brows];
     let bsize = block_rows * block_cols;
 
     // Assembly: a chunk's block rows own the contiguous output span
     // [pos[r.start], pos[r.end]); scatter blocks and values in parallel.
+    let scatter = Span::enter("kernel.scatter");
+    scatter.add_items(nnz as u64);
+    scatter.add_bytes((nblocks * (size_of::<usize>() + bsize * size_of::<Value>())) as u64);
+    let parent = scatter.handle();
     let mut crd = vec![0usize; nblocks];
     let mut vals = vec![0.0 as Value; nblocks * bsize];
     {
@@ -282,6 +322,8 @@ pub fn csr_to_bcsr(
                 let vals_out = &vals_out;
                 let pos = &pos;
                 s.spawn(move || {
+                    let span = Span::enter_under("chunk_scatter", parent);
+                    span.add_items(r.len() as u64);
                     for bi in r {
                         let base = pos[bi];
                         for (n, &bj) in blocks[bi].iter().enumerate() {
@@ -309,6 +351,7 @@ pub fn csr_to_bcsr(
             }
         });
     }
+    drop(scatter);
     BcsrMatrix::from_parts(rows, csr.cols(), block_rows, block_cols, pos, crd, vals)
         .expect("assembled BCSR structure is valid")
 }
@@ -344,12 +387,16 @@ pub fn coo_to_csf(coo: &CooTensor, threads: usize) -> CsfTensor {
 
     // Analysis: per-chunk root histograms over even nonzero chunks.
     let chunks = even_chunks(nnz, threads);
+    let analysis = Span::enter("kernel.analysis");
+    let parent = analysis.handle();
     let hists: Vec<Vec<usize>> = std::thread::scope(|s| {
         let handles: Vec<_> = chunks
             .iter()
             .map(|r| {
                 let r = r.clone();
                 s.spawn(move || {
+                    let span = Span::enter_under("chunk_histogram", parent);
+                    span.add_items(r.len() as u64);
                     let mut hist = vec![0usize; roots];
                     for &i in &root_crd[r] {
                         hist[i] += 1;
@@ -360,9 +407,15 @@ pub fn coo_to_csf(coo: &CooTensor, threads: usize) -> CsfTensor {
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     });
+    drop(analysis);
+    let merge = Span::enter("kernel.merge");
     let (root_pos, cursors) = merge_histograms(&hists, roots);
+    drop(merge);
 
     // Stable bucket sort by root: scatter the source permutation.
+    let bucket = Span::enter("kernel.bucket_scatter");
+    bucket.add_items(nnz as u64);
+    let parent = bucket.handle();
     let mut perm = vec![0usize; nnz];
     {
         let perm_out = SharedSlice::new(&mut perm);
@@ -370,6 +423,8 @@ pub fn coo_to_csf(coo: &CooTensor, threads: usize) -> CsfTensor {
             for (r, mut cursor) in chunks.iter().cloned().zip(cursors) {
                 let perm_out = &perm_out;
                 s.spawn(move || {
+                    let span = Span::enter_under("chunk_scatter", parent);
+                    span.add_items(r.len() as u64);
                     for p in r {
                         let dst = cursor[root_crd[p]];
                         cursor[root_crd[p]] += 1;
@@ -380,6 +435,7 @@ pub fn coo_to_csf(coo: &CooTensor, threads: usize) -> CsfTensor {
             }
         });
     }
+    drop(bucket);
 
     // Root-fiber chunks, nnz-balanced off the merged root pos array; each
     // chunk owns the contiguous permutation span of whole root fibers.
@@ -402,6 +458,9 @@ pub fn coo_to_csf(coo: &CooTensor, threads: usize) -> CsfTensor {
     // order inside each root, so the stable span sort completes the global
     // stable lexicographic order.
     let columns: Vec<&[usize]> = (0..order).map(|d| coo.crd(d)).collect();
+    let sort_pack = Span::enter("kernel.sort_pack");
+    sort_pack.add_items(nnz as u64);
+    let parent = sort_pack.handle();
     let partials: Vec<CsfTensor> = std::thread::scope(|s| {
         let handles: Vec<_> = spans
             .into_iter()
@@ -410,6 +469,8 @@ pub fn coo_to_csf(coo: &CooTensor, threads: usize) -> CsfTensor {
                 let vals = coo.values();
                 let shape = shape.clone();
                 s.spawn(move || {
+                    let worker = Span::enter_under("chunk_sort_pack", parent);
+                    worker.add_items(span.len() as u64);
                     span.sort_by(|&a, &b| sparse_formats::csf::lex_cmp_at(columns, a, b));
                     pack_sorted(
                         shape,
@@ -422,9 +483,12 @@ pub fn coo_to_csf(coo: &CooTensor, threads: usize) -> CsfTensor {
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     });
+    drop(sort_pack);
 
     // Stitch: chunk boundaries are root-fiber boundaries, so the per-chunk
     // level arrays concatenate with offset fix-ups on the pos arrays.
+    let stitch = Span::enter("kernel.stitch");
+    stitch.add_items(partials.len() as u64);
     let mut crd: Vec<Vec<usize>> = vec![Vec::new(); order];
     let mut pos: Vec<Vec<usize>> = vec![vec![0usize]; order - 1];
     let mut vals: Vec<Value> = Vec::with_capacity(nnz);
@@ -438,6 +502,7 @@ pub fn coo_to_csf(coo: &CooTensor, threads: usize) -> CsfTensor {
         }
         vals.extend_from_slice(part.values());
     }
+    drop(stitch);
     CsfTensor::from_parts(shape.clone(), crd, pos, vals).expect("assembled CSF structure is valid")
 }
 
@@ -478,12 +543,16 @@ pub fn coo_to_csf_ordered(coo: &CooTensor, mode_order: &[usize], threads: usize)
 
     // Analysis: per-chunk root histograms over even nonzero chunks.
     let chunks = even_chunks(nnz, threads);
+    let analysis = Span::enter("kernel.analysis");
+    let parent = analysis.handle();
     let hists: Vec<Vec<usize>> = std::thread::scope(|s| {
         let handles: Vec<_> = chunks
             .iter()
             .map(|r| {
                 let r = r.clone();
                 s.spawn(move || {
+                    let span = Span::enter_under("chunk_histogram", parent);
+                    span.add_items(r.len() as u64);
                     let mut hist = vec![0usize; roots];
                     for &i in &root_crd[r] {
                         hist[i] += 1;
@@ -494,9 +563,15 @@ pub fn coo_to_csf_ordered(coo: &CooTensor, mode_order: &[usize], threads: usize)
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     });
+    drop(analysis);
+    let merge = Span::enter("kernel.merge");
     let (root_pos, cursors) = merge_histograms(&hists, roots);
+    drop(merge);
 
     // Stable bucket sort by storage root: scatter the source permutation.
+    let bucket = Span::enter("kernel.bucket_scatter");
+    bucket.add_items(nnz as u64);
+    let parent = bucket.handle();
     let mut perm = vec![0usize; nnz];
     {
         let perm_out = SharedSlice::new(&mut perm);
@@ -504,6 +579,8 @@ pub fn coo_to_csf_ordered(coo: &CooTensor, mode_order: &[usize], threads: usize)
             for (r, mut cursor) in chunks.iter().cloned().zip(cursors) {
                 let perm_out = &perm_out;
                 s.spawn(move || {
+                    let span = Span::enter_under("chunk_scatter", parent);
+                    span.add_items(r.len() as u64);
                     for p in r {
                         let dst = cursor[root_crd[p]];
                         cursor[root_crd[p]] += 1;
@@ -514,6 +591,7 @@ pub fn coo_to_csf_ordered(coo: &CooTensor, mode_order: &[usize], threads: usize)
             }
         });
     }
+    drop(bucket);
 
     // Root-fiber chunks over the merged root pos array, spans split at
     // whole-root boundaries (as in the canonical kernel).
@@ -533,6 +611,9 @@ pub fn coo_to_csf_ordered(coo: &CooTensor, mode_order: &[usize], threads: usize)
 
     // Sort each span stably by the *permuted* coordinate tuple, then pack.
     let columns: Vec<&[usize]> = mode_order.iter().map(|&m| coo.crd(m)).collect();
+    let sort_pack = Span::enter("kernel.sort_pack");
+    sort_pack.add_items(nnz as u64);
+    let parent = sort_pack.handle();
     let partials: Vec<CsfTensor> = std::thread::scope(|s| {
         let handles: Vec<_> = spans
             .into_iter()
@@ -541,6 +622,8 @@ pub fn coo_to_csf_ordered(coo: &CooTensor, mode_order: &[usize], threads: usize)
                 let vals = coo.values();
                 let packed_shape = packed_shape.clone();
                 s.spawn(move || {
+                    let worker = Span::enter_under("chunk_sort_pack", parent);
+                    worker.add_items(span.len() as u64);
                     span.sort_by(|&a, &b| sparse_formats::csf::lex_cmp_at(columns, a, b));
                     pack_sorted(
                         packed_shape,
@@ -553,8 +636,11 @@ pub fn coo_to_csf_ordered(coo: &CooTensor, mode_order: &[usize], threads: usize)
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     });
+    drop(sort_pack);
 
     // Stitch the per-chunk level arrays, as in the canonical kernel.
+    let stitch = Span::enter("kernel.stitch");
+    stitch.add_items(partials.len() as u64);
     let mut crd: Vec<Vec<usize>> = vec![Vec::new(); order];
     let mut pos: Vec<Vec<usize>> = vec![vec![0usize]; order - 1];
     let mut vals: Vec<Value> = Vec::with_capacity(nnz);
@@ -568,6 +654,7 @@ pub fn coo_to_csf_ordered(coo: &CooTensor, mode_order: &[usize], threads: usize)
         }
         vals.extend_from_slice(part.values());
     }
+    drop(stitch);
     CsfTensor::from_parts(packed_shape, crd, pos, vals).expect("assembled CSF structure is valid")
 }
 

@@ -21,8 +21,10 @@
 //! never oversubscribes the machine.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use conv_stream::{ExternalSorter, MemTracker, SorterConfig, StreamStats, TensorStream};
+use obs::{Collector, ConversionReport, Registry, Span};
 use sparse_conv::convert::{AnyMatrix, FormatId};
 use sparse_conv::{engine, ConversionPlan, ConvertError, Format};
 
@@ -87,6 +89,31 @@ struct ServiceCounters {
     materialized: AtomicU64,
 }
 
+impl ServiceCounters {
+    fn reset(&self) {
+        self.conversions.store(0, Ordering::Relaxed);
+        self.parallel_kernels.store(0, Ordering::Relaxed);
+        self.sequential.store(0, Ordering::Relaxed);
+        self.via_coo.store(0, Ordering::Relaxed);
+        self.batch_jobs.store(0, Ordering::Relaxed);
+        self.streams.store(0, Ordering::Relaxed);
+        self.stream_spilled_runs.store(0, Ordering::Relaxed);
+        self.stream_spilled_bytes.store(0, Ordering::Relaxed);
+        self.stream_peak_bytes.store(0, Ordering::Relaxed);
+        self.materialized.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Per-call execution facts captured while a conversion runs, for its
+/// [`ConversionReport`] (the aggregate [`ServiceCounters`] can't attribute
+/// them to one call under concurrency).
+#[derive(Default)]
+struct ExecTrace {
+    route: &'static str,
+    plan_cache_hit: bool,
+    parallel_kernel: bool,
+}
+
 /// A point-in-time copy of a service's counters (plus its plan-cache
 /// statistics).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -129,6 +156,7 @@ pub struct ConversionService {
     pool: WorkerPool,
     cache: PlanCache,
     counters: ServiceCounters,
+    last_report: Mutex<Option<ConversionReport>>,
 }
 
 impl Default for ConversionService {
@@ -145,6 +173,7 @@ impl ConversionService {
             pool: WorkerPool::new(config.threads),
             cache: PlanCache::new(),
             counters: ServiceCounters::default(),
+            last_report: Mutex::new(None),
         }
     }
 
@@ -189,7 +218,36 @@ impl ConversionService {
         src: &AnyMatrix,
         target: F,
     ) -> Result<AnyMatrix, ConvertError> {
-        self.convert_inner(src, &target.into(), true)
+        self.convert_reported(src, &target.into(), true)
+            .map(|(tensor, _)| tensor)
+    }
+
+    /// Like [`ConversionService::convert`], additionally returning the
+    /// [`ConversionReport`] for this call: the route taken, whether the plan
+    /// came from the cache, the threads used, and the per-phase span
+    /// breakdown recorded while the conversion ran.
+    ///
+    /// With the `conv-obs` feature disabled the report still carries the
+    /// route/cache/thread fields (they are plain data captured inline), but
+    /// its phase tree and durations are empty — no timing is collected.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`ConversionService::convert`].
+    pub fn convert_traced<F: Into<Format>>(
+        &self,
+        src: &AnyMatrix,
+        target: F,
+    ) -> Result<(AnyMatrix, ConversionReport), ConvertError> {
+        self.convert_reported(src, &target.into(), true)
+    }
+
+    /// The report of the most recently *completed* conversion on this
+    /// service, if any. Under concurrency (batches, racing callers) "most
+    /// recent" means last-to-finish; use [`ConversionService::convert_traced`]
+    /// to pair a report with its own call.
+    pub fn last_report(&self) -> Option<ConversionReport> {
+        self.last_report.lock().unwrap().clone()
     }
 
     /// The route [`ConversionService::convert`] would take for this source
@@ -225,7 +283,8 @@ impl ConversionService {
         }
         self.pool.run(jobs.len(), |i| {
             let (src, target) = &jobs[i];
-            self.convert_inner(src, &target.clone().into(), false)
+            self.convert_reported(src, &target.clone().into(), false)
+                .map(|(tensor, _)| tensor)
         })
     }
 
@@ -258,17 +317,55 @@ impl ConversionService {
     {
         let target = target.into();
         self.counters.streams.fetch_add(1, Ordering::Relaxed);
+        let root = Span::enter_traced("convert_stream");
+        let trace_id = root.handle().trace_id();
+        let mut info = ExecTrace::default();
+        let result = self.stream_exec(&mut stream, &target, opts, &mut info);
+        drop(root);
+        let records = Collector::global().take_trace(trace_id);
+        let conv = result?;
+        let mut report = ConversionReport::from_trace(&records);
+        report.source = "stream".to_string();
+        report.target = target.to_string();
+        report.route = if info.route.is_empty() {
+            // The streamed path never enters the in-memory router.
+            "stream"
+        } else {
+            info.route
+        }
+        .to_string();
+        report.plan_cache_hit = info.plan_cache_hit;
+        report.parallel_kernel = info.parallel_kernel;
+        report.threads = self.config.threads;
+        report.streamed = true;
+        report.in_memory = conv.stats.in_memory;
+        report.spilled_runs = conv.stats.spilled_runs;
+        report.spilled_bytes = conv.stats.spilled_bytes;
+        *self.last_report.lock().unwrap() = Some(report);
+        Ok(conv)
+    }
+
+    /// The body of [`ConversionService::convert_stream`], running inside the
+    /// caller's traced root span.
+    fn stream_exec<S: TensorStream + Send>(
+        &self,
+        stream: &mut S,
+        target: &Format,
+        opts: &StreamOptions,
+        info: &mut ExecTrace,
+    ) -> Result<StreamConversion, ConvertError> {
         let shape = stream.shape().clone();
-        let plan = streaming::classify(&target, shape.order());
+        let plan = streaming::classify(target, shape.order());
         if plan == StreamTarget::Materialize {
             self.counters.materialized.fetch_add(1, Ordering::Relaxed);
             let mut stats = StreamStats {
                 in_memory: true,
                 ..StreamStats::default()
             };
-            let src = streaming::materialize(&mut stream, &mut stats)?;
-            // `convert` counts the conversion and applies routing/kernels.
-            let tensor = self.convert_inner(&src, &target, true)?;
+            let src = streaming::materialize(stream, &mut stats)?;
+            // `convert_inner` counts the conversion and applies
+            // routing/kernels; its spans nest under this stream's trace.
+            let tensor = self.convert_inner(&src, target, true, info)?;
             return Ok(StreamConversion { tensor, stats });
         }
         self.counters.conversions.fetch_add(1, Ordering::Relaxed);
@@ -283,7 +380,7 @@ impl ConversionService {
         };
         let mut sorter = ExternalSorter::new(shape.clone(), key, cfg, MemTracker::new())?;
         streaming::pump(
-            &mut stream,
+            stream,
             &mut sorter,
             &self.pool,
             self.config.threads,
@@ -319,6 +416,19 @@ impl ConversionService {
     }
 
     /// A snapshot of the service's execution and plan-cache statistics.
+    ///
+    /// # Snapshot coherence
+    ///
+    /// Each counter is read individually with `Ordering::Relaxed`; the
+    /// snapshot is **not** an atomic cut across all of them. While other
+    /// threads are converting, derived sums may be momentarily inconsistent
+    /// (e.g. `parallel_kernels + sequential` can briefly trail `conversions`
+    /// because a conversion is counted before its execution path is). Every
+    /// individual counter is still exact — no increment is ever lost — and a
+    /// snapshot taken while the service is quiescent is fully consistent.
+    /// For before/after deltas in benchmarks, quiesce the service (or use
+    /// [`ConversionService::reset_stats`]) instead of differencing live
+    /// snapshots.
     pub fn stats(&self) -> ServiceStats {
         ServiceStats {
             conversions: self.counters.conversions.load(Ordering::Relaxed),
@@ -337,18 +447,81 @@ impl ConversionService {
         }
     }
 
+    /// Zeroes every service counter and the plan cache's hit/miss counters
+    /// (cached plans are preserved) — for isolating a benchmark's measured
+    /// phase from its warm-up, where warm-up conversions would otherwise
+    /// pollute the deltas.
+    pub fn reset_stats(&self) {
+        self.counters.reset();
+        self.cache.reset_counters();
+    }
+
+    /// Runs one conversion under a traced root span and assembles its
+    /// [`ConversionReport`], which is also stored for
+    /// [`ConversionService::last_report`].
+    fn convert_reported(
+        &self,
+        src: &AnyMatrix,
+        target: &Format,
+        allow_parallel: bool,
+    ) -> Result<(AnyMatrix, ConversionReport), ConvertError> {
+        let root = Span::enter_traced("convert");
+        let trace_id = root.handle().trace_id();
+        let mut info = ExecTrace::default();
+        let result = self.convert_inner(src, target, allow_parallel, &mut info);
+        drop(root);
+        // Take the trace even on error so failed conversions don't leave
+        // records behind in the collector.
+        let records = Collector::global().take_trace(trace_id);
+        let tensor = result?;
+        let mut report = ConversionReport::from_trace(&records);
+        report.source = src.format().to_string();
+        report.target = target.to_string();
+        report.route = info.route.to_string();
+        report.plan_cache_hit = info.plan_cache_hit;
+        report.parallel_kernel = info.parallel_kernel;
+        report.threads = if info.parallel_kernel {
+            self.config.threads
+        } else {
+            1
+        };
+        report.in_memory = true;
+        let registry = Registry::global();
+        registry.counter("service.conversions").inc();
+        if info.plan_cache_hit {
+            registry.counter("service.plan_hits").inc();
+        }
+        registry
+            .histogram("service.convert_ns")
+            .observe(report.total_ns);
+        *self.last_report.lock().unwrap() = Some(report.clone());
+        Ok((tensor, report))
+    }
+
     fn convert_inner(
         &self,
         src: &AnyMatrix,
         target: &Format,
         allow_parallel: bool,
+        info: &mut ExecTrace,
     ) -> Result<AnyMatrix, ConvertError> {
-        let plan = self.cache.plan(src.format(), target)?;
+        let span = Span::enter("service.plan");
+        let (plan, cache_hit) = self.cache.plan_entry(src.format(), target)?;
+        drop(span);
+        info.plan_cache_hit = cache_hit;
         self.counters.conversions.fetch_add(1, Ordering::Relaxed);
-        match self.choose_route(src, target, &plan)? {
-            Route::Direct => self.execute(src, target, allow_parallel),
+        let span = Span::enter("service.route");
+        let route = self.choose_route(src, target, &plan)?;
+        drop(span);
+        match route {
+            Route::Direct => {
+                info.route = "direct";
+                self.execute(src, target, allow_parallel, info)
+            }
             Route::ViaCoo => {
+                info.route = "via-coo";
                 self.counters.via_coo.fetch_add(1, Ordering::Relaxed);
+                let span = Span::enter("service.via_coo");
                 let coo = AnyMatrix::Coo(match src {
                     AnyMatrix::Dia(m) => engine::to_coo(m),
                     AnyMatrix::Ell(m) => engine::to_coo(m),
@@ -356,9 +529,15 @@ impl ConversionService {
                     AnyMatrix::Skyline(m) => engine::to_coo(m),
                     // Unpadded sources never choose ViaCoo; keep the match
                     // total anyway.
-                    _ => return self.execute(src, target, allow_parallel),
+                    _ => {
+                        drop(span);
+                        info.route = "direct";
+                        return self.execute(src, target, allow_parallel, info);
+                    }
                 });
-                self.execute(&coo, target, allow_parallel)
+                span.add_items(coo.nnz() as u64);
+                drop(span);
+                self.execute(&coo, target, allow_parallel, info)
             }
         }
     }
@@ -409,17 +588,22 @@ impl ConversionService {
         src: &AnyMatrix,
         target: &Format,
         allow_parallel: bool,
+        info: &mut ExecTrace,
     ) -> Result<AnyMatrix, ConvertError> {
         let threads = self.config.threads;
+        let span = Span::enter("service.execute");
+        span.add_items(src.nnz() as u64);
         if self.parallel_worthwhile(src.nnz(), allow_parallel) {
             match (src, target.id()) {
                 (AnyMatrix::Coo(m), Some(FormatId::Csr)) => {
+                    info.parallel_kernel = true;
                     self.counters
                         .parallel_kernels
                         .fetch_add(1, Ordering::Relaxed);
                     return Ok(AnyMatrix::Csr(kernels::coo_to_csr(m, threads)));
                 }
                 (AnyMatrix::Csr(m), Some(FormatId::Csc)) => {
+                    info.parallel_kernel = true;
                     self.counters
                         .parallel_kernels
                         .fetch_add(1, Ordering::Relaxed);
@@ -432,6 +616,7 @@ impl ConversionService {
                         block_cols,
                     }),
                 ) => {
+                    info.parallel_kernel = true;
                     self.counters
                         .parallel_kernels
                         .fetch_add(1, Ordering::Relaxed);
@@ -440,6 +625,7 @@ impl ConversionService {
                     )));
                 }
                 (AnyMatrix::Coo3(t), Some(FormatId::Csf)) => {
+                    info.parallel_kernel = true;
                     self.counters
                         .parallel_kernels
                         .fetch_add(1, Ordering::Relaxed);
@@ -454,6 +640,7 @@ impl ConversionService {
                             let spec = target.spec().expect("mode order implies a spec");
                             let csf = kernels::coo_to_csf_ordered(t, &order, threads);
                             let custom = sparse_conv::mode::custom_from_csf(spec, &order, &csf)?;
+                            info.parallel_kernel = true;
                             self.counters
                                 .parallel_kernels
                                 .fetch_add(1, Ordering::Relaxed);

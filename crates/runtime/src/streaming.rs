@@ -23,6 +23,7 @@ use conv_stream::sorter::MemRun;
 use conv_stream::{
     CooSink, CoordBlock, ExternalSorter, MemoryBudget, StreamStats, TensorSink, TensorStream,
 };
+use obs::Span;
 use sparse_conv::convert::{AnyMatrix, FormatId};
 use sparse_conv::{ConvertError, Format};
 use sparse_formats::{CooMatrix, CsfBuilder, CsfTensor, CsrMatrix};
@@ -117,6 +118,9 @@ pub(crate) fn pump<S: TensorStream + Send>(
     } else {
         channel_blocks
     };
+    // One span for the whole pipeline; the consumer loop below runs on this
+    // thread, so the per-group pre-sort spans nest under it.
+    let pump_span = Span::enter("stream.pump");
     std::thread::scope(|s| {
         let (tx, rx) = mpsc::sync_channel::<CoordBlock>(depth);
         let producer_tracker = tracker.clone();
@@ -144,11 +148,14 @@ pub(crate) fn pump<S: TensorStream + Send>(
                         Err(_) => break,
                     }
                 }
+                let presort = Span::enter("stream.presort");
+                presort.add_items(group.iter().map(|b| b.nnz() as u64).sum());
                 let runs: Vec<MemRun> = if threads > 1 && group.len() > 1 {
                     pool.run(group.len(), |i| MemRun::from_block(&group[i], &key))
                 } else {
                     group.iter().map(|b| MemRun::from_block(b, &key)).collect()
                 };
+                drop(presort);
                 for (block, run) in group.iter().zip(runs) {
                     tracker.sub(block.approx_bytes());
                     sorter.push_run(run)?;
@@ -158,7 +165,9 @@ pub(crate) fn pump<S: TensorStream + Send>(
         let produced = producer.join().expect("stream producer panicked");
         produced?;
         consumed
-    })
+    })?;
+    drop(pump_span);
+    Ok(())
 }
 
 /// Drains the sorter into a CSR matrix: rows arrive in nondecreasing order
@@ -171,6 +180,8 @@ pub(crate) fn assemble_csr(
 ) -> Result<(CsrMatrix, StreamStats), ConvertError> {
     let (rows, cols) = (shape.dim(0), shape.dim(1));
     let entries = sorter.stats().entries as usize;
+    let span = Span::enter("stream.assemble");
+    span.add_items(entries as u64);
     let mut counts = vec![0usize; rows];
     let mut crd = Vec::with_capacity(entries);
     let mut vals = Vec::with_capacity(entries);
@@ -199,6 +210,8 @@ pub(crate) fn assemble_csf(
     mode_order: &[usize],
     sorter: ExternalSorter,
 ) -> Result<(CsfTensor, StreamStats), ConvertError> {
+    let span = Span::enter("stream.assemble");
+    span.add_items(sorter.stats().entries);
     let packed = Shape::new(mode_order.iter().map(|&m| shape.dim(m)).collect());
     let mut builder = CsfBuilder::new(packed);
     let mut buf = vec![0usize; mode_order.len()];
@@ -218,12 +231,14 @@ pub(crate) fn materialize<S: TensorStream>(
     stream: &mut S,
     stats: &mut StreamStats,
 ) -> Result<AnyMatrix, ConvertError> {
+    let span = Span::enter("stream.materialize");
     let mut sink = CooSink::new(stream.shape().clone());
     while let Some(block) = stream.next_block()? {
         stats.blocks += 1;
         stats.entries += block.nnz() as u64;
         sink.push_block(block)?;
     }
+    span.add_items(stats.entries);
     let tensor = sink.into_tensor();
     Ok(if tensor.order() == 2 {
         let mut m = CooMatrix::new(tensor.shape().dim(0), tensor.shape().dim(1));

@@ -20,6 +20,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::path::PathBuf;
 
+use obs::{Registry, Span};
 use sparse_conv::ConvertError;
 use sparse_tensor::{Shape, Value};
 
@@ -243,13 +244,22 @@ impl ExternalSorter {
     /// Merges the buffered runs into one spill run on disk and empties the
     /// buffer.
     fn spill(&mut self) -> Result<(), ConvertError> {
+        let span = Span::enter("stream.spill_write");
+        span.add_items(self.buffer.iter().map(|r| r.len() as u64).sum());
         let mut writer = RunWriter::create(self.cfg.spill_dir.as_deref(), self.shape.order())?;
         merge_mem_runs(&self.buffer, &self.key, |coord, value| {
             writer.push(coord, value)
         })?;
         let run = writer.finish()?;
+        span.add_bytes(run.bytes());
         self.stats.spilled_runs += 1;
         self.stats.spilled_bytes += run.bytes();
+        let registry = Registry::global();
+        registry.counter("stream.spilled_runs").inc();
+        registry.counter("stream.spilled_bytes").add(run.bytes());
+        registry
+            .histogram("stream.spill_run_bytes")
+            .observe(run.bytes());
         self.spills.push(run);
         self.tracker.sub(self.buffered_bytes);
         self.buffered_bytes = 0;
@@ -268,7 +278,10 @@ impl ExternalSorter {
     {
         if self.spills.is_empty() {
             self.stats.in_memory = true;
+            let span = Span::enter("stream.merge_mem");
+            span.add_items(self.buffer.iter().map(|r| r.len() as u64).sum());
             merge_mem_runs(&self.buffer, &self.key, &mut emit)?;
+            drop(span);
             self.tracker.sub(self.buffered_bytes);
             self.buffered_bytes = 0;
             self.buffer.clear();
@@ -279,11 +292,23 @@ impl ExternalSorter {
             let k = self.spills.len();
             let read_buf = self.cfg.budget.merge_read_buffer(k);
             self.tracker.add(k * read_buf);
+            let span = Span::enter("stream.merge_spills");
             let result = self.merge_spills(read_buf, &mut emit);
+            span.add_items(self.stats.merged_entries);
+            span.add_bytes(self.stats.spilled_bytes);
+            drop(span);
             self.tracker.sub(k * read_buf);
             result?;
         }
         self.stats.peak_tracked_bytes = self.tracker.peak();
+        // Mirror the final per-conversion stats into the process-wide
+        // metrics registry (the same numbers StreamStats reports locally).
+        let registry = Registry::global();
+        registry.counter("stream.blocks").add(self.stats.blocks);
+        registry.counter("stream.entries").add(self.stats.entries);
+        registry
+            .counter("stream.merged_entries")
+            .add(self.stats.merged_entries);
         Ok(self.stats)
     }
 

@@ -8,10 +8,27 @@
 
 use taco_conversion_repro::conv::convert::{AnyMatrix, FormatId};
 use taco_conversion_repro::formats::{CooMatrix, CooTensor};
+use taco_conversion_repro::obs::PhaseReport;
 use taco_conversion_repro::runtime::{ConversionService, ServiceConfig, StreamOptions};
 use taco_conversion_repro::stream::MemoryBudget;
 use taco_conversion_repro::tensor::Shape;
 use taco_conversion_repro::workloads::io::{tns_dims, write_mtx, write_tns, MtxStream, TnsStream};
+
+/// Prints the conversion's per-phase span tree (recorded by `conv-obs`),
+/// indented by depth.
+fn print_phases(phases: &[PhaseReport], depth: usize) {
+    for phase in phases {
+        println!(
+            "  {:indent$}{:<20} {:>9.1} µs  ({} items)",
+            "",
+            phase.name,
+            phase.duration_ns as f64 / 1e3,
+            phase.count,
+            indent = 2 * depth
+        );
+        print_phases(&phase.children, depth + 1);
+    }
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dir = std::env::temp_dir().join(format!("stream-convert-{}", std::process::id()));
@@ -50,6 +67,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         if result.stats.in_memory { " [in-memory]" } else { "" },
     );
     assert!(result.stats.peak_tracked_bytes < budget.bytes);
+    // The observability layer recorded where the time went.
+    if let Some(report) = service.last_report() {
+        println!(
+            "  report: route {}, {} thread(s), total {:.1} µs, {} spill runs",
+            report.route,
+            report.threads,
+            report.total_ns as f64 / 1e3,
+            report.spilled_runs
+        );
+        print_phases(&report.phases, 1);
+    }
     // The streamed result is byte-identical to the in-memory conversion.
     let in_memory = service.convert(&AnyMatrix::Coo(matrix), FormatId::Csr)?;
     assert_eq!(result.tensor, in_memory);

@@ -9,6 +9,7 @@ pub use conv_stream as stream;
 pub use conv_workloads as workloads;
 pub use coord_remap as remap;
 pub use level_formats as levels;
+pub use obs;
 pub use sparse_conv as conv;
 pub use sparse_formats as formats;
 pub use sparse_tensor as tensor;

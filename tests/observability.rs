@@ -1,0 +1,151 @@
+//! Integration tests for the observability layer: traced conversions
+//! produce structurally valid per-phase reports, parallel kernel spans nest
+//! under their kernel phase, streamed conversions surface spill counts, and
+//! the exported JSON passes the documented schema check.
+
+#![cfg(feature = "conv-obs")]
+
+use taco_conversion_repro::conv::convert::{AnyMatrix, FormatId};
+use taco_conversion_repro::formats::{CooMatrix, CooTensor};
+use taco_conversion_repro::obs::{validate_json, PhaseReport, Registry};
+use taco_conversion_repro::runtime::{ConversionService, ServiceConfig, StreamOptions};
+use taco_conversion_repro::stream::{CooBlockStream, MemoryBudget};
+use taco_conversion_repro::workloads::{irregular, tensor3_uniform};
+
+fn service(threads: usize) -> ConversionService {
+    ConversionService::new(ServiceConfig {
+        threads,
+        parallel_nnz_threshold: 0,
+    })
+}
+
+fn matrix_source() -> AnyMatrix {
+    let t = irregular(256, 256, 20_000, 256, 7).expect("valid generator parameters");
+    AnyMatrix::Coo(CooMatrix::from_triples(&t))
+}
+
+#[test]
+fn traced_conversions_report_route_cache_and_phases() {
+    let svc = service(1);
+    let src = matrix_source();
+    let (out, first) = svc.convert_traced(&src, FormatId::Csr).unwrap();
+    assert_eq!(out.format(), FormatId::Csr);
+    assert_eq!(first.source, "COO");
+    assert_eq!(first.target, "CSR");
+    assert_eq!(first.route, "direct");
+    assert!(!first.plan_cache_hit, "first conversion builds the plan");
+    assert!(first.in_memory && !first.streamed);
+
+    let (_, second) = svc.convert_traced(&src, FormatId::Csr).unwrap();
+    assert!(
+        second.plan_cache_hit,
+        "second conversion hits the plan cache"
+    );
+    second.validate().expect("structurally valid report");
+    assert!(second.total_ns > 0, "the collector measured the conversion");
+    assert!(second.phase_sum_ns() <= second.total_ns);
+    let execute = second.phase("service.execute").expect("execute phase");
+    assert!(execute.duration_ns > 0);
+    assert!(
+        !execute.children.is_empty(),
+        "the engine recorded sub-phases under the dispatch"
+    );
+    // The report the service stored last is the report it returned last.
+    assert_eq!(svc.last_report().unwrap(), second);
+    // The JSON export satisfies its own documented schema.
+    validate_json(&second.to_json()).expect("schema-valid JSON");
+    assert!(second.to_prometheus().contains("conversion_total_ns"));
+}
+
+/// Sums the span widths of every phase named `name` in the tree.
+fn spans_named(phases: &[PhaseReport], name: &str) -> u64 {
+    phases
+        .iter()
+        .map(|p| {
+            let own = if p.name == name { p.spans } else { 0 };
+            own + spans_named(&p.children, name)
+        })
+        .sum()
+}
+
+#[test]
+fn parallel_kernel_spans_nest_under_the_kernel_phases() {
+    let threads = 4;
+    let svc = service(threads);
+    let src = matrix_source();
+    let (_, report) = svc.convert_traced(&src, FormatId::Csr).unwrap();
+    assert!(report.parallel_kernel, "threshold 0 forces the kernel");
+    assert_eq!(report.threads, threads);
+    let execute = report.phase("service.execute").expect("execute phase");
+    let analysis = execute
+        .children
+        .iter()
+        .find(|p| p.name == "kernel.analysis")
+        .expect("kernel analysis phase under the dispatch");
+    // Each worker's span lands as a child of the phase that spawned it, so
+    // the per-thread spans are structurally inside the parent kernel span.
+    let histograms = analysis
+        .children
+        .iter()
+        .find(|p| p.name == "chunk_histogram")
+        .expect("per-thread histogram spans under kernel.analysis");
+    assert_eq!(histograms.spans as usize, threads);
+    assert_eq!(histograms.count as usize, src.nnz());
+    assert_eq!(
+        spans_named(&report.phases, "chunk_scatter") as usize,
+        threads
+    );
+}
+
+#[test]
+fn streamed_conversions_report_spills_and_mirror_the_registry() {
+    let t = tensor3_uniform([48, 48, 48], 6_000, 11).expect("valid generator parameters");
+    let svc = service(2);
+    let dir = std::env::temp_dir().join(format!("obs-stream-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let opts = StreamOptions {
+        budget: MemoryBudget::kib(16),
+        channel_blocks: 2,
+        spill_dir: Some(dir.clone()),
+    };
+    let stream = CooBlockStream::new(CooTensor::from_triples(&t), 64);
+    let result = svc.convert_stream(stream, FormatId::Csf, &opts).unwrap();
+    assert!(result.stats.spilled_runs > 0, "the budget forces spills");
+
+    let report = svc.last_report().expect("stream stored a report");
+    assert_eq!(report.route, "stream");
+    assert!(report.streamed);
+    assert!(!report.in_memory);
+    assert_eq!(report.source, "stream");
+    assert_eq!(report.target, "CSF");
+    assert_eq!(report.spilled_runs, result.stats.spilled_runs);
+    assert_eq!(report.spilled_bytes, result.stats.spilled_bytes);
+    assert_eq!(report.threads, 2);
+    assert!(report.phase("stream.pump").is_some());
+    assert!(report.phase("stream.assemble").is_some());
+    validate_json(&report.to_json()).expect("schema-valid JSON");
+
+    // The sorter mirrored its stats into the global metrics registry.
+    let snapshot = Registry::global().snapshot();
+    assert!(snapshot.counters["stream.spilled_runs"] >= result.stats.spilled_runs);
+    assert!(snapshot.counters["stream.spilled_bytes"] >= result.stats.spilled_bytes);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn reset_stats_isolates_measurement_from_warm_up() {
+    let svc = service(1);
+    let src = matrix_source();
+    svc.convert(&src, FormatId::Csr).unwrap();
+    assert_eq!(svc.stats().conversions, 1);
+    assert_eq!(svc.stats().plan_misses, 1);
+    svc.reset_stats();
+    let stats = svc.stats();
+    assert_eq!(stats.conversions, 0);
+    assert_eq!((stats.plan_hits, stats.plan_misses), (0, 0));
+    assert_eq!(stats.cached_plans, 1, "reset keeps the cached plans");
+    // The next conversion is a plan hit against the preserved cache.
+    let (_, report) = svc.convert_traced(&src, FormatId::Csr).unwrap();
+    assert!(report.plan_cache_hit);
+    assert_eq!(svc.stats().conversions, 1);
+}
