@@ -11,7 +11,9 @@ use std::time::Duration;
 
 use conv_bench::{env_f64, env_usize, BenchInputs};
 use conv_runtime::{ConversionService, ServiceConfig, WorkerPool};
+use conv_workloads::generators::tensor3_uniform;
 use sparse_conv::convert::{AnyMatrix, FormatId};
+use sparse_formats::{CooTensor, SortStrategy};
 
 fn thread_counts() -> Vec<usize> {
     let max = env_usize(
@@ -117,5 +119,52 @@ fn bench_batch_throughput(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_parallel_kernels, bench_batch_throughput);
+fn bench_sort_strategies(c: &mut Criterion) {
+    // Ablation for the packed-key radix path: the COO3→CSF kernel with the
+    // span-sort strategy pinned to radix / comparison / counting, at one
+    // thread and at the pool width. The input mirrors table4's uniform3d
+    // (unstructured, so the sort dominates the conversion).
+    let scale = env_f64("TENSOR_SCALE", 0.1);
+    let s = |n: usize| ((n as f64 * scale).round() as usize).max(2);
+    let dims = [s(256), s(256), s(256)];
+    let nnz = ((200_000_f64 * scale * scale).round().max(16.0) as usize).min(dims.iter().product());
+    let triples = tensor3_uniform(dims, nnz, 42).expect("uniform tensor parameters are valid");
+    let mut coo = CooTensor::from_triples(&triples);
+    let mut state = 0x9e3779b97f4a7c15u64;
+    coo.shuffle_with(|bound| {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state as usize) % bound
+    });
+    let strategies = [
+        ("radix", SortStrategy::Radix),
+        ("comparison", SortStrategy::Comparison),
+        ("counting", SortStrategy::Counting),
+    ];
+    let threads = *thread_counts().last().expect("at least one thread count");
+    let mut group = c.benchmark_group("service/sort_strategies");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    for (name, strategy) in strategies {
+        for t in [1, threads] {
+            group.bench_function(BenchmarkId::new(name, t), |b| {
+                b.iter(|| conv_runtime::kernels::coo_to_csf_with(&coo, t, strategy).nnz());
+            });
+            if threads == 1 {
+                break;
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_parallel_kernels,
+    bench_batch_throughput,
+    bench_sort_strategies
+);
 criterion_main!(benches);

@@ -49,9 +49,16 @@ fn main() -> ExitCode {
         .iter()
         .map(|r| (key(r), r.median_ns))
         .collect();
-    let current: HashMap<String, u128> = read(current_path)
+    // The throughput fields ride along for the log only; the gate keys on
+    // median_ns exactly as it did before they existed.
+    let current_records = read(current_path);
+    let current: HashMap<String, u128> = current_records
         .iter()
         .map(|r| (key(r), r.median_ns))
+        .collect();
+    let throughput: HashMap<String, f64> = current_records
+        .iter()
+        .map(|r| (key(r), r.throughput_mnnz_s))
         .collect();
 
     let threshold = env_f64("BENCH_REGRESSION_PCT", 20.0) / 100.0;
@@ -106,8 +113,13 @@ fn main() -> ExitCode {
             ""
         };
         rows.push((k, old_ns, new_ns, ratio));
+        let rate = throughput
+            .get(*k)
+            .filter(|&&t| t > 0.0)
+            .map(|t| format!(", {t:.1} Mnnz/s"))
+            .unwrap_or_default();
         println!(
-            "  {k}: {old_ns:.0} ns -> {new_ns:.0} ns (normalised {:+.1}%){marker}",
+            "  {k}: {old_ns:.0} ns -> {new_ns:.0} ns (normalised {:+.1}%{rate}){marker}",
             (ratio - 1.0) * 100.0
         );
     }

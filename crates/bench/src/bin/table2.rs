@@ -118,11 +118,13 @@ fn main() {
     println!("Set TABLE_SCALE=1.0 for paper-sized matrices (slow for the largest rows).");
 
     // Conversion-service benchmark on the representative rows.
-    let thread_counts: Vec<usize> = if threads > 1 {
-        vec![1, threads]
-    } else {
-        vec![1]
-    };
+    // Always measure the 1- and 2-thread points plus the configured pool, so
+    // rows stay comparable across documents generated under different
+    // BENCH_THREADS settings.
+    let mut thread_counts: Vec<usize> = vec![1, 2, threads];
+    thread_counts.sort_unstable();
+    thread_counts.dedup();
+    thread_counts.retain(|&t| t <= threads.max(1));
     let target_names: Vec<String> = targets.iter().map(|t| t.to_string()).collect();
     println!();
     println!(
@@ -170,6 +172,7 @@ fn main() {
                         inputs.spec.name,
                         &src.format(),
                         target,
+                        src.nnz() as u64,
                         threads,
                         scale,
                         median.as_nanos(),

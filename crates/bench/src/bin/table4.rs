@@ -88,11 +88,13 @@ fn main() {
         std::env::var("BENCH_JSON").unwrap_or_else(|_| "BENCH_conversions.json".to_string());
     let targets = target_formats_from_cli();
 
-    let thread_counts: Vec<usize> = if threads > 1 {
-        vec![1, threads]
-    } else {
-        vec![1]
-    };
+    // Always measure the 1- and 2-thread points plus the configured pool, so
+    // rows stay comparable across documents generated under different
+    // BENCH_THREADS settings.
+    let mut thread_counts: Vec<usize> = vec![1, 2, threads];
+    thread_counts.sort_unstable();
+    thread_counts.dedup();
+    thread_counts.retain(|&t| t <= threads.max(1));
     let target_names: Vec<String> = targets.iter().map(|t| t.to_string()).collect();
     println!(
         "Tensor conversion benchmark (order-3, scale {scale}, {reps} reps, median; \
@@ -148,6 +150,7 @@ fn main() {
                         name,
                         &src.format(),
                         target,
+                        src.nnz() as u64,
                         threads,
                         scale,
                         median.as_nanos(),

@@ -138,6 +138,7 @@ fn main() {
                 &label,
                 &input.source.format(),
                 &target,
+                nnz as u64,
                 threads,
                 scale,
                 median.as_nanos(),

@@ -466,7 +466,12 @@ fn convert_to(src: &AnyMatrix, target: &Format) -> Result<AnyMatrix, ConvertErro
     Ok(match id {
         FormatId::Coo => AnyMatrix::Coo(with_source!(src, m => engine::to_coo(m))),
         FormatId::Csr => AnyMatrix::Csr(with_source!(src, m => engine::to_csr(m))),
-        FormatId::Csc => AnyMatrix::Csc(with_source!(src, m => engine::to_csc(m))),
+        // CSR sources take the blocked write-combining transpose (identical
+        // output, cache-resident scatter for wide matrices).
+        FormatId::Csc => AnyMatrix::Csc(match src {
+            AnyMatrix::Csr(m) => engine::csr_to_csc_blocked(m),
+            _ => with_source!(src, m => engine::to_csc(m)),
+        }),
         FormatId::Dia => AnyMatrix::Dia(with_source!(src, m => engine::to_dia(m))?),
         FormatId::Ell => AnyMatrix::Ell(with_source!(src, m => engine::to_ell(m))),
         FormatId::Bcsr {

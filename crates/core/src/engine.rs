@@ -15,7 +15,8 @@
 //!    scatters nonzeros directly into place — never through a CSR temporary.
 
 use obs::Span;
-use sparse_formats::csf::{lex_sort_perm, pack_sorted};
+use sparse_formats::csf::pack_sorted;
+use sparse_formats::radix;
 use sparse_formats::{
     BcsrMatrix, CooMatrix, CooTensor, CscMatrix, CsfTensor, CsrMatrix, DiaMatrix, EllMatrix,
     JadMatrix, SkylineMatrix,
@@ -108,6 +109,101 @@ pub fn to_csc<S: SourceMatrix>(src: &S) -> CscMatrix {
         .expect("assembled CSC structure is valid")
 }
 
+/// Tile width (in columns) of the blocked CSR→CSC transpose: the per-tile
+/// cursor window plus the output region it scatters into stay cache-resident
+/// (a 4096-column tile is 32 KiB of cursors).
+const TRANSPOSE_TILE: usize = 1 << 12;
+
+/// Below this many nonzeros the naive transpose's working set already fits
+/// in cache and the extra bucketing pass of the blocked transpose would only
+/// add traffic.
+const TRANSPOSE_MIN_NNZ: usize = 1 << 15;
+
+/// Blocked, write-combining CSR→CSC transpose, bit-identical to
+/// [`to_csc`] on the same input.
+///
+/// The naive transpose scatters every nonzero straight through a
+/// `cols`-wide cursor array, so for matrices wider than the cache each write
+/// lands on a cold line. This variant adds one cheap bucketing pass:
+///
+/// 1. *bucket* — nonzeros are appended, in source (row-major) order, into
+///    per-tile buffers of `TRANSPOSE_TILE` columns each (a handful of
+///    sequential write streams),
+/// 2. *scatter* — each tile then scatters only its own entries, so the
+///    cursor slice and the output window both fit in cache.
+///
+/// Both passes are stable, so each column still receives its rows in
+/// source order — exactly the permutation the naive scatter produces. Small
+/// or narrow inputs (below `TRANSPOSE_MIN_NNZ`, or at most one tile wide)
+/// take the naive path directly.
+pub fn csr_to_csc_blocked(csr: &CsrMatrix) -> CscMatrix {
+    let rows = csr.rows();
+    let cols = csr.cols();
+    let nnz = csr.nnz();
+    if nnz < TRANSPOSE_MIN_NNZ || cols <= TRANSPOSE_TILE {
+        return to_csc(csr);
+    }
+    let src_pos = csr.pos();
+    let src_crd = csr.crd();
+    let src_vals = csr.values();
+    let tiles = cols.div_ceil(TRANSPOSE_TILE);
+
+    // Analysis: the column histogram and the tile histogram in one scan.
+    let (pos, tile_pos) = {
+        let span = Span::enter("engine.analysis");
+        span.add_items(cols as u64);
+        let mut pos = vec![0usize; cols + 1];
+        let mut tile_pos = vec![0usize; tiles + 1];
+        for &j in src_crd {
+            pos[j + 1] += 1;
+            tile_pos[j / TRANSPOSE_TILE + 1] += 1;
+        }
+        for j in 0..cols {
+            pos[j + 1] += pos[j];
+        }
+        for t in 0..tiles {
+            tile_pos[t + 1] += tile_pos[t];
+        }
+        (pos, tile_pos)
+    };
+
+    let span = Span::enter("engine.scatter");
+    span.add_items(nnz as u64);
+    span.add_bytes((nnz * (size_of::<usize>() + size_of::<Value>())) as u64);
+    // Bucket pass: tile-major (row, col, value) buffers, source order within
+    // each tile.
+    let mut tile_cursor = tile_pos.clone();
+    let mut brow = vec![0usize; nnz];
+    let mut bcol = vec![0usize; nnz];
+    let mut bval = vec![0.0 as Value; nnz];
+    for i in 0..rows {
+        for p in src_pos[i]..src_pos[i + 1] {
+            let j = src_crd[p];
+            let t = j / TRANSPOSE_TILE;
+            let dst = tile_cursor[t];
+            tile_cursor[t] += 1;
+            brow[dst] = i;
+            bcol[dst] = j;
+            bval[dst] = src_vals[p];
+        }
+    }
+    // Scatter pass: one cache-resident tile at a time.
+    let mut cursor = pos.clone();
+    let mut crd = vec![0usize; nnz];
+    let mut vals = vec![0.0 as Value; nnz];
+    for t in 0..tiles {
+        for p in tile_pos[t]..tile_pos[t + 1] {
+            let j = bcol[p];
+            let dst = cursor[j];
+            cursor[j] += 1;
+            crd[dst] = brow[p];
+            vals[dst] = bval[p];
+        }
+    }
+    drop(span);
+    CscMatrix::from_parts(rows, cols, pos, crd, vals).expect("assembled CSC structure is valid")
+}
+
 /// Converts any tensor source to rank-`N` COO, preserving the source's
 /// iteration order (the tensor counterpart of [`to_coo`]).
 pub fn tensor_to_coo<S: SourceTensor>(src: &S) -> CooTensor {
@@ -125,10 +221,11 @@ pub fn tensor_to_coo<S: SourceTensor>(src: &S) -> CooTensor {
 }
 
 /// Converts any tensor source to CSF by the paper's sort-then-pack recipe:
-/// a stable lexicographic sort of the coordinates (skipped when the source
-/// already iterates in order, e.g. CSF itself) followed by a single packing
-/// pass that opens a fresh fiber at the first level whose coordinate
-/// changes. Works at any order — order-2 sources yield DCSR.
+/// a stable lexicographic sort of the coordinates (the packed-key radix
+/// sort of [`radix::sort_perm`]; skipped when the source already iterates
+/// in order, e.g. CSF itself) followed by a single packing pass that opens
+/// a fresh fiber at the first level whose coordinate changes. Works at any
+/// order — order-2 sources yield DCSR.
 pub fn to_csf<S: SourceTensor>(src: &S) -> CsfTensor {
     let shape = src.shape().clone();
     let order = shape.order();
@@ -150,7 +247,7 @@ pub fn to_csf<S: SourceTensor>(src: &S) -> CsfTensor {
     } else {
         let span = Span::enter("engine.sort");
         span.add_items(nnz as u64);
-        lex_sort_perm(&columns)
+        radix::sort_perm(&columns)
     };
     let span = Span::enter("engine.pack");
     span.add_items(nnz as u64);
@@ -164,10 +261,12 @@ pub fn to_csf<S: SourceTensor>(src: &S) -> CsfTensor {
 /// with the coordinate columns (and the shape) permuted before the
 /// sort-then-pack recipe; the identity order reproduces [`to_csf`] exactly.
 ///
-/// The comparator is the shared [`lex_sort_perm`] over the *permuted*
-/// columns, and the sort is stable, so the resulting permutation equals the
-/// stable full-tuple sort the dynamic driver performs on remapped
-/// coordinates — the root of the three paths' bit-identical outputs.
+/// The sort is the shared stable lexicographic order ([`radix::sort_perm`],
+/// the packed-key radix sort equivalent of
+/// [`sparse_formats::csf::lex_sort_perm`]) over the *permuted* columns, so
+/// the resulting permutation equals the stable full-tuple sort the dynamic
+/// driver performs on remapped coordinates — the root of the three paths'
+/// bit-identical outputs.
 ///
 /// # Panics
 ///
@@ -204,7 +303,7 @@ pub fn to_csf_ordered<S: SourceTensor>(src: &S, mode_order: &[usize]) -> CsfTens
     } else {
         let span = Span::enter("engine.sort");
         span.add_items(nnz as u64);
-        lex_sort_perm(&columns)
+        radix::sort_perm(&columns)
     };
     let span = Span::enter("engine.pack");
     span.add_items(nnz as u64);
@@ -540,6 +639,36 @@ mod tests {
         assert!(to_dia(&coo).unwrap().to_triples().same_values(&t));
         assert!(to_ell(&coo).to_triples().same_values(&t));
         assert!(to_csc(&coo).to_triples().same_values(&t));
+    }
+
+    #[test]
+    fn blocked_transpose_is_bit_identical_to_the_naive_scatter() {
+        // Wide and dense enough to cross both blocked-path cutoffs: several
+        // column tiles and > TRANSPOSE_MIN_NNZ nonzeros.
+        let rows = 64;
+        let cols = 3 * TRANSPOSE_TILE + 17;
+        let mut entries = Vec::new();
+        let mut state = 0x1234_5678_9abc_def0u64;
+        for i in 0..rows {
+            for _ in 0..(TRANSPOSE_MIN_NNZ / rows + 2) {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                let j = (state as usize) % cols;
+                entries.push((i, j, (i + j) as f64));
+            }
+        }
+        let t = SparseTriples::from_matrix_entries(rows, cols, entries).unwrap();
+        let csr = CsrMatrix::from_triples(&t);
+        assert!(csr.nnz() >= TRANSPOSE_MIN_NNZ, "input crosses the cutoff");
+        let naive = to_csc(&csr);
+        let blocked = csr_to_csc_blocked(&csr);
+        assert_eq!(blocked.pos(), naive.pos());
+        assert_eq!(blocked.crd(), naive.crd());
+        assert_eq!(blocked.values(), naive.values());
+        // Small inputs route through the naive scatter unchanged.
+        let small = CsrMatrix::from_triples(&example());
+        assert_eq!(csr_to_csc_blocked(&small), to_csc(&small));
     }
 
     #[test]

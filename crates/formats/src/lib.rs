@@ -33,6 +33,7 @@ pub mod dia;
 pub mod dok;
 pub mod ell;
 pub mod jad;
+pub mod radix;
 pub mod skyline;
 pub mod spmv;
 
@@ -46,6 +47,7 @@ pub use dia::DiaMatrix;
 pub use dok::DokMatrix;
 pub use ell::EllMatrix;
 pub use jad::JadMatrix;
+pub use radix::{SortPath, SortStrategy};
 pub use skyline::SkylineMatrix;
 
 pub use sparse_tensor::{SparseTriples, TensorError, Value};

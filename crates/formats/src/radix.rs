@@ -1,0 +1,418 @@
+//! Packed-key LSD radix sorting for coordinate tuples.
+//!
+//! The paper's sort-then-pack conversions spend almost all of their time in
+//! the *sort*: a stable lexicographic ordering of parallel coordinate
+//! columns ([`crate::csf::lex_cmp_at`]). A comparison sort pays an indirect
+//! memory access per column per comparison; this module instead packs each
+//! nonzero's coordinate tuple into a single machine word and runs a
+//! least-significant-digit radix sort over the packed keys:
+//!
+//! * **Key packing** — dimension `d` occupies a bit field wide enough for
+//!   the *actual* maximum coordinate in the sorted span (not the shape's
+//!   extent), with the outermost dimension in the highest bits. Because
+//!   every field is wide enough for its values, integer comparison of the
+//!   packed keys equals lexicographic comparison of the tuples.
+//! * **Width check + fallback** — keys up to 64 bits take the `u64` path,
+//!   up to 128 bits the `u128` path; wider tuples (only reachable at order
+//!   ≥ 3 with near-`usize::MAX` coordinates) fall back to the stable
+//!   comparison sort, so every input remains sortable.
+//! * **LSD passes** — 8-bit digits, with all per-pass histograms gathered
+//!   in one read over the keys and passes whose histogram is a single
+//!   bucket skipped entirely (common: high digits of small tensors).
+//!   `(key, index)` pairs ping-pong between two buffers, so each pass is
+//!   two sequential sweeps with no per-element indirection.
+//!
+//! Every pass of an LSD radix sort is stable, so the resulting permutation
+//! is *identical* to the stable comparison sort's — the property that keeps
+//! the engine, the parallel kernels, and the streaming pre-sort bit-for-bit
+//! interchangeable (enforced by `tests/radix_equivalence.rs`).
+
+use crate::csf::lex_cmp_at;
+
+/// How a sort-then-pack path orders its nonzeros. All strategies are stable
+/// and produce the exact permutation of [`crate::csf::lex_sort_perm`];
+/// they differ only in cost. Exposed so benchmarks and equivalence tests can
+/// pin a path; production code uses [`SortStrategy::Radix`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SortStrategy {
+    /// Packed-key LSD radix sort (comparison fallback for unpackable keys).
+    #[default]
+    Radix,
+    /// Stable comparison sort on [`lex_cmp_at`] — the reference.
+    Comparison,
+    /// Per-dimension stable counting sorts, innermost dimension first (the
+    /// recipe the paper's generated code uses). Falls back to the
+    /// comparison sort when a dimension's coordinate range is too large for
+    /// a dense histogram.
+    Counting,
+}
+
+/// Which code path a sort took — the width-check outcome the fallback tests
+/// assert on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SortPath {
+    /// Keys packed into `u64` words.
+    Radix64,
+    /// Keys packed into `u128` words.
+    Radix128,
+    /// Stable comparison sort (requested, or the wide-key fallback).
+    Comparison,
+    /// Per-dimension counting sorts.
+    Counting,
+}
+
+const DIGIT_BITS: u32 = 8;
+const BUCKETS: usize = 1 << DIGIT_BITS;
+
+/// Largest dense histogram the counting strategy will allocate per
+/// dimension before falling back to the comparison sort.
+const COUNTING_MAX_BUCKETS: usize = 1 << 22;
+
+/// A word type coordinate tuples pack into. Private: only `u64` and `u128`
+/// implement it, selected by the width check.
+trait PackedKey: Copy + Default {
+    fn pack(v: usize, shift: u32) -> Self;
+    fn merge(self, other: Self) -> Self;
+    fn digit(self, pass: u32) -> usize;
+}
+
+impl PackedKey for u64 {
+    #[inline]
+    fn pack(v: usize, shift: u32) -> Self {
+        (v as u64) << shift
+    }
+    #[inline]
+    fn merge(self, other: Self) -> Self {
+        self | other
+    }
+    #[inline]
+    fn digit(self, pass: u32) -> usize {
+        ((self >> (pass * DIGIT_BITS)) & 0xff) as usize
+    }
+}
+
+impl PackedKey for u128 {
+    #[inline]
+    fn pack(v: usize, shift: u32) -> Self {
+        (v as u128) << shift
+    }
+    #[inline]
+    fn merge(self, other: Self) -> Self {
+        self | other
+    }
+    #[inline]
+    fn digit(self, pass: u32) -> usize {
+        ((self >> (pass * DIGIT_BITS)) & 0xff) as usize
+    }
+}
+
+/// Per-dimension bit fields of the packed key: `(dim, shift)` for every
+/// dimension that needs bits at all (constant dimensions pack to nothing),
+/// plus the total key width.
+fn key_layout<C: AsRef<[usize]>>(columns: &[C], span: &[usize]) -> (Vec<(usize, u32)>, u32) {
+    // Field widths come from the actual maxima over the span, which is both
+    // tighter than the shape's extents (fewer radix passes) and independent
+    // of any shape plumbing (the streaming sorter has key *dimensions*, not
+    // key extents).
+    let bits: Vec<u32> = columns
+        .iter()
+        .map(|c| {
+            let col = c.as_ref();
+            let max = span.iter().map(|&p| col[p]).max().unwrap_or(0);
+            usize::BITS - max.leading_zeros()
+        })
+        .collect();
+    let total: u32 = bits.iter().sum();
+    // Outermost dimension in the highest bits; zero-width fields dropped.
+    let mut fields = Vec::with_capacity(columns.len());
+    let mut shift = total;
+    for (d, &b) in bits.iter().enumerate() {
+        shift -= b;
+        if b > 0 {
+            fields.push((d, shift));
+        }
+    }
+    (fields, total)
+}
+
+/// One LSD radix sort over packed keys: gathers all per-pass histograms in
+/// a single read, skips single-bucket passes, ping-pongs `(key, index)`
+/// pairs, and writes the sorted indices back into `span`.
+fn radix_sort_packed<K: PackedKey, C: AsRef<[usize]>>(
+    columns: &[C],
+    fields: &[(usize, u32)],
+    total_bits: u32,
+    span: &mut [usize],
+) {
+    let n = span.len();
+    let mut keys: Vec<(K, usize)> = span
+        .iter()
+        .map(|&p| {
+            let mut key = K::default();
+            for &(d, shift) in fields {
+                key = key.merge(K::pack(columns[d].as_ref()[p], shift));
+            }
+            (key, p)
+        })
+        .collect();
+    let passes = total_bits.div_ceil(DIGIT_BITS);
+    // All histograms in one sweep: one read pass instead of one per digit.
+    let mut hists = vec![[0usize; BUCKETS]; passes as usize];
+    for &(key, _) in &keys {
+        for (pass, hist) in hists.iter_mut().enumerate() {
+            hist[key.digit(pass as u32)] += 1;
+        }
+    }
+    let mut buf: Vec<(K, usize)> = vec![(K::default(), 0); n];
+    for (pass, hist) in hists.iter().enumerate() {
+        // A pass whose keys share one digit value would be the identity
+        // permutation; skip the two sweeps.
+        if hist.contains(&n) {
+            continue;
+        }
+        let mut cursors = [0usize; BUCKETS];
+        let mut running = 0usize;
+        for (cursor, &count) in cursors.iter_mut().zip(hist.iter()) {
+            *cursor = running;
+            running += count;
+        }
+        for &(key, p) in &keys {
+            let digit = key.digit(pass as u32);
+            buf[cursors[digit]] = (key, p);
+            cursors[digit] += 1;
+        }
+        std::mem::swap(&mut keys, &mut buf);
+    }
+    for (dst, &(_, p)) in span.iter_mut().zip(keys.iter()) {
+        *dst = p;
+    }
+}
+
+/// Per-dimension stable counting sorts, innermost dimension first — the
+/// paper's generated LSD recipe over raw coordinates. Returns `false`
+/// (leaving `span` untouched) when a dimension's maximum exceeds
+/// [`COUNTING_MAX_BUCKETS`].
+fn counting_sort_span<C: AsRef<[usize]>>(columns: &[C], span: &mut [usize]) -> bool {
+    let maxima: Vec<usize> = columns
+        .iter()
+        .map(|c| {
+            let col = c.as_ref();
+            span.iter().map(|&p| col[p]).max().unwrap_or(0)
+        })
+        .collect();
+    if maxima.iter().any(|&m| m >= COUNTING_MAX_BUCKETS) {
+        return false;
+    }
+    let mut buf = vec![0usize; span.len()];
+    for (d, &max) in maxima.iter().enumerate().rev() {
+        if max == 0 {
+            continue; // a constant column is a stable no-op
+        }
+        let col = columns[d].as_ref();
+        let mut cursors = vec![0usize; max + 2];
+        for &p in span.iter() {
+            cursors[col[p] + 1] += 1;
+        }
+        for i in 0..=max {
+            cursors[i + 1] += cursors[i];
+        }
+        for &p in span.iter() {
+            buf[cursors[col[p]]] = p;
+            cursors[col[p]] += 1;
+        }
+        span.copy_from_slice(&buf);
+    }
+    true
+}
+
+/// Stably sorts `span` — indices into the parallel coordinate `columns` —
+/// into lexicographic tuple order with the given strategy, returning the
+/// path taken. Every strategy yields the permutation of the stable
+/// comparison sort on [`lex_cmp_at`].
+pub fn sort_index_span_with<C: AsRef<[usize]>>(
+    columns: &[C],
+    span: &mut [usize],
+    strategy: SortStrategy,
+) -> SortPath {
+    if span.len() < 2 {
+        return SortPath::Comparison;
+    }
+    match strategy {
+        SortStrategy::Comparison => {
+            span.sort_by(|&a, &b| lex_cmp_at(columns, a, b));
+            SortPath::Comparison
+        }
+        SortStrategy::Counting => {
+            if counting_sort_span(columns, span) {
+                SortPath::Counting
+            } else {
+                span.sort_by(|&a, &b| lex_cmp_at(columns, a, b));
+                SortPath::Comparison
+            }
+        }
+        SortStrategy::Radix => {
+            let (fields, total_bits) = key_layout(columns, span);
+            if total_bits <= u64::BITS {
+                radix_sort_packed::<u64, C>(columns, &fields, total_bits, span);
+                SortPath::Radix64
+            } else if total_bits <= u128::BITS {
+                radix_sort_packed::<u128, C>(columns, &fields, total_bits, span);
+                SortPath::Radix128
+            } else {
+                span.sort_by(|&a, &b| lex_cmp_at(columns, a, b));
+                SortPath::Comparison
+            }
+        }
+    }
+}
+
+/// [`sort_index_span_with`] at the default [`SortStrategy::Radix`].
+pub fn sort_index_span<C: AsRef<[usize]>>(columns: &[C], span: &mut [usize]) -> SortPath {
+    sort_index_span_with(columns, span, SortStrategy::Radix)
+}
+
+/// Radix-accelerated drop-in for [`crate::csf::lex_sort_perm`]: the stable
+/// lexicographic sort permutation over parallel coordinate columns, computed
+/// by the packed-key radix sort (with the comparison fallback for unpackable
+/// keys).
+pub fn sort_perm<C: AsRef<[usize]>>(columns: &[C]) -> Vec<usize> {
+    let nnz = columns.first().map_or(0, |c| c.as_ref().len());
+    let mut perm: Vec<usize> = (0..nnz).collect();
+    sort_index_span(columns, &mut perm);
+    perm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csf::lex_sort_perm;
+
+    fn reference(columns: &[Vec<usize>], span: &[usize]) -> Vec<usize> {
+        let mut sorted = span.to_vec();
+        sorted.sort_by(|&a, &b| lex_cmp_at(columns, a, b));
+        sorted
+    }
+
+    fn pseudo_columns(dims: &[usize], n: usize, seed: u64) -> Vec<Vec<usize>> {
+        let mut state = seed | 1;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state as usize
+        };
+        dims.iter()
+            .map(|&d| (0..n).map(|_| next() % d).collect())
+            .collect()
+    }
+
+    #[test]
+    fn all_strategies_match_the_comparison_sort() {
+        let columns = pseudo_columns(&[7, 5, 11], 200, 0x5eed);
+        let expected = reference(&columns, &(0..200).collect::<Vec<_>>());
+        for strategy in [
+            SortStrategy::Radix,
+            SortStrategy::Comparison,
+            SortStrategy::Counting,
+        ] {
+            let mut span: Vec<usize> = (0..200).collect();
+            sort_index_span_with(&columns, &mut span, strategy);
+            assert_eq!(span, expected, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn radix_is_stable_on_duplicate_tuples() {
+        // Duplicate (1, 0) tuples must keep index order; matches
+        // lex_sort_perm's documented stability test.
+        let columns = vec![vec![1, 0, 1, 0], vec![0, 2, 0, 2]];
+        assert_eq!(sort_perm(&columns), vec![1, 3, 0, 2]);
+        assert_eq!(sort_perm(&columns), lex_sort_perm(&columns));
+    }
+
+    #[test]
+    fn sorts_arbitrary_sub_spans() {
+        let columns = pseudo_columns(&[4, 9], 64, 0xabc);
+        let mut span: Vec<usize> = vec![3, 60, 1, 17, 17, 5, 40];
+        let expected = reference(&columns, &span);
+        let path = sort_index_span(&columns, &mut span);
+        assert_eq!(path, SortPath::Radix64);
+        assert_eq!(span, expected);
+    }
+
+    #[test]
+    fn wide_keys_take_the_u128_path_and_wider_fall_back() {
+        // Three 33-bit fields: 99 bits, u128 path.
+        let big = 1usize << 32;
+        let columns = vec![
+            vec![big, 3, big, 0],
+            vec![1, big, 0, big],
+            vec![big, big, 2, 1],
+        ];
+        let mut span: Vec<usize> = vec![0, 1, 2, 3];
+        let expected = reference(&columns, &span);
+        assert_eq!(sort_index_span(&columns, &mut span), SortPath::Radix128);
+        assert_eq!(span, expected);
+
+        // Three 63-bit fields: 189 bits, comparison fallback.
+        let huge = 1usize << 62;
+        let columns = vec![
+            vec![huge, 3, huge, 0],
+            vec![1, huge, 0, huge],
+            vec![huge, huge, 2, 1],
+        ];
+        let mut span: Vec<usize> = vec![0, 1, 2, 3];
+        let expected = reference(&columns, &span);
+        assert_eq!(sort_index_span(&columns, &mut span), SortPath::Comparison);
+        assert_eq!(span, expected);
+    }
+
+    #[test]
+    fn exact_64_bit_keys_stay_on_the_u64_path() {
+        // 32 + 32 bits exactly: still u64.
+        let v = (1usize << 31) + 5;
+        let columns = vec![vec![v, 0, v - 1], vec![0, v, v]];
+        let mut span: Vec<usize> = vec![0, 1, 2];
+        assert_eq!(sort_index_span(&columns, &mut span), SortPath::Radix64);
+        assert_eq!(span, reference(&columns, &span.clone()));
+        // One more bit tips it over to u128.
+        let columns = vec![vec![v, 0, v - 1], vec![0, 2 * v, v]];
+        let mut span: Vec<usize> = vec![0, 1, 2];
+        assert_eq!(sort_index_span(&columns, &mut span), SortPath::Radix128);
+        assert_eq!(span, reference(&columns, &span.clone()));
+    }
+
+    #[test]
+    fn constant_and_empty_columns_are_handled() {
+        // A constant column contributes no bits; an all-zero tensor sorts to
+        // the identity (stability).
+        let columns = vec![vec![0; 5], vec![0; 5]];
+        let mut span: Vec<usize> = (0..5).collect();
+        sort_index_span(&columns, &mut span);
+        assert_eq!(span, vec![0, 1, 2, 3, 4]);
+        assert!(sort_perm::<Vec<usize>>(&[]).is_empty());
+        let mut empty: Vec<usize> = Vec::new();
+        assert_eq!(
+            sort_index_span(&columns, &mut empty),
+            SortPath::Comparison,
+            "trivial spans skip the machinery"
+        );
+    }
+
+    #[test]
+    fn counting_falls_back_on_huge_extents() {
+        let columns = vec![vec![usize::MAX, 0, 7]];
+        let mut span: Vec<usize> = vec![0, 1, 2];
+        let path = sort_index_span_with(&columns, &mut span, SortStrategy::Counting);
+        assert_eq!(path, SortPath::Comparison);
+        assert_eq!(span, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn sort_perm_matches_lex_sort_perm_on_random_columns() {
+        for seed in [1u64, 42, 0xdead] {
+            let columns = pseudo_columns(&[3, 1, 300, 17], 257, seed);
+            assert_eq!(sort_perm(&columns), lex_sort_perm(&columns), "seed {seed}");
+        }
+    }
+}

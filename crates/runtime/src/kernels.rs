@@ -29,10 +29,21 @@ use std::marker::PhantomData;
 use obs::Span;
 use sparse_conv::engine;
 use sparse_formats::csf::pack_sorted;
+use sparse_formats::radix::{self, SortStrategy};
 use sparse_formats::{BcsrMatrix, CooMatrix, CooTensor, CscMatrix, CsfTensor, CsrMatrix};
 use sparse_tensor::Value;
 
-use crate::partition::{balanced_chunks_by_pos, even_chunks, merge_histograms, outer_extent};
+use crate::partition::{balanced_chunks_by_pos, even_chunks, merge_histograms_tree, outer_extent};
+
+/// Tile width (in columns) for the blocked transpose scatter: with ~4 KiB
+/// tiles the per-tile cursor slice and the output window it points into stay
+/// cache-resident while a chunk drains. Matches the engine's sequential
+/// blocked transpose.
+const TRANSPOSE_TILE: usize = 1 << 12;
+
+/// Per-chunk nonzero count below which the direct scatter beats the blocked
+/// one (the bucket pass has to pay for itself).
+const CHUNK_TILE_MIN_NNZ: usize = 1 << 14;
 
 /// A shared mutable slice for scatter phases whose write-index sets are
 /// disjoint across workers.
@@ -110,7 +121,7 @@ pub fn coo_to_csr(coo: &CooMatrix, threads: usize) -> CsrMatrix {
     });
     drop(analysis);
     let merge = Span::enter("kernel.merge");
-    let (pos, cursors) = merge_histograms(&hists, rows);
+    let (pos, cursors) = merge_histograms_tree(&hists, rows, threads);
     drop(merge);
 
     // Assembly: each worker scatters its chunk through its own cursors; the
@@ -153,12 +164,16 @@ pub fn coo_to_csr(coo: &CooMatrix, threads: usize) -> CsrMatrix {
 
 /// Parallel CSR→CSC transpose: chunks of whole rows (nnz-balanced via the
 /// source `pos` array), per-chunk column histograms, prefix-sum merge,
-/// partitioned scatter. Bit-identical to [`engine::to_csc`].
+/// partitioned scatter. Wide chunks scatter through the blocked
+/// write-combining form (bucket the chunk's entries tile-by-tile, then drain
+/// tile-major so the cursor slice and output window stay cache-resident),
+/// which consumes each column's cursor in exactly the order the direct loop
+/// would — so the kernel stays bit-identical to [`engine::to_csc`].
 pub fn csr_to_csc(csr: &CsrMatrix, threads: usize) -> CscMatrix {
     let cols = csr.cols();
     let nnz = csr.nnz();
     if threads <= 1 || nnz == 0 {
-        return engine::to_csc(csr);
+        return engine::csr_to_csc_blocked(csr);
     }
     let src_pos = csr.pos();
     let src_crd = csr.crd();
@@ -187,7 +202,7 @@ pub fn csr_to_csc(csr: &CsrMatrix, threads: usize) -> CscMatrix {
     });
     drop(analysis);
     let merge = Span::enter("kernel.merge");
-    let (pos, cursors) = merge_histograms(&hists, cols);
+    let (pos, cursors) = merge_histograms_tree(&hists, cols, threads);
     drop(merge);
 
     let scatter = Span::enter("kernel.scatter");
@@ -205,16 +220,61 @@ pub fn csr_to_csc(csr: &CsrMatrix, threads: usize) -> CscMatrix {
                 let vals_out = &vals_out;
                 s.spawn(move || {
                     let span = Span::enter_under("chunk_scatter", parent);
-                    span.add_items((src_pos[r.end] - src_pos[r.start]) as u64);
-                    for i in r {
-                        for p in src_pos[i]..src_pos[i + 1] {
-                            let j = src_crd[p];
+                    let chunk_lo = src_pos[r.start];
+                    let chunk_hi = src_pos[r.end];
+                    let chunk_nnz = chunk_hi - chunk_lo;
+                    span.add_items(chunk_nnz as u64);
+                    if cols > TRANSPOSE_TILE && chunk_nnz >= CHUNK_TILE_MIN_NNZ {
+                        // Blocked write-combining scatter: bucket the chunk's
+                        // entries by column tile (stable), then drain
+                        // tile-major. Within a tile the entries keep row
+                        // order and a column never straddles tiles, so each
+                        // cursor advances in the same order as the direct
+                        // loop below.
+                        let tiles = cols.div_ceil(TRANSPOSE_TILE);
+                        let mut tile_pos = vec![0usize; tiles + 1];
+                        for &j in &src_crd[chunk_lo..chunk_hi] {
+                            tile_pos[j / TRANSPOSE_TILE + 1] += 1;
+                        }
+                        for t in 0..tiles {
+                            tile_pos[t + 1] += tile_pos[t];
+                        }
+                        let mut tile_cursor = tile_pos;
+                        let mut brow = vec![0usize; chunk_nnz];
+                        let mut bcol = vec![0usize; chunk_nnz];
+                        let mut bval = vec![0.0 as Value; chunk_nnz];
+                        for i in r {
+                            for p in src_pos[i]..src_pos[i + 1] {
+                                let j = src_crd[p];
+                                let t = j / TRANSPOSE_TILE;
+                                let slot = tile_cursor[t];
+                                tile_cursor[t] += 1;
+                                brow[slot] = i;
+                                bcol[slot] = j;
+                                bval[slot] = src_vals[p];
+                            }
+                        }
+                        for b in 0..chunk_nnz {
+                            let j = bcol[b];
                             let dst = cursor[j];
                             cursor[j] += 1;
                             // SAFETY: cursor ranges partition the output.
                             unsafe {
-                                crd_out.write(dst, i);
-                                vals_out.write(dst, src_vals[p]);
+                                crd_out.write(dst, brow[b]);
+                                vals_out.write(dst, bval[b]);
+                            }
+                        }
+                    } else {
+                        for i in r {
+                            for p in src_pos[i]..src_pos[i + 1] {
+                                let j = src_crd[p];
+                                let dst = cursor[j];
+                                cursor[j] += 1;
+                                // SAFETY: cursor ranges partition the output.
+                                unsafe {
+                                    crd_out.write(dst, i);
+                                    vals_out.write(dst, src_vals[p]);
+                                }
                             }
                         }
                     }
@@ -275,8 +335,11 @@ pub fn csr_to_bcsr(
                 s.spawn(move || {
                     let span = Span::enter_under("chunk_blocks", parent);
                     span.add_items(r.len() as u64);
+                    // One scratch buffer per worker, reused across its block
+                    // rows; the result clones are exact-sized.
+                    let mut set: Vec<usize> = Vec::new();
                     for bi in r {
-                        let mut set: Vec<usize> = Vec::new();
+                        set.clear();
                         let row_lo = bi * block_rows;
                         let row_hi = (row_lo + block_rows).min(rows);
                         for &j in &src_crd[src_pos[row_lo]..src_pos[row_hi]] {
@@ -285,7 +348,7 @@ pub fn csr_to_bcsr(
                         set.sort_unstable();
                         set.dedup();
                         // SAFETY: block row `bi` belongs to exactly one chunk.
-                        unsafe { blocks_out.write(bi, set) };
+                        unsafe { blocks_out.write(bi, set.clone()) };
                     }
                 });
             }
@@ -374,12 +437,28 @@ pub fn csr_to_bcsr(
 /// A stable bucket sort by the outer coordinate followed by a stable sort of
 /// each bucket span is the same permutation as one global stable
 /// lexicographic sort, so the output is **bit-identical** to
-/// [`engine::to_csf`] at any thread count.
+/// [`engine::to_csf`] at any thread count. The span sorts go through the
+/// packed-key LSD radix kernel ([`radix::sort_index_span`]); use
+/// [`coo_to_csf_with`] to pin a different [`SortStrategy`] (ablation and
+/// equivalence tests).
 pub fn coo_to_csf(coo: &CooTensor, threads: usize) -> CsfTensor {
+    coo_to_csf_with(coo, threads, SortStrategy::Radix)
+}
+
+/// [`coo_to_csf`] with the span-sort strategy pinned. All strategies are
+/// stable, so the output is identical for every choice; only the sort phase
+/// timing differs (the `sort_strategies` bench group measures exactly this).
+pub fn coo_to_csf_with(coo: &CooTensor, threads: usize, strategy: SortStrategy) -> CsfTensor {
     let nnz = coo.nnz();
     let order = coo.order();
-    if threads <= 1 || nnz == 0 || order < 2 {
+    if nnz == 0 || order < 2 {
         return engine::to_csf(coo);
+    }
+    if threads <= 1 {
+        return match strategy {
+            SortStrategy::Radix => engine::to_csf(coo),
+            _ => sequential_csf(coo, None, strategy),
+        };
     }
     let shape = coo.shape();
     let roots = outer_extent(shape);
@@ -409,7 +488,7 @@ pub fn coo_to_csf(coo: &CooTensor, threads: usize) -> CsfTensor {
     });
     drop(analysis);
     let merge = Span::enter("kernel.merge");
-    let (root_pos, cursors) = merge_histograms(&hists, roots);
+    let (root_pos, cursors) = merge_histograms_tree(&hists, roots, threads);
     drop(merge);
 
     // Stable bucket sort by root: scatter the source permutation.
@@ -471,7 +550,11 @@ pub fn coo_to_csf(coo: &CooTensor, threads: usize) -> CsfTensor {
                 s.spawn(move || {
                     let worker = Span::enter_under("chunk_sort_pack", parent);
                     worker.add_items(span.len() as u64);
-                    span.sort_by(|&a, &b| sparse_formats::csf::lex_cmp_at(columns, a, b));
+                    {
+                        let sort = Span::enter("kernel.radix_sort");
+                        sort.add_items(span.len() as u64);
+                        radix::sort_index_span_with(columns, span, strategy);
+                    }
                     pack_sorted(
                         shape,
                         |d, p| columns[d][span[p]],
@@ -519,6 +602,21 @@ pub fn coo_to_csf(coo: &CooTensor, threads: usize) -> CsfTensor {
 ///
 /// Panics if `mode_order` is not a permutation of `0..coo.order()`.
 pub fn coo_to_csf_ordered(coo: &CooTensor, mode_order: &[usize], threads: usize) -> CsfTensor {
+    coo_to_csf_ordered_with(coo, mode_order, threads, SortStrategy::Radix)
+}
+
+/// [`coo_to_csf_ordered`] with the span-sort strategy pinned; see
+/// [`coo_to_csf_with`].
+///
+/// # Panics
+///
+/// Panics if `mode_order` is not a permutation of `0..coo.order()`.
+pub fn coo_to_csf_ordered_with(
+    coo: &CooTensor,
+    mode_order: &[usize],
+    threads: usize,
+    strategy: SortStrategy,
+) -> CsfTensor {
     let nnz = coo.nnz();
     let order = coo.order();
     assert_eq!(mode_order.len(), order, "one mode per dimension");
@@ -530,8 +628,14 @@ pub fn coo_to_csf_ordered(coo: &CooTensor, mode_order: &[usize], threads: usize)
         );
         seen[m] = true;
     }
-    if threads <= 1 || nnz == 0 || order < 2 {
+    if nnz == 0 || order < 2 {
         return engine::to_csf_ordered(coo, mode_order);
+    }
+    if threads <= 1 {
+        return match strategy {
+            SortStrategy::Radix => engine::to_csf_ordered(coo, mode_order),
+            _ => sequential_csf(coo, Some(mode_order), strategy),
+        };
     }
     let shape = coo.shape();
     // Storage dimension d holds canonical mode mode_order[d]; the root
@@ -565,7 +669,7 @@ pub fn coo_to_csf_ordered(coo: &CooTensor, mode_order: &[usize], threads: usize)
     });
     drop(analysis);
     let merge = Span::enter("kernel.merge");
-    let (root_pos, cursors) = merge_histograms(&hists, roots);
+    let (root_pos, cursors) = merge_histograms_tree(&hists, roots, threads);
     drop(merge);
 
     // Stable bucket sort by storage root: scatter the source permutation.
@@ -624,7 +728,11 @@ pub fn coo_to_csf_ordered(coo: &CooTensor, mode_order: &[usize], threads: usize)
                 s.spawn(move || {
                     let worker = Span::enter_under("chunk_sort_pack", parent);
                     worker.add_items(span.len() as u64);
-                    span.sort_by(|&a, &b| sparse_formats::csf::lex_cmp_at(columns, a, b));
+                    {
+                        let sort = Span::enter("kernel.radix_sort");
+                        sort.add_items(span.len() as u64);
+                        radix::sort_index_span_with(columns, span, strategy);
+                    }
                     pack_sorted(
                         packed_shape,
                         |d, p| columns[d][span[p]],
@@ -656,6 +764,37 @@ pub fn coo_to_csf_ordered(coo: &CooTensor, mode_order: &[usize], threads: usize)
     }
     drop(stitch);
     CsfTensor::from_parts(packed_shape, crd, pos, vals).expect("assembled CSF structure is valid")
+}
+
+/// Sequential sort-then-pack with the sort strategy pinned: a single stable
+/// index sort over the (optionally permuted) coordinate columns followed by
+/// one pack. Backs the `threads <= 1` paths of [`coo_to_csf_with`] /
+/// [`coo_to_csf_ordered_with`] for non-default strategies, so strategy
+/// ablations compare sort algorithms rather than surrounding plumbing.
+fn sequential_csf(
+    coo: &CooTensor,
+    mode_order: Option<&[usize]>,
+    strategy: SortStrategy,
+) -> CsfTensor {
+    let nnz = coo.nnz();
+    let order = coo.order();
+    let (columns, shape): (Vec<&[usize]>, sparse_tensor::Shape) = match mode_order {
+        Some(mo) => (
+            mo.iter().map(|&m| coo.crd(m)).collect(),
+            sparse_tensor::Shape::new(mo.iter().map(|&m| coo.shape().dim(m)).collect()),
+        ),
+        None => (
+            (0..order).map(|d| coo.crd(d)).collect(),
+            coo.shape().clone(),
+        ),
+    };
+    let sort = Span::enter("engine.sort");
+    sort.add_items(nnz as u64);
+    let mut perm: Vec<usize> = (0..nnz).collect();
+    radix::sort_index_span_with(&columns, &mut perm, strategy);
+    drop(sort);
+    let vals = coo.values();
+    pack_sorted(shape, |d, p| columns[d][perm[p]], |p| vals[perm[p]], nnz)
 }
 
 #[cfg(test)]
@@ -756,6 +895,45 @@ mod tests {
                     coo_to_csf_ordered(&coo, &order, threads),
                     reference,
                     "{order:?} at {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn strategy_pinned_csf_kernels_match_the_default() {
+        let t = sparse_tensor::example::example3_tensor();
+        let mut coo = CooTensor::from_triples(&t);
+        let mut state = 11usize;
+        coo.shuffle_with(|bound| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state % bound
+        });
+        let strategies = [
+            SortStrategy::Radix,
+            SortStrategy::Comparison,
+            SortStrategy::Counting,
+        ];
+        let reference = engine::to_csf(&coo);
+        for strategy in strategies {
+            for threads in [1, 2, 4] {
+                assert_eq!(
+                    coo_to_csf_with(&coo, threads, strategy),
+                    reference,
+                    "{strategy:?} at {threads} threads"
+                );
+            }
+        }
+        let order = [2, 0, 1];
+        let reference = engine::to_csf_ordered(&coo, &order);
+        for strategy in strategies {
+            for threads in [1, 4] {
+                assert_eq!(
+                    coo_to_csf_ordered_with(&coo, &order, threads, strategy),
+                    reference,
+                    "{strategy:?} at {threads} threads"
                 );
             }
         }

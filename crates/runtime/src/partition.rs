@@ -79,6 +79,92 @@ pub fn merge_histograms(hists: &[Vec<usize>], parents: usize) -> (Vec<usize>, Ve
     (pos, cursors)
 }
 
+/// Chunk-count × parent-count product below which the serial
+/// [`merge_histograms`] wins: thread spawns cost more than the additions
+/// they parallelise.
+const TREE_MERGE_MIN_WORK: usize = 1 << 15;
+
+/// Shared cursor columns for the parallel cursor construction: workers write
+/// disjoint *parent* ranges of every chunk's cursor array.
+struct SharedCursorColumns(Vec<*mut usize>);
+
+// SAFETY: each worker writes only parent indices inside its own disjoint
+// range (from `even_chunks` over the parents); reads happen after the scope
+// joins.
+unsafe impl Sync for SharedCursorColumns {}
+
+/// [`merge_histograms`] with the reduction parallelised: per-chunk totals
+/// are combined by a pairwise *tree* reduction (log-depth instead of one
+/// serial sweep per chunk) and the scatter cursors are filled in parallel
+/// over disjoint parent ranges. Falls back to the serial merge when the
+/// work would not cover the thread spawns.
+///
+/// Bit-identical to [`merge_histograms`]: integer addition is associative,
+/// so the tree-reduced totals, the prefix-summed `pos`, and the cursors all
+/// come out exactly equal to the serial merge's (the runtime's kernel tests
+/// rely on it).
+pub fn merge_histograms_tree(
+    hists: &[Vec<usize>],
+    parents: usize,
+    threads: usize,
+) -> (Vec<usize>, Vec<Vec<usize>>) {
+    if threads <= 1 || hists.len() < 2 || hists.len().saturating_mul(parents) < TREE_MERGE_MIN_WORK
+    {
+        return merge_histograms(hists, parents);
+    }
+    // Phase 1: pairwise tree reduction to the global totals. Every level
+    // halves the histogram count; pairs reduce concurrently.
+    let reduce_level = |level: &[Vec<usize>]| -> Vec<Vec<usize>> {
+        std::thread::scope(|s| {
+            let handles: Vec<_> = level
+                .chunks(2)
+                .map(|pair| {
+                    s.spawn(move || match pair {
+                        [only] => only.clone(),
+                        [a, b] => a.iter().zip(b.iter()).map(|(x, y)| x + y).collect(),
+                        _ => unreachable!("chunks(2) yields one- or two-element slices"),
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+    };
+    let mut level = reduce_level(hists);
+    while level.len() > 1 {
+        level = reduce_level(&level);
+    }
+    let totals = level.pop().expect("reduction leaves one histogram");
+    let mut pos = vec![0usize; parents + 1];
+    for i in 0..parents {
+        pos[i + 1] = pos[i] + totals[i];
+    }
+    // Phase 2: cursors, parallel over disjoint parent ranges. Worker `w`
+    // owns a range of parents and fills that range of *every* chunk's
+    // cursor array — the same running sums the serial merge computes,
+    // restarted from `pos` at each parent.
+    let mut cursors: Vec<Vec<usize>> = (0..hists.len()).map(|_| vec![0usize; parents]).collect();
+    let columns = SharedCursorColumns(cursors.iter_mut().map(|c| c.as_mut_ptr()).collect());
+    let ranges = even_chunks(parents, threads);
+    std::thread::scope(|s| {
+        for r in ranges {
+            let columns = &columns;
+            let pos = &pos;
+            s.spawn(move || {
+                for i in r {
+                    let mut running = pos[i];
+                    for (c, hist) in hists.iter().enumerate() {
+                        // SAFETY: parent `i` lies in this worker's disjoint
+                        // range; each (chunk, parent) cell is written once.
+                        unsafe { *columns.0[c].add(i) = running };
+                        running += hist[i];
+                    }
+                }
+            });
+        }
+    });
+    (pos, cursors)
+}
+
 /// Splits the parents of a compressed level (`pos.len() - 1` of them) into at
 /// most `parts` contiguous ranges holding roughly `pos[last] / parts`
 /// children each. Every parent lands in exactly one range; empty trailing
@@ -204,6 +290,38 @@ mod tests {
         assert_eq!(pos, vec![0, 3, 5, 6]);
         assert_eq!(cursors[0], vec![0, 3, 5]);
         assert_eq!(cursors[1], vec![2, 3, 6]);
+    }
+
+    #[test]
+    fn tree_merge_matches_the_serial_merge() {
+        // Deterministic pseudo-random histograms big enough to clear the
+        // tree cutoff (5 chunks x 8192 parents > TREE_MERGE_MIN_WORK).
+        let parents = 8192;
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 7) as usize
+        };
+        let hists: Vec<Vec<usize>> = (0..5)
+            .map(|_| (0..parents).map(|_| next()).collect())
+            .collect();
+        let serial = merge_histograms(&hists, parents);
+        for threads in [2, 3, 4] {
+            assert_eq!(merge_histograms_tree(&hists, parents, threads), serial);
+        }
+        // Below the cutoff (and at one thread) it degrades to the serial
+        // merge outright.
+        let small = vec![vec![2, 0, 1], vec![1, 2, 0]];
+        assert_eq!(
+            merge_histograms_tree(&small, 3, 4),
+            merge_histograms(&small, 3)
+        );
+        assert_eq!(
+            merge_histograms_tree(&hists, parents, 1),
+            merge_histograms(&hists, parents)
+        );
     }
 
     #[test]

@@ -49,8 +49,10 @@ pub struct MemRun {
 }
 
 impl MemRun {
-    /// Builds a run from a block: a stable sort by the key dimensions, unless
-    /// the block is already in key order (declared via sorted-run metadata or
+    /// Builds a run from a block: a stable sort by the key dimensions (via
+    /// the packed-key radix kernel, [`sparse_formats::radix::sort_index_span`],
+    /// with its built-in comparison fallback for very wide keys), unless the
+    /// block is already in key order (declared via sorted-run metadata or
     /// detected by one linear scan), in which case the sort is skipped.
     pub fn from_block(block: &CoordBlock, key: &[usize]) -> MemRun {
         let n = block.nnz();
@@ -58,12 +60,8 @@ impl MemRun {
         let mut perm: Vec<usize> = (0..n).collect();
         let presorted = block.sorted_by() == Some(key) || block.is_sorted_by(key);
         if !presorted {
-            perm.sort_by(|&a, &b| {
-                key.iter()
-                    .map(|&d| (block.crd(d)[a], block.crd(d)[b]))
-                    .find(|(x, y)| x != y)
-                    .map_or(std::cmp::Ordering::Equal, |(x, y)| x.cmp(&y))
-            });
+            let key_columns: Vec<&[usize]> = key.iter().map(|&d| block.crd(d)).collect();
+            sparse_formats::radix::sort_index_span(&key_columns, &mut perm);
         }
         let mut coords = Vec::with_capacity(n * order);
         let mut vals = Vec::with_capacity(n);
