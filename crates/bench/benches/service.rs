@@ -58,6 +58,7 @@ fn bench_parallel_kernels(c: &mut Criterion) {
             let service = ConversionService::new(ServiceConfig {
                 threads,
                 parallel_nnz_threshold: 0,
+                ..ServiceConfig::default()
             });
             service.convert(src, target).expect("warm-up conversion");
             group.bench_function(BenchmarkId::new("threads", threads), |b| {
@@ -95,6 +96,7 @@ fn bench_batch_throughput(c: &mut Criterion) {
         let service = ConversionService::new(ServiceConfig {
             threads,
             parallel_nnz_threshold: usize::MAX, // batch is the parallel axis
+            ..ServiceConfig::default()
         });
         // Warm the plan cache, then require that measurement builds no plan.
         for result in service.convert_batch(&jobs) {

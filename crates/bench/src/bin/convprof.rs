@@ -19,14 +19,17 @@
 //! * `--validate` — check the emitted JSON against the documented report
 //!   schema (required keys, non-negative durations, phase sum ≤ total) and
 //!   exit nonzero on violation,
-//! * `--json-out PATH` — additionally write the JSON report to `PATH`.
+//! * `--json-out PATH` — additionally write the JSON report to `PATH`,
+//! * `--route POLICY` — routing policy
+//!   (`auto|legacy|direct|via-coo|multi-hop`, default `auto`); the planned
+//!   path is printed in the report header.
 //!
 //! Environment variables: `PROF_SCALE` (workload size relative to the
 //! default, default 1.0), `PROF_THREADS` (service pool width, default: the
 //! machine), `PROF_SEED` (workload seed, default 42).
 
 use conv_bench::{env_f64, env_usize};
-use conv_runtime::{ConversionService, ServiceConfig, WorkerPool};
+use conv_runtime::{ConversionService, RoutingPolicy, ServiceConfig, WorkerPool};
 use conv_workloads::{irregular, tensor3_uniform};
 use obs::{validate_json, ConversionReport, PhaseReport};
 use sparse_conv::convert::AnyMatrix;
@@ -38,12 +41,15 @@ struct Options {
     smoke: bool,
     validate: bool,
     json_out: Option<String>,
+    routing: RoutingPolicy,
     source: Format,
     target: Format,
 }
 
 fn usage() -> ! {
-    eprintln!("usage: convprof [--smoke] [--validate] [--json-out PATH] SOURCE TARGET");
+    eprintln!(
+        "usage: convprof [--smoke] [--validate] [--json-out PATH] [--route POLICY] SOURCE TARGET"
+    );
     std::process::exit(2);
 }
 
@@ -51,6 +57,7 @@ fn parse_args() -> Options {
     let mut smoke = false;
     let mut validate = false;
     let mut json_out = None;
+    let mut routing = RoutingPolicy::CostModel;
     let mut formats: Vec<Format> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -59,6 +66,14 @@ fn parse_args() -> Options {
             "--validate" => validate = true,
             "--json-out" => match args.next() {
                 Some(path) => json_out = Some(path),
+                None => usage(),
+            },
+            "--route" => match args.next().map(|p| p.parse()) {
+                Some(Ok(p)) => routing = p,
+                Some(Err(e)) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(2);
+                }
                 None => usage(),
             },
             "--help" | "-h" => usage(),
@@ -80,6 +95,7 @@ fn parse_args() -> Options {
         smoke,
         validate,
         json_out,
+        routing,
         source,
         target,
     }
@@ -127,8 +143,13 @@ fn print_phase(phase: &PhaseReport, total_ns: u64, depth: usize) {
 }
 
 fn print_report(report: &ConversionReport) {
+    let path = if report.path.is_empty() {
+        format!("{} -> {}", report.source, report.target)
+    } else {
+        report.path.join(" -> ")
+    };
     println!(
-        "\n{} -> {}  [route {}, plan cache {}, {} thread(s), {}]",
+        "\n{} -> {}  [route {} ({path}), plan cache {}, {} thread(s), {}]",
         report.source,
         report.target,
         report.route,
@@ -190,7 +211,10 @@ fn main() {
         }
     };
 
-    let service = ConversionService::new(ServiceConfig::with_threads(threads));
+    let service = ConversionService::new(ServiceConfig {
+        routing: opts.routing,
+        ..ServiceConfig::with_threads(threads)
+    });
     // Warm-up pass: plans the pair (so the profiled run reports a cache hit)
     // and pages the input in. The profiled run is the second conversion.
     if let Err(e) = service.convert(&src, opts.target.clone()) {

@@ -3,16 +3,23 @@
 //! the machine-readable `BENCH_conversions.json` the perf-trajectory tooling
 //! tracks.
 //!
-//! Usage: `table2 [FORMAT ...]` — the optional arguments are conversion
-//! *target* formats parsed by `Format::from_str`: stock names (e.g. `CSR
-//! CSC BCSR4x4`), registered custom format names, or full spec strings
-//! (`NAME:REMAP:DIMS:LEVELS`, e.g.
+//! Usage: `table2 [--route=POLICY] [FORMAT ...]` — the optional positional
+//! arguments are conversion *target* formats parsed by `Format::from_str`:
+//! stock names (e.g. `CSR CSC BCSR4x4`), registered custom format names, or
+//! full spec strings (`NAME:REMAP:DIMS:LEVELS`, e.g.
 //! `DCSR:(i,j)->(i,j):i,j:compressed,compressed`) for user-defined formats.
-//! The default is the paper's evaluated set (CSR, CSC, DIA, ELL). Each
-//! target is converted to from COO and CSR sources through
-//! `conv_runtime::ConversionService` at one thread and at `BENCH_THREADS`
-//! threads; every emitted row records the spec fingerprint next to the
-//! format name.
+//! The default is the paper's evaluated set (CSR, CSC, DIA, ELL) plus
+//! BCSR4x4, whose shuffled-COO rows exercise the planner's multi-hop
+//! `COO → CSR → BCSR` route. Each target is converted to from COO and CSR
+//! sources through `conv_runtime::ConversionService` at one thread and at
+//! `BENCH_THREADS` threads; every emitted row records the spec fingerprint
+//! and the route the service took next to the format name.
+//!
+//! `--route=` overrides the routing policy
+//! (`auto|legacy|direct|via-coo|multi-hop`, default `auto` = the planner's
+//! cost model). Online calibration is disabled so routing is a
+//! deterministic function of the static model and row sets stay comparable
+//! across machines.
 //!
 //! Environment variables:
 //!
@@ -23,45 +30,70 @@
 //! * `BENCH_JSON` — output path (default `BENCH_conversions.json`).
 
 use conv_bench::{env_f64, env_usize, render_bench_json, suite, BenchInputs, BenchRecord};
-use conv_runtime::{ConversionService, ServiceConfig, WorkerPool};
+use conv_runtime::{ConversionService, RoutingPolicy, ServiceConfig, WorkerPool};
 use sparse_conv::convert::{evaluated_formats, AnyMatrix, FormatId};
 use sparse_conv::Format;
 use sparse_tensor::MatrixStats;
+
+/// Splits the CLI into a routing policy (`--route=...`) and the remaining
+/// positional arguments.
+fn routing_from_cli(args: Vec<String>) -> (RoutingPolicy, Vec<String>) {
+    let mut routing = RoutingPolicy::CostModel;
+    let mut rest = Vec::new();
+    for arg in args {
+        if let Some(policy) = arg.strip_prefix("--route=") {
+            match policy.parse() {
+                Ok(p) => routing = p,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            rest.push(arg);
+        }
+    }
+    (routing, rest)
+}
 
 /// The rows benchmarked by default: one banded stencil, one FEM-like blocked
 /// matrix, one irregular matrix (same picks as the criterion benches).
 const BENCH_MATRICES: [&str; 3] = ["jnlbrng1", "cant", "scircuit"];
 
-fn target_formats_from_cli() -> Vec<Format> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+fn target_formats_from_cli(args: Vec<String>) -> Vec<Format> {
     if args.is_empty() {
-        return evaluated_formats()
+        let mut formats: Vec<Format> = evaluated_formats()
             .into_iter()
             .filter(|f| *f != FormatId::Coo)
             .map(Format::stock)
             .collect();
-    }
-    let mut formats = Vec::new();
-    for arg in args {
-        match arg.parse::<Format>() {
-            Ok(f) if f.spec().is_none() => {
-                eprintln!("skipping {f}: it is supported only as a conversion source")
-            }
-            Ok(f) if f.order() != 2 => {
-                eprintln!("skipping {f}: table2 benchmarks order-2 (matrix) targets only")
-            }
-            Ok(f) => formats.push(f),
-            Err(e) => {
-                eprintln!("error: {e}");
-                std::process::exit(2);
+        // BCSR4x4 is the pair where the planner's multi-hop route pays off:
+        // shuffled COO sources go COO -> CSR -> BCSR instead of direct.
+        formats.push("BCSR4x4".parse().expect("stock BCSR4x4 parses"));
+        formats
+    } else {
+        let mut formats = Vec::new();
+        for arg in args {
+            match arg.parse::<Format>() {
+                Ok(f) if f.spec().is_none() => {
+                    eprintln!("skipping {f}: it is supported only as a conversion source")
+                }
+                Ok(f) if f.order() != 2 => {
+                    eprintln!("skipping {f}: table2 benchmarks order-2 (matrix) targets only")
+                }
+                Ok(f) => formats.push(f),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(2);
+                }
             }
         }
+        if formats.is_empty() {
+            eprintln!("error: no benchmarkable target format in the requested set");
+            std::process::exit(2);
+        }
+        formats
     }
-    if formats.is_empty() {
-        eprintln!("error: no benchmarkable target format in the requested set");
-        std::process::exit(2);
-    }
-    formats
 }
 
 fn admissible(target: &Format, stats: &MatrixStats) -> bool {
@@ -78,7 +110,8 @@ fn main() {
     let threads = env_usize("BENCH_THREADS", WorkerPool::machine_sized().threads());
     let json_path =
         std::env::var("BENCH_JSON").unwrap_or_else(|_| "BENCH_conversions.json".to_string());
-    let targets = target_formats_from_cli();
+    let (routing, args) = routing_from_cli(std::env::args().skip(1).collect());
+    let targets = target_formats_from_cli(args);
 
     println!("Table 2 reproduction (synthetic stand-ins at scale {scale})");
     println!(
@@ -140,9 +173,13 @@ fn main() {
             AnyMatrix::Csr(inputs.csr.clone()),
         ];
         for &threads in &thread_counts {
+            // Calibration stays off so the route is a deterministic function
+            // of the static cost model and rows compare across regenerations.
             let service = ConversionService::new(ServiceConfig {
                 threads,
                 parallel_nnz_threshold: 0,
+                routing,
+                online_calibration: false,
             });
             for src in &sources {
                 for target in &targets {
@@ -154,6 +191,7 @@ fn main() {
                     if service.convert(src, target).is_err() {
                         continue;
                     }
+                    let route = service.last_report().map(|r| r.route).unwrap_or_default();
                     let median = conv_bench::median_time(reps, || {
                         service
                             .convert(src, target)
@@ -161,22 +199,26 @@ fn main() {
                             .nnz()
                     });
                     println!(
-                        "  {:<10} {:>4} -> {:<8} {} thread(s): {:>12} ns",
+                        "  {:<10} {:>4} -> {:<8} {} thread(s): {:>12} ns  [{}]",
                         inputs.spec.name,
                         src.format(),
                         target.to_string(),
                         threads,
-                        median.as_nanos()
-                    );
-                    records.push(BenchRecord::for_pair(
-                        inputs.spec.name,
-                        &src.format(),
-                        target,
-                        src.nnz() as u64,
-                        threads,
-                        scale,
                         median.as_nanos(),
-                    ));
+                        route,
+                    );
+                    records.push(
+                        BenchRecord::for_pair(
+                            inputs.spec.name,
+                            &src.format(),
+                            target,
+                            src.nnz() as u64,
+                            threads,
+                            scale,
+                            median.as_nanos(),
+                        )
+                        .with_route(&route),
+                    );
                 }
             }
         }

@@ -4,13 +4,16 @@
 //! that `table2` starts (falling back to a fresh document when none
 //! exists).
 //!
-//! Usage: `table4 [FORMAT ...]` — the optional arguments are conversion
-//! *target* formats parsed by `Format::from_str`: the stock tensor formats
-//! (`COO3`, `CSF`), a registered custom format name, or a full spec string
-//! (`NAME:REMAP:DIMS:LEVELS`) describing an order-3 format. The default
-//! benchmarks both stock directions: COO3→CSF and CSF→COO3, each from
-//! synthetic order-3 tensors at one thread and at `BENCH_THREADS` threads;
-//! every emitted row records the spec fingerprint next to the format name.
+//! Usage: `table4 [--route=POLICY] [FORMAT ...]` — the optional positional
+//! arguments are conversion *target* formats parsed by `Format::from_str`:
+//! the stock tensor formats (`COO3`, `CSF`), a registered custom format
+//! name, or a full spec string (`NAME:REMAP:DIMS:LEVELS`) describing an
+//! order-3 format. The default benchmarks both stock directions: COO3→CSF
+//! and CSF→COO3, each from synthetic order-3 tensors at one thread and at
+//! `BENCH_THREADS` threads; every emitted row records the spec fingerprint
+//! and the route taken next to the format name. `--route=` overrides the
+//! routing policy (`auto|legacy|direct|via-coo|multi-hop`); online
+//! calibration is off so routing stays deterministic.
 //!
 //! Environment variables:
 //!
@@ -22,7 +25,7 @@
 //! * `BENCH_JSON` — output path (default `BENCH_conversions.json`).
 
 use conv_bench::{env_f64, env_usize, merge_bench_json, render_bench_json, BenchRecord};
-use conv_runtime::{ConversionService, ServiceConfig, WorkerPool};
+use conv_runtime::{ConversionService, RoutingPolicy, ServiceConfig, WorkerPool};
 use conv_workloads::{tensor3_fibered, tensor3_uniform};
 use sparse_conv::convert::{AnyMatrix, FormatId};
 use sparse_conv::Format;
@@ -57,8 +60,28 @@ fn tensors(scale: f64) -> Vec<(&'static str, SparseTriples)> {
     ]
 }
 
-fn target_formats_from_cli() -> Vec<Format> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+/// Splits the CLI into a routing policy (`--route=...`) and the remaining
+/// positional arguments.
+fn routing_from_cli(args: Vec<String>) -> (RoutingPolicy, Vec<String>) {
+    let mut routing = RoutingPolicy::CostModel;
+    let mut rest = Vec::new();
+    for arg in args {
+        if let Some(policy) = arg.strip_prefix("--route=") {
+            match policy.parse() {
+                Ok(p) => routing = p,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            rest.push(arg);
+        }
+    }
+    (routing, rest)
+}
+
+fn target_formats_from_cli(args: Vec<String>) -> Vec<Format> {
     if args.is_empty() {
         return vec![Format::csf(), Format::coo3()];
     }
@@ -86,7 +109,8 @@ fn main() {
     let threads = env_usize("BENCH_THREADS", WorkerPool::machine_sized().threads());
     let json_path =
         std::env::var("BENCH_JSON").unwrap_or_else(|_| "BENCH_conversions.json".to_string());
-    let targets = target_formats_from_cli();
+    let (routing, args) = routing_from_cli(std::env::args().skip(1).collect());
+    let targets = target_formats_from_cli(args);
 
     // Always measure the 1- and 2-thread points plus the configured pool, so
     // rows stay comparable across documents generated under different
@@ -115,6 +139,8 @@ fn main() {
             let service = ConversionService::new(ServiceConfig {
                 threads,
                 parallel_nnz_threshold: 0,
+                routing,
+                online_calibration: false,
             });
             // CSF sources are derived once per pool.
             let csf = service
@@ -132,6 +158,7 @@ fn main() {
                     if service.convert(src, target).is_err() {
                         continue;
                     }
+                    let route = service.last_report().map(|r| r.route).unwrap_or_default();
                     let median = conv_bench::median_time(reps, || {
                         service
                             .convert(src, target)
@@ -139,22 +166,26 @@ fn main() {
                             .nnz()
                     });
                     println!(
-                        "  {:<10} {:>4} -> {:<4} {} thread(s): {:>12} ns",
+                        "  {:<10} {:>4} -> {:<4} {} thread(s): {:>12} ns  [{}]",
                         name,
                         src.format(),
                         target.to_string(),
                         threads,
-                        median.as_nanos()
-                    );
-                    records.push(BenchRecord::for_pair(
-                        name,
-                        &src.format(),
-                        target,
-                        src.nnz() as u64,
-                        threads,
-                        scale,
                         median.as_nanos(),
-                    ));
+                        route,
+                    );
+                    records.push(
+                        BenchRecord::for_pair(
+                            name,
+                            &src.format(),
+                            target,
+                            src.nnz() as u64,
+                            threads,
+                            scale,
+                            median.as_nanos(),
+                        )
+                        .with_route(&route),
+                    );
                 }
             }
         }

@@ -82,6 +82,7 @@ fn main() {
     let service = ConversionService::new(ServiceConfig {
         threads,
         parallel_nnz_threshold: 0,
+        ..ServiceConfig::default()
     });
     let mut records: Vec<BenchRecord> = Vec::new();
     for input in inputs(scale) {

@@ -310,6 +310,39 @@ impl AnyMatrix {
         }
     }
 
+    /// Number of *stored* entries a conversion pass must visit: for padded
+    /// formats (DIA, ELL, BCSR, skyline) the full values buffer including
+    /// explicit zeros, for custom tensors the materialised value stream,
+    /// and the nonzero count for everything else. This is the input-size
+    /// attribute cost models should scale read work by.
+    pub fn stored_entries(&self) -> usize {
+        match self {
+            AnyMatrix::Dia(m) => m.values().len(),
+            AnyMatrix::Ell(m) => m.values().len(),
+            AnyMatrix::Bcsr(m) => m.values().len(),
+            AnyMatrix::Skyline(m) => m.values().len(),
+            AnyMatrix::Custom(t) => t.vals.len(),
+            other => other.nnz(),
+        }
+    }
+
+    /// True when *this instance* iterates its nonzeros grouped by
+    /// non-decreasing leading coordinate. Structurally row-major formats
+    /// (CSR, skyline, CSF) always do; coordinate containers are checked
+    /// against their stored index order (an O(nnz) early-exit scan), since
+    /// a COO built from a row-major source replays rows in order while a
+    /// shuffled one does not. Padded and column-major formats report false.
+    pub fn iterates_rows_in_order(&self) -> bool {
+        match self {
+            AnyMatrix::Coo(m) => m.row_indices().windows(2).all(|w| w[0] <= w[1]),
+            AnyMatrix::Coo3(t) => t.crd(0).windows(2).all(|w| w[0] <= w[1]),
+            m => m
+                .format()
+                .id()
+                .is_some_and(FormatId::iterates_rows_in_order),
+        }
+    }
+
     /// Converts to canonical triples (padding skipped).
     ///
     /// # Errors

@@ -602,7 +602,12 @@ pub fn convert_with_spec(src: &AnyMatrix, spec: &FormatSpec) -> Result<CustomTen
 
 /// True when some compressed-like level sits under a non-full ancestor, so
 /// the input must be grouped (sorted) by coordinate prefix before assembly.
-fn needs_prefix_grouping(levels: &[LevelKind]) -> bool {
+///
+/// Public because the route planner uses it to classify custom targets: a
+/// spec that forces the grouping sort canonicalises its input, so any
+/// admissible intermediate is safe; one that does not stores the source
+/// iteration order verbatim.
+pub fn needs_prefix_grouping(levels: &[LevelKind]) -> bool {
     levels.iter().enumerate().any(|(k, kind)| {
         k > 0
             && matches!(

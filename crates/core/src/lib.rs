@@ -70,7 +70,7 @@ pub use convert::{convert, plan_for_formats, AnyMatrix, AnyTensor, FormatId};
 pub use error::ConvertError;
 pub use format::{Format, FormatBuilder, FormatRegistry, ParseFormatError};
 pub use plan::ConversionPlan;
-pub use select::auto_select;
+pub use select::{auto_select, TensorProfile};
 pub use source::{MatrixAsTensor, SourceMatrix, SourceTensor};
 pub use spec::FormatSpec;
 
@@ -83,7 +83,7 @@ pub mod prelude {
     pub use crate::convert::{convert, plan_for, plan_for_formats, AnyMatrix, AnyTensor, FormatId};
     pub use crate::error::ConvertError;
     pub use crate::format::{Format, FormatBuilder, FormatRegistry};
-    pub use crate::select::auto_select;
+    pub use crate::select::{auto_select, TensorProfile};
     pub use crate::spec::FormatSpec;
     // The vocabulary user-defined specs are composed from.
     pub use coord_remap::{parse_remapping, Remapping};

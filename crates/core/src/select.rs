@@ -40,20 +40,65 @@ pub const ORDER3_MODE_ORDERS: [[usize; 3]; 6] = [
     [2, 1, 0],
 ];
 
+/// One structural-statistics pass over a tensor, shared between format
+/// selection and the planner's attribute queries.
+///
+/// [`auto_select`] and `conv_planner::TensorAttrs` both want numbers only a
+/// full walk over the coordinates can produce (the decision table's
+/// statistics, the densest row's population for pricing ELL targets).
+/// Computing the profile once and handing it to both sides keeps that walk
+/// to a single pass.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TensorProfile {
+    /// Tensor order.
+    pub order: usize,
+    /// Number of stored nonzeros (after duplicate summation for order ≤ 3).
+    pub nnz: usize,
+    /// Maximum number of nonzeros in any row (order-2 inputs only; `None`
+    /// when the input's order has no row notion or it cannot be read).
+    pub max_nnz_per_row: Option<usize>,
+    /// The storage format the decision table picks for this tensor.
+    pub selected: Format,
+}
+
+impl TensorProfile {
+    /// Computes the profile: one statistics pass, yielding both the
+    /// auto-selected format and the attributes the planner prices with.
+    pub fn compute(t: &AnyTensor) -> Self {
+        let Ok(triples) = t.try_to_triples() else {
+            return Self {
+                order: t.order(),
+                nnz: 0,
+                max_nnz_per_row: None,
+                selected: fallback(t.order()),
+            };
+        };
+        let (selected, max_nnz_per_row) = match triples.order() {
+            2 => {
+                let stats = MatrixStats::compute(&triples);
+                (select_matrix(&triples, &stats), Some(stats.max_nnz_per_row))
+            }
+            3 => (select_tensor3(&triples), None),
+            _ => (fallback(triples.order()), None),
+        };
+        Self {
+            order: triples.order(),
+            nnz: triples.nnz(),
+            max_nnz_per_row,
+            selected,
+        }
+    }
+}
+
 /// Picks a storage format for the tensor from its structural statistics; see
 /// the module docs for the decision table. Always returns a format the
 /// conversion stack accepts as a target for this tensor's order; inputs the
 /// statistics cannot judge (unreadable custom sources, orders above 3) fall
-/// back to the canonical format of their order.
+/// back to the canonical format of their order. Callers that also feed the
+/// planner should compute a [`TensorProfile`] instead and use both of its
+/// halves.
 pub fn auto_select(t: &AnyTensor) -> Format {
-    let Ok(triples) = t.try_to_triples() else {
-        return fallback(t.order());
-    };
-    match triples.order() {
-        2 => select_matrix(&triples),
-        3 => select_tensor3(&triples),
-        _ => fallback(triples.order()),
-    }
+    TensorProfile::compute(t).selected
 }
 
 fn fallback(order: usize) -> Format {
@@ -64,8 +109,7 @@ fn fallback(order: usize) -> Format {
     }
 }
 
-fn select_matrix(m: &SparseTriples) -> Format {
-    let stats = MatrixStats::compute(m);
+fn select_matrix(m: &SparseTriples, stats: &MatrixStats) -> Format {
     if stats.nnz == 0 {
         return Format::csr();
     }
@@ -197,6 +241,27 @@ mod tests {
         let selected = auto_select(&tensor3(&coords));
         assert_eq!(selected.mode_order(), Some(vec![1, 2, 0]));
         assert_eq!(selected.name(), "CSF@1,2,0");
+    }
+
+    #[test]
+    fn profile_agrees_with_auto_select_and_carries_row_stats() {
+        let mut m = SparseTriples::new(Shape::matrix(8, 8));
+        for j in 0..5i64 {
+            m.push(vec![2, j], 1.0).unwrap();
+        }
+        m.push(vec![6, 1], 1.0).unwrap();
+        let src = AnyTensor::Coo(sparse_formats::CooMatrix::from_triples(&m));
+        let profile = TensorProfile::compute(&src);
+        assert_eq!(profile.selected, auto_select(&src));
+        assert_eq!(profile.order, 2);
+        assert_eq!(profile.nnz, 6);
+        assert_eq!(profile.max_nnz_per_row, Some(5));
+
+        // Order-3 inputs have no row notion to report.
+        let coords: Vec<[i64; 3]> = (0..12).map(|k| [0, 0, k]).collect();
+        let profile3 = TensorProfile::compute(&tensor3(&coords));
+        assert_eq!(profile3.selected, Format::csf());
+        assert_eq!(profile3.max_nnz_per_row, None);
     }
 
     #[test]

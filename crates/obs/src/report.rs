@@ -70,9 +70,13 @@ pub struct ConversionReport {
     pub source: String,
     /// Target format name (e.g. `"CSF@2,0,1"`).
     pub target: String,
-    /// Route the service chose: `"direct"` or `"via-coo"` (streaming
-    /// conversions report `"stream"`).
+    /// Route the service chose: `"direct"`, `"via-coo"`, or `"multi-hop"`
+    /// (streaming conversions report `"stream"`).
     pub route: String,
+    /// Format path the conversion followed, source first and target last —
+    /// `["COO", "CSR", "BCSR4x4"]` for a two-hop route, `[source, target]`
+    /// for a direct one.
+    pub path: Vec<String>,
     /// Whether the conversion plan came from the plan cache.
     pub plan_cache_hit: bool,
     /// Threads used by the kernel (1 when the sequential engine ran).
@@ -231,6 +235,7 @@ impl ConversionReport {
         format!(
             concat!(
                 "{{\"source\":\"{}\",\"target\":\"{}\",\"route\":\"{}\",",
+                "\"path\":[{}],",
                 "\"plan_cache_hit\":{},\"threads\":{},\"parallel_kernel\":{},",
                 "\"streamed\":{},\"in_memory\":{},\"total_ns\":{},\"bytes_moved\":{},",
                 "\"spilled_runs\":{},\"spilled_bytes\":{},\"phases\":[{}]}}"
@@ -238,6 +243,11 @@ impl ConversionReport {
             escape(&self.source),
             escape(&self.target),
             escape(&self.route),
+            self.path
+                .iter()
+                .map(|f| format!("\"{}\"", escape(f)))
+                .collect::<Vec<_>>()
+                .join(","),
             self.plan_cache_hit,
             self.threads,
             self.parallel_kernel,
@@ -276,6 +286,11 @@ impl ConversionReport {
         ));
         out.push_str("# TYPE conversion_threads gauge\n");
         out.push_str(&format!("conversion_threads{{{pair}}} {}\n", self.threads));
+        out.push_str("# TYPE conversion_hops gauge\n");
+        out.push_str(&format!(
+            "conversion_hops{{{pair}}} {}\n",
+            self.path.len().saturating_sub(1).max(1)
+        ));
         out.push_str("# TYPE conversion_plan_cache_hit gauge\n");
         out.push_str(&format!(
             "conversion_plan_cache_hit{{{pair}}} {}\n",
@@ -317,10 +332,11 @@ impl ConversionReport {
 /// ≤ total. Used by `convprof --validate` and CI. Returns the first
 /// violation found.
 pub fn validate_json(json: &str) -> Result<(), String> {
-    const REQUIRED: [&str; 13] = [
+    const REQUIRED: [&str; 14] = [
         "\"source\":",
         "\"target\":",
         "\"route\":",
+        "\"path\":",
         "\"plan_cache_hit\":",
         "\"threads\":",
         "\"parallel_kernel\":",
@@ -397,6 +413,7 @@ mod tests {
             source: "COO".to_string(),
             target: "CSR".to_string(),
             route: "direct".to_string(),
+            path: vec!["COO".to_string(), "CSR".to_string()],
             plan_cache_hit: true,
             threads: 4,
             parallel_kernel: true,
@@ -441,6 +458,7 @@ mod tests {
         let json = report.to_json();
         validate_json(&json).unwrap();
         assert!(json.contains("\"route\":\"direct\""));
+        assert!(json.contains("\"path\":[\"COO\",\"CSR\"]"));
         assert!(json.contains("\"plan_cache_hit\":true"));
         assert!(json.contains("\"phases\":[{\"name\":\"analysis\""));
         // Nested phases do not count toward the top-level sum: 300 + 600

@@ -358,6 +358,12 @@ mod disabled {
     #[derive(Debug)]
     pub struct Span;
 
+    // An explicit (empty) destructor keeps `drop(span)` a meaningful way to
+    // end a span early in both feature modes.
+    impl Drop for Span {
+        fn drop(&mut self) {}
+    }
+
     impl Span {
         /// No-op.
         #[inline(always)]

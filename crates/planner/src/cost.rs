@@ -1,0 +1,366 @@
+//! Static per-kernel cost functions and the calibrated multiplier store.
+//!
+//! Costs are expressed in *entry units*: one unit is one simple read or
+//! write of a stored entry. The static model for an edge `A → B` is
+//!
+//! ```text
+//! units(A→B) = passes(A,B) · stored(A)            (scan work)
+//!            + weight(B) · penalty · writes(B)    (assembly work)
+//!            + HOP_SETUP                          (per-hop constant)
+//! ```
+//!
+//! where `passes` comes from the symbolic conversion plan (padded sources
+//! are re-scanned by every pass — the original via-COO rule falls out of
+//! this term), `weight(B)` captures how heavy the target's assembly is per
+//! entry (a CSC scatter is cheap, a BCSR block analysis with its per-block
+//! sort/dedup and binary-search scatter is not), and `penalty` charges
+//! block-analysis targets extra when the feeding source does not iterate
+//! rows in order (measured: shuffled COO→BCSR pays ~1.3–1.8× over the same
+//! kernel fed row-major). Parallel-kernel edges get a modest credit when
+//! the pool is wide enough and the input large enough to engage them.
+//!
+//! [`CostModel`] layers measured reality on top: every observation stores
+//! the ratio `measured_ns / predicted_ns` per directed edge (bounded EWMA),
+//! normalised by the *median* ratio across observed edges — a robust
+//! machine-speed factor — so that a uniformly faster or slower machine
+//! cancels out instead of biasing the search toward unobserved edges, and a
+//! single pathological edge cannot drag every other multiplier with it.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use sparse_conv::convert::{AnyMatrix, FormatId};
+use sparse_conv::Format;
+
+use crate::graph::PlannerConfig;
+
+/// Nanoseconds one entry unit is assumed to cost on the reference machine.
+/// Only the *ratio* between edges matters for routing; this constant anchors
+/// calibration observations to the static scale.
+pub(crate) const NS_PER_UNIT: f64 = 2.0;
+/// Fixed per-hop cost (allocation, dispatch, cache warm-up) in entry units;
+/// keeps multi-hop routes away from tiny inputs.
+pub(crate) const HOP_SETUP: f64 = 256.0;
+/// Work discount on parallel-kernel edges when the pool engages. Kept
+/// deliberately modest so routing decisions stay stable across thread
+/// counts.
+const PARALLEL_CREDIT: f64 = 0.75;
+/// Extra weight on block-analysis (BCSR) assembly fed by a source that does
+/// not iterate rows in order.
+const BCSR_UNSORTED_PENALTY: f64 = 1.8;
+/// Calibrated multiplier band around the static estimate.
+const MULTIPLIER_MIN: f64 = 0.25;
+const MULTIPLIER_MAX: f64 = 4.0;
+/// EWMA smoothing for per-edge ratios.
+const EWMA_EDGE: f64 = 0.25;
+
+/// Attribute summary of a conversion request's source tensor — everything
+/// the cost model reads. All fields are O(1) queries except
+/// [`TensorAttrs::rows_in_order`], which for COO sources is an early-exit
+/// monotonicity scan (first out-of-order pair returns).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TensorAttrs {
+    /// Tensor order (2 for matrices, 3 for third-order tensors).
+    pub order: usize,
+    /// Stored nonzeros.
+    pub nnz: usize,
+    /// Entries of the value array, padding included — what a plan pass
+    /// actually scans (equals `nnz` for unpadded formats).
+    pub stored_entries: usize,
+    /// Extent of the first dimension.
+    pub rows: usize,
+    /// Extent of the second dimension.
+    pub cols: usize,
+    /// Whether the source's iteration visits rows in non-decreasing order.
+    pub rows_in_order: bool,
+    /// Maximum nonzeros in any row, when a stats pass has already computed
+    /// it (see `sparse_conv::select::TensorProfile`); refines the write
+    /// estimate of padded-by-row targets such as ELL.
+    pub max_nnz_per_row: Option<usize>,
+}
+
+impl TensorAttrs {
+    /// The attribute queries for a concrete source instance.
+    pub fn from_matrix(src: &AnyMatrix) -> TensorAttrs {
+        TensorAttrs {
+            order: src.order(),
+            nnz: src.nnz(),
+            stored_entries: src.stored_entries(),
+            rows: src.rows(),
+            cols: src.cols(),
+            rows_in_order: src.iterates_rows_in_order(),
+            max_nnz_per_row: None,
+        }
+    }
+
+    /// Attaches a previously computed per-row maximum (from a shared stats
+    /// pass), refining padded-target write estimates.
+    pub fn with_max_nnz_per_row(mut self, k: usize) -> TensorAttrs {
+        self.max_nnz_per_row = Some(k);
+        self
+    }
+
+    /// Folds in the statistics a [`sparse_conv::TensorProfile`] already
+    /// computed for `auto_select`, so pricing ELL-style padded targets does
+    /// not trigger a second pass over the coordinates.
+    pub fn with_profile(self, profile: &sparse_conv::TensorProfile) -> TensorAttrs {
+        match profile.max_nnz_per_row {
+            Some(k) => self.with_max_nnz_per_row(k),
+            None => self,
+        }
+    }
+}
+
+/// Per-entry assembly weight of a target format, relative to a plain
+/// coordinate write.
+fn kernel_weight(target: &Format) -> f64 {
+    match target.id() {
+        Some(FormatId::Coo) | Some(FormatId::Coo3) => 1.0,
+        Some(FormatId::Csr) => 1.2,
+        Some(FormatId::Csc) => 1.4,
+        Some(FormatId::Ell) => 1.5,
+        Some(FormatId::Jad) => 2.5,
+        Some(FormatId::Dia) => 6.0,
+        Some(FormatId::Bcsr { .. }) => 6.0,
+        Some(FormatId::Skyline) => 4.0,
+        Some(FormatId::Csf) => 2.5,
+        Some(FormatId::Dok) => f64::INFINITY,
+        // Registry formats run the generic driver: interpreted assembly,
+        // plus a sort when the spec needs prefix grouping.
+        None => match target.spec() {
+            Some(spec) if sparse_conv::generic::needs_prefix_grouping(&spec.levels) => 3.5,
+            _ => 2.5,
+        },
+    }
+}
+
+/// Whether the runtime has a partitioned parallel kernel for this pair.
+fn is_parallel_pair(src: &Format, dst: &Format) -> bool {
+    matches!(
+        (src.id(), dst.id()),
+        (Some(FormatId::Coo), Some(FormatId::Csr))
+            | (Some(FormatId::Csr), Some(FormatId::Csc))
+            | (Some(FormatId::Csr), Some(FormatId::Bcsr { .. }))
+            | (Some(FormatId::Coo3), Some(FormatId::Csf))
+    ) || (src.id() == Some(FormatId::Coo3)
+        && dst.id().is_none()
+        && dst.mode_order().is_some_and(|o| o.len() == 3))
+}
+
+/// Estimated entries the target materialises.
+fn write_entries(dst: &Format, attrs: &TensorAttrs) -> f64 {
+    match dst.id() {
+        // ELL pads every row to the maximum row length; use it when a stats
+        // pass has provided it, the nonzero count otherwise.
+        Some(FormatId::Ell) => attrs
+            .max_nnz_per_row
+            .map(|k| (k * attrs.rows).max(attrs.nnz))
+            .unwrap_or(attrs.nnz) as f64,
+        _ => attrs.nnz as f64,
+    }
+}
+
+/// The static cost, in entry units, of converting along the edge
+/// `src → dst`, fed by `entries_in` stored entries whose iteration order is
+/// row-major iff `feeds_rows_in_order`. `passes` is the symbolic plan's
+/// input pass count for the pair.
+pub fn static_edge_units(
+    src: &Format,
+    dst: &Format,
+    passes: usize,
+    entries_in: usize,
+    feeds_rows_in_order: bool,
+    attrs: &TensorAttrs,
+    cfg: &PlannerConfig,
+) -> f64 {
+    let read = (passes * entries_in) as f64;
+    let mut weight = kernel_weight(dst);
+    if matches!(dst.id(), Some(FormatId::Bcsr { .. })) && !feeds_rows_in_order {
+        weight *= BCSR_UNSORTED_PENALTY;
+    }
+    let mut work = read + weight * write_entries(dst, attrs);
+    if cfg.threads > 1 && attrs.nnz >= cfg.parallel_nnz_threshold && is_parallel_pair(src, dst) {
+        work *= PARALLEL_CREDIT;
+    }
+    work + HOP_SETUP
+}
+
+/// Thread-safe store of calibrated edge-cost multipliers.
+///
+/// Each observation records the ratio between a measured duration and the
+/// static prediction for that edge, folded into a per-edge EWMA. The
+/// multiplier applied during routing is the per-edge ratio *normalised by
+/// the median ratio across observed edges* and clamped to `[0.25, 4.0]`:
+/// the median estimates the machine's overall speed relative to the
+/// reference, so systematic machine speed cancels, an edge that is merely
+/// unobserved keeps multiplier 1, and only an edge's deviation from its
+/// siblings shifts the search.
+#[derive(Debug, Default)]
+pub struct CostModel {
+    /// Directed `(source fingerprint, target fingerprint)` → EWMA of
+    /// `measured / predicted`.
+    edges: Mutex<HashMap<(u64, u64), f64>>,
+    version: AtomicU64,
+}
+
+/// Robust machine-speed factor: the (lower) median of per-edge ratios.
+fn machine_factor(edges: &HashMap<(u64, u64), f64>) -> Option<f64> {
+    if edges.is_empty() {
+        return None;
+    }
+    let mut ratios: Vec<f64> = edges.values().copied().collect();
+    ratios.sort_by(f64::total_cmp);
+    Some(ratios[(ratios.len() - 1) / 2])
+}
+
+impl CostModel {
+    /// An empty model: every multiplier is 1 until observations arrive.
+    pub fn new() -> CostModel {
+        CostModel::default()
+    }
+
+    /// The calibrated multiplier for an edge (1.0 when unobserved).
+    pub fn multiplier(&self, src: &Format, dst: &Format) -> f64 {
+        let edges = self.edges.lock().unwrap();
+        match (
+            edges.get(&(src.fingerprint(), dst.fingerprint())),
+            machine_factor(&edges),
+        ) {
+            (Some(&edge), Some(global)) if global > 0.0 => {
+                (edge / global).clamp(MULTIPLIER_MIN, MULTIPLIER_MAX)
+            }
+            _ => 1.0,
+        }
+    }
+
+    /// Folds one measured duration for an edge whose static estimate was
+    /// `predicted_units` into the calibration state.
+    pub fn observe_units(
+        &self,
+        src: &Format,
+        dst: &Format,
+        predicted_units: f64,
+        measured_ns: u64,
+    ) {
+        if predicted_units <= 0.0 || !predicted_units.is_finite() || measured_ns == 0 {
+            return;
+        }
+        let ratio = measured_ns as f64 / (predicted_units * NS_PER_UNIT);
+        let mut edges = self.edges.lock().unwrap();
+        let edge = edges
+            .entry((src.fingerprint(), dst.fingerprint()))
+            .or_insert(ratio);
+        *edge += EWMA_EDGE * (ratio - *edge);
+        drop(edges);
+        self.version.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Monotonic counter incremented by every observation — lets cached
+    /// routing decisions detect that edge costs moved.
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Relaxed)
+    }
+
+    /// Number of directed edges with at least one observation.
+    pub fn observed_edges(&self) -> usize {
+        self.edges.lock().unwrap().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn attrs(nnz: usize) -> TensorAttrs {
+        TensorAttrs {
+            order: 2,
+            nnz,
+            stored_entries: nnz,
+            rows: 100,
+            cols: 100,
+            rows_in_order: false,
+            max_nnz_per_row: None,
+        }
+    }
+
+    #[test]
+    fn one_profile_pass_serves_selection_and_pricing() {
+        use sparse_conv::convert::AnyTensor;
+        use sparse_conv::TensorProfile;
+        use sparse_tensor::{Shape, SparseTriples};
+
+        // One dense row of 6 in an otherwise empty 8x8 matrix.
+        let mut t = SparseTriples::new(Shape::matrix(8, 8));
+        for j in 0..6i64 {
+            t.push(vec![2, j], 1.0).unwrap();
+        }
+        let coo = sparse_formats::CooMatrix::from_triples(&t);
+        let profile = TensorProfile::compute(&AnyTensor::Coo(coo.clone()));
+        assert_eq!(
+            profile.selected,
+            sparse_conv::auto_select(&AnyTensor::Coo(coo.clone()))
+        );
+
+        let attrs = TensorAttrs::from_matrix(&sparse_conv::convert::AnyMatrix::Coo(coo))
+            .with_profile(&profile);
+        assert_eq!(attrs.max_nnz_per_row, Some(6));
+        // The refined row maximum tightens the ELL write estimate: 6-wide
+        // padding over 8 rows stores 48 slots, not nnz = 6.
+        assert_eq!(write_entries(&Format::ell(), &attrs), 48.0);
+    }
+
+    #[test]
+    fn unsorted_sources_pay_extra_on_block_targets() {
+        let cfg = PlannerConfig::default();
+        let coo = Format::coo();
+        let bcsr = Format::stock(FormatId::Bcsr {
+            block_rows: 4,
+            block_cols: 4,
+        });
+        let a = attrs(10_000);
+        let shuffled = static_edge_units(&coo, &bcsr, 2, a.nnz, false, &a, &cfg);
+        let ordered = static_edge_units(&coo, &bcsr, 2, a.nnz, true, &a, &cfg);
+        assert!(shuffled > ordered * 1.2, "{shuffled} vs {ordered}");
+        // The penalty is specific to block analysis: CSC costs the same
+        // either way.
+        let csc = Format::csc();
+        let s = static_edge_units(&coo, &csc, 2, a.nnz, false, &a, &cfg);
+        let o = static_edge_units(&coo, &csc, 2, a.nnz, true, &a, &cfg);
+        assert_eq!(s, o);
+    }
+
+    #[test]
+    fn machine_speed_cancels_out_of_multipliers() {
+        let model = CostModel::new();
+        let (coo, csr, csc) = (Format::coo(), Format::csr(), Format::csc());
+        // A machine uniformly 3x slower than the reference: every edge
+        // observes ratio 3, so no edge should look cheap or expensive.
+        for _ in 0..16 {
+            model.observe_units(&coo, &csr, 1000.0, 3_000_000 / 500);
+            model.observe_units(&coo, &csc, 1000.0, 3_000_000 / 500);
+        }
+        let m = model.multiplier(&coo, &csr);
+        assert!((0.8..1.3).contains(&m), "multiplier {m} should stay near 1");
+        // An edge measured far slower than its siblings does move.
+        for _ in 0..16 {
+            model.observe_units(&csr, &csc, 1000.0, 10 * 3_000_000 / 500);
+        }
+        assert!(model.multiplier(&csr, &csc) > 2.0);
+        assert_eq!(model.observed_edges(), 3);
+        assert!(model.version() >= 48);
+    }
+
+    #[test]
+    fn multipliers_stay_bounded() {
+        let model = CostModel::new();
+        let (coo, csr) = (Format::coo(), Format::csr());
+        let (dia, ell) = (Format::stock(FormatId::Dia), Format::stock(FormatId::Ell));
+        for _ in 0..64 {
+            model.observe_units(&coo, &csr, 1000.0, 1); // absurdly fast
+            model.observe_units(&dia, &ell, 1000.0, u64::MAX / 1024); // absurdly slow
+        }
+        assert!(model.multiplier(&coo, &csr) >= 0.25);
+        assert!(model.multiplier(&dia, &ell) <= 4.0);
+    }
+}

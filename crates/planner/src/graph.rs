@@ -1,0 +1,618 @@
+//! The format graph and its shortest-path route search.
+//!
+//! Nodes are interned [`Format`] handles; a directed edge `A → B` exists
+//! when the symbolic planner can produce a conversion plan for the pair
+//! (stock engine kernels, the runtime's parallel kernels, and generic-driver
+//! edges for registry formats all plan through the same entry point). Edge
+//! weights are [`static_edge_units`] scaled by the [`CostModel`]'s
+//! calibrated multiplier.
+//!
+//! # Admissibility
+//!
+//! A route is only useful if it produces *bytes identical* to the direct
+//! conversion, so intermediates are filtered by the target's sensitivity to
+//! the source's iteration order:
+//!
+//! | target                                | sensitive to            | admissible intermediates |
+//! |---------------------------------------|-------------------------|--------------------------|
+//! | DIA, BCSR, SKY, CSF, sorted customs   | nothing (canonicalises) | COO, CSR, CSF            |
+//! | CSR, ELL, JAD                         | within-row order        | COO, CSR                 |
+//! | CSC                                   | within-column order     | COO                      |
+//! | COO, COO3, unsorted customs           | full iteration order    | COO                      |
+//!
+//! The rules follow from what each intermediate does to the nonzero
+//! stream: a COO hop *replays* its source's iteration exactly (so it is
+//! always safe), a CSR hop stably groups by row (preserving within-row
+//! order but rewriting everything else), and a CSF hop sorts
+//! lexicographically (safe only for targets that canonicalise anyway).
+//! Registry (custom) targets count as canonicalising exactly when their
+//! spec makes the generic driver sort (`needs_prefix_grouping`).
+//!
+//! # Search
+//!
+//! The per-request subgraph is tiny — the source, the target, and at most
+//! [`PlannerConfig::max_intermediates`] stock way-points of the same order —
+//! so the shortest-path search enumerates every admissible path in cost
+//! order (Dijkstra degenerates to exhaustive enumeration on a graph this
+//! small) with a deterministic tie-break: cheaper first, then fewer hops,
+//! then lexicographic by fingerprint.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use sparse_conv::convert::FormatId;
+use sparse_conv::Format;
+
+use crate::cost::{static_edge_units, CostModel, TensorAttrs};
+
+/// Knobs of a route search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlannerConfig {
+    /// Worker threads the executing service would use (engages the
+    /// parallel-kernel credit).
+    pub threads: usize,
+    /// Minimum nonzeros before parallel kernels engage (mirrors the
+    /// service's threshold).
+    pub parallel_nnz_threshold: usize,
+    /// Maximum way-points between source and target (2 allows three-hop
+    /// routes such as `DIA → COO → CSR → BCSR`).
+    pub max_intermediates: usize,
+    /// Drop the direct path whenever an admissible multi-hop route exists
+    /// (the `--route=multi-hop` ablation); falls back to direct when no
+    /// chain is admissible.
+    pub exclude_direct: bool,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        PlannerConfig {
+            threads: 1,
+            parallel_nnz_threshold: 1 << 14,
+            max_intermediates: 2,
+            exclude_direct: false,
+        }
+    }
+}
+
+/// A planned conversion route: the full node path (source first, target
+/// last) and its estimated cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutePlan {
+    /// Formats visited, source and target included (`len() >= 2`).
+    pub path: Vec<Format>,
+    /// Estimated total cost in entry units (calibration applied).
+    pub cost_units: f64,
+}
+
+impl RoutePlan {
+    /// Whether the plan is the single direct hop.
+    pub fn is_direct(&self) -> bool {
+        self.path.len() == 2
+    }
+
+    /// Number of conversions executed along the route.
+    pub fn hop_count(&self) -> usize {
+        self.path.len().saturating_sub(1)
+    }
+
+    /// The path as display names (what reports record).
+    pub fn names(&self) -> Vec<String> {
+        self.path.iter().map(|f| f.to_string()).collect()
+    }
+}
+
+/// How a target's stored bytes depend on the order its nonzeros arrive in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Sensitivity {
+    /// Assembly canonicalises (sorts or scatters by coordinate): any
+    /// admissible intermediate is safe.
+    Insensitive,
+    /// Only the relative order of nonzeros *within a row* matters.
+    RowOrder,
+    /// Only the relative order of nonzeros *within a column* matters.
+    ColumnOrder,
+    /// The full iteration order is stored verbatim.
+    Full,
+}
+
+fn sensitivity(target: &Format) -> Sensitivity {
+    match target.id() {
+        Some(FormatId::Coo) | Some(FormatId::Coo3) | Some(FormatId::Dok) => Sensitivity::Full,
+        Some(FormatId::Csr) | Some(FormatId::Ell) | Some(FormatId::Jad) => Sensitivity::RowOrder,
+        Some(FormatId::Csc) => Sensitivity::ColumnOrder,
+        Some(FormatId::Dia)
+        | Some(FormatId::Bcsr { .. })
+        | Some(FormatId::Skyline)
+        | Some(FormatId::Csf) => Sensitivity::Insensitive,
+        None => match target.spec() {
+            // The generic driver re-establishes fiber grouping by sorting
+            // for these specs, so the input order cannot leak into bytes.
+            Some(spec) if sparse_conv::generic::needs_prefix_grouping(&spec.levels) => {
+                Sensitivity::Insensitive
+            }
+            // Full-rooted custom chains keep the source iteration order:
+            // be conservative (replay-only intermediates).
+            _ => Sensitivity::Full,
+        },
+    }
+}
+
+/// Whether `mid` may appear as a way-point on a route into a target with
+/// the given sensitivity.
+fn intermediate_admissible(mid: &Format, sens: Sensitivity) -> bool {
+    match mid.id() {
+        // A COO hop replays its source's iteration exactly.
+        Some(FormatId::Coo) | Some(FormatId::Coo3) => true,
+        // A CSR hop stably groups by row: within-row order survives.
+        Some(FormatId::Csr) => matches!(sens, Sensitivity::Insensitive | Sensitivity::RowOrder),
+        // A CSF hop sorts lexicographically.
+        Some(FormatId::Csf) => matches!(sens, Sensitivity::Insensitive),
+        _ => false,
+    }
+}
+
+/// The format graph: memoised symbolic edges plus the calibrated cost
+/// model. One graph lives inside each `ConversionService` and is shared by
+/// every request; all state is interior-mutable and thread-safe.
+#[derive(Debug, Default)]
+pub struct FormatGraph {
+    cost: CostModel,
+    /// `(source, target)` fingerprints → the symbolic plan's input pass
+    /// count, or `None` when the pair has no conversion routine.
+    passes: Mutex<HashMap<(u64, u64), Option<usize>>>,
+}
+
+impl FormatGraph {
+    /// An empty graph with an uncalibrated cost model.
+    pub fn new() -> FormatGraph {
+        FormatGraph::default()
+    }
+
+    /// The calibrated multiplier store.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Monotonic version of the calibration state (see
+    /// [`CostModel::version`]).
+    pub fn version(&self) -> u64 {
+        self.cost.version()
+    }
+
+    /// The symbolic plan's input pass count for an edge, memoised; `None`
+    /// when the pair cannot be planned (no edge in the graph).
+    fn passes(&self, src: &Format, dst: &Format) -> Option<usize> {
+        let key = (src.fingerprint(), dst.fingerprint());
+        let replay_target = matches!(dst.id(), Some(FormatId::Coo) | Some(FormatId::Coo3));
+        *self.passes.lock().unwrap().entry(key).or_insert_with(|| {
+            sparse_conv::plan_for_formats(src, dst).ok().map(|p| {
+                // The engine lowers coordinate targets to a single
+                // replay pass (`to_coo` pushes as it scans); the
+                // symbolic plan's count-then-fill structure
+                // overestimates them.
+                if replay_target {
+                    p.input_passes.min(1)
+                } else {
+                    p.input_passes
+                }
+            })
+        })
+    }
+
+    /// The calibrated cost of one edge, or `None` when no kernel exists.
+    pub fn edge_units(
+        &self,
+        src: &Format,
+        dst: &Format,
+        entries_in: usize,
+        feeds_rows_in_order: bool,
+        attrs: &TensorAttrs,
+        cfg: &PlannerConfig,
+    ) -> Option<f64> {
+        let passes = self.passes(src, dst)?;
+        let units = static_edge_units(
+            src,
+            dst,
+            passes,
+            entries_in,
+            feeds_rows_in_order,
+            attrs,
+            cfg,
+        );
+        Some(units * self.cost.multiplier(src, dst))
+    }
+
+    /// Folds a measured edge duration back into the cost model (online
+    /// calibration). `entries_in` and `feeds_rows_in_order` describe the
+    /// instance that actually fed the hop.
+    // The parameter list mirrors `static_edge_units` plus the measurement:
+    // collapsing it into a struct would just move the same seven names.
+    #[allow(clippy::too_many_arguments)]
+    pub fn observe(
+        &self,
+        src: &Format,
+        dst: &Format,
+        entries_in: usize,
+        feeds_rows_in_order: bool,
+        attrs: &TensorAttrs,
+        cfg: &PlannerConfig,
+        measured_ns: u64,
+    ) {
+        if let Some(passes) = self.passes(src, dst) {
+            let predicted = static_edge_units(
+                src,
+                dst,
+                passes,
+                entries_in,
+                feeds_rows_in_order,
+                attrs,
+                cfg,
+            );
+            self.cost.observe_units(src, dst, predicted, measured_ns);
+        }
+    }
+
+    /// Total calibrated cost of a full path, walking the stored-entry count
+    /// and iteration-order flag through each hop; `None` when any edge is
+    /// missing.
+    fn path_units(&self, path: &[Format], attrs: &TensorAttrs, cfg: &PlannerConfig) -> Option<f64> {
+        let mut total = 0.0;
+        let mut entries = attrs.stored_entries;
+        let mut in_order = attrs.rows_in_order;
+        for pair in path.windows(2) {
+            total += self.edge_units(&pair[0], &pair[1], entries, in_order, attrs, cfg)?;
+            // Whatever the hop produced: intermediates are unpadded stock
+            // containers storing exactly the nonzeros.
+            entries = attrs.nnz;
+            in_order = match pair[1].id() {
+                Some(FormatId::Csr) | Some(FormatId::Skyline) | Some(FormatId::Csf) => true,
+                // A COO hop replays its input, preserving whatever order
+                // fed it.
+                Some(FormatId::Coo) | Some(FormatId::Coo3) => in_order,
+                _ => false,
+            };
+        }
+        Some(total)
+    }
+
+    /// Plans the cheapest admissible route from `source` to `target` for a
+    /// tensor described by `attrs`. Returns `None` when the graph has no
+    /// path at all (the caller should fall back to its legacy router, which
+    /// will surface the planning error).
+    pub fn plan_route(
+        &self,
+        source: &Format,
+        target: &Format,
+        attrs: &TensorAttrs,
+        cfg: &PlannerConfig,
+    ) -> Option<RoutePlan> {
+        let direct_path = vec![source.clone(), target.clone()];
+        let direct = self
+            .path_units(&direct_path, attrs, cfg)
+            .map(|cost_units| RoutePlan {
+                path: direct_path,
+                cost_units,
+            });
+        // Empty and identity conversions never profit from hops.
+        if attrs.nnz == 0 || source.fingerprint() == target.fingerprint() {
+            return direct;
+        }
+        let pool: Vec<Format> = match attrs.order {
+            2 => vec![Format::coo(), Format::csr()],
+            3 => vec![Format::coo3(), Format::csf()],
+            _ => Vec::new(),
+        };
+        let sens = sensitivity(target);
+        let mids: Vec<Format> = pool
+            .into_iter()
+            .filter(|f| {
+                f.fingerprint() != source.fingerprint()
+                    && f.fingerprint() != target.fingerprint()
+                    && intermediate_admissible(f, sens)
+            })
+            .collect();
+        let mut candidates: Vec<Vec<Format>> = Vec::new();
+        if cfg.max_intermediates >= 1 {
+            for a in &mids {
+                candidates.push(vec![source.clone(), a.clone(), target.clone()]);
+            }
+        }
+        if cfg.max_intermediates >= 2 {
+            for a in &mids {
+                for b in &mids {
+                    if a.fingerprint() != b.fingerprint() {
+                        candidates.push(vec![source.clone(), a.clone(), b.clone(), target.clone()]);
+                    }
+                }
+            }
+        }
+        let mut routed: Vec<RoutePlan> = candidates
+            .into_iter()
+            .filter_map(|path| {
+                let cost_units = self.path_units(&path, attrs, cfg)?;
+                Some(RoutePlan { path, cost_units })
+            })
+            .collect();
+        // Deterministic order: cheapest, then fewest hops, then
+        // lexicographic by fingerprint sequence.
+        routed.sort_by(|a, b| {
+            a.cost_units
+                .total_cmp(&b.cost_units)
+                .then(a.path.len().cmp(&b.path.len()))
+                .then_with(|| {
+                    let fa: Vec<u64> = a.path.iter().map(Format::fingerprint).collect();
+                    let fb: Vec<u64> = b.path.iter().map(Format::fingerprint).collect();
+                    fa.cmp(&fb)
+                })
+        });
+        let best_chain = routed.into_iter().next();
+        match (direct, best_chain) {
+            (Some(d), Some(c)) => {
+                if cfg.exclude_direct || c.cost_units < d.cost_units {
+                    Some(c)
+                } else {
+                    Some(d)
+                }
+            }
+            (Some(d), None) => Some(d),
+            (None, c) => c,
+        }
+    }
+
+    /// Seeds the cost model from a `BENCH_conversions.json` document:
+    /// single-thread rows measured on a *direct* route become calibration
+    /// observations for their edge. Returns the number of rows applied.
+    /// Rows naming unregistered custom formats, multi-thread rows, and rows
+    /// measured over multi-hop or streamed routes are skipped.
+    pub fn seed_from_bench_json(&self, json: &str) -> usize {
+        let cfg = PlannerConfig::default();
+        let mut applied = 0;
+        for line in json.lines() {
+            if !line.contains("\"median_ns\"") {
+                continue;
+            }
+            let Some(src) = json_str(line, "source").and_then(|s| s.parse::<Format>().ok()) else {
+                continue;
+            };
+            let Some(dst) = json_str(line, "target").and_then(|s| s.parse::<Format>().ok()) else {
+                continue;
+            };
+            if json_num(line, "threads").unwrap_or(1.0) as usize != 1 {
+                continue;
+            }
+            if let Some(route) = json_str(line, "route") {
+                if route != "direct" {
+                    continue;
+                }
+            }
+            let nnz = json_num(line, "nnz").unwrap_or(0.0) as usize;
+            let median_ns = json_num(line, "median_ns").unwrap_or(0.0) as u64;
+            if nnz == 0 || median_ns == 0 {
+                continue;
+            }
+            let attrs = TensorAttrs {
+                order: src.order().max(dst.order()),
+                nnz,
+                stored_entries: nnz,
+                rows: 0,
+                cols: 0,
+                // Structural only: a bench row's COO source is shuffled.
+                rows_in_order: src.id().is_some_and(FormatId::iterates_rows_in_order),
+                max_nnz_per_row: None,
+            };
+            self.observe(
+                &src,
+                &dst,
+                nnz,
+                attrs.rows_in_order,
+                &attrs,
+                &cfg,
+                median_ns,
+            );
+            applied += 1;
+        }
+        applied
+    }
+}
+
+/// Extracts `"key": "value"` from a single JSON object line.
+fn json_str(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let start = line.find(&pat)? + pat.len();
+    let end = line[start..].find('"')?;
+    Some(line[start..start + end].to_string())
+}
+
+/// Extracts `"key": number` from a single JSON object line.
+fn json_num(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::NS_PER_UNIT;
+
+    fn bcsr4() -> Format {
+        Format::stock(FormatId::Bcsr {
+            block_rows: 4,
+            block_cols: 4,
+        })
+    }
+
+    fn shuffled(nnz: usize) -> TensorAttrs {
+        TensorAttrs {
+            order: 2,
+            nnz,
+            stored_entries: nnz,
+            rows: 3000,
+            cols: 3000,
+            rows_in_order: false,
+            max_nnz_per_row: None,
+        }
+    }
+
+    fn names(plan: &RoutePlan) -> Vec<String> {
+        plan.names()
+    }
+
+    #[test]
+    fn shuffled_coo_to_bcsr_routes_via_csr() {
+        let g = FormatGraph::new();
+        let cfg = PlannerConfig::default();
+        let plan = g
+            .plan_route(&Format::coo(), &bcsr4(), &shuffled(20_000), &cfg)
+            .unwrap();
+        assert_eq!(names(&plan), ["COO", "CSR", "BCSR4x4"]);
+        // Row-ordered input feeds the block analysis directly.
+        let mut ordered = shuffled(20_000);
+        ordered.rows_in_order = true;
+        let plan = g
+            .plan_route(&Format::coo(), &bcsr4(), &ordered, &cfg)
+            .unwrap();
+        assert!(plan.is_direct());
+        // Tiny inputs never pay the extra hop.
+        let plan = g
+            .plan_route(&Format::coo(), &bcsr4(), &shuffled(64), &cfg)
+            .unwrap();
+        assert!(plan.is_direct());
+    }
+
+    #[test]
+    fn padded_sources_route_via_coo_and_compose_three_hops() {
+        let g = FormatGraph::new();
+        let cfg = PlannerConfig::default();
+        let dia = Format::stock(FormatId::Dia);
+        let padded = TensorAttrs {
+            order: 2,
+            nnz: 95,
+            stored_entries: 2048,
+            rows: 64,
+            cols: 64,
+            rows_in_order: false,
+            max_nnz_per_row: None,
+        };
+        let plan = g
+            .plan_route(&dia, &Format::stock(FormatId::Ell), &padded, &cfg)
+            .unwrap();
+        assert_eq!(names(&plan), ["DIA", "COO", "ELL"]);
+        // A padded source *and* a block-analysis target compose: shed the
+        // padding first, then feed the block analysis row-major.
+        let padded_large = TensorAttrs {
+            nnz: 4000,
+            stored_entries: 40_000,
+            ..padded
+        };
+        let plan = g.plan_route(&dia, &bcsr4(), &padded_large, &cfg).unwrap();
+        assert_eq!(names(&plan), ["DIA", "COO", "CSR", "BCSR4x4"]);
+        assert_eq!(plan.hop_count(), 3);
+        // COO targets replay the source directly; hops cannot help.
+        let plan = g.plan_route(&dia, &Format::coo(), &padded, &cfg).unwrap();
+        assert!(plan.is_direct());
+    }
+
+    #[test]
+    fn column_sensitive_targets_only_accept_replay_intermediates() {
+        let g = FormatGraph::new();
+        let forced = PlannerConfig {
+            exclude_direct: true,
+            ..PlannerConfig::default()
+        };
+        // Forced multi-hop into CSC may only use the COO replay hop: a CSR
+        // way-point would rewrite within-column order.
+        let plan = g
+            .plan_route(&Format::csr(), &Format::csc(), &shuffled(20_000), &forced)
+            .unwrap();
+        assert_eq!(names(&plan), ["CSR", "COO", "CSC"]);
+        // From COO the only admissible way-point coincides with the source,
+        // so the forced search falls back to direct.
+        let plan = g
+            .plan_route(&Format::coo(), &Format::csc(), &shuffled(20_000), &forced)
+            .unwrap();
+        assert!(plan.is_direct());
+    }
+
+    #[test]
+    fn unplannable_pairs_yield_no_route() {
+        let g = FormatGraph::new();
+        let cfg = PlannerConfig::default();
+        // DOK has no coordinate-hierarchy spec: no edge can reach it.
+        assert!(g
+            .plan_route(
+                &Format::coo(),
+                &Format::stock(FormatId::Dok),
+                &shuffled(1000),
+                &cfg
+            )
+            .is_none());
+    }
+
+    #[test]
+    fn a_slower_measured_edge_loses_its_shortest_path_slot() {
+        let g = FormatGraph::new();
+        let cfg = PlannerConfig::default();
+        let attrs = shuffled(20_000);
+        let (coo, csr, bcsr) = (Format::coo(), Format::csr(), bcsr4());
+        let before = g.plan_route(&coo, &bcsr, &attrs, &cfg).unwrap();
+        assert_eq!(names(&before), ["COO", "CSR", "BCSR4x4"]);
+        // Establish a truthful baseline on the sibling edges (measured =
+        // predicted), then repeatedly measure the COO→CSR hop far slower
+        // than its static estimate.
+        let nominal = |src: &Format, dst: &Format, in_order: bool| {
+            let units = g
+                .edge_units(src, dst, attrs.nnz, in_order, &attrs, &cfg)
+                .unwrap();
+            (units * NS_PER_UNIT) as u64
+        };
+        for _ in 0..4 {
+            let ns = nominal(&csr, &bcsr, true);
+            g.observe(&csr, &bcsr, attrs.nnz, true, &attrs, &cfg, ns);
+            let ns = nominal(&coo, &bcsr, false);
+            g.observe(&coo, &bcsr, attrs.nnz, false, &attrs, &cfg, ns);
+        }
+        let version = g.version();
+        for _ in 0..8 {
+            let ns = 10 * nominal(&coo, &csr, false);
+            g.observe(&coo, &csr, attrs.nnz, false, &attrs, &cfg, ns);
+        }
+        assert!(g.version() > version);
+        let after = g.plan_route(&coo, &bcsr, &attrs, &cfg).unwrap();
+        assert!(
+            after.is_direct(),
+            "slow COO→CSR edge should lose its slot, got {:?}",
+            names(&after)
+        );
+    }
+
+    #[test]
+    fn bench_json_rows_seed_the_model() {
+        let g = FormatGraph::new();
+        let json = concat!(
+            r#"{"matrix": "m", "source": "COO", "source_fp": "0", "target": "CSR", "#,
+            r#""target_fp": "1", "threads": 1, "scale": 0.02, "nnz": 20000, "#,
+            r#""median_ns": 160000, "throughput_mnnz_s": 125.0, "route": "direct"},"#,
+            "\n",
+            r#"{"matrix": "m", "source": "CSR", "source_fp": "1", "target": "CSC", "#,
+            r#""target_fp": "2", "threads": 1, "scale": 0.02, "nnz": 20000, "#,
+            r#""median_ns": 190000, "throughput_mnnz_s": 105.0, "route": "direct"},"#,
+            "\n",
+            // Skipped: multi-thread, multi-hop route, unknown custom name.
+            r#"{"matrix": "m", "source": "COO", "target": "CSR", "threads": 4, "#,
+            r#""nnz": 20000, "median_ns": 90000},"#,
+            "\n",
+            r#"{"matrix": "m", "source": "COO", "target": "BCSR4x4", "threads": 1, "#,
+            r#""nnz": 20000, "median_ns": 1300000, "route": "multi-hop"},"#,
+            "\n",
+            r#"{"matrix": "m", "source": "NO-SUCH-FORMAT", "target": "CSR", "threads": 1, "#,
+            r#""nnz": 20000, "median_ns": 90000}"#,
+        );
+        assert_eq!(g.seed_from_bench_json(json), 2);
+        assert_eq!(g.cost_model().observed_edges(), 2);
+    }
+}

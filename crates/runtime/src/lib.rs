@@ -16,10 +16,12 @@
 //!   order-3 COO3→CSF sort-and-pack), built on scoped `std::thread`s and
 //!   **bit-identical** to the sequential engine;
 //! * [`service::ConversionService`] is the batch front end: it routes each
-//!   request (direct vs. via-COO, decided by a cost model over the plan and
-//!   the source's storage statistics), picks parallel or sequential
-//!   execution, and schedules independent conversions across a
-//!   [`pool::WorkerPool`];
+//!   request over `conv-planner`'s format graph (direct, via-COO, or a
+//!   cost-model-chosen multi-hop chain such as shuffled
+//!   `COO → CSR → BCSR`, with measured hop durations calibrating the edge
+//!   costs online), picks parallel or sequential execution, and schedules
+//!   independent conversions across a [`pool::WorkerPool`]; the original
+//!   two-way router survives as [`service::RoutingPolicy::Legacy`];
 //! * [`streaming`] is the out-of-core path:
 //!   [`ConversionService::convert_stream`](service::ConversionService::convert_stream)
 //!   pipelines `conv-stream` coordinate blocks through the pool into an
@@ -65,5 +67,5 @@ pub mod streaming;
 
 pub use cache::{PlanCache, PlanKey};
 pub use pool::WorkerPool;
-pub use service::{ConversionService, Route, ServiceConfig, ServiceStats};
+pub use service::{ConversionService, Route, RoutingPolicy, ServiceConfig, ServiceStats};
 pub use streaming::{StreamConversion, StreamOptions};

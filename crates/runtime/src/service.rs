@@ -5,10 +5,15 @@
 //!
 //! 1. **plan** — the [`PlanCache`] returns the pair's [`ConversionPlan`],
 //!    building it at most once per `(source, target, spec fingerprint)`;
-//! 2. **route** — a cost model over the plan and the source's storage
-//!    statistics decides between converting *directly* and going *via COO*
-//!    first (profitable when a padded source such as DIA or ELL would be
-//!    re-scanned by a multi-pass plan);
+//! 2. **route** — `conv-planner`'s [`FormatGraph`] plans a shortest path
+//!    over the format graph: directly, *via COO* (profitable when a padded
+//!    source such as DIA or ELL would be re-scanned by a multi-pass plan),
+//!    or along a longer cost-model-chosen chain such as shuffled
+//!    `COO → CSR → BCSR`, where the row-major intermediate feeds BCSR's
+//!    block analysis cheaper than the direct kernel. Measured hop durations
+//!    flow back into the graph's edge costs (online calibration); the
+//!    original two-way router remains as [`RoutingPolicy::Legacy`] and as
+//!    the fallback when the graph has no path;
 //! 3. **execute** — hot pairs (COO→CSR, CSR→CSC, CSR→BCSR, and the tensor
 //!    pair COO3→CSF) run on the outer-range–partitioned parallel kernels
 //!    when the input is large enough to pay for thread startup; everything
@@ -22,7 +27,9 @@
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
+use conv_planner::{FormatGraph, PlannerConfig, TensorAttrs};
 use conv_stream::{ExternalSorter, MemTracker, SorterConfig, StreamStats, TensorStream};
 use obs::{Collector, ConversionReport, Registry, Span};
 use sparse_conv::convert::{AnyMatrix, FormatId};
@@ -42,6 +49,12 @@ pub struct ServiceConfig {
     /// running on the parallel kernels (small inputs lose to thread
     /// startup).
     pub parallel_nnz_threshold: usize,
+    /// How conversions are routed (see [`RoutingPolicy`]).
+    pub routing: RoutingPolicy,
+    /// Whether measured hop durations refine the planner's edge costs
+    /// (bounded, thread-safe EWMA). Disable for reproducible routing in
+    /// benchmarks.
+    pub online_calibration: bool,
 }
 
 impl ServiceConfig {
@@ -60,18 +73,60 @@ impl Default for ServiceConfig {
         ServiceConfig {
             threads: WorkerPool::machine_sized().threads(),
             parallel_nnz_threshold: 1 << 14,
+            routing: RoutingPolicy::CostModel,
+            online_calibration: true,
+        }
+    }
+}
+
+/// Which router decides how a conversion request executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RoutingPolicy {
+    /// Plan the cheapest admissible route over the format graph
+    /// (`conv-planner`): direct, via COO, or a longer multi-hop chain.
+    /// Falls back to [`RoutingPolicy::Legacy`] when the graph has no path.
+    #[default]
+    CostModel,
+    /// The original two-way router: direct, or via COO for padded
+    /// multi-pass sources (kept as an escape hatch and for A/B runs).
+    Legacy,
+    /// Always convert directly (ablation baseline).
+    Direct,
+    /// Force the via-COO detour whenever the source is padded (ablation).
+    ViaCoo,
+    /// Force the cheapest *multi-hop* route whenever one is admissible;
+    /// direct only when no chain exists (ablation).
+    MultiHop,
+}
+
+impl std::str::FromStr for RoutingPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "auto" | "cost-model" => Ok(RoutingPolicy::CostModel),
+            "legacy" => Ok(RoutingPolicy::Legacy),
+            "direct" => Ok(RoutingPolicy::Direct),
+            "via-coo" => Ok(RoutingPolicy::ViaCoo),
+            "multi-hop" => Ok(RoutingPolicy::MultiHop),
+            other => Err(format!(
+                "unknown routing policy '{other}' (expected auto|legacy|direct|via-coo|multi-hop)"
+            )),
         }
     }
 }
 
 /// How the service decided to execute a conversion.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Route {
     /// Run the (source → target) routine directly.
     Direct,
     /// Convert to COO first, then (COO → target): cheaper when the source
     /// stores many padding zeros that a multi-pass plan would re-scan.
     ViaCoo,
+    /// Convert along the full format path (source first, target last,
+    /// `len() >= 3`), chosen by the planner's cost model.
+    MultiHop(Vec<Format>),
 }
 
 /// Monotonic counters describing what a service has executed.
@@ -81,6 +136,7 @@ struct ServiceCounters {
     parallel_kernels: AtomicU64,
     sequential: AtomicU64,
     via_coo: AtomicU64,
+    multi_hop: AtomicU64,
     batch_jobs: AtomicU64,
     streams: AtomicU64,
     stream_spilled_runs: AtomicU64,
@@ -95,6 +151,7 @@ impl ServiceCounters {
         self.parallel_kernels.store(0, Ordering::Relaxed);
         self.sequential.store(0, Ordering::Relaxed);
         self.via_coo.store(0, Ordering::Relaxed);
+        self.multi_hop.store(0, Ordering::Relaxed);
         self.batch_jobs.store(0, Ordering::Relaxed);
         self.streams.store(0, Ordering::Relaxed);
         self.stream_spilled_runs.store(0, Ordering::Relaxed);
@@ -112,6 +169,9 @@ struct ExecTrace {
     route: &'static str,
     plan_cache_hit: bool,
     parallel_kernel: bool,
+    /// Format path the conversion followed (empty for plain direct routes,
+    /// filled in for via-COO and multi-hop).
+    path: Vec<String>,
 }
 
 /// A point-in-time copy of a service's counters (plus its plan-cache
@@ -126,6 +186,8 @@ pub struct ServiceStats {
     pub sequential: u64,
     /// Conversions routed through an intermediate COO.
     pub via_coo: u64,
+    /// Conversions executed along a planner-chosen multi-hop chain.
+    pub multi_hop: u64,
     /// Jobs submitted through [`ConversionService::convert_batch`].
     pub batch_jobs: u64,
     /// Streaming conversions requested through
@@ -155,6 +217,7 @@ pub struct ConversionService {
     config: ServiceConfig,
     pool: WorkerPool,
     cache: PlanCache,
+    graph: FormatGraph,
     counters: ServiceCounters,
     last_report: Mutex<Option<ConversionReport>>,
 }
@@ -172,6 +235,7 @@ impl ConversionService {
             config,
             pool: WorkerPool::new(config.threads),
             cache: PlanCache::new(),
+            graph: FormatGraph::new(),
             counters: ServiceCounters::default(),
             last_report: Mutex::new(None),
         }
@@ -185,6 +249,23 @@ impl ConversionService {
     /// The plan cache (for inspection and warm-up).
     pub fn plan_cache(&self) -> &PlanCache {
         &self.cache
+    }
+
+    /// The route planner's format graph — seed it from a committed bench
+    /// snapshot ([`FormatGraph::seed_from_bench_json`]) or inspect its
+    /// calibration state.
+    pub fn format_graph(&self) -> &FormatGraph {
+        &self.graph
+    }
+
+    /// The planner configuration derived from this service's settings.
+    fn planner_config(&self, exclude_direct: bool) -> PlannerConfig {
+        PlannerConfig {
+            threads: self.config.threads,
+            parallel_nnz_threshold: self.config.parallel_nnz_threshold,
+            exclude_direct,
+            ..PlannerConfig::default()
+        }
     }
 
     /// Builds (and caches) the plans for every pair in `pairs`, so a later
@@ -263,7 +344,7 @@ impl ConversionService {
     ) -> Result<Route, ConvertError> {
         let target = target.into();
         let plan = self.cache.plan(src.format(), &target)?;
-        self.choose_route(src, &target, &plan)
+        self.decide_route(src, &target, &plan)
     }
 
     /// Converts a batch of independent jobs across the worker pool,
@@ -334,6 +415,11 @@ impl ConversionService {
             info.route
         }
         .to_string();
+        report.path = if info.path.is_empty() {
+            vec![report.source.clone(), report.target.clone()]
+        } else {
+            std::mem::take(&mut info.path)
+        };
         report.plan_cache_hit = info.plan_cache_hit;
         report.parallel_kernel = info.parallel_kernel;
         report.threads = self.config.threads;
@@ -435,6 +521,7 @@ impl ConversionService {
             parallel_kernels: self.counters.parallel_kernels.load(Ordering::Relaxed),
             sequential: self.counters.sequential.load(Ordering::Relaxed),
             via_coo: self.counters.via_coo.load(Ordering::Relaxed),
+            multi_hop: self.counters.multi_hop.load(Ordering::Relaxed),
             batch_jobs: self.counters.batch_jobs.load(Ordering::Relaxed),
             streams: self.counters.streams.load(Ordering::Relaxed),
             stream_spilled_runs: self.counters.stream_spilled_runs.load(Ordering::Relaxed),
@@ -478,6 +565,11 @@ impl ConversionService {
         report.source = src.format().to_string();
         report.target = target.to_string();
         report.route = info.route.to_string();
+        report.path = if info.path.is_empty() {
+            vec![report.source.clone(), report.target.clone()]
+        } else {
+            std::mem::take(&mut info.path)
+        };
         report.plan_cache_hit = info.plan_cache_hit;
         report.parallel_kernel = info.parallel_kernel;
         report.threads = if info.parallel_kernel {
@@ -511,7 +603,7 @@ impl ConversionService {
         info.plan_cache_hit = cache_hit;
         self.counters.conversions.fetch_add(1, Ordering::Relaxed);
         let span = Span::enter("service.route");
-        let route = self.choose_route(src, target, &plan)?;
+        let route = self.decide_route(src, target, &plan)?;
         drop(span);
         match route {
             Route::Direct => {
@@ -520,6 +612,11 @@ impl ConversionService {
             }
             Route::ViaCoo => {
                 info.route = "via-coo";
+                info.path = vec![
+                    src.format().to_string(),
+                    "COO".to_string(),
+                    target.to_string(),
+                ];
                 self.counters.via_coo.fetch_add(1, Ordering::Relaxed);
                 let span = Span::enter("service.via_coo");
                 let coo = AnyMatrix::Coo(match src {
@@ -532,6 +629,7 @@ impl ConversionService {
                     _ => {
                         drop(span);
                         info.route = "direct";
+                        info.path.clear();
                         return self.execute(src, target, allow_parallel, info);
                     }
                 });
@@ -539,29 +637,120 @@ impl ConversionService {
                 drop(span);
                 self.execute(&coo, target, allow_parallel, info)
             }
+            Route::MultiHop(path) => {
+                info.route = "multi-hop";
+                info.path = path.iter().map(|f| f.to_string()).collect();
+                self.counters.multi_hop.fetch_add(1, Ordering::Relaxed);
+                let mut current = self.run_hop(src, &path[1], allow_parallel, info)?;
+                for hop_target in &path[2..] {
+                    current = self.run_hop(&current, hop_target, allow_parallel, info)?;
+                }
+                Ok(current)
+            }
         }
     }
 
-    /// Stored entries of the source's value array, padding included — the
-    /// unit every plan pass actually scans.
-    fn stored_entries(src: &AnyMatrix) -> usize {
-        match src {
-            AnyMatrix::Dia(m) => m.values().len(),
-            AnyMatrix::Ell(m) => m.values().len(),
-            AnyMatrix::Bcsr(m) => m.values().len(),
-            AnyMatrix::Skyline(m) => m.values().len(),
-            AnyMatrix::Custom(t) => t.vals.len(),
-            other => other.nnz(),
+    /// One hop of a multi-hop route: cached planning, a timed execution
+    /// span, and (when enabled) an online-calibration observation for the
+    /// hop's edge.
+    fn run_hop(
+        &self,
+        hop_src: &AnyMatrix,
+        hop_target: &Format,
+        allow_parallel: bool,
+        info: &mut ExecTrace,
+    ) -> Result<AnyMatrix, ConvertError> {
+        let (_plan, _hit) = self.cache.plan_entry(hop_src.format(), hop_target)?;
+        let span = Span::enter("service.hop");
+        span.add_items(hop_src.nnz() as u64);
+        let started = Instant::now();
+        let out = self.execute(hop_src, hop_target, allow_parallel, info)?;
+        let elapsed_ns = started.elapsed().as_nanos() as u64;
+        drop(span);
+        if self.config.online_calibration {
+            let attrs = TensorAttrs::from_matrix(hop_src);
+            self.graph.observe(
+                &hop_src.format(),
+                hop_target,
+                attrs.stored_entries,
+                attrs.rows_in_order,
+                &attrs,
+                &self.planner_config(false),
+                elapsed_ns,
+            );
+        }
+        Ok(out)
+    }
+
+    /// Whether the source stores padding zeros a multi-pass plan re-scans.
+    fn is_padded(src: &AnyMatrix) -> bool {
+        matches!(
+            src,
+            AnyMatrix::Dia(_) | AnyMatrix::Ell(_) | AnyMatrix::Bcsr(_) | AnyMatrix::Skyline(_)
+        )
+    }
+
+    /// Routes a request according to the configured [`RoutingPolicy`].
+    fn decide_route(
+        &self,
+        src: &AnyMatrix,
+        target: &Format,
+        plan: &ConversionPlan,
+    ) -> Result<Route, ConvertError> {
+        match self.config.routing {
+            RoutingPolicy::CostModel => self.planned_route(src, target, plan, false),
+            RoutingPolicy::MultiHop => self.planned_route(src, target, plan, true),
+            RoutingPolicy::Legacy => self.choose_route(src, target, plan),
+            RoutingPolicy::Direct => Ok(Route::Direct),
+            RoutingPolicy::ViaCoo => Ok(
+                if Self::is_padded(src) && target.id() != Some(FormatId::Coo) && src.nnz() > 0 {
+                    Route::ViaCoo
+                } else {
+                    Route::Direct
+                },
+            ),
         }
     }
 
+    /// Cost-model routing over the format graph; falls back to the legacy
+    /// router when the graph has no path for the pair.
+    fn planned_route(
+        &self,
+        src: &AnyMatrix,
+        target: &Format,
+        plan: &ConversionPlan,
+        force_hops: bool,
+    ) -> Result<Route, ConvertError> {
+        let attrs = TensorAttrs::from_matrix(src);
+        let cfg = self.planner_config(force_hops);
+        match self.graph.plan_route(&src.format(), target, &attrs, &cfg) {
+            None => self.choose_route(src, target, plan),
+            Some(route) if route.is_direct() => Ok(Route::Direct),
+            Some(route) => {
+                // A padded source hopping once through COO is exactly the
+                // legacy via-COO shortcut; keep reporting (and executing)
+                // it as such.
+                if route.path.len() == 3
+                    && route.path[1].id() == Some(FormatId::Coo)
+                    && Self::is_padded(src)
+                {
+                    Ok(Route::ViaCoo)
+                } else {
+                    Ok(Route::MultiHop(route.path))
+                }
+            }
+        }
+    }
+
+    /// The original two-way router: direct, or via COO for padded
+    /// multi-pass sources.
     fn choose_route(
         &self,
         src: &AnyMatrix,
         target: &Format,
         plan: &ConversionPlan,
     ) -> Result<Route, ConvertError> {
-        let stored = Self::stored_entries(src);
+        let stored = src.stored_entries();
         let nnz = src.nnz();
         if stored <= nnz || target.id() == Some(FormatId::Coo) || nnz == 0 {
             return Ok(Route::Direct);
@@ -667,6 +856,7 @@ mod tests {
         ConversionService::new(ServiceConfig {
             threads,
             parallel_nnz_threshold: 0,
+            ..ServiceConfig::default()
         })
     }
 
@@ -806,6 +996,7 @@ mod tests {
         let svc = ConversionService::new(ServiceConfig {
             threads: 4,
             parallel_nnz_threshold: 1_000_000,
+            ..ServiceConfig::default()
         });
         svc.convert(&coo, FormatId::Csr).unwrap();
         let stats = svc.stats();

@@ -148,6 +148,7 @@ proptest! {
             let service = ConversionService::new(ServiceConfig {
                 threads,
                 parallel_nnz_threshold: 0,
+                ..ServiceConfig::default()
             });
             let got = service.convert(&coo3, FormatId::Csf).expect("conversion");
             let want = sparse_conv::convert(&coo3, FormatId::Csf).expect("conversion");
@@ -167,6 +168,7 @@ proptest! {
             let service = ConversionService::new(ServiceConfig {
                 threads,
                 parallel_nnz_threshold: 0,
+                ..ServiceConfig::default()
             });
             for target in [
                 FormatId::Csr,

@@ -4,6 +4,7 @@
 //! tests can use a single dependency.
 pub use attr_query as query;
 pub use conv_ir as ir;
+pub use conv_planner as planner;
 pub use conv_runtime as runtime;
 pub use conv_stream as stream;
 pub use conv_workloads as workloads;

@@ -16,6 +16,7 @@ fn service(threads: usize) -> ConversionService {
     ConversionService::new(ServiceConfig {
         threads,
         parallel_nnz_threshold: 0,
+        ..ServiceConfig::default()
     })
 }
 

@@ -50,6 +50,7 @@ fn batched_service_conversions_match_the_sequential_engine() {
         let service = ConversionService::new(ServiceConfig {
             threads,
             parallel_nnz_threshold: 0,
+            ..ServiceConfig::default()
         });
         let results = service.convert_batch(&jobs);
         assert_eq!(results.len(), expected.len());

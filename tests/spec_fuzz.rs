@@ -172,6 +172,7 @@ fn services() -> &'static [(usize, ConversionService)] {
                     ConversionService::new(ServiceConfig {
                         threads,
                         parallel_nnz_threshold: 0,
+                        ..ServiceConfig::default()
                     }),
                 )
             })

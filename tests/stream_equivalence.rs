@@ -20,6 +20,7 @@ fn service() -> ConversionService {
     ConversionService::new(ServiceConfig {
         threads: 3,
         parallel_nnz_threshold: 0,
+        ..ServiceConfig::default()
     })
 }
 
@@ -215,6 +216,7 @@ fn oversized_inputs_convert_under_budget() {
     let svc = ConversionService::new(ServiceConfig {
         threads: 2,
         parallel_nnz_threshold: 0,
+        ..ServiceConfig::default()
     });
 
     // COO→CSR: 1400 entries * 24 B ≈ 33 KiB ≈ 4.1× the 8 KiB budget.
